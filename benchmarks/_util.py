@@ -1,0 +1,114 @@
+"""Shared infrastructure for the figure-regeneration benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run the paper's full parameter ranges (ER scale
+  up to 20, G500 up to 17, suite at 60k rows).  The default ranges are
+  scaled down to keep ``pytest benchmarks/`` in the minutes, with identical
+  qualitative structure.
+* ``REPRO_BENCH_MAX_N`` — override the proxy-suite dimension cap.
+
+Every bench writes its rendered series to ``benchmarks/results/<name>.txt``
+(and prints it, visible with ``pytest -s``), so the regenerated "figures"
+persist after the run.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.machine import HASWELL, KNL
+from repro.perfmodel import ProblemQuantities, SimConfig, simulate_spgemm
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SUITE_MAX_N = int(
+    os.environ.get("REPRO_BENCH_MAX_N", "60000" if FULL else "6000")
+)
+
+#: the nine code configurations of Figures 11/12 (paper legend order)
+PAPER_CODES = (
+    ("MKL", "mkl", True),
+    ("Heap", "heap", True),
+    ("Hash", "hash", True),
+    ("HashVec", "hashvec", True),
+    ("MKL (unsorted)", "mkl", False),
+    ("MKL-inspector (unsorted)", "mkl_inspector", False),
+    ("Kokkos (unsorted)", "kokkos", False),
+    ("Hash (unsorted)", "hash", False),
+    ("HashVec (unsorted)", "hashvec", False),
+)
+
+#: sorted-world codes of Figures 14(left)/17
+SORTED_CODES = (
+    ("MKL", "mkl"),
+    ("Heap", "heap"),
+    ("Hash", "hash"),
+    ("HashVec", "hashvec"),
+)
+
+#: unsorted-world codes of Figure 14(right)
+UNSORTED_CODES = (
+    ("MKL", "mkl"),
+    ("MKL-inspector", "mkl_inspector"),
+    ("Kokkos", "kokkos"),
+    ("Hash", "hash"),
+    ("HashVec", "hashvec"),
+)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered figure and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def simulate_codes(q: ProblemQuantities, machine, codes=PAPER_CODES, **cfg_kw):
+    """MFLOPS of each (label, algorithm, sorted) code on one problem."""
+    out = {}
+    for entry in codes:
+        if len(entry) == 3:
+            label, alg, sort = entry
+        else:
+            label, alg = entry
+            sort = cfg_kw.get("sort_output", True)
+        config = SimConfig(machine=machine, sort_output=sort, **{
+            k: v for k, v in cfg_kw.items() if k != "sort_output"
+        })
+        out[label] = simulate_spgemm(alg, config=config, quantities=q).mflops
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def suite_quantities(max_n: int = SUITE_MAX_N):
+    """ProblemQuantities of squaring every proxy matrix (cached: shared by
+    the Fig. 14 / Fig. 15 / Table 4 / speedup benches)."""
+    from repro.datasets import load_suite
+
+    out = {}
+    for name, m in load_suite(max_n=max_n).items():
+        out[name] = ProblemQuantities.compute(m, m)
+    return out
+
+
+@functools.lru_cache(maxsize=None)
+def suite_times(machine_name: str, sort_output: bool, max_n: int = SUITE_MAX_N):
+    """Simulated times of every code on every suite matrix.
+
+    Returns ``{code_label: {matrix: seconds}}`` for the Dolan-Moré profile
+    and harmonic-speedup benches.
+    """
+    machine = {"KNL": KNL, "Haswell": HASWELL}[machine_name]
+    codes = SORTED_CODES if sort_output else UNSORTED_CODES
+    times: "dict[str, dict[str, float]]" = {label: {} for label, _ in codes}
+    for name, q in suite_quantities(max_n).items():
+        for label, alg in codes:
+            cfg = SimConfig(machine=machine, sort_output=sort_output)
+            times[label][name] = simulate_spgemm(
+                alg, config=cfg, quantities=q
+            ).seconds
+    return times

@@ -1,0 +1,81 @@
+"""Ablation — vector-register width in HashVector probing (§4.2.2).
+
+Sweeps the simulated SIMD width from scalar (32-bit: 1 lane) to AVX-512
+(16 lanes) on both machines, at two collision regimes, quantifying the
+paper's trade-off: "HashVector can reduce the number of probing caused by
+hash collision ... however, HashVector requires a few more instructions for
+each check.  Thus, HashVector may degrade the performance when the
+collisions in Hash SpGEMM are rare."
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import HASWELL, KNL
+from repro.perfmodel import ProblemQuantities, SimConfig, simulate_spgemm
+from repro.profiling import render_series
+from repro.rmat import er_matrix, g500_matrix
+
+from _util import emit
+
+WIDTHS = [32, 64, 128, 256, 512]  # bits -> 1/2/4/8/16 lanes
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    # collision-light (ER sparse) and collision-heavy (G500 dense) inputs
+    inputs = {
+        "ER ef4 (rare collisions)": er_matrix(12, 4, seed=1),
+        "G500 ef16 (heavy collisions)": g500_matrix(12, 16, seed=1),
+    }
+    panels = {}
+    for iname, a in inputs.items():
+        q = ProblemQuantities.compute(a, a)
+        series = {}
+        for machine in (KNL, HASWELL):
+            scalar_hash = simulate_spgemm(
+                "hash",
+                config=SimConfig(machine=machine, sort_output=False),
+                quantities=q,
+            ).seconds
+            vals = []
+            for bits in WIDTHS:
+                m = dataclasses.replace(machine, vector_bits=bits)
+                t = simulate_spgemm(
+                    "hashvec",
+                    config=SimConfig(machine=m, sort_output=False),
+                    quantities=q,
+                ).seconds
+                vals.append(scalar_hash / t)  # speedup over scalar Hash
+            series[machine.name] = vals
+        panels[iname] = series
+        emit(
+            f"ablation_vecwidth_{iname.split()[0].lower()}",
+            render_series(
+                f"Ablation: HashVector speedup over scalar Hash — {iname}",
+                "vector bits", WIDTHS, series,
+            ),
+        )
+    return panels
+
+
+def test_vector_width_tradeoff(ablation, benchmark):
+    heavy = ablation["G500 ef16 (heavy collisions)"]
+    light = ablation["ER ef4 (rare collisions)"]
+    for machine_name in ("KNL", "Haswell"):
+        h, l = heavy[machine_name], light[machine_name]
+        # wider registers help more when collisions are heavy
+        assert h[-1] > h[0]
+        # the benefit is larger in the heavy regime than the light one
+        assert (h[-1] / h[0]) > (l[-1] / l[0])
+        # 1-lane "vectorized" probing is pure overhead: never faster than
+        # scalar Hash
+        assert l[0] <= 1.02 and h[0] <= 1.02
+
+    a = er_matrix(9, 4, seed=1)
+    q = ProblemQuantities.compute(a, a)
+    benchmark(
+        simulate_spgemm, "hashvec",
+        config=SimConfig(machine=KNL, sort_output=False), quantities=q,
+    )

@@ -1,0 +1,69 @@
+"""Extension bench — Sparse SUMMA communication scaling on the 2-D grid.
+
+The node-level kernels the paper optimizes exist to serve distributed
+SpGEMM (CombBLAS); this bench measures the simulated schedule's exact
+communication ledger: total volume grows with the grid (more broadcast
+copies) while per-rank volume shrinks ~1/sqrt(P), and G500's hub structure
+produces the flop imbalance that motivates 2-D (over 1-D) distributions in
+the first place.
+"""
+
+import pytest
+
+from repro.distributed import sparse_summa
+from repro.profiling import render_series
+from repro.rmat import er_matrix, g500_matrix
+
+from _util import emit
+
+GRIDS = [1, 2, 3, 4, 6]
+SCALE, EF = 10, 8
+
+
+@pytest.fixture(scope="module")
+def summa_sweep():
+    inputs = {
+        "ER": er_matrix(SCALE, EF, seed=1),
+        "G500": g500_matrix(SCALE, EF, seed=1),
+    }
+    data = {}
+    for name, a in inputs.items():
+        rows = []
+        for p in GRIDS:
+            _, rep = sparse_summa(a, a, p, algorithm="esc")
+            rows.append(rep)
+        data[name] = rows
+    series = {}
+    for name, reports in data.items():
+        series[f"{name} per-rank MB"] = [
+            r.received.mean() / 1e6 for r in reports
+        ]
+        series[f"{name} imbalance"] = [r.flop_imbalance for r in reports]
+    emit(
+        "distributed_summa",
+        render_series(
+            f"Sparse SUMMA: per-rank comm and flop imbalance "
+            f"(scale {SCALE}, ef {EF})",
+            "grid p (PxP ranks)", GRIDS, series,
+        ),
+    )
+    return data
+
+
+def test_summa_scaling(summa_sweep, benchmark):
+    for name, reports in summa_sweep.items():
+        per_rank = [r.received.mean() for r in reports]
+        # no communication on one rank; shrinking per-rank volume beyond
+        assert per_rank[0] == 0.0
+        assert per_rank[-1] < per_rank[1]
+        # total volume grows with the grid (broadcast replication)
+        totals = [r.total_comm_bytes for r in reports]
+        assert totals[-1] > totals[1]
+    # skew penalty: G500's imbalance exceeds ER's on the largest grid
+    assert (
+        summa_sweep["G500"][-1].flop_imbalance
+        > summa_sweep["ER"][-1].flop_imbalance
+    )
+
+    a = er_matrix(8, 8, seed=2)
+    benchmark(sparse_summa, a, a, 2, algorithm="esc")

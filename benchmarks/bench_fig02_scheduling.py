@@ -1,0 +1,52 @@
+"""Figure 2 — OpenMP scheduling cost on Haswell and KNL.
+
+Regenerates the microbenchmark: cost (ms) of an empty parallel loop under
+static/dynamic/guided scheduling for 2^5..2^19 iterations, on both machines.
+Paper shape: static flat and cheap; dynamic linear in iterations and much
+worse on KNL; guided tracking dynamic (especially on KNL).
+"""
+
+import pytest
+
+from repro.machine import HASWELL, KNL, loop_scheduling_cost
+from repro.profiling import render_series
+
+from _util import emit
+
+ITER_EXPONENTS = list(range(5, 20))
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    xs = [2**k for k in ITER_EXPONENTS]
+    series = {}
+    for machine in (KNL, HASWELL):
+        for policy in ("static", "dynamic", "guided"):
+            series[f"{machine.name} {policy}"] = [
+                loop_scheduling_cost(machine, policy, n) * 1e3 for n in xs
+            ]
+    emit(
+        "fig02_scheduling",
+        render_series(
+            "Figure 2: OpenMP scheduling cost [ms]",
+            "#iterations", xs, series, log_y=True,
+        ),
+    )
+    return xs, series
+
+
+def test_fig02_static_flat_dynamic_linear(figure2, benchmark):
+    xs, series = figure2
+    # static stays within ~2x of its floor until late; dynamic grows ~linearly
+    for m in ("KNL", "Haswell"):
+        static = series[f"{m} static"]
+        dynamic = series[f"{m} dynamic"]
+        assert static[8] < 2 * static[0]
+        assert dynamic[-1] / dynamic[0] > 100
+        assert dynamic[-1] > 20 * static[-1]
+    # KNL strictly worse than Haswell for every policy at scale
+    for policy in ("static", "dynamic", "guided"):
+        assert series[f"KNL {policy}"][-1] > series[f"Haswell {policy}"][-1]
+    # guided ~ dynamic on KNL (the paper's observation)
+    assert series["KNL guided"][-1] > 0.5 * series["KNL dynamic"][-1]
+    benchmark(loop_scheduling_cost, KNL, "dynamic", 2**19)

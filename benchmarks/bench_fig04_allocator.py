@@ -1,0 +1,61 @@
+"""Figure 4 — cost of deallocation on KNL.
+
+Regenerates: deallocation cost (ms) vs block size for the C++ and TBB
+allocators under the "single" and "parallel" (256-thread) schemes.  Paper
+shape: single deallocation explodes past the allocator threshold (>100 ms
+for 1 GB); the parallel scheme stays pooled until 8 GB (C++) / 64 GB (TBB)
+but costs more than single for small blocks.
+"""
+
+import pytest
+
+from repro.machine import KNL, deallocation_cost
+from repro.profiling import render_series
+
+from _util import emit
+
+SIZE_EXPONENTS = list(range(21, 37, 2))  # 2 MB .. 64 GB
+NTHREADS = 256  # the paper's Fig. 4 thread count
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    xs = [2**k for k in SIZE_EXPONENTS]
+    series = {}
+    for allocator in ("cpp", "tbb"):
+        for scheme in ("single", "parallel"):
+            series[f"{allocator.upper()} ({scheme})"] = [
+                deallocation_cost(
+                    KNL, size, allocator=allocator, scheme=scheme,
+                    nthreads=NTHREADS,
+                ) * 1e3
+                for size in xs
+            ]
+    emit(
+        "fig04_allocator",
+        render_series(
+            "Figure 4: deallocation cost on KNL [ms] (256 threads)",
+            "size [bytes]", [f"{x >> 20}MB" for x in xs], series, log_y=True,
+        ),
+    )
+    return xs, series
+
+
+def test_fig04_thresholds_and_crossovers(figure4, benchmark):
+    xs, series = figure4
+    idx = {x: i for i, x in enumerate(xs)}
+    # >100 ms to free 1 GB single (both allocators fall back to munmap)
+    assert series["CPP (single)"][idx[2**31]] > 100
+    assert series["TBB (single)"][idx[2**31]] > 100
+    # parallel jumps at 8 GB for C++ (per-thread share hits 32 MB) ...
+    assert series["CPP (parallel)"][idx[2**33]] > 10 * series["CPP (parallel)"][idx[2**31]]
+    # ... but TBB parallel stays pooled through 32 GB (256 MB threshold)
+    assert series["TBB (parallel)"][idx[2**35]] < 1.0
+    # parallel worse than single for small blocks
+    assert series["TBB (parallel)"][0] > series["TBB (single)"][0]
+    # parallel >50x better than single for huge blocks
+    assert series["TBB (single)"][-1] > 50 * series["TBB (parallel)"][-1]
+    benchmark(
+        deallocation_cost, KNL, 2**33, allocator="tbb", scheme="parallel",
+        nthreads=NTHREADS,
+    )

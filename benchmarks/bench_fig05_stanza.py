@@ -1,0 +1,52 @@
+"""Figure 5 — stanza-access bandwidth: DDR only vs MCDRAM as Cache (KNL).
+
+Regenerates: effective bandwidth (GB/s) vs contiguous-access (stanza)
+length from 8 bytes to 16 KB.  Paper shape: both memories slow and equal at
+tiny stanzas (latency bound), MCDRAM-as-cache >3.4x DDR at long stanzas.
+"""
+
+import pytest
+
+from repro.machine import KNL, MemoryMode, stanza_bandwidth
+from repro.profiling import render_series
+
+from _util import emit
+
+STANZA_EXPONENTS = list(range(3, 15))  # 8 B .. 16 KB
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    xs = [2**k for k in STANZA_EXPONENTS]
+    series = {
+        "DDR only": [
+            stanza_bandwidth(KNL, L, MemoryMode.FLAT_DDR) / 1e9 for L in xs
+        ],
+        "MCDRAM as Cache": [
+            stanza_bandwidth(KNL, L, MemoryMode.CACHE) / 1e9 for L in xs
+        ],
+    }
+    emit(
+        "fig05_stanza",
+        render_series(
+            "Figure 5: stanza bandwidth on KNL [GB/s]",
+            "stanza [bytes]", xs, series, log_y=True,
+        ),
+    )
+    return xs, series
+
+
+def test_fig05_mcdram_crossover(figure5, benchmark):
+    xs, series = figure5
+    ddr, mcd = series["DDR only"], series["MCDRAM as Cache"]
+    # equal (within 10%) at 8-byte random access
+    assert abs(mcd[0] - ddr[0]) / ddr[0] < 0.10
+    # >3.4x at 16 KB (the paper's headline number)
+    assert mcd[-1] / ddr[-1] > 3.4
+    # both curves monotone in stanza length
+    assert all(b >= a for a, b in zip(ddr, ddr[1:]))
+    assert all(b >= a for a, b in zip(mcd, mcd[1:]))
+    # the MCDRAM advantage is monotone: longer stanzas help it more
+    ratios = [m / d for m, d in zip(mcd, ddr)]
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    benchmark(stanza_bandwidth, KNL, 4096, MemoryMode.CACHE)

@@ -1,0 +1,94 @@
+"""Figure 10 — speedup from MCDRAM (Cache mode) vs Flat-DDR, by edge factor.
+
+Regenerates: Cache-mode-over-Flat-DDR speedup of Heap / Hash / HashVec
+(sorted and unsorted) squaring G500 matrices of fixed scale with edge
+factors 4..64.  Paper shape: Hash-family speedup grows with density toward
+~1.2-1.4x (bandwidth-bound streaming of denser B rows), Heap stays near
+1.0x (fine-grained access), and Heap *degrades* at edge factor 64 when its
+flop-sized temporaries exceed the MCDRAM capacity.
+
+Scaling note: the paper runs scale 15; we default to scale 12 and shrink
+the modeled MCDRAM capacity by the same factor as the problem's memory
+footprint, preserving the capacity-overflow crossover (see DESIGN.md).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.machine import KNL, MemoryMode
+from repro.perfmodel import ProblemQuantities, SimConfig, simulate_spgemm
+from repro.profiling import render_series
+from repro.rmat import g500_matrix
+
+from _util import FULL, emit
+
+SCALE = 15 if FULL else 12
+EDGE_FACTORS = [4, 8, 16, 32, 64]
+
+# The paper's scale-15 runs put Heap's edge-factor-64 temporaries past the
+# 16 GB MCDRAM.  At our default scale 12 the same overflow point is reached
+# by scaling the capacity with the problem (2^15/2^12 = 8x smaller).
+CAPACITY = 16e9 if FULL else 16e9 / 8
+
+MACHINE = dataclasses.replace(
+    KNL, mem=dataclasses.replace(KNL.mem, mcdram_capacity_bytes=CAPACITY)
+)
+
+CODES = (
+    ("Heap", "heap", True),
+    ("Hash", "hash", True),
+    ("HashVec", "hashvec", True),
+    ("Hash (unsorted)", "hash", False),
+    ("HashVec (unsorted)", "hashvec", False),
+)
+
+
+@pytest.fixture(scope="module")
+def figure10():
+    series = {label: [] for label, _, _ in CODES}
+    for ef in EDGE_FACTORS:
+        a = g500_matrix(SCALE, ef, seed=ef)
+        q = ProblemQuantities.compute(a, a)
+        for label, alg, sort in CODES:
+            cache = simulate_spgemm(
+                alg,
+                config=SimConfig(machine=MACHINE, sort_output=sort,
+                                 memory_mode=MemoryMode.CACHE),
+                quantities=q,
+            )
+            flat = simulate_spgemm(
+                alg,
+                config=SimConfig(machine=MACHINE, sort_output=sort,
+                                 memory_mode=MemoryMode.FLAT_DDR),
+                quantities=q,
+            )
+            series[label].append(flat.seconds / cache.seconds)
+    emit(
+        "fig10_mcdram",
+        render_series(
+            f"Figure 10: Cache-mode speedup over Flat-DDR (G500 scale {SCALE})",
+            "edge factor", EDGE_FACTORS, series,
+        ),
+    )
+    return series
+
+
+def test_fig10_mcdram_benefit_structure(figure10, benchmark):
+    series = figure10
+    # Hash-family benefits grow with density
+    for label in ("Hash", "HashVec", "Hash (unsorted)", "HashVec (unsorted)"):
+        vals = series[label]
+        assert vals[-2] > vals[0]  # denser -> more MCDRAM benefit
+        assert vals[-2] > 1.05  # a real benefit at ef=32
+    # Heap never gains much ...
+    assert max(series["Heap"]) < 1.15
+    # ... and loses ground at edge factor 64 (temporaries exceed capacity)
+    assert series["Heap"][-1] < series["Heap"][-2]
+
+    a = g500_matrix(10, 16, seed=1)
+    q = ProblemQuantities.compute(a, a)
+    benchmark(
+        simulate_spgemm, "hash",
+        config=SimConfig(machine=MACHINE), quantities=q,
+    )

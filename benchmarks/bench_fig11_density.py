@@ -1,0 +1,70 @@
+"""Figure 11 — scaling with density (edge factor) on KNL and Haswell.
+
+Regenerates: MFLOPS of all nine code configurations squaring ER and G500
+matrices of fixed scale with edge factors 4 / 8 / 16, on both machines.
+Paper shape: performance of everything but MKL rises with density on ER;
+the hash family dominates G500; unsorted beats sorted throughout.
+"""
+
+import pytest
+
+from repro.machine import HASWELL, KNL
+from repro.perfmodel import ProblemQuantities
+from repro.profiling import render_series
+from repro.rmat import er_matrix, g500_matrix
+
+from _util import FULL, PAPER_CODES, emit, simulate_codes
+
+SCALE = 16 if FULL else 14
+EDGE_FACTORS = [4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def figure11():
+    panels = {}
+    for gname, gen in (("ER", er_matrix), ("G500", g500_matrix)):
+        quantities = [
+            ProblemQuantities.compute(m, m)
+            for m in (gen(SCALE, ef, seed=ef) for ef in EDGE_FACTORS)
+        ]
+        for machine in (KNL, HASWELL):
+            series = {label: [] for label, _, _ in PAPER_CODES}
+            for q in quantities:
+                for label, val in simulate_codes(q, machine).items():
+                    series[label].append(val)
+            key = f"{machine.name} / {gname}"
+            panels[key] = series
+            emit(
+                f"fig11_density_{machine.name.lower()}_{gname.lower()}",
+                render_series(
+                    f"Figure 11 ({key}): MFLOPS vs edge factor, scale {SCALE}",
+                    "edge factor", EDGE_FACTORS, series,
+                ),
+            )
+    return panels
+
+
+def test_fig11_density_trends(figure11, benchmark):
+    panels = figure11
+    # ER: every non-MKL code gains with density (paper: "performance of all
+    # codes except MKL increases significantly as the ER matrices get denser")
+    for mach in ("KNL", "Haswell"):
+        s = panels[f"{mach} / ER"]
+        for label in ("Heap", "Hash", "HashVec", "Hash (unsorted)",
+                      "HashVec (unsorted)", "Kokkos (unsorted)"):
+            assert s[label][-1] > s[label][0], (mach, label)
+    # G500 on KNL: hash-family unsorted on top
+    g = panels["KNL / G500"]
+    best_hash = max(g["Hash (unsorted)"][-1], g["HashVec (unsorted)"][-1])
+    for label in ("MKL", "MKL (unsorted)", "Heap", "Kokkos (unsorted)"):
+        assert best_hash > g[label][-1], label
+    # unsorted beats sorted for the same algorithm everywhere
+    for panel in panels.values():
+        for base in ("Hash", "HashVec", "MKL"):
+            for i, _ in enumerate(EDGE_FACTORS):
+                assert panel[f"{base} (unsorted)"][i] >= panel[base][i]
+
+    q = ProblemQuantities.compute(
+        er_matrix(10, 8, seed=0), er_matrix(10, 8, seed=0)
+    )
+    benchmark(simulate_codes, q, KNL)

@@ -1,0 +1,83 @@
+"""Figure 12 — scaling with matrix size (scale) on KNL and Haswell.
+
+Regenerates: MFLOPS of all nine code configurations squaring ER and G500
+matrices of growing scale at edge factor 16.  Paper shape: the MKL family
+leads at small scales (the SPA fits in cache) and falls off at large ones,
+where Hash/HashVec take over and stay flat; Heap is stable; on G500 the MKL
+family is poor at every scale that matters.
+"""
+
+import pytest
+
+from repro.machine import HASWELL, KNL
+from repro.perfmodel import ProblemQuantities
+from repro.profiling import render_series
+from repro.rmat import er_matrix, g500_matrix
+
+from _util import FULL, PAPER_CODES, emit, simulate_codes
+
+# the KNL crossover (SPA leaves the 512 KB L2) sits at scale 16,
+# so the reduced range still includes 16-17
+ER_SCALES = list(range(8, 21 if FULL else 18))
+G500_SCALES = list(range(8, 18 if FULL else 15))
+EDGE_FACTOR = 16
+
+
+@pytest.fixture(scope="module")
+def figure12():
+    panels = {}
+    for gname, gen, scales in (
+        ("ER", er_matrix, ER_SCALES),
+        ("G500", g500_matrix, G500_SCALES),
+    ):
+        quantities = []
+        for sc in scales:
+            m = gen(sc, EDGE_FACTOR, seed=sc)
+            quantities.append(ProblemQuantities.compute(m, m))
+        for machine in (KNL, HASWELL):
+            series = {label: [] for label, _, _ in PAPER_CODES}
+            for q in quantities:
+                for label, val in simulate_codes(q, machine).items():
+                    series[label].append(val)
+            key = f"{machine.name} / {gname}"
+            panels[key] = (scales, series)
+            emit(
+                f"fig12_size_{machine.name.lower()}_{gname.lower()}",
+                render_series(
+                    f"Figure 12 ({key}): MFLOPS vs scale, edge factor 16",
+                    "scale", scales, series,
+                ),
+            )
+    return panels
+
+
+def test_fig12_size_trends(figure12, benchmark):
+    panels = figure12
+    # KNL / ER: MKL-inspector leads at small scale, then crosses below
+    # Hash (unsorted) — "for large scale matrices, MKL goes down, and Heap
+    # and Hash overcome"
+    scales, s = panels["KNL / ER"]
+    small, large = 0, len(scales) - 1
+    assert s["MKL-inspector (unsorted)"][small] > s["Hash (unsorted)"][small]
+    assert s["Hash (unsorted)"][large] > s["MKL-inspector (unsorted)"][large]
+    # hash stays within 2.5x of its own peak at the largest scale (stable)
+    assert s["Hash (unsorted)"][large] > max(s["Hash (unsorted)"]) / 2.5
+    # MKL family collapses after its peak ("MKL goes down")
+    assert s["MKL (unsorted)"][large] < 0.6 * max(s["MKL (unsorted)"])
+    assert s["MKL-inspector (unsorted)"][large] < 0.6 * max(
+        s["MKL-inspector (unsorted)"]
+    )
+    # G500 / KNL: "the performance of MKL is terrible even if its output is
+    # unsorted" — hash-family above the MKL family at the largest scale
+    scales_g, g = panels["KNL / G500"]
+    lg = len(scales_g) - 1
+    assert g["Hash (unsorted)"][lg] > g["MKL (unsorted)"][lg]
+    assert g["Hash (unsorted)"][lg] > g["MKL-inspector (unsorted)"][lg]
+    # Heap "shows stable performance" on G500: flat within 3x across scales
+    heap_vals = [v for v in g["Heap"][2:]]
+    assert max(heap_vals) < 3 * min(heap_vals)
+
+    q = ProblemQuantities.compute(
+        er_matrix(10, 16, seed=0), er_matrix(10, 16, seed=0)
+    )
+    benchmark(simulate_codes, q, HASWELL)

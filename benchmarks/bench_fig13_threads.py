@@ -1,0 +1,81 @@
+"""Figure 13 — strong scaling with thread count on KNL.
+
+Regenerates: MFLOPS vs thread count (1..272) for ER and G500 inputs of
+fixed scale, edge factor 16.  Paper shape: all kernels scale well to ~64
+threads; MKL (unsorted) stops improving past 68 (one thread per core);
+Heap and Hash/HashVec keep improving into the SMT region.
+"""
+
+import pytest
+
+from repro.machine import KNL
+from repro.perfmodel import ProblemQuantities, SimConfig, simulate_spgemm
+from repro.profiling import render_series
+from repro.rmat import er_matrix, g500_matrix
+
+from _util import FULL, emit
+
+SCALE = 16 if FULL else 14
+THREADS = [1, 2, 4, 8, 16, 32, 64, 68, 128, 136, 192, 204, 256, 272]
+
+CODES = (
+    ("Heap", "heap", True),
+    ("Hash", "hash", True),
+    ("HashVec", "hashvec", True),
+    ("MKL (unsorted)", "mkl", False),
+    ("MKL-inspector (unsorted)", "mkl_inspector", False),
+    ("Kokkos (unsorted)", "kokkos", False),
+    ("Hash (unsorted)", "hash", False),
+    ("HashVec (unsorted)", "hashvec", False),
+)
+
+
+@pytest.fixture(scope="module")
+def figure13():
+    panels = {}
+    for gname, gen in (("ER", er_matrix), ("G500", g500_matrix)):
+        a = gen(SCALE, 16, seed=3)
+        q = ProblemQuantities.compute(a, a)
+        series = {label: [] for label, _, _ in CODES}
+        for t in THREADS:
+            for label, alg, sort in CODES:
+                cfg = SimConfig(machine=KNL, nthreads=t, sort_output=sort)
+                series[label].append(
+                    simulate_spgemm(alg, config=cfg, quantities=q).mflops
+                )
+        panels[gname] = series
+        emit(
+            f"fig13_threads_{gname.lower()}",
+            render_series(
+                f"Figure 13 ({gname}): MFLOPS vs threads, KNL, scale {SCALE}",
+                "threads", THREADS, series, log_y=True,
+            ),
+        )
+    return panels
+
+
+def test_fig13_strong_scaling(figure13, benchmark):
+    panels = figure13
+    i64 = THREADS.index(64)
+    i272 = THREADS.index(272)
+    for gname, series in panels.items():
+        for label in ("Hash (unsorted)", "Heap", "HashVec"):
+            vals = series[label]
+            # good scalability until around 64 threads
+            assert vals[i64] > 8 * vals[0], (gname, label)
+            # further improvement past 64 threads (SMT region)
+            assert vals[i272] > vals[i64], (gname, label)
+        # relative SMT gain of hash exceeds MKL's ("MKL with unsorted output
+        # has no improvement over 68 threads")
+        i68 = THREADS.index(68)
+        mkl_gain = series["MKL (unsorted)"][i272] / series["MKL (unsorted)"][i68]
+        hash_gain = series["Hash (unsorted)"][i272] / series["Hash (unsorted)"][i68]
+        assert hash_gain > mkl_gain, gname
+        assert mkl_gain < 1.1, gname
+
+    a = er_matrix(10, 16, seed=3)
+    q = ProblemQuantities.compute(a, a)
+    benchmark(
+        simulate_spgemm, "hash",
+        config=SimConfig(machine=KNL, nthreads=272), quantities=q,
+    )

@@ -1,0 +1,97 @@
+"""Figure 14 — performance vs compression ratio on the real-matrix suite.
+
+Regenerates: MFLOPS of the sorted-world codes (left panel) and the
+unsorted-world codes (right panel) squaring each of the 26 SuiteSparse
+proxies, ordered by compression ratio (flop / nnz(C)), on KNL.
+
+Paper shape: Heap is flat regardless of compression ratio; MKL improves
+with compression ratio (and is hurt by the low-CR graph matrices); Hash is
+strong across the range; MKL-inspector shines at high CR in the unsorted
+world; Kokkos trails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.profiling import render_series
+
+from _util import SUITE_MAX_N, emit, suite_quantities, suite_times
+
+
+def _panel(sort_output: bool):
+    qs = suite_quantities(SUITE_MAX_N)
+    times = suite_times("KNL", sort_output, SUITE_MAX_N)
+    order = sorted(qs, key=lambda n: qs[n].compression_ratio)
+    crs = [qs[n].compression_ratio for n in order]
+    series = {
+        label: [2.0 * qs[n].total_flop / times[label][n] / 1e6 for n in order]
+        for label in times
+    }
+    return order, crs, series
+
+
+@pytest.fixture(scope="module")
+def figure14():
+    panels = {}
+    for sort_output, tag in ((True, "sorted"), (False, "unsorted")):
+        order, crs, series = _panel(sort_output)
+        panels[tag] = (order, crs, series)
+        xs = [f"{cr:.1f}" for cr in crs]
+        emit(
+            f"fig14_compression_{tag}",
+            render_series(
+                f"Figure 14 ({tag}): MFLOPS vs compression ratio, "
+                f"26 proxies, KNL (max_n={SUITE_MAX_N})",
+                "compression", xs, series, log_y=True,
+            ),
+        )
+    return panels
+
+
+def _slope(xs, ys):
+    """Least-squares slope of log(y) against log(x)."""
+    lx, ly = np.log(xs), np.log(ys)
+    return float(np.polyfit(lx, ly, 1)[0])
+
+
+def test_fig14_compression_trends(figure14, benchmark):
+    order, crs, sorted_series = figure14["sorted"]
+    _, _, unsorted_series = figure14["unsorted"]
+
+    # "The performance of Heap is stable regardless of compression ratio":
+    # its log-log slope is the flattest of the sorted codes.
+    slopes = {label: _slope(crs, vals) for label, vals in sorted_series.items()}
+    assert abs(slopes["Heap"]) <= min(abs(s) for s in slopes.values()) + 0.15
+    # "MKL gets better performance with higher compression ratio"
+    assert slopes["MKL"] > 0.2
+    # "Hash outperforms MKL on most of matrices"
+    hash_wins = sum(
+        sorted_series["Hash"][i] > sorted_series["MKL"][i]
+        for i in range(len(order))
+    )
+    assert hash_wins > 0.6 * len(order)
+    # low-CR half: Hash beats MKL on every one of the lowest-CR matrices
+    low_half = range(len(order) // 3)
+    assert all(
+        sorted_series["Hash"][i] > sorted_series["MKL"][i] for i in low_half
+    )
+    # unsorted world: "MKL-inspector shows significant improvement especially
+    # for the matrices with high compression ratio"
+    hi = len(order) - 1
+    assert unsorted_series["MKL-inspector"][hi] > unsorted_series["MKL"][hi]
+    # "KokkosKernels ... underperforms other kernels in this test": worst or
+    # second-worst average rank among unsorted codes
+    mean_rank = {}
+    for label in unsorted_series:
+        ranks = []
+        for i in range(len(order)):
+            vals = sorted(
+                (unsorted_series[other][i] for other in unsorted_series),
+                reverse=True,
+            )
+            ranks.append(vals.index(unsorted_series[label][i]))
+        mean_rank[label] = np.mean(ranks)
+    worst_two = sorted(mean_rank, key=mean_rank.get)[-2:]
+    assert "Kokkos" in worst_two
+
+    benchmark(lambda: suite_times("KNL", True, SUITE_MAX_N))

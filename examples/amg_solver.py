@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Algebraic multigrid: the numerical-simulation face of SpGEMM.
+
+The paper's introduction cites the AMG method as a major SpGEMM consumer —
+the coarse-grid operator is the Galerkin triple product R·A·P.  This example
+builds a two-level AMG hierarchy for a 2-D Poisson problem (the triple
+product runs through the library's flop-optimal chain planner and hash
+kernel), solves a system with V-cycles, and contrasts the convergence with
+plain Jacobi smoothing.
+
+Run:  python examples/amg_solver.py
+"""
+
+import numpy as np
+
+from repro.apps.amg import _jacobi, amg_setup, two_level_solve
+from repro.datasets import mesh2d
+from repro.matrix.construct import identity
+from repro.matrix.ops import add, spmv
+
+
+def main() -> None:
+    nx = 40
+    a = add(mesh2d(nx, nx), identity(nx * nx, value=0.05))
+    print(f"operator: 2-D Poisson on a {nx}x{nx} grid "
+          f"({a.nrows:,} unknowns, {a.nnz:,} nonzeros)")
+
+    hierarchy = amg_setup(a, theta=0.25)
+    print(
+        f"aggregation: {a.nrows:,} -> {hierarchy.coarse.nrows:,} unknowns "
+        f"(coarsening factor {hierarchy.coarsening_factor:.1f})"
+    )
+    print(
+        f"Galerkin product associated as {hierarchy.plan_render} "
+        f"(flop saving over worst order: {hierarchy.plan_saving:.2f}x)"
+    )
+
+    rng = np.random.default_rng(7)
+    x_exact = rng.random(a.nrows)
+    b = spmv(a, x_exact)
+
+    x, history = two_level_solve(hierarchy, b, tol=1e-10, max_cycles=60)
+    print(f"\ntwo-level AMG: {len(history)} V-cycles to "
+          f"residual {history[-1]:.2e}")
+    err = np.linalg.norm(x - x_exact) / np.linalg.norm(x_exact)
+    print(f"relative error vs the manufactured solution: {err:.2e}")
+
+    print("\nresidual history (every 5th cycle):")
+    for i in range(0, len(history), 5):
+        bar = "#" * max(1, int(50 + 2.5 * np.log10(history[i])))
+        print(f"  cycle {i + 1:>3d}: {history[i]:.3e} {bar}")
+
+    # same smoothing budget, no coarse correction
+    xj = np.zeros_like(b)
+    for _ in range(2 * len(history)):
+        xj = _jacobi(a, xj, b, 0.67, 1)
+    jacobi_res = np.linalg.norm(b - spmv(a, xj)) / np.linalg.norm(b)
+    print(
+        f"\nplain Jacobi with the same smoothing budget stalls at "
+        f"{jacobi_res:.2e} — the coarse-grid correction (two SpGEMMs at "
+        f"setup) is what buys the {jacobi_res / history[-1]:.0e}x gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

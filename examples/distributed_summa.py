@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Sparse SUMMA: the distributed context the paper's kernels serve.
+
+The hash/heap kernels of this paper are node-level engines for distributed
+SpGEMM (the authors' Combinatorial BLAS).  This example distributes a graph
+over growing 2-D process grids, runs the Sparse SUMMA schedule (the local
+multiplies use the paper's hash kernel family via `esc` for speed), and
+reads off the two facts that shape distributed SpGEMM design:
+
+* per-rank communication shrinks ~1/sqrt(P) while total volume grows;
+* power-law inputs create flop imbalance across ranks — which is why the
+  node-level kernel underneath must also handle skew (the paper's G500
+  results, one level down).
+
+Run:  python examples/distributed_summa.py
+"""
+
+from repro import spgemm
+from repro.distributed import sparse_summa
+from repro.rmat import er_matrix, g500_matrix
+
+
+def main() -> None:
+    inputs = {
+        "ER (uniform)": er_matrix(10, 8, seed=5),
+        "G500 (power-law)": g500_matrix(10, 8, seed=5),
+    }
+    for name, a in inputs.items():
+        print(f"\n=== {name}: {a.nrows:,} rows, {a.nnz:,} nonzeros ===")
+        reference = spgemm(a, a, algorithm="esc")
+        header = (
+            f"{'grid':>6s} {'ranks':>6s} {'total comm':>12s} "
+            f"{'per-rank':>10s} {'flop imbalance':>15s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for p in (1, 2, 4, 6):
+            c, report = sparse_summa(a, a, p, algorithm="esc")
+            assert c.allclose(reference)  # the schedule is exact
+            print(
+                f"{p}x{p:<4d} {p * p:>6d} "
+                f"{report.total_comm_bytes / 1e6:>10.2f}MB "
+                f"{report.received.mean() / 1e6:>8.3f}MB "
+                f"{report.flop_imbalance:>14.2f}x"
+            )
+    print(
+        "\nreading: total volume grows with the grid (each block is "
+        "broadcast to p-1 peers)\nwhile each rank's share falls — the "
+        "classic 2-D trade.  The G500 column shows why\nthe node kernel "
+        "below SUMMA must tolerate skew: hub blocks concentrate flop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A full graph-analytics pass over one network, every step on SpGEMM.
+
+Runs the complete §1 application list on a single synthetic social-style
+network: triangle census, clustering coefficients, betweenness centrality
+(sampled), label-propagation communities, and Markov clustering — each
+powered by the library's SpGEMM kernels with the semirings and masks the
+operations call for.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    betweenness_centrality,
+    clustering_coefficients,
+    count_triangles,
+    label_propagation,
+    markov_cluster,
+)
+from repro.rmat import g500_matrix
+
+
+def main() -> None:
+    graph = g500_matrix(10, 10, seed=17, symmetrize=True, drop_diagonal=True,
+                        values="ones")
+    n = graph.nrows
+    deg = graph.row_nnz()
+    print(f"network: {n:,} vertices, {graph.nnz // 2:,} edges "
+          f"(G500 pattern; max degree {deg.max()})")
+
+    # --- triangles & clustering (masked L·U wedge product) ---------------
+    tri = count_triangles(graph, masked=True)
+    cc = clustering_coefficients(graph)
+    print(f"\ntriangles: {tri:,}")
+    print(f"mean clustering coefficient: {cc[deg > 1].mean():.4f}")
+
+    # --- betweenness centrality (sampled batched Brandes) ----------------
+    rng = np.random.default_rng(0)
+    sample = rng.choice(n, size=64, replace=False)
+    bc = betweenness_centrality(graph, sources=sample)
+    top = np.argsort(bc)[-5:][::-1]
+    print("\ntop-5 betweenness vertices (64-source sample):")
+    for v in top:
+        print(f"  vertex {v:<6d} bc={bc[v]:10.1f}  degree={deg[v]}")
+
+    # --- communities: label propagation vs Markov clustering -------------
+    lp = label_propagation(graph, seed=3)
+    print(f"\nlabel propagation: {lp.n_communities} communities "
+          f"in {lp.iterations} rounds (converged: {lp.converged})")
+    sizes = np.bincount(lp.labels)
+    print(f"  five largest: {sorted(sizes.tolist(), reverse=True)[:5]}")
+
+    mcl = markov_cluster(graph, inflation=1.6, prune_threshold=1e-3)
+    print(f"Markov clustering: {mcl.n_clusters} clusters "
+          f"in {mcl.iterations} iterations")
+
+    # hub vertices bridge communities: their clustering is low
+    hubs = deg >= np.percentile(deg, 99)
+    leaves = (deg > 1) & (deg <= np.percentile(deg, 50))
+    if hubs.any() and leaves.any() and cc[leaves].mean() > 0:
+        print(
+            f"\nhub vs peripheral clustering coefficient: "
+            f"{cc[hubs].mean():.4f} vs {cc[leaves].mean():.4f} "
+            "(hubs bridge, periphery clusters — the power-law signature)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Markov clustering (MCL) of a modular graph — the A² scenario of §5.4.
+
+"Markov clustering ... requires A² for a given doubly-stochastic similarity
+matrix."  This example builds a planted-partition graph (dense communities,
+sparse inter-community noise), clusters it with MCL — whose expansion step
+is the SpGEMM this library optimizes — and scores the result against the
+planted truth.
+
+Run:  python examples/markov_clustering.py
+"""
+
+import numpy as np
+
+from repro import csr_from_coo
+from repro.apps import markov_cluster
+
+
+def planted_partition(n_communities=6, size=25, p_in=0.5, p_out=0.01, seed=0):
+    """A graph with dense communities and sparse noise between them."""
+    rng = np.random.default_rng(seed)
+    n = n_communities * size
+    membership = np.repeat(np.arange(n_communities), size)
+    block = membership[:, None] == membership[None, :]
+    prob = np.where(block, p_in, p_out)
+    upper = (rng.random((n, n)) < prob) & (np.triu(np.ones((n, n)), 1) > 0)
+    rows, cols = np.nonzero(upper | upper.T)
+    return csr_from_coo(n, n, rows, cols), membership
+
+
+def pair_accuracy(labels, truth) -> float:
+    """Rand index: fraction of vertex pairs both clusterings agree on."""
+    same_label = labels[:, None] == labels[None, :]
+    same_truth = truth[:, None] == truth[None, :]
+    n = len(labels)
+    mask = np.triu(np.ones((n, n), dtype=bool), 1)
+    return float((same_label == same_truth)[mask].mean())
+
+
+def main() -> None:
+    graph, truth = planted_partition()
+    print(
+        f"planted-partition graph: {graph.nrows} vertices, "
+        f"{graph.nnz // 2} edges, {truth.max() + 1} planted communities"
+    )
+    result = markov_cluster(
+        graph, inflation=2.0, prune_threshold=1e-4, algorithm="hash"
+    )
+    print(
+        f"MCL: {result.n_clusters} clusters in {result.iterations} iterations "
+        f"(converged: {result.converged})"
+    )
+    acc = pair_accuracy(result.labels, truth)
+    print(f"pairwise agreement with the planted communities: {acc:.1%}")
+    sizes = np.bincount(result.labels)
+    print(f"cluster sizes: {sorted(sizes.tolist(), reverse=True)}")
+
+    print("\ninflation controls granularity:")
+    for inflation in (1.4, 2.0, 3.5):
+        r = markov_cluster(graph, inflation=inflation)
+        print(f"  inflation {inflation:>3.1f} -> {r.n_clusters:>3d} clusters")
+
+
+if __name__ == "__main__":
+    main()

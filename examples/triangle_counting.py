@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Triangle counting via the L·U wedge product — the §5.6 scenario.
+
+Reproduces the paper's triangle-counting pipeline on a real graph workload:
+degree reordering, triangular split A = L + U, the L·U SpGEMM, and the
+elementwise mask — and shows what the degree reordering buys (it shrinks
+flop(L·U), which is exactly why the paper applies it).
+
+Run:  python examples/triangle_counting.py
+"""
+
+import numpy as np
+
+from repro.apps import count_triangles, triangle_counts_per_vertex
+from repro.matrix.ops import degree_reorder, triangular_split
+from repro.matrix.stats import total_flop
+from repro.rmat import g500_matrix
+
+
+def main() -> None:
+    graph = g500_matrix(11, 12, seed=3, symmetrize=True, drop_diagonal=True,
+                        values="ones")
+    n = graph.nrows
+    print(f"graph: {n:,} vertices, {graph.nnz // 2:,} undirected edges")
+
+    total = count_triangles(graph, algorithm="hash")
+    print(f"triangles: {total:,}")
+
+    per_vertex = triangle_counts_per_vertex(graph)
+    assert per_vertex.sum() == 3 * total  # each triangle touches 3 vertices
+    top = np.argsort(per_vertex)[-5:][::-1]
+    print("top-5 vertices by triangle participation:")
+    for v in top:
+        print(f"  vertex {v:<8d} {per_vertex[v]:,} triangles "
+              f"(degree {graph.row_nnz()[v]})")
+
+    # What the degree reordering buys: flop(L·U) with and without it.
+    plain_low, plain_up = triangular_split(graph.sort_rows())
+    flop_plain = total_flop(plain_low, plain_up)
+    reordered, _ = degree_reorder(graph, ascending=True)
+    r_low, r_up = triangular_split(reordered.sort_rows())
+    flop_reordered = total_flop(r_low, r_up)
+    print(
+        f"\nwedge-product work (flop of L·U):\n"
+        f"  natural order:  {flop_plain:>12,}\n"
+        f"  degree order:   {flop_reordered:>12,}  "
+        f"({flop_plain / flop_reordered:.1f}x less work)"
+    )
+    print("degree reordering makes the lowest-degree vertex the wedge middle"
+          " — the preprocessing the paper applies 'for optimal performance'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — high-performance SpGEMM on KNL/multicore, reproduced in Python.
+
+A faithful, laptop-runnable reproduction of
+
+    Nagasaka, Matsuoka, Azad, Buluç:
+    "High-Performance Sparse Matrix-Matrix Products on Intel KNL and
+    Multicore Architectures", ICPP 2018 (arXiv:1804.01698).
+
+Public surface (see README for a tour):
+
+* :func:`repro.spgemm` — one-call SpGEMM with selectable algorithm
+  (hash / hashvec / heap / spa / mkl / mkl_inspector / kokkos / esc) and
+  semiring, over :class:`repro.CSR` matrices;
+* :mod:`repro.rmat` — ER / G500 synthetic matrix generation;
+* :mod:`repro.machine` + :mod:`repro.perfmodel` — the KNL/Haswell machine
+  model and the operation-level performance simulator that regenerates the
+  paper's figures;
+* :mod:`repro.datasets` — proxies for the SuiteSparse suite of Table 2;
+* :mod:`repro.apps` — SpGEMM-powered graph algorithms (multi-source BFS,
+  triangle counting, Markov clustering);
+* :mod:`repro.profiling` — Dolan–Moré performance profiles and speedup
+  statistics.
+"""
+
+from .errors import (
+    ConfigError,
+    DatasetError,
+    FormatError,
+    ReproError,
+    ShapeError,
+)
+from .matrix import CSR, COO
+from .matrix.construct import (
+    csr_from_coo,
+    csr_from_dense,
+    csr_from_scipy,
+    identity,
+    random_csr,
+)
+from .matrix.stats import compression_ratio, matrix_stats
+from .semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    get_semiring,
+)
+from .core import (
+    KernelStats,
+    available_algorithms,
+    masked_spgemm,
+    multiply_chain,
+    recommend,
+    rows_to_threads,
+    spgemm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ConfigError",
+    "DatasetError",
+    "CSR",
+    "COO",
+    "csr_from_coo",
+    "csr_from_dense",
+    "csr_from_scipy",
+    "identity",
+    "random_csr",
+    "compression_ratio",
+    "matrix_stats",
+    "Semiring",
+    "get_semiring",
+    "PLUS_TIMES",
+    "OR_AND",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "spgemm",
+    "masked_spgemm",
+    "multiply_chain",
+    "available_algorithms",
+    "recommend",
+    "rows_to_threads",
+    "KernelStats",
+    "__version__",
+]

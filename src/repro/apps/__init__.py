@@ -1,0 +1,45 @@
+"""SpGEMM-powered graph algorithms — the paper's motivating applications.
+
+The evaluation scenarios of §5 are abstractions of real algorithms; this
+package implements those algorithms on top of :func:`repro.spgemm` so the
+library is usable end-to-end, not only benchmarkable:
+
+* :mod:`repro.apps.bfs` — multi-source breadth-first search as repeated
+  (square x tall-skinny) products over the boolean semiring (§5.5);
+* :mod:`repro.apps.triangles` — triangle counting via the L·U wedge
+  product with elementwise masking (§5.6, after Azad/Buluç/Gilbert);
+* :mod:`repro.apps.markov` — Markov clustering (MCL), whose expansion step
+  is the A² scenario of §5.4 (after van Dongen; HipMCL);
+* :mod:`repro.apps.centrality` — betweenness centrality by batched Brandes
+  over SpGEMM frontiers (§5.5's motivating algorithm, after CombBLAS);
+* :mod:`repro.apps.clustering` — local clustering coefficients and
+  label-propagation community detection (§1's application list);
+* :mod:`repro.apps.amg` — algebraic-multigrid setup whose Galerkin triple
+  product R·A·P is the numerical-simulation use of SpGEMM the paper's
+  introduction cites.
+"""
+
+from .amg import AmgHierarchy, amg_setup, two_level_solve
+from .bfs import multi_source_bfs
+from .centrality import betweenness_centrality
+from .clustering import (
+    LabelPropagationResult,
+    clustering_coefficients,
+    label_propagation,
+)
+from .markov import markov_cluster
+from .triangles import count_triangles, triangle_counts_per_vertex
+
+__all__ = [
+    "AmgHierarchy",
+    "amg_setup",
+    "two_level_solve",
+    "multi_source_bfs",
+    "betweenness_centrality",
+    "clustering_coefficients",
+    "label_propagation",
+    "LabelPropagationResult",
+    "count_triangles",
+    "triangle_counts_per_vertex",
+    "markov_cluster",
+]

@@ -1,0 +1,107 @@
+"""Multi-source BFS as sparse matrix products (§5.5's scenario).
+
+"Many graph processing algorithms perform multiple breadth-first searches
+in parallel ... In linear algebraic terms, this corresponds to multiplying a
+square sparse matrix with a tall-skinny one.  The left-hand-side matrix
+represents the graph and the right-hand-side matrix represent the stack of
+frontiers, each column representing one BFS frontier."
+
+The frontier expansion is one SpGEMM over the boolean (or, and) semiring:
+``F' = A^T (x) F`` restricted to unvisited vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.spgemm import spgemm
+from ..errors import ConfigError, ShapeError
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..matrix.ops import transpose
+from ..semiring import OR_AND
+
+__all__ = ["multi_source_bfs"]
+
+
+def _frontier_matrix(n: int, sources: np.ndarray) -> CSR:
+    """n x k one-hot frontier stack: column j holds source j."""
+    k = len(sources)
+    order = np.argsort(sources, kind="stable")
+    rows = sources[order]
+    cols = np.arange(k, dtype=INDEX_DTYPE)[order]
+    counts = np.bincount(rows, minlength=n)
+    indptr = np.zeros(n + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR((n, k), indptr, cols, np.ones(k, dtype=VALUE_DTYPE), sorted_rows=True)
+
+
+def multi_source_bfs(
+    adjacency: CSR,
+    sources: "np.ndarray | list[int]",
+    *,
+    algorithm: str = "hash",
+    max_depth: int | None = None,
+) -> np.ndarray:
+    """Run BFS from every source simultaneously via SpGEMM.
+
+    Parameters
+    ----------
+    adjacency:
+        Square adjacency matrix; an edge u→v is a nonzero at ``(u, v)``.
+        Values are ignored (pattern semantics).
+    sources:
+        Start vertices, one BFS per entry.
+    algorithm:
+        SpGEMM kernel used for the frontier expansion.  Unsorted output is
+        requested — levels only need membership, never ordering — which is
+        precisely the paper's argument for unsorted SpGEMM pipelines.
+    max_depth:
+        Optional level cap.
+
+    Returns
+    -------
+    ndarray
+        ``levels[v, j]`` = BFS level of vertex ``v`` from ``sources[j]``
+        (0 for the source itself), or -1 if unreachable.
+    """
+    if adjacency.nrows != adjacency.ncols:
+        raise ShapeError("adjacency must be square")
+    n = adjacency.nrows
+    sources = np.asarray(sources, dtype=INDEX_DTYPE)
+    if len(sources) == 0:
+        return np.empty((n, 0), dtype=np.int64)
+    if sources.min() < 0 or sources.max() >= n:
+        raise ConfigError("source vertex out of range")
+
+    # Frontier expansion multiplies A^T so that row v of the product collects
+    # frontier flags from v's in-neighbors: F'[v, j] = OR_u A[u, v] AND F[u, j].
+    at = transpose(adjacency)
+    levels = np.full((n, len(sources)), -1, dtype=np.int64)
+    levels[sources, np.arange(len(sources))] = 0
+    frontier = _frontier_matrix(n, sources)
+    depth = 0
+    cap = max_depth if max_depth is not None else n
+    while frontier.nnz and depth < cap:
+        depth += 1
+        nxt = spgemm(
+            at, frontier, algorithm=algorithm, semiring=OR_AND, sort_output=False
+        )
+        # Keep only newly discovered (vertex, search) pairs.
+        rows, cols, _ = nxt.to_coo()
+        fresh = levels[rows, cols] < 0
+        rows, cols = rows[fresh], cols[fresh]
+        if len(rows) == 0:
+            break
+        levels[rows, cols] = depth
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(rows, kind="stable")
+        frontier = CSR(
+            (n, len(sources)),
+            indptr,
+            cols[order],
+            np.ones(len(rows), dtype=VALUE_DTYPE),
+            sorted_rows=False,
+        )
+    return levels

@@ -1,0 +1,95 @@
+"""Triangle counting via SpGEMM (§5.6; Azad, Buluç, Gilbert 2015).
+
+The paper's pipeline: reorder the adjacency matrix by increasing degree,
+split ``A = L + U`` (strictly lower/upper triangular), compute the wedge
+matrix ``B = L·U`` — the SpGEMM this paper benchmarks — then mask with A:
+every triangle ``{a < b < c}`` (in the reordered numbering) appears as the
+wedge ``b–a–c`` counted at positions ``(b, c)`` and ``(c, b)``, so
+
+    #triangles = sum(A .* (L U)) / 2.
+
+Degree reordering minimizes ``flop(L·U)`` by making the wedge middle the
+lowest-degree vertex — the preprocessing §5.6 applies "for optimal
+performance".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.masked import masked_spgemm
+from ..core.spgemm import spgemm
+from ..errors import ShapeError
+from ..matrix.csr import CSR
+from ..matrix.ops import degree_reorder, elementwise_multiply, triangular_split
+from ..semiring import PLUS_TIMES
+
+__all__ = ["count_triangles", "triangle_counts_per_vertex"]
+
+
+def _pattern(a: CSR) -> CSR:
+    """The 0/1 pattern of ``a`` (values replaced by ones)."""
+    return CSR(
+        a.shape,
+        a.indptr.copy(),
+        a.indices.copy(),
+        np.ones(a.nnz),
+        sorted_rows=a.sorted_rows,
+    )
+
+
+def count_triangles(
+    adjacency: CSR,
+    *,
+    algorithm: str = "hash",
+    reorder: bool = True,
+    masked: bool = False,
+) -> int:
+    """Count triangles of an undirected graph given its adjacency matrix.
+
+    ``adjacency`` must be structurally symmetric with an empty diagonal
+    (standard undirected-graph adjacency); values are ignored.
+
+    ``reorder=False`` skips the degree preprocessing (useful to measure how
+    much the reordering buys — the paper applies it always).
+
+    ``masked=True`` fuses the elementwise mask into the multiplication
+    (:func:`repro.core.masked.masked_spgemm`): wedges that do not close
+    into an edge of A are dropped at accumulation time and the full wedge
+    matrix ``L·U`` is never materialized — the GraphBLAS-style refinement
+    of the paper's §5.6 pipeline.
+    """
+    if adjacency.nrows != adjacency.ncols:
+        raise ShapeError("adjacency must be square")
+    a = _pattern(adjacency)
+    if reorder:
+        a, _ = degree_reorder(a, ascending=True)
+    if not a.sorted_rows:
+        a = a.sort_rows()
+    low, up = triangular_split(a)
+    if masked:
+        closed = masked_spgemm(low, up, a, semiring=PLUS_TIMES)
+    else:
+        wedges = spgemm(low, up, algorithm=algorithm, semiring=PLUS_TIMES)
+        closed = elementwise_multiply(a, wedges)
+    total = float(closed.data.sum())
+    return int(round(total / 2.0))
+
+
+def triangle_counts_per_vertex(
+    adjacency: CSR, *, algorithm: str = "hash"
+) -> np.ndarray:
+    """Number of triangles through each vertex.
+
+    Uses the unordered formulation ``t(v) = (A .* A²) row-sum / 2``: every
+    triangle through v contributes A²-paths to both of v's incident edges.
+    """
+    if adjacency.nrows != adjacency.ncols:
+        raise ShapeError("adjacency must be square")
+    a = _pattern(adjacency)
+    a2 = spgemm(a, a, algorithm=algorithm, semiring=PLUS_TIMES)
+    masked = elementwise_multiply(a, a2)
+    out = np.zeros(a.nrows)
+    rows, _, vals = masked.to_coo()
+    np.add.at(out, rows, vals)
+    return (out / 2.0).astype(np.int64)

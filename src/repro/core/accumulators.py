@@ -1,0 +1,307 @@
+"""Per-thread accumulator data structures for row-wise SpGEMM.
+
+The accumulator is what distinguishes the SpGEMM families the paper studies
+(§1: heap, hash, SPA).  Each accumulator here is a *thread-private* object:
+it is allocated once per (simulated) thread, sized for the largest row that
+thread owns, and re-initialized cheaply between rows — exactly the paper's
+"parallel" memory-management scheme (§4.2.1: "Each thread once allocates the
+hash table based on its own upper limit and reuses that hash table throughout
+the computation by reinitializing for each row").
+
+The scalar probe loops are intentionally written element-by-element: they are
+the *faithful* executable algorithm and the source of instrumented operation
+counts.  Bulk performance at large scales comes from the vectorized ESC
+kernel and the machine-level performance model instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..semiring import Semiring
+from .instrument import KernelStats
+
+__all__ = [
+    "lowest_p2",
+    "HASH_SCALE",
+    "HashAccumulator",
+    "VectorHashAccumulator",
+    "SparseAccumulator",
+]
+
+#: Knuth-style multiplicative hashing constant (the paper: "The column index
+#: is multiplied by constant number and divided by hash table size").
+HASH_SCALE = 107
+
+#: Keys are column indices, which are >= 0, so -1 marks an empty slot
+#: (paper: "the hash table is initialized by storing -1").
+EMPTY = -1
+
+
+def lowest_p2(x: int) -> int:
+    """Minimum power of two >= x (paper Fig. 7, line 12), at least 1."""
+    if x <= 1:
+        return 1
+    return 1 << (int(x - 1).bit_length())
+
+
+class HashAccumulator:
+    """Linear-probing hash table keyed by column index (§4.2.1).
+
+    The table size is a power of two so the modulus is a bit-mask, mirroring
+    the paper ("the hash table size is set as 2^n").
+    """
+
+    def __init__(self, capacity: int, ncols: int) -> None:
+        """``capacity`` is the upper bound on a row's flop for this thread.
+
+        Sizing follows the paper's Fig. 7 exactly: clip the bound to the
+        column count (``size_t = min(Ncol, size_t)``), then take the minimum
+        power of two *strictly greater* than it, which guarantees at least
+        one empty slot so probing always terminates.
+        """
+        if capacity < 0:
+            raise ConfigError(f"capacity must be >= 0, got {capacity}")
+        bound = min(capacity, max(ncols, 1))
+        self.size = lowest_p2(bound + 1)
+        self.mask = self.size - 1
+        self.keys = np.full(self.size, EMPTY, dtype=np.int64)
+        self.vals = np.zeros(self.size, dtype=np.float64)
+        self.occupied: list[int] = []
+        # local counters, flushed into KernelStats by the kernel
+        self.probes = 0
+        self.inserts = 0
+        self.accesses = 0
+
+    def reset(self) -> None:
+        """Clear only the slots used by the previous row (O(row nnz))."""
+        for slot in self.occupied:
+            self.keys[slot] = EMPTY
+        self.occupied.clear()
+
+    def insert_symbolic(self, key: int) -> None:
+        """Symbolic-phase insert: record the key's presence only."""
+        self.accesses += 1
+        keys = self.keys
+        mask = self.mask
+        slot = (key * HASH_SCALE) & mask
+        probes = 1
+        while True:
+            k = keys[slot]
+            if k == key:
+                break
+            if k == EMPTY:
+                keys[slot] = key
+                self.occupied.append(slot)
+                self.inserts += 1
+                break
+            slot = (slot + 1) & mask
+            probes += 1
+        self.probes += probes
+
+    def insert_numeric(self, key: int, value: float, semiring: Semiring) -> None:
+        """Numeric-phase insert: accumulate ``value`` under ``semiring.add``."""
+        self.accesses += 1
+        keys = self.keys
+        vals = self.vals
+        mask = self.mask
+        slot = (key * HASH_SCALE) & mask
+        probes = 1
+        while True:
+            k = keys[slot]
+            if k == key:
+                vals[slot] = semiring.add(vals[slot], value)
+                break
+            if k == EMPTY:
+                keys[slot] = key
+                vals[slot] = value
+                self.occupied.append(slot)
+                self.inserts += 1
+                break
+            slot = (slot + 1) & mask
+            probes += 1
+        self.probes += probes
+
+    def extract(self, *, sort: bool) -> "tuple[np.ndarray, np.ndarray]":
+        """Harvest the current row as ``(cols, vals)`` arrays.
+
+        ``sort=True`` orders by column index (the paper's optional output
+        sort, "if necessary"); otherwise entries come out in slot order,
+        i.e. unsorted.
+        """
+        slots = np.asarray(self.occupied, dtype=np.int64)
+        cols = self.keys[slots]
+        vals = self.vals[slots]
+        if sort and len(cols) > 1:
+            order = np.argsort(cols, kind="stable")
+            cols = cols[order]
+            vals = vals[order]
+        return cols, vals
+
+    def flush_stats(self, stats: KernelStats) -> None:
+        stats.hash_probes += self.probes
+        stats.hash_inserts += self.inserts
+        stats.hash_accesses += self.accesses
+        self.probes = 0
+        self.inserts = 0
+        self.accesses = 0
+
+
+class VectorHashAccumulator:
+    """Chunked ("vector register") linear probing (§4.2.2, after Ross).
+
+    The table is divided into chunks of ``lane_width`` entries — 8 on
+    Haswell (256-bit AVX2, 32-bit keys), 16 on KNL (AVX-512).  The hash
+    selects a *chunk*; all keys in the chunk are compared at once (here: a
+    numpy slice comparison standing in for ``vpcmpeqd``), new keys are pushed
+    at the first empty position of the chunk ("in order from the beginning"),
+    and a full chunk overflows to the next chunk — linear probing on chunks.
+    """
+
+    def __init__(self, capacity: int, ncols: int, lane_width: int = 16) -> None:
+        if lane_width < 1:
+            raise ConfigError(f"lane_width must be >= 1, got {lane_width}")
+        self.lane_width = lane_width
+        bound = min(max(capacity, 0), max(ncols, 1))
+        base = lowest_p2(bound + 1)  # same strictly-greater rule as Hash
+        nchunks = lowest_p2((base + lane_width - 1) // lane_width)
+        self.nchunks = nchunks
+        self.size = nchunks * lane_width
+        self.chunk_mask = nchunks - 1
+        self.keys = np.full(self.size, EMPTY, dtype=np.int64)
+        self.vals = np.zeros(self.size, dtype=np.float64)
+        #: entries used in each chunk (push position), reset per row
+        self.fill = np.zeros(nchunks, dtype=np.int64)
+        self.touched: list[int] = []
+        self.vprobes = 0
+        self.inserts = 0
+        self.accesses = 0
+
+    def reset(self) -> None:
+        lw = self.lane_width
+        for ch in self.touched:
+            base = ch * lw
+            self.keys[base : base + self.fill[ch]] = EMPTY
+            self.fill[ch] = 0
+        self.touched.clear()
+
+    def _locate(self, key: int) -> "tuple[int, int]":
+        """Return ``(chunk, index_within_chunk_or_-1)`` after probing."""
+        self.accesses += 1
+        lw = self.lane_width
+        ch = (key * HASH_SCALE) & self.chunk_mask
+        while True:
+            base = ch * lw
+            used = self.fill[ch]
+            self.vprobes += 1
+            if used:
+                # One vector comparison inspects the whole chunk.
+                hit = np.flatnonzero(self.keys[base : base + used] == key)
+                if len(hit):
+                    return ch, int(hit[0])
+            if used < lw:
+                return ch, -1  # room in this chunk: key absent
+            ch = (ch + 1) & self.chunk_mask
+
+    def insert_symbolic(self, key: int) -> None:
+        ch, idx = self._locate(key)
+        if idx < 0:
+            base = ch * self.lane_width
+            used = int(self.fill[ch])
+            self.keys[base + used] = key
+            if used == 0:
+                self.touched.append(ch)
+            self.fill[ch] = used + 1
+            self.inserts += 1
+
+    def insert_numeric(self, key: int, value: float, semiring: Semiring) -> None:
+        ch, idx = self._locate(key)
+        base = ch * self.lane_width
+        if idx >= 0:
+            self.vals[base + idx] = semiring.add(self.vals[base + idx], value)
+            return
+        used = int(self.fill[ch])
+        self.keys[base + used] = key
+        self.vals[base + used] = value
+        if used == 0:
+            self.touched.append(ch)
+        self.fill[ch] = used + 1
+        self.inserts += 1
+
+    def extract(self, *, sort: bool) -> "tuple[np.ndarray, np.ndarray]":
+        lw = self.lane_width
+        parts_c = []
+        parts_v = []
+        for ch in self.touched:
+            base = ch * lw
+            used = self.fill[ch]
+            parts_c.append(self.keys[base : base + used])
+            parts_v.append(self.vals[base : base + used])
+        if not parts_c:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        cols = np.concatenate(parts_c)
+        vals = np.concatenate(parts_v)
+        if sort and len(cols) > 1:
+            order = np.argsort(cols, kind="stable")
+            cols = cols[order]
+            vals = vals[order]
+        return cols, vals
+
+    def flush_stats(self, stats: KernelStats) -> None:
+        stats.vector_probes += self.vprobes
+        stats.hash_inserts += self.inserts
+        stats.hash_accesses += self.accesses
+        self.vprobes = 0
+        self.inserts = 0
+        self.accesses = 0
+
+
+class SparseAccumulator:
+    """Gustavson's dense sparse accumulator (SPA) [Gilbert et al. 1992].
+
+    A dense value array of width ``ncols`` plus a stamp array marking which
+    columns are live for the current row; the stamp trick makes per-row reset
+    O(1).  The per-(a_ik) scatter is numpy-vectorized — B rows contain unique
+    columns, so ``vals[cols] op= ...`` has no intra-operation aliasing for
+    the ufuncs we use via explicit gather/combine/scatter.
+    """
+
+    def __init__(self, ncols: int) -> None:
+        self.ncols = ncols
+        self.vals = np.zeros(ncols, dtype=np.float64)
+        self.stamp = np.full(ncols, -1, dtype=np.int64)
+        self.row_id = -1
+        self.cols_buffer: list[np.ndarray] = []
+        self.touches = 0
+
+    def start_row(self, row_id: int) -> None:
+        self.row_id = row_id
+        self.cols_buffer.clear()
+
+    def scatter(self, cols: np.ndarray, contrib: np.ndarray, semiring: Semiring) -> None:
+        """Accumulate one B-row's contribution: ``spa[cols] += contrib``."""
+        live = self.stamp[cols] == self.row_id
+        fresh = ~live
+        fresh_cols = cols[fresh]
+        if len(fresh_cols):
+            self.stamp[fresh_cols] = self.row_id
+            self.vals[fresh_cols] = contrib[fresh]
+            self.cols_buffer.append(fresh_cols)
+        live_cols = cols[live]
+        if len(live_cols):
+            self.vals[live_cols] = semiring.add(self.vals[live_cols], contrib[live])
+        self.touches += len(cols)
+
+    def harvest(self, *, sort: bool) -> "tuple[np.ndarray, np.ndarray]":
+        """Collect the row's ``(cols, vals)``, first-touch order by default."""
+        if not self.cols_buffer:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        cols = np.concatenate(self.cols_buffer)
+        if sort and len(cols) > 1:
+            cols = np.sort(cols)
+        return cols, self.vals[cols].copy()
+
+    def flush_stats(self, stats: KernelStats) -> None:
+        stats.spa_touches += self.touches
+        self.touches = 0

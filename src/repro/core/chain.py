@@ -1,0 +1,175 @@
+"""Flop-aware multiplication chains (e.g. AMG's Galerkin triple product).
+
+The paper's introduction lists Algebraic Multigrid among SpGEMM's major
+consumers: the coarse operator is the triple product ``A_c = R A P``, and
+the association order — ``(R A) P`` vs ``R (A P)`` — can change the work by
+large factors.  :func:`multiply_chain` picks the order by the *exact* flop
+count of every candidate association (computed by the same machinery as the
+paper's load balancer, Fig. 6's FLOPS vector) via the classic
+matrix-chain dynamic program, then evaluates it with any registered kernel.
+
+Flop counts of products that involve intermediate results are themselves
+exact: the DP materializes intermediate *patterns* bottom-up (cheap relative
+to the numeric multiplies it saves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError, ShapeError
+from ..matrix.csr import CSR
+from ..matrix.stats import total_flop
+from ..semiring import PLUS_TIMES, Semiring
+from .spgemm import spgemm
+
+__all__ = ["ChainPlan", "multiply_chain", "plan_chain", "matrix_power"]
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """Chosen association order and its predicted cost."""
+
+    #: nested tuple over operand indices, e.g. ``((0, 1), 2)``
+    order: tuple
+    #: total multiplication count of the chosen order
+    flop: int
+    #: flop of the worst order, for reporting the saving
+    worst_flop: int
+
+    @property
+    def saving(self) -> float:
+        """Worst-order flop divided by chosen-order flop (>= 1)."""
+        return self.worst_flop / self.flop if self.flop else 1.0
+
+    def render(self, names: "list[str] | None" = None) -> str:
+        """Human-readable association, e.g. ``((R x A) x P)``."""
+
+        def rec(node) -> str:
+            if isinstance(node, int):
+                return names[node] if names else f"M{node}"
+            return f"({rec(node[0])} x {rec(node[1])})"
+
+        return rec(self.order)
+
+
+def _pattern(m: CSR) -> CSR:
+    import numpy as np
+
+    return CSR(
+        m.shape, m.indptr, m.indices, np.ones(m.nnz), sorted_rows=m.sorted_rows
+    )
+
+
+def plan_chain(matrices: "list[CSR]") -> ChainPlan:
+    """Matrix-chain DP over **exact** flop counts.
+
+    For up to a handful of operands (the practical case: RAP is three) the
+    DP evaluates every split of every interval, computing each candidate
+    intermediate's pattern once via the boolean product.
+    """
+    n = len(matrices)
+    if n == 0:
+        raise ConfigError("multiply_chain needs at least one matrix")
+    for x, y in zip(matrices, matrices[1:]):
+        if x.ncols != y.nrows:
+            raise ShapeError(
+                f"chain dimension mismatch: {x.shape} then {y.shape}"
+            )
+    if n > 8:
+        raise ConfigError(
+            f"chain of {n} operands: the exact-flop DP materializes "
+            "O(n^2) intermediate patterns; split the chain manually"
+        )
+    patterns = [_pattern(m) for m in matrices]
+
+    # best[(i, j)] = (flop, order, pattern) for the product of i..j inclusive
+    best: "dict[tuple[int, int], tuple[int, tuple, CSR]]" = {}
+    worst: "dict[tuple[int, int], int]" = {}
+    for i in range(n):
+        best[(i, i)] = (0, i, patterns[i])
+        worst[(i, i)] = 0
+    for span in range(1, n):
+        for i in range(n - span):
+            j = i + span
+            candidates = []
+            worst_here = 0
+            for k in range(i, j):
+                lf, lo, lp = best[(i, k)]
+                rf, ro, rp = best[(k + 1, j)]
+                step = total_flop(lp, rp)
+                candidates.append((lf + rf + step, (lo, ro), lp, rp))
+                worst_here = max(
+                    worst_here, worst[(i, k)] + worst[(k + 1, j)] + step
+                )
+            flop, order, lp, rp = min(candidates, key=lambda t: t[0])
+            product = spgemm(lp, rp, algorithm="esc", semiring="or_and")
+            best[(i, j)] = (flop, order, _pattern(product))
+            worst[(i, j)] = worst_here
+    flop, order, _ = best[(0, n - 1)]
+    return ChainPlan(order=order, flop=flop, worst_flop=worst[(0, n - 1)])
+
+
+def multiply_chain(
+    matrices: "list[CSR]",
+    *,
+    algorithm: str = "hash",
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    nthreads: int = 1,
+    plan: ChainPlan | None = None,
+) -> CSR:
+    """Multiply a chain of matrices in the flop-optimal association order."""
+    if plan is None:
+        plan = plan_chain(matrices)
+
+    def evaluate(node) -> CSR:
+        if isinstance(node, int):
+            return matrices[node]
+        left = evaluate(node[0])
+        right = evaluate(node[1])
+        return spgemm(
+            left, right,
+            algorithm=algorithm, semiring=semiring,
+            sort_output=sort_output, nthreads=nthreads,
+        )
+
+    return evaluate(plan.order)
+
+
+def matrix_power(
+    a: CSR,
+    exponent: int,
+    *,
+    algorithm: str = "hash",
+    semiring: "str | Semiring" = PLUS_TIMES,
+    nthreads: int = 1,
+) -> CSR:
+    """``A^k`` by repeated squaring — ceil(log2 k) SpGEMMs instead of k-1.
+
+    Over the boolean semiring this is k-hop reachability; over plus-times
+    it is the walk-counting power used by spectral-style graph statistics.
+    ``exponent`` must be >= 1 (sparse identity is well-defined, but an
+    explicit ``identity(n)`` call is clearer at call sites).
+    """
+    if a.nrows != a.ncols:
+        raise ShapeError("matrix_power requires a square matrix")
+    if exponent < 1:
+        raise ConfigError(f"exponent must be >= 1, got {exponent}")
+    result: "CSR | None" = None
+    base = a
+    e = exponent
+    while True:
+        if e & 1:
+            result = base if result is None else spgemm(
+                result, base,
+                algorithm=algorithm, semiring=semiring, nthreads=nthreads,
+            )
+        e >>= 1
+        if not e:
+            break
+        base = spgemm(
+            base, base,
+            algorithm=algorithm, semiring=semiring, nthreads=nthreads,
+        )
+    return result

@@ -1,0 +1,264 @@
+"""Hash SpGEMM — the paper's flagship algorithm (§4.2.1, Fig. 7).
+
+Two phases over rows partitioned by the flop-balanced scheduler:
+
+* **symbolic** — per row, insert every intermediate product's column index
+  into the thread-private hash table; the number of distinct keys is
+  ``nnz(c_i*)``, giving the output row pointers;
+* **numeric** — re-run the products, accumulating values in the table, then
+  harvest each row (sorting by column index only when the caller wants
+  sorted output — the significant optimization highlighted in the abstract).
+
+Each (simulated) thread allocates ONE hash table sized by the maximum flop of
+any row it owns (``lowest_p2`` of it, clipped to the column count), reusing
+it across rows with O(row) reinitialization — the paper's "parallel"
+allocation scheme that §5.3.1 shows is essential on KNL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..matrix.stats import flop_per_row
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .accumulators import HashAccumulator, VectorHashAccumulator
+from .instrument import KernelStats
+from .scheduler import ThreadPartition, rows_to_threads
+
+__all__ = ["hash_spgemm"]
+
+
+def _check_operands(a: CSR, b: CSR) -> None:
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+
+
+def _max_flop_per_thread(
+    partition: ThreadPartition, flop: np.ndarray
+) -> "list[int]":
+    """Upper limit of any row's flop within each thread's rows (Fig. 7 l.5-8)."""
+    caps = []
+    for tid in range(partition.nthreads):
+        cap = 0
+        for s, e in partition.rows_of(tid):
+            if e > s:
+                cap = max(cap, int(flop[s:e].max(initial=0)))
+        caps.append(cap)
+    return caps
+
+
+def hash_spgemm(
+    a: CSR,
+    b: CSR,
+    *,
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    nthreads: int = 1,
+    partition: ThreadPartition | None = None,
+    stats: KernelStats | None = None,
+    vector_width: int = 0,
+    one_phase: bool = False,
+) -> CSR:
+    """Multiply two CSR matrices with the hash-table accumulator.
+
+    Parameters
+    ----------
+    a, b:
+        Operands.  Inputs may be sorted or unsorted ("Any" in Table 1).
+    semiring:
+        Semiring (name or instance) used for multiply/accumulate.
+    sort_output:
+        Emit rows sorted by column index ("Select" in Table 1).  Skipping the
+        sort is the headline optimization for unsorted pipelines.
+    nthreads:
+        Number of simulated threads; rows are assigned with the paper's
+        flop-balanced scheduler unless ``partition`` overrides it.
+    partition:
+        Optional pre-built :class:`ThreadPartition` (e.g. to reproduce the
+        static/dynamic scheduling experiments of Fig. 9).
+    stats:
+        Optional :class:`KernelStats` receiving exact operation counts.
+    vector_width:
+        0 → scalar probing (:class:`HashAccumulator`).  >0 → chunked
+        "vector register" probing with that many 32-bit lanes
+        (:class:`VectorHashAccumulator`); used by
+        :func:`repro.core.hash_vector.hash_vector_spgemm`.
+    one_phase:
+        Skip the symbolic pass and grow per-thread output buffers instead
+        (§2's alternative strategy: "we allocate large enough memory space
+        for output matrix and compute").  Halves the probing work at the
+        price of flop-bounded temporary memory — the trade-off the paper
+        lays out between its two-phase Hash and one-phase Heap designs.
+
+    Returns
+    -------
+    CSR
+        ``C = A (x) B`` with ``sorted_rows == sort_output``.
+    """
+    _check_operands(a, b)
+    sr = get_semiring(semiring)
+    flop = flop_per_row(a, b)
+    if partition is None:
+        partition = rows_to_threads(a, b, nthreads, row_cost=flop)
+    elif partition.nrows != a.nrows:
+        raise ConfigError(
+            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+        )
+    caps = _max_flop_per_thread(partition, flop)
+
+    a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
+    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
+
+    if one_phase:
+        return _hash_one_phase(
+            a, b, sr, sort_output, partition, caps, stats, vector_width
+        )
+
+    # ------------------------------------------------------------------
+    # Symbolic phase: per-row output sizes.
+    # ------------------------------------------------------------------
+    row_nnz = np.zeros(a.nrows, dtype=INDPTR_DTYPE)
+    tables = []
+    for tid in range(partition.nthreads):
+        if vector_width:
+            table = VectorHashAccumulator(caps[tid], b.ncols, lane_width=vector_width)
+        else:
+            table = HashAccumulator(caps[tid], b.ncols)
+        tables.append(table)
+        for s, e in partition.rows_of(tid):
+            for i in range(s, e):
+                table.reset()
+                insert = table.insert_symbolic
+                for j in range(a_indptr[i], a_indptr[i + 1]):
+                    k = a_indices[j]
+                    for col in b_indices[b_indptr[k] : b_indptr[k + 1]].tolist():
+                        insert(col)
+                row_nnz[i] = (
+                    len(table.occupied)
+                    if not vector_width
+                    else int(table.fill[table.touched].sum()) if table.touched else 0
+                )
+        if stats is not None:
+            table.flush_stats(stats)
+
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    out_indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+    out_data = np.empty(int(indptr[-1]), dtype=VALUE_DTYPE)
+
+    # ------------------------------------------------------------------
+    # Numeric phase: recompute with values, harvest into the output.
+    # ------------------------------------------------------------------
+    total_flop = 0
+    for tid in range(partition.nthreads):
+        table = tables[tid]
+        thread_ops_before = table.probes if not vector_width else table.vprobes
+        thread_flop = 0
+        for s, e in partition.rows_of(tid):
+            for i in range(s, e):
+                table.reset()
+                insert = table.insert_numeric
+                for j in range(a_indptr[i], a_indptr[i + 1]):
+                    k = a_indices[j]
+                    a_val = a_data[j]
+                    lo, hi = b_indptr[k], b_indptr[k + 1]
+                    cols = b_indices[lo:hi].tolist()
+                    prods = sr.mul(a_val, b_data[lo:hi])
+                    thread_flop += len(cols)
+                    for col, val in zip(cols, np.atleast_1d(prods).tolist()):
+                        insert(col, val, sr)
+                cols_out, vals_out = table.extract(sort=sort_output)
+                out_indices[indptr[i] : indptr[i + 1]] = cols_out
+                out_data[indptr[i] : indptr[i + 1]] = vals_out
+        total_flop += thread_flop
+        if stats is not None:
+            thread_ops = (
+                table.probes if not vector_width else table.vprobes
+            ) - thread_ops_before
+            stats.per_thread.append((thread_ops, thread_flop))
+            table.flush_stats(stats)
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.output_nnz += int(indptr[-1])
+        stats.rows += a.nrows
+        if sort_output:
+            stats.sorted_elements += int(indptr[-1])
+
+    return CSR(
+        (a.nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sort_output
+    )
+
+
+def _hash_one_phase(
+    a: CSR,
+    b: CSR,
+    sr: Semiring,
+    sort_output: bool,
+    partition: ThreadPartition,
+    caps: "list[int]",
+    stats: KernelStats | None,
+    vector_width: int,
+) -> CSR:
+    """Single numeric pass; per-thread result buffers grow per row."""
+    a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
+    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
+    nrows = a.nrows
+    row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
+    pieces: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+    total_flop = 0
+    for tid in range(partition.nthreads):
+        if vector_width:
+            table = VectorHashAccumulator(caps[tid], b.ncols, lane_width=vector_width)
+        else:
+            table = HashAccumulator(caps[tid], b.ncols)
+        thread_flop = 0
+        for s, e in partition.rows_of(tid):
+            row_cols: "list[np.ndarray]" = []
+            row_vals: "list[np.ndarray]" = []
+            for i in range(s, e):
+                table.reset()
+                insert = table.insert_numeric
+                for j in range(a_indptr[i], a_indptr[i + 1]):
+                    k = a_indices[j]
+                    lo, hi = b_indptr[k], b_indptr[k + 1]
+                    cols = b_indices[lo:hi].tolist()
+                    prods = np.atleast_1d(sr.mul(a_data[j], b_data[lo:hi])).tolist()
+                    thread_flop += len(cols)
+                    for col, val in zip(cols, prods):
+                        insert(col, val, sr)
+                cols_out, vals_out = table.extract(sort=sort_output)
+                row_nnz[i] = len(cols_out)
+                row_cols.append(cols_out)
+                row_vals.append(vals_out)
+            pieces[s] = (
+                np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
+                np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),
+            )
+        total_flop += thread_flop
+        if stats is not None:
+            thread_ops = table.probes if not vector_width else table.vprobes
+            stats.per_thread.append((thread_ops, thread_flop))
+            table.flush_stats(stats)
+
+    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    nnz_total = int(indptr[-1])
+    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+    for s, (ccols, cvals) in pieces.items():
+        out_indices[indptr[s] : indptr[s] + len(ccols)] = ccols
+        out_data[indptr[s] : indptr[s] + len(cvals)] = cvals
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.output_nnz += nnz_total
+        stats.rows += nrows
+        if sort_output:
+            stats.sorted_elements += nnz_total
+
+    return CSR(
+        (nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sort_output
+    )

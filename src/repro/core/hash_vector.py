@@ -1,0 +1,57 @@
+"""HashVector SpGEMM — vector-register hash probing (§4.2.2).
+
+Identical to Hash SpGEMM except that probing inspects a whole
+vector-register-wide *chunk* of the table per step (after Ross, "Efficient
+Hash Probes on Modern Processors"): 8 lanes with 256-bit AVX2 (Haswell),
+16 lanes with AVX-512 (KNL), for 32-bit keys.
+
+The paper's trade-off, which the machine model reproduces: chunked probing
+cuts the number of probe steps when collisions are common, but each step
+costs a few more instructions, so it can *lose* when collisions are rare
+(§4.2.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+from ..matrix.csr import CSR
+from ..semiring import PLUS_TIMES, Semiring
+from .hash_spgemm import hash_spgemm
+from .instrument import KernelStats
+from .scheduler import ThreadPartition
+
+__all__ = ["hash_vector_spgemm", "lanes_for_vector_bits"]
+
+
+def lanes_for_vector_bits(vector_bits: int, key_bits: int = 32) -> int:
+    """Number of keys one vector register holds (keys are 32-bit in the
+    paper's evaluation): 256-bit AVX2 → 8, 512-bit AVX-512 → 16."""
+    return max(1, vector_bits // key_bits)
+
+
+def hash_vector_spgemm(
+    a: CSR,
+    b: CSR,
+    *,
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    nthreads: int = 1,
+    partition: ThreadPartition | None = None,
+    stats: KernelStats | None = None,
+    vector_bits: int = 512,
+) -> CSR:
+    """Multiply with chunked (vector-register) hash probing.
+
+    ``vector_bits`` selects the simulated register width — 512 (KNL,
+    default) or 256 (Haswell).  All other parameters are as in
+    :func:`repro.core.hash_spgemm.hash_spgemm`.
+    """
+    return hash_spgemm(
+        a,
+        b,
+        semiring=semiring,
+        sort_output=sort_output,
+        nthreads=nthreads,
+        partition=partition,
+        stats=stats,
+        vector_width=lanes_for_vector_bits(vector_bits),
+    )

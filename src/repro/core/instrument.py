@@ -1,0 +1,75 @@
+"""Operation-count instrumentation shared by all executable kernels.
+
+The machine-level performance model (:mod:`repro.perfmodel`) needs *exact*
+operation counts — hash probes, heap pushes/pops, sort element counts, bytes
+touched.  Rather than modelling them twice, the executable kernels emit them
+through a :class:`KernelStats` collector when one is supplied, and the
+perfmodel's closed-form count functions are cross-validated against these
+measured counts in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Mutable per-run operation counters.
+
+    All counters are totals across the whole multiplication.  ``per_thread``
+    holds ``(compute_ops, flop)`` pairs indexed by simulated thread id when
+    the kernel was run with a thread partition.
+    """
+
+    #: scalar multiply-accumulate operations performed (= flop executed)
+    flops: int = 0
+    #: hash-table probe steps (scalar kernels: one per slot inspected)
+    hash_probes: int = 0
+    #: hash-table insertions (distinct keys placed)
+    hash_inserts: int = 0
+    #: probe-sequence starts (one per table access, across all phases)
+    hash_accesses: int = 0
+    #: vectorized probe steps (HashVector: one per chunk inspected)
+    vector_probes: int = 0
+    #: heap push operations
+    heap_pushes: int = 0
+    #: heap pop operations
+    heap_pops: int = 0
+    #: elements passed through an output sort
+    sorted_elements: int = 0
+    #: entries written to the output structure
+    output_nnz: int = 0
+    #: dense-accumulator (SPA) touches
+    spa_touches: int = 0
+    #: rows processed
+    rows: int = 0
+    #: per-simulated-thread (ops, flop) pairs
+    per_thread: "list[tuple[int, int]]" = field(default_factory=list)
+
+    def collision_factor(self) -> float:
+        """Average probes per probe-sequence start — the paper's ``c``.
+
+        ``c = 1`` means no collisions (every probe lands on its home slot).
+        Returns 1.0 when no probing happened at all.
+        """
+        if self.hash_probes == 0 or self.hash_accesses == 0:
+            return 1.0
+        return self.hash_probes / self.hash_accesses
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another collector's counts into this one."""
+        self.flops += other.flops
+        self.hash_probes += other.hash_probes
+        self.hash_inserts += other.hash_inserts
+        self.hash_accesses += other.hash_accesses
+        self.vector_probes += other.vector_probes
+        self.heap_pushes += other.heap_pushes
+        self.heap_pops += other.heap_pops
+        self.sorted_elements += other.sorted_elements
+        self.output_nnz += other.output_nnz
+        self.spa_touches += other.spa_touches
+        self.rows += other.rows
+        self.per_thread.extend(other.per_thread)

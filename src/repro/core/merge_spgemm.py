@@ -1,0 +1,148 @@
+"""Merge SpGEMM — iterative sorted-row merging (ViennaCL / Gremse et al.).
+
+§2 of the paper: "ViennaCL implementation, which was first described for
+GPUs, iteratively merges sorted lists, similar to merge sort."
+
+Each output row is the semiring-sum of ``nnz(a_i*)`` *sorted* B rows; this
+kernel reduces them by rounds of pairwise merges (a merge-sort tree), so
+every element is touched ``ceil(log2 k)`` times in fully streaming order —
+the opposite trade-off from the Heap kernel's pointer-chasing k-way merge.
+The pairwise merge of two sorted (cols, vals) lists is numpy-vectorized via
+the classic ``searchsorted`` interleaving.
+
+Properties: one phase, requires sorted inputs, emits sorted output (like
+Heap in Table 1's terms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .instrument import KernelStats
+from .scheduler import ThreadPartition, rows_to_threads
+
+__all__ = ["merge_spgemm", "merge_sorted_lists"]
+
+
+def merge_sorted_lists(
+    cols_a: np.ndarray,
+    vals_a: np.ndarray,
+    cols_b: np.ndarray,
+    vals_b: np.ndarray,
+    semiring: Semiring,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Merge two duplicate-free sorted runs, combining equal columns.
+
+    Vectorized two-pointer merge: every element's slot in the interleaved
+    order comes from one ``searchsorted`` against the other list; duplicate
+    columns (present in both) are then folded with ``semiring.add``.
+    """
+    if len(cols_a) == 0:
+        return cols_b, vals_b
+    if len(cols_b) == 0:
+        return cols_a, vals_a
+    # positions in the merged sequence (ties: a's copy first)
+    pos_a = np.arange(len(cols_a)) + np.searchsorted(cols_b, cols_a, side="left")
+    pos_b = np.arange(len(cols_b)) + np.searchsorted(cols_a, cols_b, side="right")
+    total = len(cols_a) + len(cols_b)
+    cols = np.empty(total, dtype=cols_a.dtype)
+    vals = np.empty(total, dtype=vals_a.dtype)
+    cols[pos_a] = cols_a
+    cols[pos_b] = cols_b
+    vals[pos_a] = vals_a
+    vals[pos_b] = vals_b
+    dup = np.flatnonzero(cols[1:] == cols[:-1])
+    if len(dup) == 0:
+        return cols, vals
+    vals[dup] = semiring.add(vals[dup], vals[dup + 1])
+    keep = np.ones(total, dtype=bool)
+    keep[dup + 1] = False
+    return cols[keep], vals[keep]
+
+
+def merge_spgemm(
+    a: CSR,
+    b: CSR,
+    *,
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    nthreads: int = 1,
+    partition: ThreadPartition | None = None,
+    stats: KernelStats | None = None,
+) -> CSR:
+    """Multiply two *row-sorted* CSR matrices by iterative row merging.
+
+    Raises :class:`ConfigError` for unsorted B (merge needs sorted runs);
+    the :func:`repro.spgemm` dispatcher sorts transparently.  Output is
+    always sorted (``sort_output`` accepted for interface uniformity).
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if not b.sorted_rows:
+        raise ConfigError(
+            "merge_spgemm requires row-sorted B; call b.sort_rows() first "
+            "or use spgemm(..., algorithm='merge')"
+        )
+    sr = get_semiring(semiring)
+    if partition is None:
+        partition = rows_to_threads(a, b, nthreads)
+    elif partition.nrows != a.nrows:
+        raise ConfigError(
+            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+        )
+
+    a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
+    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
+
+    nrows = a.nrows
+    row_results: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+    total_flop = 0
+    merged_elements = 0
+
+    for tid in range(partition.nthreads):
+        for s, e in partition.rows_of(tid):
+            for i in range(s, e):
+                runs: "list[tuple[np.ndarray, np.ndarray]]" = []
+                for j in range(a_indptr[i], a_indptr[i + 1]):
+                    k = a_indices[j]
+                    lo, hi = b_indptr[k], b_indptr[k + 1]
+                    if lo == hi:
+                        continue
+                    vals = np.atleast_1d(sr.mul(a_data[j], b_data[lo:hi]))
+                    runs.append((b_indices[lo:hi], vals))
+                    total_flop += hi - lo
+                # merge-sort tree over the runs
+                while len(runs) > 1:
+                    nxt = []
+                    for p in range(0, len(runs) - 1, 2):
+                        ca, va = runs[p]
+                        cb, vb = runs[p + 1]
+                        merged_elements += len(ca) + len(cb)
+                        nxt.append(merge_sorted_lists(ca, va, cb, vb, sr))
+                    if len(runs) % 2:
+                        nxt.append(runs[-1])
+                    runs = nxt
+                if runs:
+                    row_results[i] = runs[0]
+
+    row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
+    for i, (ccols, _) in row_results.items():
+        row_nnz[i] = len(ccols)
+    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    out_indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+    out_data = np.empty(int(indptr[-1]), dtype=VALUE_DTYPE)
+    for i, (ccols, cvals) in row_results.items():
+        out_indices[indptr[i] : indptr[i + 1]] = ccols
+        out_data[indptr[i] : indptr[i + 1]] = cvals
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.sorted_elements += merged_elements
+        stats.output_nnz += int(indptr[-1])
+        stats.rows += nrows
+
+    return CSR((nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=True)

@@ -1,0 +1,192 @@
+"""The paper's recipe: which SpGEMM algorithm for which scenario (§4.2.4, §5.7).
+
+Two layers:
+
+* **Theoretical cost formulas** — Eq. (1) and Eq. (2) of the paper:
+
+  .. math::
+
+     T_{heap} = \\sum_i flop(c_{i*}) \\cdot \\log_2 nnz(a_{i*})
+
+     T_{hash} = flop \\cdot c + \\sum_i nnz(c_{i*}) \\cdot \\log_2 nnz(c_{i*})
+
+  (the hash sort term applies only when sorted output is required).  These
+  predict that Hash wins when ``nnz(c_i*)`` or the compression ratio
+  ``flop/nnz(C)`` is large, Heap when the output is very sparse.
+
+* **The empirical Table-4 recipe** — the decision table the paper distills
+  from its evaluation, keyed on data kind (real vs synthetic), compression
+  ratio, edge factor, skew, operation and sortedness.
+
+:func:`recommend` applies Table 4; :func:`heap_cost_model` /
+:func:`hash_cost_model` expose the formulas so users can see *why* (and so
+tests can check the recipe agrees with the theory where the paper says it
+does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..matrix.csr import CSR
+from ..matrix.stats import flop_per_row, row_skew
+from .symbolic import symbolic_row_nnz
+
+__all__ = [
+    "heap_cost_model",
+    "hash_cost_model",
+    "RecipeDecision",
+    "recommend",
+    "recipe_table",
+]
+
+#: Table 4(a)'s compression-ratio threshold separating "high" from "low".
+HIGH_CR_THRESHOLD = 2.0
+#: Table 4(b)'s edge-factor threshold separating "sparse" from "dense".
+DENSE_EF_THRESHOLD = 8.0
+#: Row-skew (max/mean nnz) above which we classify a matrix as "skewed"
+#: (G500-like power-law rather than ER-like uniform).
+SKEW_THRESHOLD = 4.0
+
+
+def _safe_log2(x: np.ndarray) -> np.ndarray:
+    """log2 clamped below at 1 (a 1-element heap still costs a comparison)."""
+    return np.log2(np.maximum(x, 2.0))
+
+
+def heap_cost_model(a: CSR, b: CSR) -> float:
+    """Eq. (1): ``T_heap = sum_i flop(c_i*) * log2 nnz(a_i*)`` (abstract ops)."""
+    flop = flop_per_row(a, b).astype(np.float64)
+    return float((flop * _safe_log2(a.row_nnz().astype(np.float64))).sum())
+
+
+def hash_cost_model(
+    a: CSR,
+    b: CSR,
+    *,
+    sort_output: bool = True,
+    collision_factor: float = 1.5,
+    nnz_c_rows: np.ndarray | None = None,
+) -> float:
+    """Eq. (2): ``T_hash = flop * c + sum_i nnz(c_i*) * log2 nnz(c_i*)``.
+
+    The sort term is included only when ``sort_output`` — the paper's
+    headline observation is how much skipping it saves.  ``collision_factor``
+    is the paper's ``c`` (average probes per table access; 1.0 = no
+    collisions).  ``nnz_c_rows`` may be supplied when already computed.
+    """
+    flop = flop_per_row(a, b).astype(np.float64)
+    cost = float(flop.sum()) * collision_factor
+    if sort_output:
+        if nnz_c_rows is None:
+            nnz_c_rows = symbolic_row_nnz(a, b)
+        nc = nnz_c_rows.astype(np.float64)
+        cost += float((nc * _safe_log2(nc)).sum())
+    return cost
+
+
+@dataclass(frozen=True)
+class RecipeDecision:
+    """The recipe's verdict plus the features it keyed on."""
+
+    algorithm: str
+    reason: str
+    compression_ratio: float
+    edge_factor: float
+    skew: float
+    sorted_output: bool
+
+
+def recommend(
+    a: CSR,
+    b: CSR | None = None,
+    *,
+    sort_output: bool = True,
+    operation: str = "square",
+    synthetic: bool = False,
+) -> RecipeDecision:
+    """Apply Table 4 to pick an algorithm for ``C = A B``.
+
+    Parameters
+    ----------
+    operation:
+        ``"square"`` (A×A), ``"lxu"`` (triangle counting L×U) or
+        ``"tallskinny"`` (square × tall-skinny).
+    synthetic:
+        Use Table 4(b) — the synthetic-data rules keyed on edge factor and
+        skew — instead of Table 4(a)'s compression-ratio rules.  Real-world
+        callers normally leave this False.
+    """
+    if b is None:
+        b = a
+    nnz_c = symbolic_row_nnz(a, b)
+    total_nnz_c = int(nnz_c.sum())
+    flop = int(flop_per_row(a, b).sum())
+    cr = flop / total_nnz_c if total_nnz_c else 0.0
+    ef = a.nnz / a.nrows if a.nrows else 0.0
+    skew = row_skew(a)
+
+    def decision(algorithm: str, reason: str) -> RecipeDecision:
+        return RecipeDecision(
+            algorithm=algorithm,
+            reason=reason,
+            compression_ratio=cr,
+            edge_factor=ef,
+            skew=skew,
+            sorted_output=sort_output,
+        )
+
+    if operation == "lxu":
+        # Table 4(a), L x U row: Heap for low CR, Hash for high CR.
+        if cr <= HIGH_CR_THRESHOLD:
+            return decision("heap", "Table 4(a): LxU with low compression ratio")
+        return decision("hash", "Table 4(a): LxU with high compression ratio")
+
+    if operation == "tallskinny":
+        # Table 4(b) TallSkinny rows: Hash everywhere except dense+skewed
+        # sorted, where HashVector wins.
+        if sort_output and ef > DENSE_EF_THRESHOLD and skew > SKEW_THRESHOLD:
+            return decision("hashvec", "Table 4(b): tall-skinny, dense skewed, sorted")
+        return decision("hash", "Table 4(b): tall-skinny")
+
+    if synthetic:
+        dense = ef > DENSE_EF_THRESHOLD
+        skewed = skew > SKEW_THRESHOLD
+        if sort_output:
+            if dense and skewed:
+                return decision("hash", "Table 4(b): AxA sorted, dense skewed")
+            return decision("heap", "Table 4(b): AxA sorted, sparse or uniform")
+        if dense and skewed:
+            return decision("hash", "Table 4(b): AxA unsorted, dense skewed")
+        return decision("hashvec", "Table 4(b): AxA unsorted")
+
+    # Table 4(a): real data, keyed on compression ratio.
+    if sort_output:
+        return decision("hash", "Table 4(a): AxA sorted (Hash for any CR)")
+    if cr > HIGH_CR_THRESHOLD:
+        return decision(
+            "mkl_inspector", "Table 4(a): AxA unsorted, high compression ratio"
+        )
+    return decision("hash", "Table 4(a): AxA unsorted, low compression ratio")
+
+
+def recipe_table() -> str:
+    """Render Table 4 as text (both halves), for docs and the bench output."""
+    lines = [
+        "Table 4(a) — real data, by compression ratio (CR)",
+        "                      High CR (>2)     Low CR (<=2)",
+        "  AxA  sorted         Hash              Hash",
+        "       unsorted       MKL-inspector     Hash",
+        "  LxU  sorted         Hash              Heap",
+        "",
+        "Table 4(b) — synthetic data, by edge factor (EF) and pattern",
+        "                      Sparse (EF<=8)        Dense (EF>8)",
+        "                      Uniform   Skewed      Uniform   Skewed",
+        "  AxA        sorted   Heap      Heap        Heap      Hash",
+        "             unsorted HashVec   HashVec     HashVec   Hash",
+        "  TallSkinny sorted   -         Hash        -         HashVec",
+        "             unsorted -         Hash        -         Hash",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Uniform SpGEMM entry point and the algorithm registry (Table 1).
+
+:func:`spgemm` is the public one-call API: pick an algorithm by name (or let
+the Table-4 recipe pick), and the dispatcher handles each kernel's input
+requirements (e.g. sorting B for the Heap kernel) and output conventions.
+
+The registry :data:`ALGORITHMS` is the executable form of the paper's
+Table 1 ("Summary of SpGEMM codes studied in this paper").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigError
+from ..matrix.csr import CSR
+from ..semiring import PLUS_TIMES, Semiring
+from .blocked_spa import blocked_spa_spgemm
+from .esc_spgemm import esc_spgemm
+from .hash_spgemm import hash_spgemm
+from .merge_spgemm import merge_spgemm
+from .hash_vector import hash_vector_spgemm
+from .heap_spgemm import heap_spgemm
+from .instrument import KernelStats
+from .kokkos_like import kokkos_proxy_spgemm
+from .mkl_like import mkl_inspector_spgemm, mkl_proxy_spgemm
+from .scheduler import ThreadPartition
+from .spa_spgemm import spa_spgemm
+
+__all__ = ["AlgorithmInfo", "ALGORITHMS", "available_algorithms", "spgemm"]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One row of Table 1, plus dispatch metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    phases:
+        1 (one-phase, output buffers grow) or 2 (symbolic + numeric).
+    accumulator:
+        Human-readable accumulator description (Table 1 column).
+    input_sorted:
+        ``"any"`` or ``"sorted"`` — what the kernel accepts.
+    output_sorted:
+        ``"select"`` (caller chooses), ``"sorted"``, or ``"unsorted"``.
+    is_proxy:
+        True for behavioural stand-ins for closed-source libraries.
+    """
+
+    name: str
+    phases: int
+    accumulator: str
+    input_sorted: str
+    output_sorted: str
+    is_proxy: bool = False
+
+    def table_row(self) -> str:
+        """Format as a Table-1 style line."""
+        sortedness = f"{self.input_sorted.capitalize()}/{self.output_sorted.capitalize()}"
+        proxy = " (proxy)" if self.is_proxy else ""
+        return (
+            f"{self.name:<14s} {self.phases:^6d} {self.accumulator:<18s} "
+            f"{sortedness:<18s}{proxy}"
+        )
+
+
+#: Executable registry mirroring Table 1 of the paper.
+ALGORITHMS: "dict[str, AlgorithmInfo]" = {
+    "hash": AlgorithmInfo("hash", 2, "Hash Table", "any", "select"),
+    "hashvec": AlgorithmInfo("hashvec", 2, "Hash Table (vec)", "any", "select"),
+    "heap": AlgorithmInfo("heap", 1, "Heap", "sorted", "sorted"),
+    "spa": AlgorithmInfo("spa", 1, "Dense SPA", "any", "select"),
+    "mkl": AlgorithmInfo("mkl", 2, "- (unknown)", "any", "select", is_proxy=True),
+    "mkl_inspector": AlgorithmInfo(
+        "mkl_inspector", 1, "- (unknown)", "any", "unsorted", is_proxy=True
+    ),
+    "kokkos": AlgorithmInfo(
+        "kokkos", 2, "HashMap", "any", "unsorted", is_proxy=True
+    ),
+    "esc": AlgorithmInfo("esc", 2, "Sort+Reduce", "any", "sorted"),
+    # Extensions beyond the paper's Table 1, from its related-work section:
+    # column-blocked SPA (Patwary et al. 2015) and iterative row merging
+    # (ViennaCL / Gremse et al. 2015).
+    "blocked_spa": AlgorithmInfo("blocked_spa", 1, "Blocked SPA", "any", "sorted"),
+    "merge": AlgorithmInfo("merge", 1, "Merge Tree", "sorted", "sorted"),
+}
+
+
+def available_algorithms() -> "list[str]":
+    """Names accepted by :func:`spgemm`, in registry order."""
+    return list(ALGORITHMS)
+
+
+def spgemm(
+    a: CSR,
+    b: CSR,
+    *,
+    algorithm: str = "auto",
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    nthreads: int = 1,
+    partition: ThreadPartition | None = None,
+    stats: KernelStats | None = None,
+    vector_bits: int = 512,
+) -> CSR:
+    """Compute ``C = A (x) B`` over a semiring with a selectable algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :func:`available_algorithms`, or ``"auto"`` to apply the
+        paper's Table-4 recipe (:func:`repro.core.recipe.recommend`).
+    semiring, sort_output, nthreads, partition, stats:
+        Forwarded to the kernel (see :func:`repro.core.hash_spgemm.hash_spgemm`).
+    vector_bits:
+        Simulated register width for ``hashvec`` (512 = KNL, 256 = Haswell).
+
+    Notes
+    -----
+    Kernels with fixed output conventions override ``sort_output``:
+    ``heap``/``esc`` always return sorted rows; ``mkl_inspector``/``kokkos``
+    always return unsorted rows.  The Heap kernel needs sorted B; the
+    dispatcher sorts a copy transparently when needed (charging that cost is
+    the perfmodel's job, mirroring the paper's fairness argument that
+    sorted-input algorithms must emit sorted output).
+    """
+    if algorithm == "auto":
+        from .recipe import recommend
+
+        algorithm = recommend(a, b, sort_output=sort_output).algorithm
+    info = ALGORITHMS.get(algorithm)
+    if info is None:
+        raise ConfigError(
+            f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
+        )
+
+    if algorithm == "hash":
+        return hash_spgemm(
+            a, b, semiring=semiring, sort_output=sort_output,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "hashvec":
+        return hash_vector_spgemm(
+            a, b, semiring=semiring, sort_output=sort_output,
+            nthreads=nthreads, partition=partition, stats=stats,
+            vector_bits=vector_bits,
+        )
+    if algorithm == "heap":
+        b_sorted = b if b.sorted_rows else b.sort_rows()
+        return heap_spgemm(
+            a, b_sorted, semiring=semiring, sort_output=True,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "spa":
+        return spa_spgemm(
+            a, b, semiring=semiring, sort_output=sort_output,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "mkl":
+        return mkl_proxy_spgemm(
+            a, b, semiring=semiring, sort_output=sort_output,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "mkl_inspector":
+        return mkl_inspector_spgemm(
+            a, b, semiring=semiring,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "kokkos":
+        return kokkos_proxy_spgemm(
+            a, b, semiring=semiring,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "esc":
+        return esc_spgemm(a, b, semiring=semiring, sort_output=True, stats=stats)
+    if algorithm == "blocked_spa":
+        return blocked_spa_spgemm(
+            a, b, semiring=semiring, sort_output=True,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    if algorithm == "merge":
+        b_sorted = b if b.sorted_rows else b.sort_rows()
+        return merge_spgemm(
+            a, b_sorted, semiring=semiring, sort_output=True,
+            nthreads=nthreads, partition=partition, stats=stats,
+        )
+    raise AssertionError(f"registry/dispatch mismatch for {algorithm!r}")

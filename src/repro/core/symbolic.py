@@ -1,0 +1,131 @@
+"""Vectorized symbolic machinery: expansion and exact per-row ``nnz(C)``.
+
+Two-phase SpGEMM algorithms first run a *symbolic* phase that determines the
+output pattern size (§2: "counts the number of non-zero elements of output
+matrix first").  The scalar kernels do this with their own accumulators; this
+module provides a fully numpy-vectorized equivalent used (a) by the ESC
+kernel, (b) as the fast oracle for ``nnz(C)`` at scales where scalar Python
+kernels are too slow, and (c) by the performance model, which needs exact
+per-row output sizes for Eq. (2) and the sort-cost terms.
+
+The expansion enumerates every intermediate product of ``C = A B``: for each
+nonzero ``a_ik`` it emits the whole row ``b_k*``.  Memory is ``O(flop)`` for
+the expanded block, so callers process row blocks capped at
+``max_block_flop`` intermediate products.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrix.csr import CSR, INDPTR_DTYPE
+from ..matrix.stats import flop_per_row
+
+__all__ = ["expand_rows", "iter_row_blocks", "symbolic_row_nnz"]
+
+#: Default cap on intermediate products materialized at once (~8M entries
+#: = a few hundred MB of scratch), keeping peak memory laptop-friendly.
+DEFAULT_MAX_BLOCK_FLOP = 1 << 23
+
+
+def expand_rows(
+    a: CSR,
+    b: CSR,
+    row_start: int,
+    row_end: int,
+    *,
+    with_values: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Materialize all intermediate products for output rows [row_start, row_end).
+
+    Returns ``(out_rows, out_cols, a_vals_expanded_x_b_vals_or_None)`` where
+    the value array is only the *gathered pair* ``(a_ik, b_kj)`` combined by
+    ordinary multiplication; semiring-specific combination is done by the
+    caller (ESC passes the raw gathers through ``semiring.mul``).
+
+    Everything is vectorized: the classic "ragged gather" uses a repeated
+    arange built from cumulative offsets.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    lo = int(a.indptr[row_start])
+    hi = int(a.indptr[row_end])
+    a_cols = a.indices[lo:hi]
+    reps = np.diff(b.indptr)[a_cols]  # nnz(b_k*) per a-nonzero
+    total = int(reps.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=a.indices.dtype)
+        return empty, empty, (np.empty(0) if with_values else None)
+    # Output row of each intermediate product.
+    row_of_entry = np.repeat(
+        np.arange(row_start, row_end, dtype=a.indices.dtype),
+        np.diff(a.indptr[row_start : row_end + 1]),
+    )
+    out_rows = np.repeat(row_of_entry, reps)
+    # Positions into B's arrays: starts[j] + (0..reps[j]-1), vectorized.
+    starts = b.indptr[a_cols]
+    offs = np.arange(total, dtype=INDPTR_DTYPE)
+    seg_begin = np.concatenate([[0], np.cumsum(reps)[:-1]])
+    offs -= np.repeat(seg_begin, reps)
+    gather = np.repeat(starts, reps) + offs
+    out_cols = b.indices[gather]
+    if not with_values:
+        return out_rows, out_cols, None
+    # Keep the two factor gathers separate so semirings other than
+    # plus_times can combine them; we return a 2-row stack.
+    a_fac = np.repeat(a.data[lo:hi], reps)
+    b_fac = b.data[gather]
+    vals = np.stack([a_fac, b_fac])
+    return out_rows, out_cols, vals
+
+
+def iter_row_blocks(
+    a: CSR, b: CSR, max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(row_start, row_end)`` blocks whose expansion stays bounded.
+
+    A single row whose flop exceeds the cap still forms its own block (the
+    cap is a soft target, correctness first).
+    """
+    n = a.nrows
+    if n == 0:
+        yield 0, 0
+        return
+    csum = np.cumsum(flop_per_row(a, b))
+    start = 0
+    while start < n:
+        base = csum[start - 1] if start else 0
+        end = int(np.searchsorted(csum, base + max_block_flop, side="right"))
+        end = max(end, start + 1)  # an oversized single row forms its own block
+        end = min(end, n)
+        yield start, end
+        start = end
+
+
+def symbolic_row_nnz(
+    a: CSR, b: CSR, max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP
+) -> np.ndarray:
+    """Exact ``nnz(c_i*)`` for every output row of ``C = A B`` (vectorized).
+
+    Expands intermediate products block-by-block, sorts each block by
+    (row, col) and counts distinct coordinates per row.  ``O(flop log flop)``
+    time, ``O(max_block_flop)`` extra space.
+    """
+    out = np.zeros(a.nrows, dtype=INDPTR_DTYPE)
+    for r0, r1 in iter_row_blocks(a, b, max_block_flop):
+        rows, cols, _ = expand_rows(a, b, r0, r1, with_values=False)
+        if len(rows) == 0:
+            continue
+        order = np.lexsort((cols, rows))
+        r = rows[order]
+        c = cols[order]
+        new_run = np.empty(len(r), dtype=bool)
+        new_run[0] = True
+        np.not_equal(r[1:], r[:-1], out=new_run[1:])
+        np.logical_or(new_run[1:], c[1:] != c[:-1], out=new_run[1:])
+        distinct_rows = r[new_run]
+        out[r0:r1] += np.bincount(distinct_rows - r0, minlength=r1 - r0)
+    return out

@@ -1,0 +1,50 @@
+"""Synthetic proxies for the paper's 26-matrix SuiteSparse suite (Table 2).
+
+The SuiteSparse collection cannot be downloaded in this environment, so each
+matrix is replaced by a *structural proxy*: a parametric generator tuned to
+match the original's dimension class, nonzeros-per-row, and sparsity
+structure (banded FEM, 2D/3D mesh stencil, power-law graph, quasi-random).
+Figures 14/15/17 and Table 2 depend on exactly those properties — size,
+density, compression ratio, and row skew — so the proxies preserve the
+trends even though they are not the original matrices (see DESIGN.md,
+"Substitutions").
+
+By default proxies are generated at a reduced dimension (``max_n``) to keep
+the full 26-matrix sweep laptop-friendly; pass ``max_n=None`` for
+paper-scale sizes where feasible.
+
+Users with network access can instead load the real matrices with
+:func:`repro.matrix.io.read_matrix_market`.
+"""
+
+from .generators import (
+    banded_fem,
+    cage_like,
+    econ_like,
+    mesh2d,
+    mesh3d,
+    powerlaw_graph,
+    quasi_random,
+)
+from .registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    load_suite,
+)
+
+__all__ = [
+    "banded_fem",
+    "cage_like",
+    "econ_like",
+    "mesh2d",
+    "mesh3d",
+    "powerlaw_graph",
+    "quasi_random",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "load_suite",
+]

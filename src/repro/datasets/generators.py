@@ -1,0 +1,195 @@
+"""Parametric structure-class generators behind the SuiteSparse proxies.
+
+Each generator produces a CSR matrix in one of the structural families the
+paper's 26-matrix suite spans:
+
+* :func:`banded_fem` — clustered band matrices (structural/FEM problems:
+  cant, consph, hood, pwtk, shipsec1, pdb1HYS, ...): high nnz/row, entries
+  concentrated near the diagonal in small dense blocks, high compression
+  ratio when squared;
+* :func:`mesh2d` / :func:`mesh3d` — 5-point/7-point stencils (mc2depi,
+  poisson3Da-like): low uniform nnz/row, low compression ratio;
+* :func:`powerlaw_graph` — R-MAT G500 graphs (webbase-1M, wb-edu): heavy
+  row skew, low compression ratio;
+* :func:`cage_like` — banded + random mixture (cage12/cage15 DNA models):
+  uniform moderate nnz/row;
+* :func:`econ_like` — block-random economics/circuit style (mac_econ,
+  scircuit, patents_main): mild skew, very sparse;
+* :func:`quasi_random` — uniform random (m133-b3 style regular patterns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..matrix.coo import COO
+from ..matrix.csr import CSR
+from ..rmat.generator import G500_PARAMS, rmat
+from ..semiring import PLUS_TIMES
+
+__all__ = [
+    "banded_fem",
+    "mesh2d",
+    "mesh3d",
+    "powerlaw_graph",
+    "cage_like",
+    "econ_like",
+    "quasi_random",
+]
+
+
+def _to_csr(n: int, rows, cols, vals) -> CSR:
+    return COO(n, n, np.asarray(rows), np.asarray(cols), np.asarray(vals)).to_csr(
+        PLUS_TIMES
+    )
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise DatasetError(f"matrix dimension must be >= 1, got {n}")
+
+
+def banded_fem(
+    n: int,
+    nnz_per_row: int,
+    *,
+    bandwidth: int | None = None,
+    block: int = 6,
+    seed: int = 0,
+) -> CSR:
+    """Block-structured band matrix: FEM-style structure.
+
+    The matrix is built on a *block graph*: rows come in groups of ``block``
+    consecutive rows (the degrees of freedom of one mesh node) that all
+    connect to the same set of block-columns, drawn near the diagonal with a
+    normal spread of ``bandwidth`` blocks and symmetrized.  Every connection
+    expands to a dense ``block x block`` sub-block.
+
+    Sharing column sets across a block's rows is what gives real FEM
+    matrices their high compression ratio when squared — two-hop
+    neighborhoods revisit the same blocks — which Figures 14/15 sort by.
+    """
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    block = max(1, block)
+    nblk = max(1, n // block)
+    n = nblk * block  # trim to whole blocks
+    # Out-degree in block-columns: the self block plus deg_out symmetrized
+    # neighbors gives ~(1 + 2*deg_out) blocks per block-row.
+    deg_out = max(1, int(round((nnz_per_row / block - 1) / 2)))
+    if bandwidth is None:
+        bandwidth = max(2 * deg_out * block, 8)
+    band_blocks = max(1, bandwidth // block)
+    bi = np.repeat(np.arange(nblk), deg_out)
+    bj = bi + rng.normal(0.0, band_blocks, size=len(bi)).astype(np.int64)
+    bj += (bj == bi)  # avoid duplicating the self block
+    bj = np.clip(bj, 0, nblk - 1)
+    brow = np.concatenate([np.arange(nblk), bi, bj])
+    bcol = np.concatenate([np.arange(nblk), bj, bi])
+    # Expand each block connection to a dense block x block tile.
+    ii = np.tile(np.repeat(np.arange(block), block), len(brow))
+    jj = np.tile(np.tile(np.arange(block), block), len(brow))
+    rows = np.repeat(brow * block, block * block) + ii
+    cols = np.repeat(bcol * block, block * block) + jj
+    vals = rng.random(len(rows)) + 0.1
+    return _to_csr(n, rows, cols, vals)
+
+
+def mesh2d(nx: int, ny: int | None = None) -> CSR:
+    """5-point Laplacian stencil on an ``nx x ny`` grid (n = nx*ny)."""
+    _check_n(nx)
+    if ny is None:
+        ny = nx
+    idx = np.arange(nx * ny).reshape(nx, ny)
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    vals = [np.full(nx * ny, 4.0)]
+    for src, dst in (
+        (idx[:-1, :], idx[1:, :]),
+        (idx[1:, :], idx[:-1, :]),
+        (idx[:, :-1], idx[:, 1:]),
+        (idx[:, 1:], idx[:, :-1]),
+    ):
+        rows.append(src.ravel())
+        cols.append(dst.ravel())
+        vals.append(np.full(src.size, -1.0))
+    return _to_csr(nx * ny, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals))
+
+
+def mesh3d(nx: int, ny: int | None = None, nz: int | None = None) -> CSR:
+    """7-point Laplacian stencil on an ``nx x ny x nz`` grid."""
+    _check_n(nx)
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    idx = np.arange(nx * ny * nz).reshape(nx, ny, nz)
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    vals = [np.full(idx.size, 6.0)]
+    for axis in range(3):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis] = slice(None, -1)
+        hi[axis] = slice(1, None)
+        src, dst = idx[tuple(lo)], idx[tuple(hi)]
+        for s, d in ((src, dst), (dst, src)):
+            rows.append(s.ravel())
+            cols.append(d.ravel())
+            vals.append(np.full(s.size, -1.0))
+    return _to_csr(
+        nx * ny * nz, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def powerlaw_graph(scale: int, edge_factor: int, *, seed: int = 0) -> CSR:
+    """Power-law (G500 R-MAT) graph adjacency — web/citation proxies."""
+    return rmat(scale, edge_factor, G500_PARAMS, seed=seed, drop_diagonal=True)
+
+
+def cage_like(n: int, nnz_per_row: int, *, seed: int = 0) -> CSR:
+    """Banded-plus-random mixture with uniform row occupancy (cage DNA
+    matrices: every row has nearly the same count, moderate locality)."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    k_near = max(1, (5 * nnz_per_row) // 6)
+    k_far = max(1, nnz_per_row - k_near)
+    rows = np.repeat(np.arange(n), k_near + k_far)
+    near = (
+        np.repeat(np.arange(n), k_near)
+        + rng.integers(-nnz_per_row, nnz_per_row + 1, size=n * k_near)
+    )
+    far = rng.integers(0, n, size=n * k_far)
+    cols = np.concatenate(
+        [near.reshape(n, k_near), far.reshape(n, k_far)], axis=1
+    ).ravel()
+    cols = np.clip(cols, 0, n - 1)
+    vals = rng.random(len(cols)) + 0.1
+    return _to_csr(n, rows, cols, vals)
+
+
+def econ_like(n: int, nnz_per_row: float, *, skew: float = 1.0, seed: int = 0) -> CSR:
+    """Very sparse quasi-random matrix with mildly skewed (lognormal) row
+    counts (economic models, circuits, citation graphs); ``skew`` is the
+    lognormal sigma of the row/column weight distributions."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    weights = rng.lognormal(0.0, skew, size=n)
+    weights *= nnz_per_row * n / weights.sum()
+    row_counts = np.maximum(rng.poisson(weights), 0)
+    rows = np.repeat(np.arange(n), row_counts)
+    # Column popularity also mildly skewed (suppliers/hub nodes).
+    pop = rng.lognormal(0.0, skew, size=n)
+    cols = rng.choice(n, size=len(rows), p=pop / pop.sum())
+    vals = rng.random(len(rows)) + 0.1
+    return _to_csr(n, rows, cols, vals)
+
+
+def quasi_random(n: int, nnz_per_row: int, *, seed: int = 0) -> CSR:
+    """Uniform random pattern with fixed nnz/row (regular combinatorial
+    matrices such as m133-b3)."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n), nnz_per_row)
+    cols = rng.integers(0, n, size=n * nnz_per_row)
+    vals = np.ones(len(cols))
+    return _to_csr(n, rows, cols, vals)

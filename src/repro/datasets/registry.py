@@ -1,0 +1,177 @@
+"""The 26-matrix proxy suite mirroring Table 2 of the paper.
+
+Each :class:`DatasetSpec` records the original matrix's published statistics
+(n, nnz(A), flop(A²), nnz(A²) — Table 2, in raw counts) and a builder that
+generates a structural proxy.  ``max_n`` caps the generated dimension (the
+nnz/row density and structure class are preserved), because squaring e.g. a
+16.7M-row delaunay proxy is not laptop-friendly; ``benchmarks/`` defaults to
+``max_n=60_000`` and prints paper-vs-proxy statistics side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..matrix.csr import CSR
+from . import generators as g
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "load_dataset", "load_suite"]
+
+DEFAULT_MAX_N = 60_000
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-2 row plus its proxy generator."""
+
+    name: str
+    #: structure class: fem / mesh2d / mesh3d / cage / econ / web / random
+    kind: str
+    #: Table 2 statistics of the *original* matrix (raw counts)
+    paper_n: int
+    paper_nnz: int
+    paper_flop: int
+    paper_nnz_c: int
+    #: builds the proxy at dimension ~min(paper_n, max_n)
+    build: Callable[[int], CSR]
+
+    @property
+    def paper_nnz_per_row(self) -> float:
+        return self.paper_nnz / self.paper_n
+
+    @property
+    def paper_compression_ratio(self) -> float:
+        return self.paper_flop / self.paper_nnz_c
+
+
+def _fem(name: str, n: int, nnz: int, flop: int, nnz_c: int, *, block: int = 6,
+         band_scale: float = 2.0, seed_off: int = 0) -> DatasetSpec:
+    per_row = max(1, round(nnz / n))
+
+    def build(max_n: int) -> CSR:
+        nn = min(n, max_n)
+        return g.banded_fem(
+            nn, per_row,
+            bandwidth=max(int(band_scale * per_row), 16),
+            block=block, seed=hash(name) % 65536 + seed_off,
+        )
+
+    return DatasetSpec(name, "fem", n, nnz, flop, nnz_c, build)
+
+
+def _mesh2(name: str, n: int, nnz: int, flop: int, nnz_c: int) -> DatasetSpec:
+    def build(max_n: int) -> CSR:
+        side = int(np.sqrt(min(n, max_n)))
+        return g.mesh2d(side, side)
+
+    return DatasetSpec(name, "mesh2d", n, nnz, flop, nnz_c, build)
+
+
+def _cage(name: str, n: int, nnz: int, flop: int, nnz_c: int) -> DatasetSpec:
+    per_row = max(1, round(nnz / n))
+
+    def build(max_n: int) -> CSR:
+        return g.cage_like(min(n, max_n), per_row, seed=hash(name) % 65536)
+
+    return DatasetSpec(name, "cage", n, nnz, flop, nnz_c, build)
+
+
+def _econ(name: str, n: int, nnz: int, flop: int, nnz_c: int, *, skew: float = 1.5) -> DatasetSpec:
+    per_row = nnz / n
+
+    def build(max_n: int) -> CSR:
+        return g.econ_like(min(n, max_n), per_row, skew=skew, seed=hash(name) % 65536)
+
+    return DatasetSpec(name, "econ", n, nnz, flop, nnz_c, build)
+
+
+def _web(name: str, n: int, nnz: int, flop: int, nnz_c: int) -> DatasetSpec:
+    ef = max(1, round(nnz / n))
+
+    def build(max_n: int) -> CSR:
+        scale = int(np.log2(min(n, max_n)))
+        return g.powerlaw_graph(scale, ef, seed=hash(name) % 65536)
+
+    return DatasetSpec(name, "web", n, nnz, flop, nnz_c, build)
+
+
+def _random(name: str, n: int, nnz: int, flop: int, nnz_c: int) -> DatasetSpec:
+    per_row = max(1, round(nnz / n))
+
+    def build(max_n: int) -> CSR:
+        return g.quasi_random(min(n, max_n), per_row, seed=hash(name) % 65536)
+
+    return DatasetSpec(name, "random", n, nnz, flop, nnz_c, build)
+
+
+_M = 1_000_000
+
+
+def _mk(spec_fn, name, n_m, nnz_m, flop_m, nnzc_m, **kw) -> DatasetSpec:
+    return spec_fn(
+        name,
+        int(n_m * _M),
+        int(nnz_m * _M),
+        int(flop_m * _M),
+        int(nnzc_m * _M),
+        **kw,
+    )
+
+
+#: Table 2 of the paper, in row order, with a structure-matched proxy each.
+DATASETS: "dict[str, DatasetSpec]" = {
+    s.name: s
+    for s in (
+        _mk(_fem, "2cubes_sphere", 0.101, 1.65, 27.45, 8.97, band_scale=14.0),
+        _mk(_cage, "cage12", 0.130, 2.03, 34.61, 15.23),
+        _mk(_cage, "cage15", 5.155, 99.20, 2078.63, 929.02),
+        _mk(_fem, "cant", 0.062, 4.01, 269.49, 17.44),
+        _mk(_fem, "conf5_4-8x8-05", 0.049, 1.92, 74.76, 10.91, block=8, band_scale=8.0),
+        _mk(_fem, "consph", 0.083, 6.01, 463.85, 26.54),
+        _mk(_fem, "cop20k_A", 0.121, 2.62, 79.88, 18.71, band_scale=20.0),
+        _mk(_mesh2, "delaunay_n24", 16.777, 100.66, 633.91, 347.32),
+        _mk(_fem, "filter3D", 0.106, 2.71, 85.96, 20.16, band_scale=16.0),
+        _mk(_fem, "hood", 0.221, 10.77, 562.03, 34.24),
+        _mk(_random, "m133-b3", 0.200, 0.80, 3.20, 3.18),
+        _mk(_econ, "mac_econ_fwd500", 0.207, 1.27, 7.56, 6.70, skew=0.8),
+        _mk(_fem, "majorbasis", 0.160, 1.75, 19.18, 8.24, block=4, band_scale=12.0),
+        _mk(_mesh2, "mario002", 0.390, 2.10, 12.83, 6.45),
+        _mk(_mesh2, "mc2depi", 0.526, 2.10, 8.39, 5.25),
+        _mk(_fem, "mono_500Hz", 0.169, 5.04, 204.03, 41.38, band_scale=16.0),
+        _mk(_fem, "offshore", 0.260, 4.24, 71.34, 23.36, band_scale=14.0),
+        _mk(_econ, "patents_main", 0.241, 0.56, 2.60, 2.28, skew=1.0),
+        _mk(_fem, "pdb1HYS", 0.036, 4.34, 555.32, 19.59, block=8),
+        _mk(_fem, "poisson3Da", 0.014, 0.35, 11.77, 2.96, band_scale=14.0),
+        _mk(_fem, "pwtk", 0.218, 11.63, 626.05, 32.77),
+        _mk(_fem, "rma10", 0.047, 2.37, 156.48, 7.90),
+        _mk(_econ, "scircuit", 0.171, 0.96, 8.68, 5.22, skew=0.6),
+        _mk(_fem, "shipsec1", 0.141, 7.81, 450.64, 24.09),
+        _mk(_web, "wb-edu", 9.846, 57.16, 1559.58, 630.08),
+        _mk(_web, "webbase-1M", 1.000, 3.11, 69.52, 51.11),
+    )
+}
+
+
+def dataset_names() -> "list[str]":
+    """The 26 proxy names in Table-2 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str, *, max_n: int = DEFAULT_MAX_N) -> CSR:
+    """Build one proxy matrix (dimension capped at ``max_n``)."""
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise DatasetError(f"unknown dataset {name!r}; see dataset_names()")
+    return spec.build(max_n)
+
+
+def load_suite(
+    *, max_n: int = DEFAULT_MAX_N, subset: "list[str] | None" = None
+) -> "dict[str, CSR]":
+    """Build the whole proxy suite (or a named subset)."""
+    names = dataset_names() if subset is None else subset
+    return {name: load_dataset(name, max_n=max_n) for name in names}

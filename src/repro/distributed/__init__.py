@@ -1,0 +1,31 @@
+"""Distributed-memory SpGEMM simulation (2-D Sparse SUMMA).
+
+The paper's kernels are the *node-level* engines of distributed SpGEMM —
+its authors' Combinatorial BLAS distributes matrices over a 2-D process
+grid and runs Sparse SUMMA, with a node-local multiply (heap-based in [3],
+later these hash kernels) per stage.  This package completes that picture
+in simulated form:
+
+* :mod:`repro.distributed.grid` — 2-D block distribution of a CSR matrix
+  over a ``p x p`` process grid;
+* :mod:`repro.distributed.summa` — the Sparse SUMMA schedule: at stage k
+  the k-th block column of A is broadcast along grid rows and the k-th
+  block row of B along grid columns, every rank multiplies locally with
+  any registered kernel, and stage results merge semiring-additively.
+
+The execution is *sequentially simulated* (one Python process walks the
+schedule), but the data movement is real: per-rank sent/received bytes,
+per-rank local flop, and the resulting imbalance are measured exactly, and
+the assembled result is verified against the single-node product in tests.
+"""
+
+from .grid import BlockDistribution, ProcessGrid, distribute
+from .summa import CommReport, sparse_summa
+
+__all__ = [
+    "ProcessGrid",
+    "BlockDistribution",
+    "distribute",
+    "sparse_summa",
+    "CommReport",
+]

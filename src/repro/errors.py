@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between shape problems, malformed sparse structures and
+invalid configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ConfigError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand dimensions are incompatible (e.g. inner dimensions differ)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse matrix violates a structural invariant of its format.
+
+    Examples: a CSR ``indptr`` that is not monotonically non-decreasing,
+    column indices outside ``[0, ncols)``, or array dtypes/lengths that do
+    not agree with each other.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid parameter was supplied (unknown algorithm, bad thread
+    count, unsupported semiring for a kernel, ...)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name is unknown or a generator received invalid options."""

@@ -1,0 +1,37 @@
+"""Parametric machine models of the paper's two evaluation platforms.
+
+Table 3 of the paper describes the Cori Haswell and KNL nodes.  Since this
+reproduction runs in pure Python (where neither 272 hardware threads nor
+MCDRAM exist), the architecture-specific effects are captured by calibrated
+analytic models, each tied to one of the paper's microbenchmarks:
+
+* :mod:`repro.machine.scheduling` — OpenMP loop scheduling cost (Fig. 2);
+* :mod:`repro.machine.allocator` — allocation/deallocation cost (Fig. 4);
+* :mod:`repro.machine.memory` — stanza-access bandwidth, DDR vs
+  MCDRAM-as-cache (Fig. 5);
+* :mod:`repro.machine.spec` — the machine descriptions (Table 3) tying the
+  models together, including SMT throughput and vector width.
+
+Every constant lives in :mod:`repro.machine.spec` with a comment citing the
+paper observation it was calibrated against.
+"""
+
+from .spec import KNL, HASWELL, MachineSpec, MemorySpec, AllocatorSpec, SchedulingSpec
+from .scheduling import loop_scheduling_cost
+from .allocator import allocation_cost, deallocation_cost
+from .memory import MemoryMode, stanza_bandwidth, aggregate_bandwidth
+
+__all__ = [
+    "KNL",
+    "HASWELL",
+    "MachineSpec",
+    "MemorySpec",
+    "AllocatorSpec",
+    "SchedulingSpec",
+    "loop_scheduling_cost",
+    "allocation_cost",
+    "deallocation_cost",
+    "MemoryMode",
+    "stanza_bandwidth",
+    "aggregate_bandwidth",
+]

@@ -1,0 +1,105 @@
+"""Memory allocation/deallocation cost model (paper §3.2, Figure 4).
+
+The paper's microbenchmark allocates, touches, and frees an array either
+from one thread ("single") or split evenly across all threads ("parallel"),
+with the C++ ``new/delete`` or TBB ``scalable_malloc/scalable_free``
+allocators.  The measured structure this model reproduces:
+
+* freeing small blocks is a cheap pooled operation;
+* past an allocator-specific threshold (32 MB for C++, 256 MB for TBB) the
+  block came from ``mmap`` and freeing walks/releases pages — cost linear in
+  size, "over 100 milliseconds for the deallocation of 1GB";
+* the **parallel** scheme divides the block across threads, so each thread
+  stays under the threshold until the *total* reaches ``threads x
+  threshold`` (the observed jumps at 8 GB for C++ and 64 GB for TBB with 256
+  threads), at the price of a fixed fork/synchronization overhead that makes
+  it *worse* for small blocks.
+
+This is why the paper's SpGEMM allocates thread-private scratch from each
+thread ("parallel" approach) — the model is what lets Fig. 9's
+"balanced single" vs "balanced parallel" comparison be regenerated.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .spec import MachineSpec
+
+__all__ = ["deallocation_cost", "allocation_cost", "ALLOCATORS", "SCHEMES"]
+
+ALLOCATORS = ("cpp", "tbb", "aligned")
+SCHEMES = ("single", "parallel")
+
+
+def _threshold(machine: MachineSpec, allocator: str) -> int:
+    if allocator in ("cpp", "aligned"):
+        # §3.2: "aligned allocation showed nearly same performance as C++".
+        return machine.alloc.cpp_threshold_bytes
+    if allocator == "tbb":
+        return machine.alloc.tbb_threshold_bytes
+    raise ConfigError(f"unknown allocator {allocator!r}; expected {ALLOCATORS}")
+
+
+def _release_cost(machine: MachineSpec, nbytes: float, allocator: str) -> float:
+    """Cost for one thread to free a block of ``nbytes``."""
+    a = machine.alloc
+    if nbytes < _threshold(machine, allocator):
+        return a.pooled_call_s
+    return a.pooled_call_s + nbytes * a.release_s_per_byte
+
+
+def _fault_cost(machine: MachineSpec, nbytes: float, allocator: str) -> float:
+    """Cost for one thread to allocate (and first-touch) ``nbytes``."""
+    a = machine.alloc
+    if nbytes < _threshold(machine, allocator):
+        return a.pooled_call_s
+    return a.pooled_call_s + nbytes * a.fault_s_per_byte
+
+
+def deallocation_cost(
+    machine: MachineSpec,
+    total_bytes: float,
+    *,
+    allocator: str = "tbb",
+    scheme: str = "single",
+    nthreads: int | None = None,
+) -> float:
+    """Seconds to deallocate ``total_bytes`` under the given scheme.
+
+    ``single``: one thread frees the whole block.  ``parallel``: each of
+    ``nthreads`` threads frees ``total_bytes / nthreads`` concurrently
+    (cost = max over threads) plus the parallel-region overhead.
+    """
+    if total_bytes < 0:
+        raise ConfigError(f"total_bytes must be >= 0, got {total_bytes}")
+    if scheme == "single":
+        return _release_cost(machine, total_bytes, allocator)
+    if scheme == "parallel":
+        t = machine.max_threads if nthreads is None else max(1, nthreads)
+        per_thread = total_bytes / t
+        return machine.alloc.parallel_overhead_s + _release_cost(
+            machine, per_thread, allocator
+        )
+    raise ConfigError(f"unknown scheme {scheme!r}; expected {SCHEMES}")
+
+
+def allocation_cost(
+    machine: MachineSpec,
+    total_bytes: float,
+    *,
+    allocator: str = "tbb",
+    scheme: str = "single",
+    nthreads: int | None = None,
+) -> float:
+    """Seconds to allocate (and first-touch) ``total_bytes``."""
+    if total_bytes < 0:
+        raise ConfigError(f"total_bytes must be >= 0, got {total_bytes}")
+    if scheme == "single":
+        return _fault_cost(machine, total_bytes, allocator)
+    if scheme == "parallel":
+        t = machine.max_threads if nthreads is None else max(1, nthreads)
+        per_thread = total_bytes / t
+        return machine.alloc.parallel_overhead_s + _fault_cost(
+            machine, per_thread, allocator
+        )
+    raise ConfigError(f"unknown scheme {scheme!r}; expected {SCHEMES}")

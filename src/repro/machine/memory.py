@@ -1,0 +1,112 @@
+"""Stanza-access bandwidth model: DDR vs MCDRAM-as-cache (paper §3.3, Fig. 5).
+
+Row-wise SpGEMM reads rows of B in a *stanza* pattern: short runs of
+consecutive elements fetched from effectively random addresses.  The paper's
+microbenchmark sweeps the stanza length from 8 bytes (pure random access) to
+the array size (the STREAM limit) and finds:
+
+* both memories crawl at short stanzas (latency bound, ~2 GB/s);
+* at long stanzas DDR reaches its peak and MCDRAM-as-cache exceeds it by
+  over 3.4x;
+* MCDRAM's higher latency means it has **no advantage** below ~a cache line
+  or two — "it would be hard to get the benefits of MCDRAM on very sparse
+  matrices".
+
+The model is the classic latency-bandwidth pipe: effective bandwidth for
+stanza length ``L`` is ``peak * L / (L + L_half)`` where ``L_half`` (the
+stanza length achieving half of peak) encodes the access latency.  MCDRAM
+has a higher peak *and* a larger ``L_half`` — which is the entire §3.3
+story in two constants.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError
+from .spec import MachineSpec
+
+__all__ = ["MemoryMode", "stanza_bandwidth", "aggregate_bandwidth"]
+
+
+class MemoryMode(str, enum.Enum):
+    """KNL memory configuration (§5.2: Cache mode, or Flat on one memory)."""
+
+    #: MCDRAM configured as a transparent cache in front of DDR (default).
+    CACHE = "cache"
+    #: Flat mode, allocations bound to DDR4 with ``numactl -p``.
+    FLAT_DDR = "flat_ddr"
+    #: Flat mode, allocations bound to MCDRAM.
+    FLAT_MCDRAM = "flat_mcdram"
+
+
+def stanza_bandwidth(
+    machine: MachineSpec,
+    stanza_bytes: float,
+    mode: "MemoryMode | str" = MemoryMode.CACHE,
+    *,
+    working_set_bytes: float = 0.0,
+) -> float:
+    """Effective bandwidth (bytes/s) for stanza-patterned access.
+
+    Parameters
+    ----------
+    stanza_bytes:
+        Length of each contiguous run (>= 8; one element).
+    mode:
+        Memory configuration.  On machines without MCDRAM (Haswell) all
+        modes coincide with DDR.
+    working_set_bytes:
+        Size of the actively-touched data.  In Cache mode, a working set
+        beyond the MCDRAM capacity spills: the effective curve degrades
+        toward DDR (this is how Fig. 10's edge-factor-64 Heap regression
+        appears — "the memory requirement of Heap SpGEMM surpasses the
+        capacity of MCDRAM").
+    """
+    mode = MemoryMode(mode)
+    if stanza_bytes <= 0:
+        raise ConfigError(f"stanza_bytes must be > 0, got {stanza_bytes}")
+    m = machine.mem
+
+    def pipe(peak: float, half: float) -> float:
+        return peak * stanza_bytes / (stanza_bytes + half)
+
+    ddr = pipe(m.ddr_peak_bps, m.ddr_half_stanza)
+    if mode is MemoryMode.FLAT_DDR:
+        return ddr
+    mcd = pipe(m.mcdram_peak_bps, m.mcdram_half_stanza)
+    if mode is MemoryMode.FLAT_MCDRAM:
+        return mcd
+    # Cache mode: MCDRAM behaviour while the working set fits, degrading to
+    # DDR as the miss fraction grows past capacity.
+    if working_set_bytes <= m.mcdram_capacity_bytes:
+        return mcd
+    hit = m.mcdram_capacity_bytes / working_set_bytes
+    return hit * mcd + (1.0 - hit) * ddr
+
+
+def aggregate_bandwidth(
+    machine: MachineSpec,
+    stanza_bytes: float,
+    nthreads: int,
+    mode: "MemoryMode | str" = MemoryMode.CACHE,
+    *,
+    working_set_bytes: float = 0.0,
+) -> float:
+    """Bandwidth achievable by ``nthreads`` concurrent threads (bytes/s).
+
+    A single core cannot saturate the memory system (limited outstanding
+    misses); aggregate bandwidth rises with thread count until the
+    stanza-limited system bandwidth caps it.  This concurrency limit is what
+    bends the strong-scaling curves of Fig. 13.
+    """
+    if nthreads < 1:
+        raise ConfigError(f"nthreads must be >= 1, got {nthreads}")
+    system = stanza_bandwidth(
+        machine, stanza_bytes, mode, working_set_bytes=working_set_bytes
+    )
+    cores_active = min(nthreads, machine.cores)
+    # SMT threads share their core's miss slots; count a partial credit.
+    extra = min(nthreads, machine.max_threads) - cores_active
+    concurrency = cores_active + 0.3 * extra / max(machine.smt - 1, 1)
+    return min(system, concurrency * machine.mem.per_core_bps)

@@ -1,0 +1,67 @@
+"""OpenMP loop-scheduling cost model (paper §3.1, Figure 2).
+
+The paper measures an empty parallel loop under ``schedule(static)``,
+``schedule(dynamic)`` and ``schedule(guided)`` on Haswell and KNL.  The
+observed structure, which this model reproduces:
+
+* **static** — cost is flat (the fork/join latency) until per-thread
+  iteration bookkeeping becomes visible at ~2^15+ iterations;
+* **dynamic** — every iteration performs a contended atomic fetch on the
+  shared chunk counter; the counter serializes, so cost grows linearly with
+  the *total* iteration count and is much worse on KNL (slow cores, 272
+  contenders);
+* **guided** — nominally fewer dequeues, but the measured cost tracks
+  dynamic ("as expensive as dynamic, especially on the KNL processor"),
+  which the model captures with a per-iteration constant close to dynamic's.
+
+This is the reason the paper's SpGEMM uses *static* scheduling plus its own
+flop-balanced partition rather than ``dynamic``/``guided`` (§3.1, §4.1).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .spec import MachineSpec
+
+__all__ = ["loop_scheduling_cost", "POLICIES"]
+
+POLICIES = ("static", "dynamic", "guided", "balanced")
+
+
+def loop_scheduling_cost(
+    machine: MachineSpec,
+    policy: str,
+    iterations: int,
+    nthreads: int | None = None,
+) -> float:
+    """Scheduling overhead (seconds) of a parallel loop with empty body.
+
+    ``balanced`` — the paper's flop-balanced static assignment — pays the
+    static cost plus one pass of prefix-sum/binary-search work, modeled as a
+    handful of cycles per iteration divided across threads (it is itself
+    parallel, Fig. 6).
+
+    Parameters mirror the Fig. 2 microbenchmark: total ``iterations`` of an
+    empty loop body on ``nthreads`` threads (default: all hardware threads).
+    """
+    if iterations < 0:
+        raise ConfigError(f"iterations must be >= 0, got {iterations}")
+    t = machine.max_threads if nthreads is None else max(1, nthreads)
+    s = machine.sched
+    if policy == "static":
+        return s.fork_join_s + (iterations / t) * s.static_iter_s
+    if policy == "dynamic":
+        # The shared counter serializes: per-iteration cost is *not*
+        # divided by the thread count (contention grows with it instead;
+        # the constant is calibrated at full thread count).
+        return s.fork_join_s + iterations * s.dynamic_iter_s
+    if policy == "guided":
+        return s.fork_join_s + iterations * s.guided_iter_s
+    if policy == "balanced":
+        # RowsToThreads: flop count (parallel), prefix sum (parallel),
+        # per-thread binary search. ~4 extra static-iteration units per row
+        # plus a log-factor search per thread.
+        prep = (iterations / t) * 4.0 * s.static_iter_s
+        search = t * 2e-8
+        return s.fork_join_s + prep + search + (iterations / t) * s.static_iter_s
+    raise ConfigError(f"unknown scheduling policy {policy!r}; expected {POLICIES}")

@@ -1,0 +1,282 @@
+"""Machine descriptions (paper Table 3) and calibrated model constants.
+
+Two instances are exported: :data:`KNL` (Intel Xeon Phi 7250, the paper's
+"KNL cluster" node) and :data:`HASWELL` (2-socket Xeon E5-2698 v3, the
+"Haswell cluster" node).  Every calibrated constant carries a comment citing
+the paper figure or sentence it reproduces; none of them is load-bearing for
+*correctness* (the executable kernels never consult the machine model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = [
+    "SchedulingSpec",
+    "AllocatorSpec",
+    "MemorySpec",
+    "KernelCostSpec",
+    "MachineSpec",
+    "KNL",
+    "HASWELL",
+]
+
+
+@dataclass(frozen=True)
+class SchedulingSpec:
+    """OpenMP loop-scheduling cost constants (calibrated to Fig. 2)."""
+
+    #: one-time parallel-region fork/join latency, seconds
+    fork_join_s: float
+    #: per-iteration bookkeeping of a *static* loop, seconds (divided by t)
+    static_iter_s: float
+    #: per-iteration cost of the contended dynamic dequeue, seconds
+    #: (serialized on the shared counter, hence *not* divided by t)
+    dynamic_iter_s: float
+    #: per-iteration cost of guided scheduling; the paper measures guided to
+    #: be "as expensive as dynamic, especially on the KNL processor"
+    guided_iter_s: float
+    #: per-dispatch stall inside a *real* kernel loop: unlike the Fig. 2
+    #: empty-loop microbenchmark (where the shared counter stays resident
+    #: and updates pipeline), interleaving real work means every dequeue
+    #: re-acquires the contended cache line cold — a full cross-tile bounce
+    dispatch_stall_s: float
+
+
+@dataclass(frozen=True)
+class AllocatorSpec:
+    """Allocation/deallocation cost constants (calibrated to Fig. 4)."""
+
+    #: per-call fixed cost of a pooled (small) alloc/dealloc, seconds
+    pooled_call_s: float
+    #: size threshold above which the C++ allocator falls back to
+    #: mmap/munmap; Fig. 4: the "parallel" C++ curve jumps at 8 GB across
+    #: 256 threads = 32 MB per thread
+    cpp_threshold_bytes: int
+    #: same threshold for TBB scalable_malloc; Fig. 4: jump at 64 GB / 256
+    #: threads = 256 MB per thread
+    tbb_threshold_bytes: int
+    #: linear munmap/page-release cost, seconds per byte; Fig. 4: "over 100
+    #: milliseconds for the deallocation of 1GB" -> ~1e-10 s/B
+    release_s_per_byte: float
+    #: linear cost of first-touch page faulting on allocation, seconds per
+    #: byte (allocation is lazier than deallocation)
+    fault_s_per_byte: float
+    #: extra fork/synchronization overhead of the "parallel" scheme, seconds
+    parallel_overhead_s: float
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Bandwidth-latency memory model (calibrated to Fig. 5 / STREAM)."""
+
+    #: DDR4 peak streaming bandwidth, bytes/s
+    ddr_peak_bps: float
+    #: stanza half-length of DDR, bytes: stanza length at which half the
+    #: peak is reached (captures access latency)
+    ddr_half_stanza: float
+    #: MCDRAM-as-cache peak streaming bandwidth, bytes/s; Fig. 5 shows
+    #: "over 3.4x superior bandwidth compared to DDR only"
+    mcdram_peak_bps: float
+    #: MCDRAM half-stanza, bytes — larger than DDR's because MCDRAM's
+    #: latency is higher ("its memory latency is larger than that of DDR4"),
+    #: which is why fine-grained access sees no MCDRAM benefit
+    mcdram_half_stanza: float
+    #: MCDRAM capacity, bytes (16 GB on KNL); working sets beyond this fall
+    #: back to DDR behaviour in Cache mode (Fig. 10, edge factor 64)
+    mcdram_capacity_bytes: float
+    #: single-core achievable bandwidth, bytes/s — limits aggregate
+    #: bandwidth at low thread counts (drives the Fig. 13 scaling shape)
+    per_core_bps: float
+
+
+@dataclass(frozen=True)
+class KernelCostSpec:
+    """Per-operation cycle costs of the SpGEMM inner loops.
+
+    These scale the *exact* operation counts produced by
+    :mod:`repro.perfmodel.quantities` into cycles.  Values are per-machine
+    because KNL's simpler cores retire scalar hash chains more slowly while
+    its 512-bit units make vector probing comparatively cheaper.
+    """
+
+    #: cycles per scalar hash-probe step (hash lookup chain element)
+    hash_probe: float
+    #: extra cycles per numeric-phase probe (value accumulate)
+    hash_accumulate: float
+    #: cycles per vector-chunk probe step (compare + mask + ctz)
+    vector_probe: float
+    #: cycles per heap push/pop element step (log factor applied separately)
+    heap_op: float
+    #: cycles per SPA dense-array touch
+    spa_touch: float
+    #: cycles per element-compare in the output sort
+    sort_cmp: float
+    #: cycles to write one output nonzero (index + value)
+    write_entry: float
+    #: per-row fixed overhead of the MKL proxy's row dispatch
+    mkl_row_overhead: float
+    #: cycles per chained-hashmap step of the Kokkos proxy
+    kokkos_step: float
+    #: sustained instructions-per-cycle of scalar SpGEMM code
+    ipc: float
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One evaluation platform (a Table-3 column)."""
+
+    name: str
+    #: physical cores (KNL: 68; Haswell: 2 sockets x 16)
+    cores: int
+    #: hardware threads per core (KNL: 4; Haswell: 2)
+    smt: int
+    #: core clock, GHz (Table 3)
+    clock_ghz: float
+    #: SIMD register width, bits (KNL: AVX-512; Haswell: AVX2)
+    vector_bits: int
+    #: private/shared cache available per core for accumulator state, bytes
+    #: (KNL: 1MB L2 per 2-core tile -> 512KB; Haswell: 256KB L2)
+    l2_per_core_bytes: int
+    #: per-core share of the last-level cache behind L2 (Haswell: 2 x 40MB
+    #: L3 across 32 cores; KNL has no L3 — Table 3 lists "-")
+    l3_per_core_bytes: int
+    #: throughput gain from filling all SMT threads relative to one thread
+    #: per core (Fig. 13: KNL kernels keep improving past 68 threads)
+    smt_gain: float
+    sched: SchedulingSpec = field(repr=False, default=None)  # type: ignore[assignment]
+    alloc: AllocatorSpec = field(repr=False, default=None)  # type: ignore[assignment]
+    mem: MemorySpec = field(repr=False, default=None)  # type: ignore[assignment]
+    kernel: KernelCostSpec = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware thread count (KNL: 272, Haswell: 64)."""
+        return self.cores * self.smt
+
+    def effective_parallelism(self, nthreads: int) -> float:
+        """Throughput multiplier of running ``nthreads`` threads.
+
+        Linear up to ``cores``; beyond that, SMT adds up to ``smt_gain``
+        extra throughput as the remaining hardware threads fill.  This is
+        the standard throughput-SMT model and gives Fig. 13 its knee at 64
+        threads with continued (smaller) gains to 272.
+        """
+        if nthreads < 1:
+            raise ConfigError(f"nthreads must be >= 1, got {nthreads}")
+        t = min(nthreads, self.max_threads)
+        if t <= self.cores:
+            return float(t)
+        extra = (t - self.cores) / (self.cores * (self.smt - 1))
+        return self.cores * (1.0 + self.smt_gain * extra)
+
+    def smt_slowdown(self, nthreads: int) -> float:
+        """Per-thread slowdown factor when threads oversubscribe cores."""
+        t = min(max(nthreads, 1), self.max_threads)
+        return t / self.effective_parallelism(t)
+
+    def seconds_per_cycle(self) -> float:
+        return 1.0 / (self.clock_ghz * 1e9)
+
+    @property
+    def accumulator_capacity_bytes(self) -> float:
+        """Cache capacity available to one thread's accumulator before its
+        accesses spill to memory (L2 plus the per-core L3 share)."""
+        return float(self.l2_per_core_bytes + self.l3_per_core_bytes)
+
+
+#: Intel Xeon Phi 7250 (Knights Landing), quadrant cluster mode (Table 3).
+KNL = MachineSpec(
+    name="KNL",
+    cores=68,
+    smt=4,
+    clock_ghz=1.4,
+    vector_bits=512,
+    l2_per_core_bytes=512 * 1024,
+    l3_per_core_bytes=0,  # Table 3: KNL has no L3
+    smt_gain=0.55,  # Fig. 13: Hash/Heap gain ~1.3-1.6x going 68 -> 272 thr
+    sched=SchedulingSpec(
+        fork_join_s=20e-6,  # Fig. 2: KNL static flat at ~2e-2 ms
+        static_iter_s=8e-9,  # Fig. 2: KNL static rises past ~2^15 iters
+        dynamic_iter_s=5.5e-8,  # Fig. 2: KNL dynamic ~30 ms at 2^19 iters
+        guided_iter_s=4.5e-8,  # Fig. 2: KNL guided "as expensive as dynamic"
+        dispatch_stall_s=1.0e-6,  # cross-tile line bounce on the 2D mesh
+    ),
+    alloc=AllocatorSpec(
+        pooled_call_s=5e-6,
+        cpp_threshold_bytes=32 << 20,  # Fig. 4: parallel C++ jump at 8GB/256t
+        tbb_threshold_bytes=256 << 20,  # Fig. 4: parallel TBB jump at 64GB/256t
+        release_s_per_byte=1.05e-10,  # Fig. 4: >100 ms to free 1 GB
+        fault_s_per_byte=2.5e-11,
+        parallel_overhead_s=6e-5,  # Fig. 4: parallel floor ~0.05-0.1 ms
+    ),
+    mem=MemorySpec(
+        ddr_peak_bps=90e9,  # Table 3 / STREAM for 6-ch DDR4-2400
+        ddr_half_stanza=512.0,
+        mcdram_peak_bps=345e9,  # Fig. 5: >3.4x DDR at long stanzas
+        mcdram_half_stanza=2048.0,  # higher latency: no win at short stanzas
+        mcdram_capacity_bytes=16e9,  # Table 3: 16 GB MCDRAM
+        per_core_bps=6e9,
+    ),
+    kernel=KernelCostSpec(
+        hash_probe=10.0,
+        hash_accumulate=6.0,
+        vector_probe=14.0,  # AVX-512 compare+ctz chain on 1.4 GHz cores
+        heap_op=14.0,
+        spa_touch=7.0,
+        sort_cmp=20.0,  # introsort on (idx,val) pairs: compare+swap chain
+        write_entry=4.0,
+        mkl_row_overhead=900.0,  # serial row dispatch: MKL's Fig. 13 plateau
+        kokkos_step=22.0,
+        ipc=1.2,  # Silvermont-derived cores: modest scalar ILP
+    ),
+)
+
+#: Dual-socket Intel Xeon E5-2698 v3 (Haswell), Table 3.
+HASWELL = MachineSpec(
+    name="Haswell",
+    cores=32,
+    smt=2,
+    clock_ghz=2.3,
+    vector_bits=256,
+    l2_per_core_bytes=256 * 1024,
+    l3_per_core_bytes=(2 * 40 << 20) // 32,  # Table 3: 40MB L3 per socket
+    smt_gain=0.25,  # hyperthreading adds ~25% on OoO cores
+    sched=SchedulingSpec(
+        fork_join_s=5e-6,  # Fig. 2: Haswell static flat at ~5e-3 ms
+        static_iter_s=1.5e-9,
+        dynamic_iter_s=9e-9,  # Fig. 2: Haswell dynamic ~5 ms at 2^19 iters
+        guided_iter_s=4e-9,  # Fig. 2: Haswell guided between static/dynamic
+        dispatch_stall_s=2.0e-7,  # ring-bus line bounce
+    ),
+    alloc=AllocatorSpec(
+        pooled_call_s=2e-6,
+        cpp_threshold_bytes=32 << 20,
+        tbb_threshold_bytes=256 << 20,
+        release_s_per_byte=6e-11,
+        fault_s_per_byte=1.5e-11,
+        parallel_overhead_s=2e-5,
+    ),
+    mem=MemorySpec(
+        ddr_peak_bps=120e9,  # 2 sockets x 4-ch DDR4-2133
+        ddr_half_stanza=256.0,  # lower latency than KNL's DDR path
+        mcdram_peak_bps=120e9,  # no MCDRAM: cache mode == flat mode
+        mcdram_half_stanza=256.0,
+        mcdram_capacity_bytes=float("inf"),
+        per_core_bps=10e9,
+    ),
+    kernel=KernelCostSpec(
+        hash_probe=5.0,
+        hash_accumulate=3.0,
+        vector_probe=5.5,  # cheap AVX2 compare at 2.3 GHz: HashVec shines
+        heap_op=7.0,
+        spa_touch=3.5,
+        sort_cmp=9.0,  # introsort on (idx,val) pairs
+        write_entry=2.0,
+        mkl_row_overhead=400.0,
+        kokkos_step=12.0,
+        ipc=2.2,  # aggressive OoO scalar execution
+    ),
+)

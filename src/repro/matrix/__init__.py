@@ -1,0 +1,63 @@
+"""Sparse matrix substrate: CSR/COO containers, constructors, ops, I/O, stats.
+
+The paper stores every matrix in Compressed Sparse Row (CSR) format and
+explicitly distinguishes matrices whose rows are *sorted* by column index from
+*unsorted* ones (Table 1 and §5.4.4 quantify the cost of sortedness).  Our
+:class:`~repro.matrix.csr.CSR` carries that distinction as a first-class
+``sorted_rows`` flag, which the kernels honour and the benchmarks toggle.
+"""
+
+from .coo import COO
+from .csr import CSR
+from .construct import (
+    csr_from_coo,
+    csr_from_dense,
+    csr_from_scipy,
+    identity,
+    diagonal,
+    random_csr,
+)
+from .ops import (
+    add,
+    elementwise_multiply,
+    hstack_columns,
+    permute_columns,
+    permute_rows,
+    select_columns,
+    spmv,
+    transpose,
+    tril_strict,
+    triu_strict,
+    triangular_split,
+    degree_reorder,
+)
+from .io import read_matrix_market, write_matrix_market
+from .stats import MatrixStats, matrix_stats, compression_ratio
+
+__all__ = [
+    "COO",
+    "CSR",
+    "csr_from_coo",
+    "csr_from_dense",
+    "csr_from_scipy",
+    "identity",
+    "diagonal",
+    "random_csr",
+    "add",
+    "elementwise_multiply",
+    "hstack_columns",
+    "permute_columns",
+    "permute_rows",
+    "select_columns",
+    "spmv",
+    "transpose",
+    "tril_strict",
+    "triu_strict",
+    "triangular_split",
+    "degree_reorder",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixStats",
+    "matrix_stats",
+    "compression_ratio",
+]

@@ -1,0 +1,149 @@
+"""Constructors for :class:`~repro.matrix.csr.CSR` matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, FormatError
+from ..semiring import PLUS_TIMES, Semiring
+from .coo import COO
+from .csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "csr_from_coo",
+    "csr_from_dense",
+    "csr_from_scipy",
+    "identity",
+    "diagonal",
+    "random_csr",
+]
+
+
+def csr_from_coo(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray | None = None,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    sort_rows: bool = True,
+) -> CSR:
+    """Build CSR from coordinate triples, merging duplicates with ``add``.
+
+    ``vals=None`` stores the semiring's ``one`` for every coordinate (pattern
+    matrices / unweighted graphs).
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    if vals is None:
+        vals = np.full(len(rows), semiring.one, dtype=VALUE_DTYPE)
+    return COO(nrows, ncols, rows, cols, np.asarray(vals)).to_csr(
+        semiring, sort_rows=sort_rows
+    )
+
+
+def csr_from_dense(dense: np.ndarray, *, zero: float = 0.0) -> CSR:
+    """Build CSR from a dense 2-D array, dropping entries equal to ``zero``.
+
+    ``zero`` lets callers build e.g. min-plus matrices where the implicit
+    value is ``inf`` rather than 0.
+    """
+    dense = np.asarray(dense, dtype=VALUE_DTYPE)
+    if dense.ndim != 2:
+        raise FormatError(f"expected a 2-D array, got ndim={dense.ndim}")
+    if np.isnan(zero):
+        mask = ~np.isnan(dense)
+    else:
+        mask = dense != zero
+    rows, cols = np.nonzero(mask)
+    counts = np.bincount(rows, minlength=dense.shape[0])
+    indptr = np.zeros(dense.shape[0] + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR(
+        dense.shape,
+        indptr,
+        cols.astype(INDEX_DTYPE),
+        dense[rows, cols],
+        sorted_rows=True,
+    )
+
+
+def csr_from_scipy(mat) -> CSR:
+    """Build from any :mod:`scipy.sparse` matrix (converted to CSR)."""
+    m = mat.tocsr()
+    m.sum_duplicates()
+    return CSR(
+        m.shape,
+        m.indptr.astype(INDPTR_DTYPE),
+        m.indices.astype(INDEX_DTYPE),
+        m.data.astype(VALUE_DTYPE),
+        sorted_rows=bool(m.has_sorted_indices),
+    )
+
+
+def identity(n: int, *, value: float = 1.0) -> CSR:
+    """The n-by-n identity (or a scaled identity)."""
+    return CSR(
+        (n, n),
+        np.arange(n + 1, dtype=INDPTR_DTYPE),
+        np.arange(n, dtype=INDEX_DTYPE),
+        np.full(n, value, dtype=VALUE_DTYPE),
+        sorted_rows=True,
+    )
+
+
+def diagonal(values: np.ndarray) -> CSR:
+    """A square matrix with ``values`` on the main diagonal.
+
+    Zeros in ``values`` are kept as explicit entries: diagonal matrices are
+    used as scaling operators where the pattern should stay fixed.
+    """
+    values = np.asarray(values, dtype=VALUE_DTYPE)
+    n = len(values)
+    return CSR(
+        (n, n),
+        np.arange(n + 1, dtype=INDPTR_DTYPE),
+        np.arange(n, dtype=INDEX_DTYPE),
+        values.copy(),
+        sorted_rows=True,
+    )
+
+
+def random_csr(
+    nrows: int,
+    ncols: int,
+    density: float,
+    *,
+    seed: int = 0,
+    sort_rows: bool = True,
+    values: str = "uniform",
+) -> CSR:
+    """An Erdős–Rényi-style random matrix with expected ``density``.
+
+    Each of the ``nrows * ncols`` cells is present independently with
+    probability ``density``.  For the scales used in tests this exact
+    cell-sampling model is affordable and gives clean statistics; large-scale
+    synthetic inputs come from :mod:`repro.rmat` instead.
+
+    Parameters
+    ----------
+    values:
+        ``"uniform"`` → U(0,1); ``"ones"`` → all 1.0; ``"pm1"`` → ±1 chosen
+        uniformly (useful to exercise numerical cancellation).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ConfigError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    nnz_target = rng.binomial(nrows * ncols, density) if nrows * ncols else 0
+    flat = rng.choice(nrows * ncols, size=nnz_target, replace=False) if nnz_target else np.empty(0, dtype=np.int64)
+    rows, cols = np.divmod(flat, ncols) if ncols else (flat, flat)
+    if values == "uniform":
+        vals = rng.random(len(flat))
+    elif values == "ones":
+        vals = np.ones(len(flat))
+    elif values == "pm1":
+        vals = rng.choice([-1.0, 1.0], size=len(flat))
+    else:
+        raise ConfigError(f"unknown values mode {values!r}")
+    return csr_from_coo(nrows, ncols, rows, cols, vals, sort_rows=sort_rows)

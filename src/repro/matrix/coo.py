@@ -1,0 +1,105 @@
+"""Coordinate-format staging container.
+
+COO is the natural output of the R-MAT edge generator and of the ESC
+(expand-sort-compress) kernel's expansion phase.  This module provides a thin
+validated container plus the vectorized *compress* step (sort by (row, col),
+merge duplicates under a semiring's ``add``) that converts COO to CSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+from ..semiring import PLUS_TIMES, Semiring
+from .csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+
+__all__ = ["COO"]
+
+
+@dataclass
+class COO:
+    """An ``(rows, cols, vals)`` triple with a shape.
+
+    Duplicate coordinates are permitted (they are merged on conversion to
+    CSR), which is exactly what the R-MAT generator and the ESC expansion
+    produce.
+    """
+
+    nrows: int
+    ncols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.nrows < 0 or self.ncols < 0:
+            raise ShapeError(f"negative dimension ({self.nrows}, {self.ncols})")
+        self.rows = np.ascontiguousarray(self.rows, dtype=INDEX_DTYPE)
+        self.cols = np.ascontiguousarray(self.cols, dtype=INDEX_DTYPE)
+        self.vals = np.ascontiguousarray(self.vals, dtype=VALUE_DTYPE)
+        if not (len(self.rows) == len(self.cols) == len(self.vals)):
+            raise FormatError(
+                "rows, cols and vals must have equal length, got "
+                f"{len(self.rows)}/{len(self.cols)}/{len(self.vals)}"
+            )
+        if len(self.rows):
+            if self.rows.min() < 0 or self.rows.max() >= self.nrows:
+                raise FormatError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.ncols:
+                raise FormatError("column index out of range")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_csr(self, semiring: Semiring = PLUS_TIMES, *, sort_rows: bool = True) -> CSR:
+        """Convert to CSR, merging duplicate coordinates with ``semiring.add``.
+
+        This is the "sort + compress" half of the ESC algorithm: a single
+        ``lexsort`` orders entries by (row, col); boundaries of equal
+        coordinate runs are found vectorized; ``add.reduceat`` merges runs.
+
+        Parameters
+        ----------
+        semiring:
+            Supplies the duplicate-merging ``add`` (default: arithmetic sum).
+        sort_rows:
+            The compress step inherently sorts rows; pass ``False`` to follow
+            it with a random within-row shuffle — convenient when staging
+            unsorted benchmark inputs.
+        """
+        nrows, ncols = self.shape
+        if len(self) == 0:
+            return CSR(
+                self.shape,
+                np.zeros(nrows + 1, dtype=INDPTR_DTYPE),
+                np.empty(0, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=VALUE_DTYPE),
+                sorted_rows=True,
+            )
+        order = np.lexsort((self.cols, self.rows))
+        r = self.rows[order]
+        c = self.cols[order]
+        v = self.vals[order]
+        # Run boundaries: first element, plus every coordinate change.
+        new_run = np.empty(len(r), dtype=bool)
+        new_run[0] = True
+        np.not_equal(r[1:], r[:-1], out=new_run[1:])
+        np.logical_or(new_run[1:], c[1:] != c[:-1], out=new_run[1:])
+        starts = np.flatnonzero(new_run)
+        merged_vals = semiring.reduce_segments(v, starts)
+        merged_rows = r[starts]
+        merged_cols = c[starts]
+        counts = np.bincount(merged_rows, minlength=nrows)
+        indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        out = CSR(self.shape, indptr, merged_cols, merged_vals, sorted_rows=True)
+        if not sort_rows:
+            out = out.shuffle_rows()
+        return out

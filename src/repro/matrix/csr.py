@@ -1,0 +1,310 @@
+"""Compressed Sparse Row container with an explicit row-sortedness flag.
+
+The CSR format is three arrays (§2 of the paper):
+
+* ``indptr`` — row pointers, length ``nrows + 1``;
+* ``indices`` — column indices, length ``nnz``;
+* ``data`` — values, length ``nnz``.
+
+The format "does not specify whether this range should be sorted with
+increasing column indices; that decision has been left to the library
+implementation" (paper, §2).  The paper shows significant performance wins
+from operating on unsorted CSR, so :class:`CSR` tracks sortedness explicitly
+in :attr:`CSR.sorted_rows` and all kernels propagate it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+__all__ = ["CSR"]
+
+#: dtype used for row pointers (``flop`` counts overflow int32 at scale).
+INDPTR_DTYPE = np.int64
+#: dtype used for column indices.
+INDEX_DTYPE = np.int64
+#: dtype used for values.
+VALUE_DTYPE = np.float64
+
+
+class CSR:
+    """A sparse matrix in Compressed Sparse Row format.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    indptr, indices, data:
+        The three CSR arrays.  They are converted to the canonical dtypes
+        (int64/int64/float64) but **not** copied when already canonical.
+    sorted_rows:
+        Whether every row's column indices are in strictly increasing order.
+        Pass ``None`` (default) to have the constructor *detect* sortedness;
+        pass ``True``/``False`` when the caller already knows (kernels do,
+        and detection costs a pass over ``indices``).
+    check:
+        If True, run full structural validation (monotone indptr, index
+        bounds, no duplicate column within a row).  Duplicate detection
+        requires a sort for unsorted matrices, so ``check=True`` is intended
+        for tests and input boundaries, not inner loops.
+
+    Notes
+    -----
+    Instances are *logically immutable*: no public method mutates the arrays
+    in place (except :meth:`sort_rows` with ``inplace=True``, which is
+    documented loudly).  This keeps sharing safe across the simulated-thread
+    execution paths.
+    """
+
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "data", "sorted_rows")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        sorted_rows: bool | None = None,
+        check: bool = False,
+    ) -> None:
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows < 0 or ncols < 0:
+            raise ShapeError(f"negative dimension in shape {shape!r}")
+        self.nrows = nrows
+        self.ncols = ncols
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDPTR_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1 or self.data.ndim != 1:
+            raise FormatError("CSR arrays must be one-dimensional")
+        if len(self.indptr) != nrows + 1:
+            raise FormatError(
+                f"indptr has length {len(self.indptr)}, expected nrows+1={nrows + 1}"
+            )
+        if len(self.indices) != len(self.data):
+            raise FormatError(
+                f"indices (len {len(self.indices)}) and data (len {len(self.data)})"
+                " must have equal length"
+            )
+        if sorted_rows is None:
+            sorted_rows = self._detect_sorted()
+        self.sorted_rows = bool(sorted_rows)
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def density(self) -> float:
+        """``nnz / (nrows * ncols)``; 0.0 for an empty shape."""
+        cells = self.nrows * self.ncols
+        return self.nnz / cells if cells else 0.0
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row stored-entry counts, shape ``(nrows,)``."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of row *i*'s ``(column indices, values)``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(i, cols, vals)`` for every row (views, not copies)."""
+        indptr, indices, data = self.indptr, self.indices, self.data
+        for i in range(self.nrows):
+            lo, hi = indptr[i], indptr[i + 1]
+            yield i, indices[lo:hi], data[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _detect_sorted(self) -> bool:
+        """True iff every row's indices are strictly increasing."""
+        if len(self.indices) < 2:
+            return True
+        # A row boundary legitimately allows a decrease; mask those positions.
+        decreasing = self.indices[1:] <= self.indices[:-1]
+        if not decreasing.any():
+            return True
+        row_starts = self.indptr[1:-1]  # positions where a new row begins
+        boundary = np.zeros(len(self.indices) - 1, dtype=bool)
+        valid = (row_starts > 0) & (row_starts < len(self.indices))
+        boundary[row_starts[valid] - 1] = True
+        return bool(~(decreasing & ~boundary).any())
+
+    def validate(self) -> None:
+        """Raise :class:`FormatError` if any CSR invariant is violated."""
+        if self.indptr[0] != 0:
+            raise FormatError(f"indptr[0] must be 0, got {self.indptr[0]}")
+        if (np.diff(self.indptr) < 0).any():
+            raise FormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise FormatError(
+                f"indptr[-1]={self.indptr[-1]} does not match nnz={len(self.indices)}"
+            )
+        if self.nnz:
+            lo, hi = self.indices.min(), self.indices.max()
+            if lo < 0 or hi >= self.ncols:
+                raise FormatError(
+                    f"column index out of range: found [{lo}, {hi}] for ncols={self.ncols}"
+                )
+        if self.sorted_rows and not self._detect_sorted():
+            raise FormatError("sorted_rows=True but a row is not sorted")
+        self._check_no_duplicates()
+
+    def _check_no_duplicates(self) -> None:
+        if self.nnz < 2:
+            return
+        if self.sorted_rows:
+            same = self.indices[1:] == self.indices[:-1]
+            if not same.any():
+                return
+            # exclude row boundaries
+            boundary = np.zeros(len(self.indices) - 1, dtype=bool)
+            row_starts = self.indptr[1:-1]
+            valid = (row_starts > 0) & (row_starts < len(self.indices))
+            boundary[row_starts[valid] - 1] = True
+            if (same & ~boundary).any():
+                raise FormatError("duplicate column index within a row")
+        else:
+            rows = np.repeat(np.arange(self.nrows), self.row_nnz())
+            order = np.lexsort((self.indices, rows))
+            r, c = rows[order], self.indices[order]
+            dup = (r[1:] == r[:-1]) & (c[1:] == c[:-1])
+            if dup.any():
+                raise FormatError("duplicate column index within a row")
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense float64 array (small matrices / tests)."""
+        out = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.nrows), self.row_nnz())
+        out[rows, self.indices] = self.data
+        return out
+
+    def to_scipy(self):
+        """Convert to :class:`scipy.sparse.csr_matrix` (copies arrays)."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, vals)`` coordinate arrays (copies)."""
+        rows = np.repeat(np.arange(self.nrows, dtype=INDEX_DTYPE), self.row_nnz())
+        return rows, self.indices.copy(), self.data.copy()
+
+    def copy(self) -> "CSR":
+        """Deep copy."""
+        return CSR(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            sorted_rows=self.sorted_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Sortedness management
+    # ------------------------------------------------------------------
+    def sort_rows(self, *, inplace: bool = False) -> "CSR":
+        """Return a matrix whose rows are sorted by column index.
+
+        With ``inplace=True`` the receiver's own arrays are permuted (this is
+        the one mutating operation on CSR; callers own the instance).
+        """
+        if self.sorted_rows:
+            return self if inplace else self.copy()
+        rows = np.repeat(np.arange(self.nrows), self.row_nnz())
+        order = np.lexsort((self.indices, rows))
+        indices = self.indices[order]
+        data = self.data[order]
+        if inplace:
+            self.indices = indices
+            self.data = data
+            self.sorted_rows = True
+            return self
+        return CSR(self.shape, self.indptr.copy(), indices, data, sorted_rows=True)
+
+    def shuffle_rows(self, seed: int = 0) -> "CSR":
+        """Return a copy with entries *within each row* randomly permuted.
+
+        The paper evaluates unsorted kernels by randomly permuting column
+        indices of the inputs (§5.1); this helper produces such inputs while
+        keeping the matrix mathematically identical.
+        """
+        rng = np.random.default_rng(seed)
+        perm = np.arange(self.nnz)
+        indptr = self.indptr
+        for i in range(self.nrows):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            if hi - lo > 1:
+                rng.shuffle(perm[lo:hi])
+        out = CSR(
+            self.shape,
+            self.indptr.copy(),
+            self.indices[perm],
+            self.data[perm],
+            sorted_rows=False,
+        )
+        # A shuffled matrix may coincidentally still be sorted (tiny rows);
+        # recompute so the flag stays truthful.
+        out.sorted_rows = out._detect_sorted()
+        return out
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (used heavily by tests)
+    # ------------------------------------------------------------------
+    def same_pattern(self, other: "CSR") -> bool:
+        """True iff both matrices store exactly the same coordinates."""
+        if self.shape != other.shape:
+            return False
+        a = self if self.sorted_rows else self.sort_rows()
+        b = other if other.sorted_rows else other.sort_rows()
+        return bool(
+            np.array_equal(a.indptr, b.indptr) and np.array_equal(a.indices, b.indices)
+        )
+
+    def allclose(self, other: "CSR", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """True iff both matrices are numerically equal (pattern + values).
+
+        Sortedness is normalized before comparison, so a sorted and an
+        unsorted representation of the same matrix compare equal.
+        """
+        if self.shape != other.shape:
+            return False
+        a = self if self.sorted_rows else self.sort_rows()
+        b = other if other.sorted_rows else other.sort_rows()
+        return bool(
+            np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)
+            and np.allclose(a.data, b.data, rtol=rtol, atol=atol, equal_nan=True)
+        )
+
+    def __repr__(self) -> str:
+        kind = "sorted" if self.sorted_rows else "unsorted"
+        return (
+            f"CSR(shape={self.shape}, nnz={self.nnz}, {kind}, "
+            f"density={self.density:.3g})"
+        )

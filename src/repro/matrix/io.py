@@ -1,0 +1,154 @@
+"""Matrix Market I/O.
+
+The paper's real-matrix suite comes from the SuiteSparse collection, which is
+distributed in Matrix Market (``.mtx``) format.  We cannot download the
+collection here (no network), but downstream users can: this module gives
+them a loader that produces :class:`~repro.matrix.csr.CSR` directly, plus a
+writer so generated proxy datasets can be persisted and shared.
+
+Supported features: ``matrix coordinate`` with ``real``/``integer``/
+``pattern`` fields and ``general``/``symmetric``/``skew-symmetric`` symmetry.
+``array`` (dense) and ``complex`` are intentionally rejected with clear
+errors — SpGEMM inputs in this domain are sparse and real.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from ..errors import FormatError
+from ..semiring import PLUS_TIMES
+from .coo import COO
+from .csr import CSR
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "save_npz",
+    "load_npz",
+]
+
+
+def save_npz(matrix: CSR, path: "str | Path") -> None:
+    """Persist a CSR matrix as a compressed ``.npz`` (fast native format).
+
+    Matrix Market is the interchange format; ``.npz`` is the working format
+    for large generated inputs (orders of magnitude faster to load, and it
+    preserves the sortedness flag).
+    """
+    import numpy as _np
+
+    _np.savez_compressed(
+        path,
+        shape=_np.asarray(matrix.shape, dtype=_np.int64),
+        indptr=matrix.indptr,
+        indices=matrix.indices,
+        data=matrix.data,
+        sorted_rows=_np.asarray([matrix.sorted_rows]),
+    )
+
+
+def load_npz(path: "str | Path") -> CSR:
+    """Load a CSR matrix saved by :func:`save_npz`."""
+    import numpy as _np
+
+    with _np.load(path) as archive:
+        required = {"shape", "indptr", "indices", "data", "sorted_rows"}
+        missing = required - set(archive.files)
+        if missing:
+            raise FormatError(
+                f"{path}: not a repro CSR archive (missing {sorted(missing)})"
+            )
+        return CSR(
+            tuple(int(x) for x in archive["shape"]),
+            archive["indptr"],
+            archive["indices"],
+            archive["data"],
+            sorted_rows=bool(archive["sorted_rows"][0]),
+        )
+
+
+def _open_maybe_gzip(path: Path, mode: str) -> IO:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def _data_lines(fh: IO) -> Iterator[str]:
+    for line in fh:
+        line = line.strip()
+        if line and not line.startswith("%"):
+            yield line
+
+
+def read_matrix_market(path: "str | Path") -> CSR:
+    """Read a Matrix Market coordinate file (optionally ``.gz``) as CSR.
+
+    Symmetric and skew-symmetric storage are expanded to full general form,
+    matching how the paper treats SuiteSparse adjacency matrices.
+    """
+    path = Path(path)
+    with _open_maybe_gzip(path, "r") as fh:
+        header = fh.readline().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket":
+            raise FormatError(f"{path}: missing %%MatrixMarket header")
+        _, obj, fmt, field, symmetry = [h.lower() for h in header[:5]]
+        if obj != "matrix":
+            raise FormatError(f"{path}: unsupported object {obj!r}")
+        if fmt != "coordinate":
+            raise FormatError(
+                f"{path}: only 'coordinate' format is supported, got {fmt!r}"
+            )
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise FormatError(f"{path}: unsupported symmetry {symmetry!r}")
+        lines = _data_lines(fh)
+        try:
+            size_line = next(lines)
+        except StopIteration:
+            raise FormatError(f"{path}: missing size line") from None
+        parts = size_line.split()
+        if len(parts) != 3:
+            raise FormatError(f"{path}: malformed size line {size_line!r}")
+        nrows, ncols, nnz = (int(p) for p in parts)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        pattern = field == "pattern"
+        for k in range(nnz):
+            try:
+                entry = next(lines).split()
+            except StopIteration:
+                raise FormatError(
+                    f"{path}: expected {nnz} entries, file ended after {k}"
+                ) from None
+            rows[k] = int(entry[0]) - 1
+            cols[k] = int(entry[1]) - 1
+            if not pattern:
+                vals[k] = float(entry[2])
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror_rows, mirror_cols, mirror_vals = cols[off], rows[off], sign * vals[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+    return COO(nrows, ncols, rows, cols, vals).to_csr(PLUS_TIMES)
+
+
+def write_matrix_market(matrix: CSR, path: "str | Path", *, comment: str = "") -> None:
+    """Write a CSR matrix as a general real coordinate Matrix Market file."""
+    path = Path(path)
+    rows, cols, vals = matrix.to_coo()
+    with _open_maybe_gzip(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+        fh.write(f"{matrix.nrows} {matrix.ncols} {matrix.nnz}\n")
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {v:.17g}\n")

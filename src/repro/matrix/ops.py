@@ -1,0 +1,344 @@
+"""Structural and elementwise operations on CSR matrices.
+
+These are the substrate operations the paper's evaluation scenarios require:
+
+* :func:`transpose` — CSC<->CSR conversion used by preprocessing;
+* :func:`permute_columns` / :func:`permute_rows` — the paper produces
+  "unsorted" benchmark inputs by randomly permuting column indices (§5.1);
+* :func:`select_columns` / :func:`hstack_columns` — building the tall-skinny
+  right-hand side for the multi-source-BFS scenario (§5.5);
+* :func:`tril_strict` / :func:`triu_strict` / :func:`triangular_split` and
+  :func:`degree_reorder` — the triangle-counting preprocessing ``A = L + U``
+  after sorting rows by degree (§5.6);
+* :func:`add` / :func:`elementwise_multiply` — semiring elementwise ops used
+  by the apps (masking, MCL inflation support).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..semiring import PLUS_TIMES, Semiring
+from .coo import COO
+from .csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "kron",
+    "diag_vector",
+    "is_structurally_symmetric",
+    "symmetrize",
+    "transpose",
+    "permute_columns",
+    "permute_rows",
+    "select_columns",
+    "hstack_columns",
+    "tril_strict",
+    "triu_strict",
+    "triangular_split",
+    "degree_reorder",
+    "add",
+    "elementwise_multiply",
+    "spmv",
+    "prune",
+    "scale_rows",
+    "scale_columns",
+]
+
+
+def kron(a: CSR, b: CSR) -> CSR:
+    """Kronecker product ``a (x) b`` (the generative model behind R-MAT:
+    a Graph500 graph is asymptotically a Kronecker power of the seed).
+
+    Fully vectorized: every entry of the product is indexed by a pair of
+    one entry from each operand.
+    """
+    ra, ca, va = a.to_coo()
+    m = b.nrows
+    n = b.ncols
+    rb, cb, vb = b.to_coo()
+    rows = (np.repeat(ra, len(rb)) * m + np.tile(rb, len(ra))).astype(INDEX_DTYPE)
+    cols = (np.repeat(ca, len(cb)) * n + np.tile(cb, len(ca))).astype(INDEX_DTYPE)
+    vals = np.repeat(va, len(vb)) * np.tile(vb, len(va))
+    return COO(a.nrows * m, a.ncols * n, rows, cols, vals).to_csr()
+
+
+def diag_vector(a: CSR) -> np.ndarray:
+    """The main diagonal as a dense vector (implicit zeros included)."""
+    n = min(a.nrows, a.ncols)
+    out = np.zeros(n)
+    rows = np.repeat(np.arange(a.nrows), a.row_nnz())
+    on_diag = (rows == a.indices) & (rows < n)
+    out[rows[on_diag]] = a.data[on_diag]
+    return out
+
+
+def is_structurally_symmetric(a: CSR) -> bool:
+    """True iff the nonzero *pattern* is symmetric (values may differ)."""
+    if a.nrows != a.ncols:
+        return False
+    return a.same_pattern(transpose(a))
+
+
+def symmetrize(a: CSR, semiring: Semiring = PLUS_TIMES) -> CSR:
+    """``a (+) a^T`` — the standard way to turn a directed adjacency into an
+    undirected one before triangle counting or clustering."""
+    if a.nrows != a.ncols:
+        raise ShapeError("symmetrize requires a square matrix")
+    return add(a, transpose(a), semiring)
+
+
+def transpose(a: CSR) -> CSR:
+    """Return ``a.T`` (always row-sorted, via a counting sort by column)."""
+    nrows, ncols = a.shape
+    counts = np.bincount(a.indices, minlength=ncols)
+    indptr = np.zeros(ncols + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    rows = np.repeat(np.arange(nrows, dtype=INDEX_DTYPE), a.row_nnz())
+    # Stable argsort by column gives, within each output row (= input column),
+    # entries ordered by original row — i.e. sorted output rows.
+    order = np.argsort(a.indices, kind="stable")
+    return CSR((ncols, nrows), indptr, rows[order], a.data[order], sorted_rows=True)
+
+
+def permute_columns(a: CSR, perm: np.ndarray, *, sort_rows: bool = False) -> CSR:
+    """Relabel columns: new column of an entry is ``perm[old_column]``.
+
+    ``perm`` must be a permutation of ``range(ncols)``.  The result is
+    unsorted unless ``sort_rows=True`` (this is exactly the paper's recipe
+    for producing unsorted inputs).
+    """
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    if len(perm) != a.ncols:
+        raise ShapeError(f"perm length {len(perm)} != ncols {a.ncols}")
+    out = CSR(
+        a.shape,
+        a.indptr.copy(),
+        perm[a.indices],
+        a.data.copy(),
+        sorted_rows=False,
+    )
+    if sort_rows:
+        out.sort_rows(inplace=True)
+    else:
+        out.sorted_rows = out._detect_sorted()
+    return out
+
+
+def permute_rows(a: CSR, perm: np.ndarray) -> CSR:
+    """Reorder rows: output row ``i`` is input row ``perm[i]``."""
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    if len(perm) != a.nrows:
+        raise ShapeError(f"perm length {len(perm)} != nrows {a.nrows}")
+    row_sizes = a.row_nnz()[perm]
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_sizes, out=indptr[1:])
+    # Gather source ranges: vectorized "copy row perm[i] to slot i".
+    src_starts = a.indptr[perm]
+    take = (
+        np.repeat(src_starts, row_sizes)
+        + np.arange(int(indptr[-1]))
+        - np.repeat(indptr[:-1], row_sizes)
+    )
+    return CSR(
+        a.shape, indptr, a.indices[take], a.data[take], sorted_rows=a.sorted_rows
+    )
+
+
+def select_columns(a: CSR, columns: np.ndarray) -> CSR:
+    """Extract the submatrix ``a[:, columns]`` with relabeled columns.
+
+    Used to build the tall-skinny operand of §5.5 by "randomly selecting
+    columns from the graph itself".  ``columns`` need not be sorted; output
+    column ``j`` corresponds to input column ``columns[j]``.
+    """
+    columns = np.asarray(columns, dtype=INDEX_DTYPE)
+    lut = np.full(a.ncols, -1, dtype=INDEX_DTYPE)
+    lut[columns] = np.arange(len(columns), dtype=INDEX_DTYPE)
+    new_col = lut[a.indices]
+    keep = new_col >= 0
+    counts = np.bincount(
+        np.repeat(np.arange(a.nrows), a.row_nnz())[keep], minlength=a.nrows
+    )
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    out = CSR(
+        (a.nrows, len(columns)),
+        indptr,
+        new_col[keep],
+        a.data[keep],
+        sorted_rows=False,
+    )
+    out.sorted_rows = out._detect_sorted()
+    return out
+
+
+def hstack_columns(mats: "list[CSR]") -> CSR:
+    """Concatenate matrices horizontally (same nrows, summed ncols)."""
+    if not mats:
+        raise ShapeError("hstack_columns needs at least one matrix")
+    nrows = mats[0].nrows
+    if any(m.nrows != nrows for m in mats):
+        raise ShapeError("all matrices must have the same number of rows")
+    offsets = np.cumsum([0] + [m.ncols for m in mats])
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for off, m in zip(offsets[:-1], mats):
+        r, c, v = m.to_coo()
+        rows_parts.append(r)
+        cols_parts.append(c + off)
+        vals_parts.append(v)
+    return COO(
+        nrows,
+        int(offsets[-1]),
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+    ).to_csr()
+
+
+def _triangular_filter(a: CSR, keep: np.ndarray) -> CSR:
+    counts = np.bincount(
+        np.repeat(np.arange(a.nrows), a.row_nnz())[keep], minlength=a.nrows
+    )
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR(
+        a.shape, indptr, a.indices[keep], a.data[keep], sorted_rows=a.sorted_rows
+    )
+
+
+def tril_strict(a: CSR) -> CSR:
+    """Strictly-lower-triangular part (entries with col < row)."""
+    rows = np.repeat(np.arange(a.nrows), a.row_nnz())
+    return _triangular_filter(a, a.indices < rows)
+
+
+def triu_strict(a: CSR) -> CSR:
+    """Strictly-upper-triangular part (entries with col > row)."""
+    rows = np.repeat(np.arange(a.nrows), a.row_nnz())
+    return _triangular_filter(a, a.indices > rows)
+
+
+def triangular_split(a: CSR) -> "tuple[CSR, CSR]":
+    """Split ``a`` into ``(L, U)`` with ``A = L + U`` (diagonal dropped).
+
+    This is the triangle-counting preprocessing of §5.6: the adjacency matrix
+    of an undirected graph has an empty diagonal, so ``A = L + U`` exactly.
+    """
+    return tril_strict(a), triu_strict(a)
+
+
+def degree_reorder(a: CSR, *, ascending: bool = True) -> "tuple[CSR, np.ndarray]":
+    """Symmetrically permute a square matrix so rows are ordered by degree.
+
+    Returns ``(P A P^T, perm)`` where ``perm[i]`` is the original index of
+    new row ``i``.  The paper reorders "rows with increasing number of
+    nonzeros" before splitting for triangle counting (§5.6).  A stable sort
+    keeps ties deterministic.
+    """
+    if a.nrows != a.ncols:
+        raise ShapeError("degree_reorder requires a square matrix")
+    deg = a.row_nnz()
+    perm = np.argsort(deg if ascending else -deg, kind="stable").astype(INDEX_DTYPE)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(a.nrows, dtype=INDEX_DTYPE)
+    out = permute_rows(a, perm)
+    out = permute_columns(out, inv, sort_rows=a.sorted_rows)
+    return out, perm
+
+
+def add(a: CSR, b: CSR, semiring: Semiring = PLUS_TIMES) -> CSR:
+    """Elementwise ``a (+) b`` under the semiring's additive monoid."""
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {b.shape}")
+    ra, ca, va = a.to_coo()
+    rb, cb, vb = b.to_coo()
+    return COO(
+        a.nrows,
+        a.ncols,
+        np.concatenate([ra, rb]),
+        np.concatenate([ca, cb]),
+        np.concatenate([va, vb]),
+    ).to_csr(semiring)
+
+
+def elementwise_multiply(a: CSR, b: CSR, semiring: Semiring = PLUS_TIMES) -> CSR:
+    """Elementwise (Hadamard) ``a (*) b``: intersection of patterns.
+
+    Triangle counting uses this as the mask step ``A .* (L U)``.
+    """
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {b.shape}")
+    sa = a if a.sorted_rows else a.sort_rows()
+    sb = b if b.sorted_rows else b.sort_rows()
+    ra, ca, va = sa.to_coo()
+    rb, cb, vb = sb.to_coo()
+    # Coordinates are (row-major, col-sorted) in both: merge by key.
+    ka = ra * a.ncols + ca
+    kb = rb * b.ncols + cb
+    ia = np.isin(ka, kb, assume_unique=True)
+    ib = np.isin(kb, ka, assume_unique=True)
+    vals = semiring.mul(va[ia], vb[ib])
+    counts = np.bincount(ra[ia], minlength=a.nrows)
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR(a.shape, indptr, ca[ia], np.asarray(vals), sorted_rows=True)
+
+
+def spmv(a: CSR, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+    """Sparse matrix-(dense) vector product under a semiring.
+
+    Provided for app-level convenience (e.g. MCL column sums via ``A^T 1``).
+    """
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    if len(x) != a.ncols:
+        raise ShapeError(f"vector length {len(x)} != ncols {a.ncols}")
+    out = np.full(a.nrows, semiring.zero, dtype=VALUE_DTYPE)
+    prods = semiring.mul(a.data, x[a.indices])
+    nnz_per_row = a.row_nnz()
+    nonempty = np.flatnonzero(nnz_per_row)
+    if len(nonempty):
+        starts = a.indptr[nonempty]
+        out[nonempty] = semiring.add.reduceat(np.asarray(prods), starts)
+    return out
+
+
+def prune(a: CSR, threshold: float) -> CSR:
+    """Drop entries with absolute value <= ``threshold`` (MCL pruning)."""
+    keep = np.abs(a.data) > threshold
+    counts = np.bincount(
+        np.repeat(np.arange(a.nrows), a.row_nnz())[keep], minlength=a.nrows
+    )
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR(
+        a.shape, indptr, a.indices[keep], a.data[keep], sorted_rows=a.sorted_rows
+    )
+
+
+def scale_rows(a: CSR, s: np.ndarray) -> CSR:
+    """Multiply row ``i`` by ``s[i]``."""
+    s = np.asarray(s, dtype=VALUE_DTYPE)
+    if len(s) != a.nrows:
+        raise ShapeError(f"scale length {len(s)} != nrows {a.nrows}")
+    return CSR(
+        a.shape,
+        a.indptr.copy(),
+        a.indices.copy(),
+        a.data * np.repeat(s, a.row_nnz()),
+        sorted_rows=a.sorted_rows,
+    )
+
+
+def scale_columns(a: CSR, s: np.ndarray) -> CSR:
+    """Multiply column ``j`` by ``s[j]`` (MCL column normalization)."""
+    s = np.asarray(s, dtype=VALUE_DTYPE)
+    if len(s) != a.ncols:
+        raise ShapeError(f"scale length {len(s)} != ncols {a.ncols}")
+    return CSR(
+        a.shape,
+        a.indptr.copy(),
+        a.indices.copy(),
+        a.data * s[a.indices],
+        sorted_rows=a.sorted_rows,
+    )

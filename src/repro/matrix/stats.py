@@ -1,0 +1,120 @@
+"""Matrix statistics used throughout the paper's evaluation.
+
+Table 2 characterizes each input by ``n``, ``nnz(A)``, ``flop(A^2)`` and
+``nnz(A^2)``; Figures 14/15/17 sort matrices by *compression ratio*
+``flop / nnz(C)`` — "flop / number of non-zero elements of output" (§5.4.4).
+This module computes all of them, vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .csr import CSR
+
+__all__ = [
+    "flop_per_row",
+    "total_flop",
+    "MatrixStats",
+    "matrix_stats",
+    "compression_ratio",
+    "row_skew",
+]
+
+
+def flop_per_row(a: CSR, b: CSR) -> np.ndarray:
+    """Number of scalar multiplications per output row of ``a @ b``.
+
+    ``flop(c_i*) = sum over a_ik of nnz(b_k*)`` — the quantity the paper's
+    ``RowsToThreads`` computes in its first phase (Fig. 6, lines 2-6).
+    Vectorized via a cumulative sum sampled at row boundaries, which is safe
+    for empty rows (unlike ``ufunc.reduceat``).
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    contrib = np.diff(b.indptr)[a.indices]
+    csum = np.concatenate([[0], np.cumsum(contrib)])
+    return csum[a.indptr[1:]] - csum[a.indptr[:-1]]
+
+
+def total_flop(a: CSR, b: CSR) -> int:
+    """Total multiplication count of ``a @ b`` (the paper's ``flop``)."""
+    return int(flop_per_row(a, b).sum())
+
+
+def row_skew(a: CSR) -> float:
+    """Max-over-mean row nnz: 1.0 for perfectly uniform rows, large for
+    power-law (G500-like) matrices.  Used by the recipe to classify inputs
+    as "uniform" vs "skewed" (Table 4b)."""
+    nnz = a.row_nnz()
+    mean = nnz.mean() if a.nrows else 0.0
+    return float(nnz.max() / mean) if mean > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """The Table-2 row for a multiplication ``C = A B``.
+
+    Attributes mirror the paper's columns (in raw counts, not millions),
+    plus derived quantities used by the figures and the recipe.
+    """
+
+    name: str
+    n: int
+    nnz_a: int
+    nnz_b: int
+    flop: int
+    nnz_c: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """``flop / nnz(C)`` — x-axis of Figures 14 and 17."""
+        return self.flop / self.nnz_c if self.nnz_c else 0.0
+
+    @property
+    def edge_factor(self) -> float:
+        """Average nonzeros per row of A (the generator's ``edge factor``)."""
+        return self.nnz_a / self.n if self.n else 0.0
+
+    def table_row(self, *, millions: bool = True) -> str:
+        """Format like Table 2 (counts in millions when ``millions``)."""
+        if millions:
+            s = 1e-6
+            return (
+                f"{self.name:<22s} {self.n * s:>8.3f} {self.nnz_a * s:>10.2f} "
+                f"{self.flop * s:>12.2f} {self.nnz_c * s:>10.2f}"
+            )
+        return (
+            f"{self.name:<22s} {self.n:>10d} {self.nnz_a:>12d} "
+            f"{self.flop:>14d} {self.nnz_c:>12d}"
+        )
+
+
+def matrix_stats(name: str, a: CSR, b: CSR | None = None, *, nnz_c: int | None = None) -> MatrixStats:
+    """Compute the Table-2 statistics for ``C = A B`` (default ``B = A``).
+
+    ``nnz_c`` may be supplied when already known; otherwise it is computed
+    with the vectorized symbolic kernel (:func:`repro.core.symbolic.symbolic_nnz`).
+    """
+    if b is None:
+        b = a
+    if nnz_c is None:
+        from ..core.symbolic import symbolic_row_nnz
+
+        nnz_c = int(symbolic_row_nnz(a, b).sum())
+    return MatrixStats(
+        name=name,
+        n=a.nrows,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        flop=total_flop(a, b),
+        nnz_c=nnz_c,
+    )
+
+
+def compression_ratio(a: CSR, b: CSR | None = None) -> float:
+    """``flop / nnz(C)`` for the product ``a @ b`` (default: squaring)."""
+    return matrix_stats("", a, b).compression_ratio

@@ -1,0 +1,12 @@
+"""Real (wall-clock) parallel execution of SpGEMM row blocks.
+
+The simulated-thread path in :mod:`repro.perfmodel` reproduces the paper's
+figures; this package provides *actual* parallelism for users who want
+wall-clock speedups on real cores: the output row space is partitioned with
+the paper's flop-balanced scheduler and each block is computed in a worker
+process (CPython threads cannot run the kernels concurrently).
+"""
+
+from .pool import parallel_spgemm
+
+__all__ = ["parallel_spgemm"]

@@ -1,0 +1,41 @@
+"""Operation-level SpGEMM performance simulator.
+
+This package converts **exact algorithmic quantities** of a concrete
+multiplication (per-row flop, per-row output nnz, hash-table load factors,
+heap sizes, sort volumes, bytes moved per phase) into simulated execution
+times on a :class:`repro.machine.MachineSpec`, regenerating the paper's
+MFLOPS figures at thread counts and memory configurations that pure Python
+cannot exercise directly.
+
+Pipeline::
+
+    ProblemQuantities.compute(A, B)          # exact, vectorized, cached
+        -> algorithm cost builder            # perfmodel.cost
+        -> CostParts (cycles/thread, traffic, temp memory, dispatches)
+        -> simulate_spgemm(...)              # perfmodel.simulate
+        -> SimReport (seconds, MFLOPS, breakdown)
+
+The per-thread cycle sums use the *actual* partitions produced by
+:mod:`repro.core.scheduler`, so load imbalance is exact, not modeled.  The
+closed-form operation counts are cross-validated against the instrumented
+executable kernels in ``tests/test_perfmodel.py``.
+"""
+
+from .quantities import ProblemQuantities
+from .cost import CostParts, TrafficItem, build_cost
+from .simulate import SimConfig, SimReport, simulate_spgemm, mflops_series
+from .validate import CountCheck, ValidationReport, validate_counts
+
+__all__ = [
+    "ProblemQuantities",
+    "CostParts",
+    "TrafficItem",
+    "build_cost",
+    "SimConfig",
+    "SimReport",
+    "simulate_spgemm",
+    "mflops_series",
+    "CountCheck",
+    "ValidationReport",
+    "validate_counts",
+]

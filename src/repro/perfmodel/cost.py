@@ -1,0 +1,549 @@
+"""Per-algorithm cost builders: exact counts -> cycles, traffic, memory.
+
+Each builder turns the :class:`~repro.perfmodel.quantities.ProblemQuantities`
+of a concrete multiplication into a :class:`CostParts`:
+
+* a per-row cycle count, summed per thread using the *actual* scheduler
+  partition (load imbalance is therefore exact);
+* DRAM traffic items, each with the stanza length that determines its
+  effective bandwidth (§3.3);
+* thread-private temporary memory (drives the allocator model and the
+  MCDRAM-capacity working set);
+* the scheduling iteration count and phase count.
+
+The cycle constants live per-machine in
+:class:`repro.machine.spec.KernelCostSpec`.  Structures that exceed the
+per-core L2 add random-access DRAM traffic — the mechanism behind MKL's
+smallness advantage (a SPA fits in cache only for small matrices) and the
+hub-row penalties on G500 inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..core.scheduler import (
+    ThreadPartition,
+    dynamic_assignment,
+    guided_assignment,
+    static_partition,
+)
+from ..machine.spec import MachineSpec
+from .quantities import ENTRY_BYTES, INDEX_BYTES, ProblemQuantities
+
+__all__ = ["TrafficItem", "CostParts", "build_cost", "MODELED_ALGORITHMS"]
+
+#: streaming accesses (input row pointers, packed output) use long runs
+STREAM_STANZA = 4096.0
+#: DRAM transaction granularity: sub-line stanzas still move whole lines
+CACHE_LINE = 64.0
+#: fraction of out-of-cache accumulator touches that actually reach DRAM
+#: (each miss fills a whole cache line).  Hash tables store only live output
+#: columns and are probed flop/nnz(C) times per slot, so hot slots stay
+#: cached and few touches miss; the dense SPA spans the full column
+#: dimension with long reuse distances, so most of its out-of-cache touches
+#: really miss.  Kokkos' chained pool sits in between.
+HASH_SPILL_LOCALITY = 0.1
+SPA_SPILL_LOCALITY = 0.6
+KOKKOS_SPILL_LOCALITY = 0.15
+#: chunk-clustering penalty of vectorized probing at high load factors —
+#: the mechanism that lets scalar Hash overtake HashVector on skewed (G500)
+#: inputs on KNL while HashVector keeps its edge on uniform ones (§5.4.1)
+VEC_CLUSTER_GAMMA = 2.0
+VEC_CLUSTER_ONSET = 0.6
+
+MODELED_ALGORITHMS = (
+    "hash",
+    "hashvec",
+    "heap",
+    "spa",
+    "mkl",
+    "mkl_inspector",
+    "kokkos",
+    "esc",
+    "blocked_spa",
+    "merge",
+)
+
+
+@dataclass(frozen=True)
+class TrafficItem:
+    """One DRAM traffic component."""
+
+    label: str
+    nbytes: float
+    stanza_bytes: float
+
+
+@dataclass
+class CostParts:
+    """Everything the simulator needs to price one SpGEMM execution."""
+
+    algorithm: str
+    #: per-thread compute cycle totals (length = nthreads)
+    per_thread_cycles: np.ndarray
+    #: cycles that do not parallelize (Amdahl component)
+    serial_cycles: float
+    traffic: "list[TrafficItem]" = field(default_factory=list)
+    #: thread-private scratch allocated/released once per run
+    temp_bytes: float = 0.0
+    #: iterations handed out by the runtime scheduler
+    sched_iterations: int = 0
+    #: symbolic+numeric phase count (fork/joins)
+    phases: int = 1
+    partition: ThreadPartition | None = None
+
+    @property
+    def total_traffic_bytes(self) -> float:
+        return sum(t.nbytes for t in self.traffic)
+
+
+def _balanced_partition(row_cost: np.ndarray, nthreads: int) -> ThreadPartition:
+    """Contiguous flop-balanced split (RowsToThreads on a cost vector)."""
+    csum = np.cumsum(row_cost)
+    total = float(csum[-1]) if len(csum) else 0.0
+    ave = total / nthreads
+    offsets = np.zeros(nthreads + 1, dtype=np.int64)
+    for tid in range(1, nthreads):
+        offsets[tid] = int(np.searchsorted(csum, ave * tid, side="left"))
+    offsets[nthreads] = len(row_cost)
+    return ThreadPartition(
+        policy="balanced", nthreads=nthreads, offsets=offsets, row_cost=row_cost
+    )
+
+
+def _make_partition(
+    policy: str, q: ProblemQuantities, nthreads: int
+) -> ThreadPartition:
+    if policy == "balanced":
+        return _balanced_partition(q.flop, nthreads)
+    if policy == "static":
+        return static_partition(q.nrows, nthreads)
+    if policy == "dynamic":
+        return dynamic_assignment(q.flop, nthreads, chunk=1)
+    if policy == "guided":
+        return guided_assignment(q.flop, nthreads)
+    raise ConfigError(f"unknown scheduling policy {policy!r}")
+
+
+def _miss_fraction(struct_bytes: "np.ndarray | float", l2_bytes: float):
+    """Fraction of accesses to a structure of given size that miss L2."""
+    return np.clip(1.0 - l2_bytes / np.maximum(struct_bytes, 1.0), 0.0, 1.0)
+
+
+def _thread_table_sizes(
+    partition: ThreadPartition, flop: np.ndarray, ncols: int
+) -> "tuple[np.ndarray, float]":
+    """Per-row hash-table size under the kernel's actual sizing rule.
+
+    Each thread allocates ONE table sized by the maximum flop of the rows it
+    owns (Fig. 7), so every row *in that thread* probes a table of that
+    size.  Returns ``(per_row_size, total_table_entries)``; the latter sums
+    one table per thread (the scratch footprint).
+    """
+    sizes = np.ones(len(flop), dtype=np.float64)
+    total_entries = 0.0
+    for tid in range(partition.nthreads):
+        cap = 0.0
+        for s, e in partition.rows_of(tid):
+            if e > s:
+                cap = max(cap, float(flop[s:e].max(initial=0.0)))
+        bound = min(cap, float(max(ncols, 1)))
+        size = float(1 << int(np.ceil(np.log2(bound + 1.0 + 1e-12)))) if bound > 0 else 1.0
+        if size <= bound:  # exact powers of two: strictly-greater rule
+            size *= 2.0
+        total_entries += size
+        for s, e in partition.rows_of(tid):
+            sizes[s:e] = size
+    return sizes, total_entries
+
+
+def _log2c(x: np.ndarray) -> np.ndarray:
+    return np.log2(np.maximum(x, 2.0))
+
+
+def _finalize(
+    algorithm: str,
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    partition: ThreadPartition,
+    cycles_row: np.ndarray,
+    serial_cycles: float,
+    traffic: "list[TrafficItem]",
+    temp_bytes: float,
+    phases: int,
+) -> CostParts:
+    per_thread = partition.thread_loads(cycles_row / machine.kernel.ipc)
+    return CostParts(
+        algorithm=algorithm,
+        per_thread_cycles=per_thread,
+        serial_cycles=serial_cycles / machine.kernel.ipc,
+        traffic=traffic,
+        temp_bytes=temp_bytes,
+        sched_iterations=q.nrows,
+        phases=phases,
+        partition=partition,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Individual algorithm models
+# ---------------------------------------------------------------------------
+
+def _hash_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    sort_output: bool,
+    scheduling: str,
+    vectorized: bool,
+) -> CostParts:
+    k = machine.kernel
+    partition = _make_partition(scheduling, q, nthreads)
+    # Load factors against the table each row *actually* probes: one table
+    # per thread, sized by the thread's max flop (Fig. 7).
+    table_size_row, total_table_entries = _thread_table_sizes(
+        partition, q.flop, q.ncols
+    )
+    load = np.minimum(
+        np.divide(q.nnz_c, table_size_row, out=np.zeros_like(q.nnz_c),
+                  where=table_size_row > 0),
+        0.95,
+    )
+    c = 0.5 * (1.0 + 1.0 / (1.0 - load))
+    if vectorized:
+        lanes = max(1, machine.vector_bits // 32)
+        cluster = VEC_CLUSTER_GAMMA * np.maximum(load - VEC_CLUSTER_ONSET, 0.0) ** 2 * lanes
+        probes = 1.0 + (c - 1.0) / lanes + cluster
+        probe_cycles = probes * k.vector_probe
+    else:
+        probe_cycles = c * k.hash_probe
+    sym = q.flop * probe_cycles
+    num = q.flop * (probe_cycles + k.hash_accumulate)
+    write = q.nnz_c * k.write_entry
+    cycles_row = sym + num + write
+    if sort_output:
+        cycles_row = cycles_row + q.nnz_c * _log2c(q.nnz_c) * k.sort_cmp
+
+    # Tables larger than the cache push probe traffic to DRAM (G500 hub
+    # rows on KNL; Haswell's L3 absorbs all but the largest).
+    table_bytes_row = table_size_row * ENTRY_BYTES
+    miss = _miss_fraction(table_bytes_row, machine.accumulator_capacity_bytes)
+    spill_bytes = (
+        float((miss * q.flop).sum()) * 2.0 * CACHE_LINE * HASH_SPILL_LOCALITY
+    )
+
+    traffic = [
+        TrafficItem("read A (2 phases)", 2.0 * q.nnz_a * ENTRY_BYTES, STREAM_STANZA),
+        TrafficItem(
+            "read B symbolic", q.total_flop * INDEX_BYTES,
+            max(INDEX_BYTES, q.mean_b_row * INDEX_BYTES),
+        ),
+        TrafficItem(
+            "read B numeric", q.total_flop * ENTRY_BYTES, q.b_row_stanza_bytes()
+        ),
+        TrafficItem("write C", q.output_bytes(), STREAM_STANZA),
+        TrafficItem("hash-table spill", spill_bytes, CACHE_LINE),
+    ]
+    temp = total_table_entries * ENTRY_BYTES
+    return _finalize(
+        "hashvec" if vectorized else "hash",
+        q, machine, partition, cycles_row, 0.0, traffic, temp, phases=2,
+    )
+
+
+def _heap_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    scheduling: str,
+) -> CostParts:
+    k = machine.kernel
+    partition = _make_partition(scheduling, q, nthreads)
+    # Eq. (1): every extracted product pays a log(heap size) heap operation.
+    cycles_row = q.flop * _log2c(q.nnz_a_row) * k.heap_op
+    cycles_row = cycles_row + q.nnz_c * k.write_entry
+
+    heap_bytes_row = q.nnz_a_row * 16.0  # (col, src, pos) nodes
+    miss = _miss_fraction(heap_bytes_row, machine.accumulator_capacity_bytes)
+    spill_bytes = float((miss * q.flop).sum()) * 16.0
+
+    traffic = [
+        TrafficItem("read A", q.nnz_a * ENTRY_BYTES, STREAM_STANZA),
+        # The k-way merge consumes B one element at a time from nnz(a_i*)
+        # interleaved rows: line-granular, fine-grained access.  This is the
+        # §5.3.2 observation that Heap cannot exploit MCDRAM bandwidth.
+        TrafficItem(
+            "read B (fine-grained merge)",
+            q.total_flop * ENTRY_BYTES,
+            min(CACHE_LINE, q.b_row_stanza_bytes()),
+        ),
+        # One-phase: rows land in a thread buffer, then are copied into the
+        # final CSR once sizes are known.
+        TrafficItem("write C (buffer+copy)", 2.0 * q.output_bytes(), STREAM_STANZA),
+        TrafficItem("heap spill", spill_bytes, CACHE_LINE),
+    ]
+    # One-phase temp output buffers are flop-bounded — the "larger memory
+    # usage" of §4.2.3 that (a) needs parallel deallocation (Fig. 9) and
+    # (b) overflows MCDRAM at edge factor 64 (Fig. 10).
+    temp = q.total_flop * ENTRY_BYTES
+    return _finalize(
+        "heap", q, machine, partition, cycles_row, 0.0, traffic, temp, phases=1
+    )
+
+
+def _spa_family_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    sort_output: bool,
+    scheduling: str,
+    algorithm: str,
+) -> CostParts:
+    k = machine.kernel
+    if algorithm == "mkl":
+        phases, row_overhead, serial_per_row = 2, k.mkl_row_overhead, 80.0
+    elif algorithm == "mkl_inspector":
+        phases, row_overhead, serial_per_row = 1, 0.35 * k.mkl_row_overhead, 40.0
+    else:  # plain spa
+        phases, row_overhead, serial_per_row = 1, 60.0, 0.0
+    partition = _make_partition(scheduling, q, nthreads)
+
+    spa_resident_bytes = float(q.ncols) * 12.0
+    touch_scale = 1.0 if spa_resident_bytes <= 32 * 1024 else 2.5
+    touch = q.flop * k.spa_touch * touch_scale * (1.6 if phases == 2 else 1.0)
+    write = q.nnz_c * k.write_entry
+    cycles_row = touch + write + row_overhead
+    if sort_output:
+        cycles_row = cycles_row + q.nnz_c * _log2c(q.nnz_c) * k.sort_cmp
+
+    # The SPA is a dense array of the full column dimension: it stays fast
+    # only while it fits in cache — MKL's small-matrix sweet spot.
+    spa_bytes = float(q.ncols) * 12.0
+    miss = float(_miss_fraction(spa_bytes, machine.accumulator_capacity_bytes))
+    spill_bytes = miss * q.total_flop * CACHE_LINE * phases * SPA_SPILL_LOCALITY
+
+    traffic = [
+        TrafficItem(
+            f"read A ({phases} phases)", phases * q.nnz_a * ENTRY_BYTES, STREAM_STANZA
+        ),
+        TrafficItem(
+            f"read B ({phases} phases)",
+            phases * q.total_flop * ENTRY_BYTES,
+            q.b_row_stanza_bytes(),
+        ),
+        TrafficItem("write C", q.output_bytes(), STREAM_STANZA),
+        TrafficItem("SPA spill", spill_bytes, CACHE_LINE),
+    ]
+    temp = spa_bytes * nthreads
+    return _finalize(
+        algorithm, q, machine, partition, cycles_row,
+        serial_per_row * q.nrows, traffic, temp, phases=phases,
+    )
+
+
+def _kokkos_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    scheduling: str,
+) -> CostParts:
+    k = machine.kernel
+    partition = _make_partition(scheduling, q, nthreads)
+    # First level sized from the mean row: heavy rows chain.
+    mean_flop = max(q.total_flop / max(q.nrows, 1), 1.0)
+    l1_size = float(1 << int(np.ceil(np.log2(mean_flop + 1.0))))
+    chain = 1.0 + q.nnz_c / l1_size
+    cycles_row = q.flop * chain * k.kokkos_step * 1.8  # ~two passes
+    cycles_row = cycles_row + q.nnz_c * k.write_entry + 150.0  # per-row pool mgmt
+
+    pool_bytes_row = np.maximum(q.nnz_c, l1_size) * 20.0
+    miss = _miss_fraction(pool_bytes_row, machine.accumulator_capacity_bytes)
+    spill_bytes = (
+        float((miss * q.flop).sum()) * 2.0 * CACHE_LINE * KOKKOS_SPILL_LOCALITY
+    )
+
+    traffic = [
+        TrafficItem("read A (2 phases)", 2.0 * q.nnz_a * ENTRY_BYTES, STREAM_STANZA),
+        TrafficItem(
+            "read B (2 phases)", 2.0 * q.total_flop * ENTRY_BYTES,
+            q.b_row_stanza_bytes(),
+        ),
+        TrafficItem("write C", q.output_bytes(), STREAM_STANZA),
+        TrafficItem("hashmap spill", spill_bytes, CACHE_LINE),
+    ]
+    temp = (l1_size * 20.0 + float(1 << 20)) * nthreads
+    return _finalize(
+        "kokkos", q, machine, partition, cycles_row, 0.0, traffic, temp, phases=2
+    )
+
+
+def _esc_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    scheduling: str,
+) -> CostParts:
+    k = machine.kernel
+    partition = _make_partition(scheduling, q, nthreads)
+    # Expansion write + sort of all intermediate products + reduce.
+    cycles_row = q.flop * (_log2c(q.flop) * k.sort_cmp * 0.6 + 2.0)
+    cycles_row = cycles_row + q.nnz_c * k.write_entry
+    traffic = [
+        TrafficItem("read A", q.nnz_a * ENTRY_BYTES, STREAM_STANZA),
+        TrafficItem("read B", q.total_flop * ENTRY_BYTES, q.b_row_stanza_bytes()),
+        TrafficItem(
+            "expanded products (write+sort r/w)",
+            3.0 * q.total_flop * ENTRY_BYTES,
+            STREAM_STANZA,
+        ),
+        TrafficItem("write C", q.output_bytes(), STREAM_STANZA),
+    ]
+    temp = q.total_flop * ENTRY_BYTES
+    return _finalize(
+        "esc", q, machine, partition, cycles_row, 0.0, traffic, temp, phases=2
+    )
+
+
+def _blocked_spa_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    scheduling: str,
+    block_cols: int | None = None,
+) -> CostParts:
+    """Column-blocked SPA (Patwary et al.): the accumulator always fits in
+    cache, paid for by one streaming pass over A per column block."""
+    k = machine.kernel
+    partition = _make_partition(scheduling, q, nthreads)
+    if block_cols is None:
+        # size the block so the SPA occupies ~half of L2
+        block_cols = max(int(machine.l2_per_core_bytes // 24), 256)
+    nblocks = max(1, -(-q.ncols // block_cols))
+    # a blocked SPA is L2-resident (that is the point) but NOT L1-resident:
+    # random touches pay L2 latency, ~2.5x the L1-resident cost the plain
+    # spa_touch constant assumes
+    touch = k.spa_touch * (1.0 if block_cols * 12.0 <= 32 * 1024 else 2.5)
+    cycles_row = (
+        q.flop * touch
+        + q.nnz_c * k.write_entry
+        # each block's harvest sorts its slice of the row
+        + q.nnz_c * _log2c(q.nnz_c / nblocks) * k.sort_cmp * 0.6
+        + 120.0 * nblocks  # per-(row, block) loop restart
+    )
+    traffic = [
+        # A is re-streamed once per column block
+        TrafficItem(
+            f"read A x{nblocks} blocks",
+            nblocks * q.nnz_a * ENTRY_BYTES,
+            STREAM_STANZA,
+        ),
+        # each intermediate product is read once, but the per-visit run is
+        # the block-local slice of the B row
+        TrafficItem(
+            "read B (block slices)",
+            q.total_flop * ENTRY_BYTES,
+            max(ENTRY_BYTES, q.b_row_stanza_bytes() / nblocks),
+        ),
+        # one preprocessing pass partitions B by column block
+        TrafficItem("partition B", 2.0 * q.nnz_b * ENTRY_BYTES, STREAM_STANZA),
+        TrafficItem("write C", q.output_bytes(), STREAM_STANZA),
+        # the point of blocking: no SPA spill term at all
+    ]
+    temp = float(block_cols) * 12.0 * nthreads
+    return _finalize(
+        "blocked_spa", q, machine, partition, cycles_row, 0.0, traffic, temp,
+        phases=nblocks,
+    )
+
+
+def _merge_cost(
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    scheduling: str,
+) -> CostParts:
+    """Iterative row merging (ViennaCL-style): every product is touched
+    ceil(log2 nnz(a_i*)) times, but in fully streaming order — cheap per
+    touch and bandwidth-friendly (unlike Heap's pointer chasing)."""
+    k = machine.kernel
+    partition = _make_partition(scheduling, q, nthreads)
+    rounds = np.ceil(_log2c(q.nnz_a_row))
+    # streaming compare/select/advance with ~50% branch mispredict on the
+    # take-from-which-run decision: cheaper than a heap sift, but not free
+    merge_op = 0.7 * k.heap_op
+    cycles_row = q.flop * rounds * merge_op + q.nnz_c * k.write_entry
+    # intermediate merge buffers stream through cache; rows whose working
+    # set exceeds it spill sequentially (long stanzas — still cheap)
+    buf_bytes_row = q.flop * ENTRY_BYTES * 2.0
+    miss = _miss_fraction(buf_bytes_row, machine.accumulator_capacity_bytes)
+    spill = float((miss * q.flop * rounds).sum()) * 2.0 * ENTRY_BYTES
+    traffic = [
+        TrafficItem("read A", q.nnz_a * ENTRY_BYTES, STREAM_STANZA),
+        TrafficItem("read B", q.total_flop * ENTRY_BYTES, q.b_row_stanza_bytes()),
+        TrafficItem("merge buffer spill", spill, STREAM_STANZA),
+        TrafficItem("write C (buffer+copy)", 2.0 * q.output_bytes(), STREAM_STANZA),
+    ]
+    temp = q.total_flop * ENTRY_BYTES
+    return _finalize(
+        "merge", q, machine, partition, cycles_row, 0.0, traffic, temp, phases=1
+    )
+
+
+def build_cost(
+    algorithm: str,
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int,
+    *,
+    sort_output: bool = True,
+    scheduling: str | None = None,
+) -> CostParts:
+    """Build the :class:`CostParts` of one algorithm execution.
+
+    ``scheduling=None`` selects each algorithm's native policy: the paper's
+    flop-balanced static split for hash/hashvec/heap/kokkos/esc, plain
+    row-static for the MKL family (the proxy for its observed load-imbalance
+    behaviour).  Figure-9-style experiments override it explicitly.
+    """
+    if nthreads < 1:
+        raise ConfigError(f"nthreads must be >= 1, got {nthreads}")
+    if algorithm in ("hash", "hashvec"):
+        return _hash_cost(
+            q, machine, nthreads,
+            sort_output=sort_output,
+            scheduling=scheduling or "balanced",
+            vectorized=(algorithm == "hashvec"),
+        )
+    if algorithm == "heap":
+        return _heap_cost(q, machine, nthreads, scheduling=scheduling or "balanced")
+    if algorithm in ("spa", "mkl", "mkl_inspector"):
+        return _spa_family_cost(
+            q, machine, nthreads,
+            sort_output=sort_output and algorithm != "mkl_inspector",
+            scheduling=scheduling or "static",
+            algorithm=algorithm,
+        )
+    if algorithm == "kokkos":
+        return _kokkos_cost(q, machine, nthreads, scheduling=scheduling or "balanced")
+    if algorithm == "esc":
+        return _esc_cost(q, machine, nthreads, scheduling=scheduling or "balanced")
+    if algorithm == "blocked_spa":
+        return _blocked_spa_cost(
+            q, machine, nthreads, scheduling=scheduling or "balanced"
+        )
+    if algorithm == "merge":
+        return _merge_cost(q, machine, nthreads, scheduling=scheduling or "balanced")
+    raise ConfigError(
+        f"no cost model for algorithm {algorithm!r}; modeled: {MODELED_ALGORITHMS}"
+    )

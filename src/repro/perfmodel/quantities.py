@@ -1,0 +1,160 @@
+"""Exact per-row algorithmic quantities of a multiplication ``C = A B``.
+
+Everything the cost models need is computed **from the actual matrices**,
+vectorized, and cached in one object so a benchmark sweep over nine
+algorithms pays the (symbolic) analysis once:
+
+* ``flop`` — per-row multiplication counts (Fig. 6's FLOPS vector);
+* ``nnz_c`` — exact per-row output sizes (vectorized ESC symbolic phase);
+* ``hash_table_size`` — per-row ``lowest_p2`` table sizes per Fig. 7;
+* ``hash_load`` / ``collision_factor`` — per-row load factors and the
+  expected linear-probing probe counts (Knuth's classic
+  ``(1 + 1/(1-alpha))/2`` for successful search), the paper's ``c`` in
+  Eq. (2);
+* stanza statistics of the B-row accesses that drive the memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..matrix.csr import CSR
+from ..matrix.stats import flop_per_row
+from ..core.symbolic import symbolic_row_nnz
+
+__all__ = ["ProblemQuantities", "ENTRY_BYTES", "INDEX_BYTES"]
+
+#: bytes of one stored entry as the paper's codes lay it out: 32-bit column
+#: index + 64-bit value.
+ENTRY_BYTES = 12
+#: bytes of a bare column index (symbolic phase traffic).
+INDEX_BYTES = 4
+
+#: cap on the load factor fed to the probing formula — a table one slot
+#: short of full would otherwise produce an unbounded probe estimate.
+LOAD_CAP = 0.95
+
+
+def _lowest_p2_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized minimum power of two *strictly greater* than x (>=1)."""
+    x = np.maximum(np.asarray(x, dtype=np.int64), 0)
+    # ceil(log2(x+1)) bits; 2**bits > x.
+    bits = np.ceil(np.log2(x + 1.0 + 1e-12)).astype(np.int64)
+    out = np.int64(1) << np.maximum(bits, 0)
+    # Enforce strictness for exact powers of two (log2 exact).
+    out = np.where(out <= x, out * 2, out)
+    return np.maximum(out, 1)
+
+
+@dataclass
+class ProblemQuantities:
+    """Cached exact quantities of one multiplication ``C = A B``."""
+
+    nrows: int
+    ncols: int
+    nnz_a: int
+    nnz_b: int
+    #: per-row multiplication counts
+    flop: np.ndarray
+    #: per-row exact output sizes
+    nnz_c: np.ndarray
+    #: per-row nnz of A (heap sizes, Eq. 1 log factor)
+    nnz_a_row: np.ndarray
+    #: mean nnz of the B rows actually referenced (stanza length driver)
+    mean_b_row: float
+
+    # Derived, computed lazily -------------------------------------------------
+    _table_size: np.ndarray | None = field(default=None, repr=False)
+    _collision: np.ndarray | None = field(default=None, repr=False)
+
+    @classmethod
+    def compute(cls, a: CSR, b: CSR) -> "ProblemQuantities":
+        """Analyze ``a @ b`` (exact; cost ~ one ESC symbolic pass)."""
+        flop = flop_per_row(a, b).astype(np.float64)
+        nnz_c = symbolic_row_nnz(a, b).astype(np.float64)
+        total_flop = float(flop.sum())
+        mean_b_row = total_flop / a.nnz if a.nnz else 0.0
+        return cls(
+            nrows=a.nrows,
+            ncols=b.ncols,
+            nnz_a=a.nnz,
+            nnz_b=b.nnz,
+            flop=flop,
+            nnz_c=nnz_c,
+            nnz_a_row=a.row_nnz().astype(np.float64),
+            mean_b_row=mean_b_row,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_flop(self) -> float:
+        return float(self.flop.sum())
+
+    @property
+    def total_nnz_c(self) -> float:
+        return float(self.nnz_c.sum())
+
+    @property
+    def compression_ratio(self) -> float:
+        """``flop / nnz(C)`` — the x-axis of Figs. 14/15/17."""
+        t = self.total_nnz_c
+        return self.total_flop / t if t else 0.0
+
+    def hash_table_size(self) -> np.ndarray:
+        """Per-row hash table sizes per Fig. 7 (clipped to ncols, next p2).
+
+        The executable kernel sizes one table per *thread* (max over its
+        rows); per-row sizes are the per-row view of the same rule and what
+        the load-factor statistics need.
+        """
+        if self._table_size is None:
+            bound = np.minimum(self.flop, float(max(self.ncols, 1)))
+            self._table_size = _lowest_p2_array(bound).astype(np.float64)
+        return self._table_size
+
+    def hash_load(self) -> np.ndarray:
+        """Per-row hash load factor ``alpha_i = nnz(c_i*) / table_size_i``."""
+        size = self.hash_table_size()
+        return np.minimum(np.divide(
+            self.nnz_c, size, out=np.zeros_like(self.nnz_c), where=size > 0
+        ), LOAD_CAP)
+
+    def collision_factor(self) -> np.ndarray:
+        """Per-row expected probes per access — the paper's ``c`` (Eq. 2).
+
+        Linear-probing successful-search estimate ``(1 + 1/(1-alpha)) / 2``
+        with the load capped at :data:`LOAD_CAP`; equals 1.0 for an empty
+        table (no collisions).
+
+        Note (measured in ``bench_ablation_table_sizing``): this textbook
+        estimate assumes random slot targets.  The kernels' odd
+        multiplicative hash is a *bijection* mod the table size, so when the
+        table covers the whole column space (small matrices after the
+        Fig. 7 clip) the real collision count is exactly zero — the
+        estimate is an upper bound there.  For the paper-scale regime
+        (tables far smaller than the column count) the estimate applies.
+        """
+        if self._collision is None:
+            alpha = self.hash_load()
+            self._collision = 0.5 * (1.0 + 1.0 / (1.0 - alpha))
+        return self._collision
+
+    def mean_collision_factor(self) -> float:
+        """Flop-weighted mean of the per-row collision factors."""
+        if self.total_flop == 0:
+            return 1.0
+        return float((self.collision_factor() * self.flop).sum() / self.total_flop)
+
+    def b_row_stanza_bytes(self, entry_bytes: int = ENTRY_BYTES) -> float:
+        """Average contiguous run length (bytes) of the B-row accesses."""
+        return max(float(entry_bytes), self.mean_b_row * entry_bytes)
+
+    def input_bytes(self) -> float:
+        """Resident size of both operands."""
+        return (self.nnz_a + self.nnz_b) * ENTRY_BYTES + (self.nrows + 1) * 8 * 2
+
+    def output_bytes(self) -> float:
+        """Resident size of the output."""
+        return self.total_nnz_c * ENTRY_BYTES + (self.nrows + 1) * 8

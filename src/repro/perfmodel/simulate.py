@@ -1,0 +1,194 @@
+"""The simulator: CostParts + machine + configuration -> time and MFLOPS.
+
+Time composition (per run)::
+
+    T = T_compute + T_memory + T_schedule + T_alloc + phases * fork_join
+
+* ``T_compute`` — makespan of the per-thread cycle sums (exact partition
+  loads) at the machine clock, inflated by the SMT slowdown when threads
+  oversubscribe cores, plus the Amdahl serial component;
+* ``T_memory`` — each traffic item priced at the aggregate stanza bandwidth
+  of its access pattern under the configured memory mode, with the working
+  set (inputs + output + temporaries) determining MCDRAM-cache residency;
+* ``T_schedule`` — the Fig. 2 loop-scheduling model over the row loop;
+* ``T_alloc`` — the Fig. 4 allocator model for thread-private scratch
+  (single or parallel scheme) and the output allocation.
+
+Compute and memory are summed rather than overlapped: SpGEMM's dependent
+loads give little overlap in practice, and the sum reproduces the paper's
+sorted-vs-unsorted gaps where a pure roofline max would hide them.
+
+MFLOPS follows the paper's convention: ``2 * flop / time`` (each
+intermediate product is one multiply plus one add).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..machine.allocator import allocation_cost, deallocation_cost
+from ..machine.memory import MemoryMode, aggregate_bandwidth
+from ..machine.scheduling import loop_scheduling_cost
+from ..machine.spec import KNL, MachineSpec
+from ..matrix.csr import CSR
+from .cost import CostParts, build_cost
+from .quantities import ProblemQuantities
+
+__all__ = ["SimConfig", "SimReport", "simulate_spgemm", "mflops_series"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulated execution environment."""
+
+    machine: MachineSpec = KNL
+    #: thread count; None = all hardware threads
+    nthreads: int | None = None
+    memory_mode: "MemoryMode | str" = MemoryMode.CACHE
+    sort_output: bool = True
+    #: None = the algorithm's native policy (see build_cost)
+    scheduling: str | None = None
+    #: allocator scheme for thread-private scratch: "parallel" (the paper's
+    #: optimization) or "single"
+    memory_scheme: str = "parallel"
+    allocator: str = "tbb"
+
+    @property
+    def threads(self) -> int:
+        return self.machine.max_threads if self.nthreads is None else self.nthreads
+
+    def with_(self, **kwargs) -> "SimConfig":
+        """Functional update, e.g. ``cfg.with_(nthreads=64)``."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Simulated outcome of one SpGEMM execution."""
+
+    algorithm: str
+    seconds: float
+    mflops: float
+    breakdown: "dict[str, float]" = field(default_factory=dict)
+    config: SimConfig | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in self.breakdown.items())
+        return (
+            f"{self.algorithm}: {self.seconds * 1e3:.3f} ms "
+            f"({self.mflops:.0f} MFLOPS; {parts})"
+        )
+
+
+def simulate_spgemm(
+    algorithm: str,
+    a: "CSR | None" = None,
+    b: "CSR | None" = None,
+    config: SimConfig = SimConfig(),
+    *,
+    quantities: ProblemQuantities | None = None,
+) -> SimReport:
+    """Simulate one SpGEMM execution and return time + MFLOPS.
+
+    Either pass the operand matrices, or pass a pre-computed
+    ``quantities`` (recommended in sweeps — the symbolic analysis is the
+    expensive part and is identical across algorithms and configs).
+    """
+    if quantities is None:
+        if a is None or b is None:
+            raise ConfigError("need operand matrices or precomputed quantities")
+        quantities = ProblemQuantities.compute(a, b)
+    q = quantities
+    machine = config.machine
+    t = config.threads
+    if t < 1 or t > machine.max_threads:
+        raise ConfigError(
+            f"nthreads={t} outside [1, {machine.max_threads}] for {machine.name}"
+        )
+
+    parts = build_cost(
+        algorithm, q, machine, t,
+        sort_output=config.sort_output,
+        scheduling=config.scheduling,
+    )
+
+    # --- compute ----------------------------------------------------------
+    spc = machine.seconds_per_cycle()
+    slowdown = machine.smt_slowdown(t)
+    t_compute = float(parts.per_thread_cycles.max(initial=0.0)) * spc * slowdown
+    t_serial = parts.serial_cycles * spc
+
+    # --- memory -----------------------------------------------------------
+    working_set = q.input_bytes() + q.output_bytes() + parts.temp_bytes
+    t_memory = 0.0
+    for item in parts.traffic:
+        if item.nbytes <= 0:
+            continue
+        bw = aggregate_bandwidth(
+            machine, item.stanza_bytes, t, config.memory_mode,
+            working_set_bytes=working_set,
+        )
+        t_memory += item.nbytes / bw
+
+    # --- scheduling (per phase, the row loop is re-dispatched) ------------
+    policy = config.scheduling or parts.partition.policy
+    t_sched = parts.phases * loop_scheduling_cost(
+        machine, policy, parts.sched_iterations, t
+    )
+    if parts.partition is not None and parts.partition.chunks is not None:
+        # Chunked policies (dynamic/guided) dequeue inside the kernel loop:
+        # every dispatch bounces the contended chunk counter (see
+        # SchedulingSpec.dispatch_stall_s) — the overhead Fig. 9 shows.
+        t_sched += (
+            parts.phases
+            * parts.partition.num_dispatches()
+            * machine.sched.dispatch_stall_s
+        )
+
+    # --- allocation / deallocation ----------------------------------------
+    t_alloc = (
+        allocation_cost(
+            machine, parts.temp_bytes,
+            allocator=config.allocator, scheme=config.memory_scheme, nthreads=t,
+        )
+        + deallocation_cost(
+            machine, parts.temp_bytes,
+            allocator=config.allocator, scheme=config.memory_scheme, nthreads=t,
+        )
+        + allocation_cost(
+            machine, q.output_bytes(), allocator=config.allocator, scheme="single"
+        )
+    )
+
+    total = t_compute + t_serial + t_memory + t_sched + t_alloc
+    flops = 2.0 * q.total_flop
+    return SimReport(
+        algorithm=algorithm,
+        seconds=total,
+        mflops=flops / total / 1e6 if total > 0 else 0.0,
+        breakdown={
+            "compute": t_compute,
+            "serial": t_serial,
+            "memory": t_memory,
+            "sched": t_sched,
+            "alloc": t_alloc,
+        },
+        config=config,
+    )
+
+
+def mflops_series(
+    algorithms: "list[str]",
+    a: CSR,
+    b: CSR,
+    config: SimConfig = SimConfig(),
+) -> "dict[str, float]":
+    """Simulate several algorithms on one product (shared analysis pass)."""
+    q = ProblemQuantities.compute(a, b)
+    return {
+        alg: simulate_spgemm(alg, config=config, quantities=q).mflops
+        for alg in algorithms
+    }

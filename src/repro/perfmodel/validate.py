@@ -1,0 +1,153 @@
+"""Cross-validation of the performance model against the real kernels.
+
+The figures this library regenerates rest on the claim that the model's
+closed-form operation counts track the *instrumented executable kernels*.
+This module makes that claim checkable as a first-class API (and the test
+suite pins it): run both on the same product and compare, count by count.
+
+Exact-by-construction quantities (flop, output nnz, heap pops, sort
+volumes) must match to the digit; statistical quantities (hash collision
+factor) must agree within a stated tolerance band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hash_spgemm import hash_spgemm
+from ..core.heap_spgemm import heap_spgemm
+from ..core.instrument import KernelStats
+from ..core.spa_spgemm import spa_spgemm
+from ..matrix.csr import CSR
+from .quantities import ProblemQuantities
+
+__all__ = ["CountCheck", "ValidationReport", "validate_counts"]
+
+
+@dataclass(frozen=True)
+class CountCheck:
+    """One predicted-vs-measured comparison."""
+
+    name: str
+    predicted: float
+    measured: float
+    #: acceptable |predicted/measured - 1| (0.0 = must be exact)
+    tolerance: float
+    #: upper-bound semantics: the prediction only promises
+    #: ``measured <= predicted * (1 + tolerance)`` (used for the collision
+    #: factor, whose analytic estimate is an upper bound in the bijective
+    #: small-matrix regime)
+    upper_bound: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.measured == 0:
+            return 1.0 if self.predicted == 0 else float("inf")
+        return self.predicted / self.measured
+
+    @property
+    def ok(self) -> bool:
+        if self.upper_bound:
+            return self.measured <= self.predicted * (1.0 + self.tolerance)
+        if self.tolerance == 0.0:
+            return self.predicted == self.measured
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+    def render(self) -> str:
+        flag = "ok " if self.ok else "FAIL"
+        return (
+            f"  [{flag}] {self.name:<28s} predicted {self.predicted:>14,.1f}  "
+            f"measured {self.measured:>14,.1f}  (ratio {self.ratio:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All checks of one validation run."""
+
+    checks: "tuple[CountCheck, ...]"
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def render(self) -> str:
+        lines = ["model-vs-kernel count validation:"]
+        lines += [c.render() for c in self.checks]
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def validate_counts(
+    a: CSR,
+    b: CSR,
+    *,
+    nthreads: int = 4,
+    collision_tolerance: float = 0.15,
+) -> ValidationReport:
+    """Run the hash/heap/SPA kernels instrumented and compare every count
+    the model predicts in closed form.
+
+    The collision-factor check uses upper-bound semantics: the analytic
+    linear-probing estimate assumes random probe targets, while structured
+    column sets (and any table covering the column space — the bijectivity
+    note on
+    :meth:`~repro.perfmodel.quantities.ProblemQuantities.collision_factor`)
+    probe strictly better, so the model promises
+    ``measured <= predicted * (1 + collision_tolerance)``.
+    """
+    q = ProblemQuantities.compute(a, b)
+    checks: "list[CountCheck]" = []
+
+    # --- hash kernel -------------------------------------------------------
+    hs = KernelStats()
+    c_hash = hash_spgemm(a, b, sort_output=True, nthreads=nthreads, stats=hs)
+    checks.append(CountCheck("flop (hash)", q.total_flop, hs.flops, 0.0))
+    checks.append(CountCheck("nnz(C) (hash)", q.total_nnz_c, c_hash.nnz, 0.0))
+    checks.append(
+        CountCheck(
+            "hash accesses (2 phases)", 2.0 * q.total_flop, hs.hash_accesses, 0.0
+        )
+    )
+    checks.append(
+        CountCheck(
+            "hash inserts (2 phases)", 2.0 * q.total_nnz_c, hs.hash_inserts, 0.0
+        )
+    )
+    checks.append(
+        CountCheck(
+            "sorted elements (hash)", q.total_nnz_c, hs.sorted_elements, 0.0
+        )
+    )
+    # collision factor: statistical. The model's load-based estimate must
+    # bound the measurement from above-ish within the tolerance band.
+    measured_c = hs.collision_factor()
+    predicted_c = q.mean_collision_factor()
+    checks.append(
+        CountCheck(
+            "collision factor (hash)", predicted_c, measured_c,
+            collision_tolerance, upper_bound=True,
+        )
+    )
+
+    # --- heap kernel ---------------------------------------------------
+    hp = KernelStats()
+    b_sorted = b if b.sorted_rows else b.sort_rows()
+    c_heap = heap_spgemm(a, b_sorted, nthreads=nthreads, stats=hp)
+    checks.append(CountCheck("flop (heap)", q.total_flop, hp.flops, 0.0))
+    checks.append(
+        CountCheck("heap pops = flop", q.total_flop, hp.heap_pops, 0.0)
+    )
+    checks.append(CountCheck("nnz(C) (heap)", q.total_nnz_c, c_heap.nnz, 0.0))
+
+    # --- spa kernel ------------------------------------------------------
+    sp = KernelStats()
+    c_spa = spa_spgemm(a, b, nthreads=nthreads, stats=sp)
+    checks.append(
+        CountCheck("SPA touches = flop", q.total_flop, sp.spa_touches, 0.0)
+    )
+    checks.append(CountCheck("nnz(C) (spa)", q.total_nnz_c, c_spa.nnz, 0.0))
+
+    return ValidationReport(checks=tuple(checks))

@@ -1,0 +1,24 @@
+"""Performance-comparison statistics used by the paper's evaluation.
+
+* :mod:`repro.profiling.perfprofile` — Dolan–Moré performance profiles
+  (Fig. 15): for each problem, every algorithm is scored relative to the
+  best; the profile curve shows, for each tolerance τ, the fraction of
+  problems an algorithm solves within τ× of the best.
+* :mod:`repro.profiling.speedup` — harmonic-mean speedups (§5.4.4's
+  unsorted-over-sorted 1.58×/1.63×/1.68× figures) and related summaries.
+* :mod:`repro.profiling.ascii_chart` — dependency-free line/profile
+  rendering so benchmark output is readable in a terminal.
+"""
+
+from .perfprofile import PerformanceProfile, performance_profile
+from .speedup import harmonic_mean_speedup, geometric_mean
+from .ascii_chart import render_series, render_profile
+
+__all__ = [
+    "PerformanceProfile",
+    "performance_profile",
+    "harmonic_mean_speedup",
+    "geometric_mean",
+    "render_series",
+    "render_profile",
+]

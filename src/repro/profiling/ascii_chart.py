@@ -1,0 +1,100 @@
+"""Terminal rendering of benchmark series (no plotting dependencies).
+
+The benchmark harness regenerates the paper's figures as data; these helpers
+render them as aligned tables and coarse ASCII line charts so the shapes are
+visible directly in ``pytest benchmarks/`` output.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["render_series", "render_profile"]
+
+
+def _fmt(x: float) -> str:
+    if x == 0:
+        return "0"
+    if abs(x) >= 1000:
+        return f"{x:,.0f}"
+    if abs(x) >= 10:
+        return f"{x:.1f}"
+    return f"{x:.3g}"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: "list",
+    series: "dict[str, list[float]]",
+    *,
+    width: int = 60,
+    height: int = 12,
+    log_y: bool = False,
+) -> str:
+    """A table of values plus an ASCII chart, one letter per series."""
+    lines = [f"== {title} =="]
+    header = f"{x_label:>16s} | " + " ".join(f"{name:>14s}" for name in series)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{str(x):>16s} | " + " ".join(
+            f"{_fmt(vals[i]):>14s}" for vals in series.values()
+        )
+        lines.append(row)
+    # ASCII chart
+    all_vals = np.array([v for vals in series.values() for v in vals], dtype=float)
+    finite = all_vals[np.isfinite(all_vals) & (all_vals > 0 if log_y else True)]
+    if len(finite) == 0:
+        return "\n".join(lines)
+    lo, hi = float(finite.min()), float(finite.max())
+    if log_y:
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for si, (name, vals) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for i, v in enumerate(vals):
+            if not np.isfinite(v) or (log_y and v <= 0):
+                continue
+            vv = math.log10(v) if log_y else v
+            col = int(i / max(len(xs) - 1, 1) * (width - 1))
+            row = int((vv - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines.append("")
+    scale = "log10" if log_y else "linear"
+    lines.append(f"  y: {_fmt(10**hi if log_y else hi)} ({scale})")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"  y: {_fmt(10**lo if log_y else lo)}   x: {xs[0]} .. {xs[-1]}")
+    legend = "  legend: " + "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_profile(title: str, profile, *, taus=None, width: int = 60) -> str:
+    """Render a :class:`~repro.profiling.perfprofile.PerformanceProfile`."""
+    if taus is None:
+        hi = min(profile.ratios[np.isfinite(profile.ratios)].max(), 5.0)
+        taus = np.linspace(1.0, max(hi, 1.001), 9)
+    lines = [f"== {title} =="]
+    header = f"{'tau':>8s} | " + " ".join(f"{s:>14s}" for s in profile.solvers)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for tau in taus:
+        row = f"{tau:8.2f} | " + " ".join(
+            f"{profile.rho(s, tau):>14.2f}" for s in profile.solvers
+        )
+        lines.append(row)
+    lines.append(
+        "  wins@1.0: "
+        + "  ".join(f"{s}={profile.wins(s):.2f}" for s in profile.solvers)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Dolan–Moré performance profiles (Fig. 15; Dolan & Moré 2002).
+
+"To profile the relative performance of algorithms, the best performing
+algorithm for each problem is identified and assigned a relative score of 1.
+Other algorithms are scored relative to the best performing algorithm, with
+a higher value denoting inferior performance" (paper §5.4.5).
+
+The profile of algorithm *s* is the cumulative distribution
+
+    rho_s(tau) = |{problems p : ratio(p, s) <= tau}| / |problems|
+
+where ``ratio(p, s) = time(p, s) / min_s' time(p, s')``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["PerformanceProfile", "performance_profile"]
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """Computed profile curves for a set of solvers on shared problems."""
+
+    solvers: "tuple[str, ...]"
+    problems: "tuple[str, ...]"
+    #: ratios[i, j] = time of solver j on problem i / best time on problem i
+    ratios: np.ndarray
+
+    def rho(self, solver: str, tau: float) -> float:
+        """Fraction of problems solved within ``tau`` x of the best."""
+        j = self.solvers.index(solver)
+        return float(np.mean(self.ratios[:, j] <= tau))
+
+    def curve(
+        self, solver: str, taus: "np.ndarray | None" = None
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(taus, rho(tau))`` arrays for plotting."""
+        if taus is None:
+            hi = float(np.nanmax(self.ratios))
+            taus = np.linspace(1.0, max(hi, 1.0 + 1e-9), 64)
+        j = self.solvers.index(solver)
+        col = self.ratios[:, j][:, None]
+        return taus, np.nanmean(col <= taus[None, :], axis=0)
+
+    def wins(self, solver: str) -> float:
+        """Fraction of problems on which this solver is (tied-)best."""
+        return self.rho(solver, 1.0 + 1e-12)
+
+    def worst_ratio(self, solver: str) -> float:
+        """The solver's largest slowdown factor over the per-problem best."""
+        j = self.solvers.index(solver)
+        return float(np.nanmax(self.ratios[:, j]))
+
+    def ranking(self) -> "list[tuple[str, float]]":
+        """Solvers sorted by area under the profile (higher = better)."""
+        scores = []
+        hi = float(np.nanmax(self.ratios))
+        taus = np.linspace(1.0, max(hi, 1.0 + 1e-9), 256)
+        for s in self.solvers:
+            _, rho = self.curve(s, taus)
+            scores.append((s, float(np.trapezoid(rho, taus) / (taus[-1] - taus[0] + 1e-300))))
+        return sorted(scores, key=lambda kv: -kv[1])
+
+
+def performance_profile(
+    times: "dict[str, dict[str, float]]",
+) -> PerformanceProfile:
+    """Build a profile from ``{solver: {problem: time}}`` measurements.
+
+    Every solver must report every problem (the Dolan–Moré formulation with
+    failures assigns infinity — pass ``float('inf')`` explicitly if needed).
+    """
+    if not times:
+        raise ConfigError("need at least one solver")
+    solvers = tuple(times)
+    problems = tuple(times[solvers[0]])
+    if not problems:
+        raise ConfigError("need at least one problem")
+    for s in solvers:
+        if tuple(times[s]) != problems:
+            raise ConfigError(
+                f"solver {s!r} reports a different problem set than {solvers[0]!r}"
+            )
+    mat = np.array([[times[s][p] for s in solvers] for p in problems], dtype=float)
+    if (mat <= 0).any():
+        raise ConfigError("times must be positive")
+    best = mat.min(axis=1, keepdims=True)
+    return PerformanceProfile(solvers, problems, mat / best)

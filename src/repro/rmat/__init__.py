@@ -1,0 +1,31 @@
+"""Synthetic matrix generation: R-MAT (ER / G500) and tall-skinny operands.
+
+§5.1 of the paper: "We use R-MAT, the recursive matrix generator, to generate
+two different non-zero patterns of synthetic matrices represented as ER and
+G500" — ER with seed parameters ``a=b=c=d=0.25`` and G500 with
+``a=0.57, b=c=0.19, d=0.05``.  A *scale-n* matrix is ``2^n x 2^n`` and the
+*edge factor* is the average nonzeros per row.
+"""
+
+from .generator import (
+    ER_PARAMS,
+    G500_PARAMS,
+    RmatParams,
+    rmat,
+    rmat_edges,
+    er_matrix,
+    g500_matrix,
+)
+from .tallskinny import tall_skinny_from_columns, tall_skinny_pair
+
+__all__ = [
+    "ER_PARAMS",
+    "G500_PARAMS",
+    "RmatParams",
+    "rmat",
+    "rmat_edges",
+    "er_matrix",
+    "g500_matrix",
+    "tall_skinny_from_columns",
+    "tall_skinny_pair",
+]

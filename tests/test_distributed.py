@@ -1,0 +1,133 @@
+"""Tests for the 2-D block distribution and Sparse SUMMA simulation."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, ShapeError, random_csr, spgemm
+from repro.distributed import CommReport, ProcessGrid, distribute, sparse_summa
+from repro.rmat import er_matrix, g500_matrix
+
+
+class TestProcessGrid:
+    def test_rank_coord_roundtrip(self):
+        g = ProcessGrid(3)
+        for r in range(g.nranks):
+            i, j = g.coords_of(r)
+            assert g.rank_of(i, j) == r
+
+    def test_groups(self):
+        g = ProcessGrid(3)
+        assert g.row_ranks(1) == [3, 4, 5]
+        assert g.col_ranks(2) == [2, 5, 8]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            ProcessGrid(0)
+
+
+class TestDistribute:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_assemble_roundtrip(self, medium_random, p):
+        dist = distribute(medium_random, ProcessGrid(p))
+        assert dist.assemble().allclose(medium_random)
+
+    def test_blocks_partition_nnz(self, medium_random):
+        dist = distribute(medium_random, ProcessGrid(3))
+        total = sum(
+            dist.block(i, j).nnz for i in range(3) for j in range(3)
+        )
+        assert total == medium_random.nnz
+
+    def test_block_local_indices(self, medium_random):
+        dist = distribute(medium_random, ProcessGrid(4))
+        for i in range(4):
+            for j in range(4):
+                b = dist.block(i, j)
+                b.validate()
+                if b.nnz:
+                    assert b.indices.max() < b.ncols
+
+    def test_uneven_dimensions(self):
+        # 7 rows over a 3x3 grid: splits 0,2,4,7 (near-equal)
+        a = random_csr(7, 11, 0.4, seed=1)
+        dist = distribute(a, ProcessGrid(3))
+        assert dist.assemble().allclose(a)
+        assert int(dist.row_splits[-1]) == 7
+
+    def test_rectangular(self, rectangular_pair):
+        a, _ = rectangular_pair
+        dist = distribute(a, ProcessGrid(2))
+        assert dist.assemble().allclose(a)
+
+    def test_block_nbytes_positive(self, medium_random):
+        dist = distribute(medium_random, ProcessGrid(2))
+        assert dist.block_nbytes(0, 0) > 0
+
+
+class TestSparseSumma:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    @pytest.mark.parametrize("algorithm", ["esc", "hash"])
+    def test_matches_single_node(self, p, algorithm):
+        a = g500_matrix(8, 8, seed=2)
+        ref = spgemm(a, a, algorithm="esc")
+        c, _ = sparse_summa(a, a, p, algorithm=algorithm)
+        assert c.allclose(ref)
+
+    def test_rectangular_chain(self):
+        a = random_csr(40, 55, 0.12, seed=3)
+        b = random_csr(55, 25, 0.12, seed=4)
+        c, _ = sparse_summa(a, b, 3)
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_semiring(self):
+        g = er_matrix(7, 6, seed=5, values="ones")
+        c, _ = sparse_summa(g, g, 2, semiring="or_and")
+        expected = ((g.to_dense() @ g.to_dense()) > 0).astype(float)
+        np.testing.assert_allclose(c.to_dense(), expected)
+
+    def test_shape_mismatch(self, rectangular_pair):
+        a, b = rectangular_pair
+        with pytest.raises(ShapeError):
+            sparse_summa(b, b, 2)
+
+    def test_single_rank_no_comm(self, medium_random):
+        _, rep = sparse_summa(medium_random, medium_random, 1)
+        assert rep.total_comm_bytes == 0
+
+    def test_comm_accounting_consistent(self):
+        a = er_matrix(8, 8, seed=6)
+        _, rep = sparse_summa(a, a, 3)
+        # every received byte was sent by someone
+        assert rep.sent.sum() == pytest.approx(rep.received.sum())
+        # each of the 2p broadcasts per stage reaches p-1 ranks: total
+        # received = (p-1) * (nnz-bytes of A + B + pointer overhead)
+        assert rep.total_comm_bytes > 0
+
+    def test_comm_scales_sublinearly_per_rank(self):
+        """Per-rank communication shrinks as the grid grows (the 1/sqrt(P)
+        scaling that motivates 2-D distributions)."""
+        a = er_matrix(10, 8, seed=7)
+        per_rank = {}
+        for p in (2, 4):
+            _, rep = sparse_summa(a, a, p)
+            per_rank[p] = rep.received.mean()
+        assert per_rank[4] < per_rank[2]
+
+    def test_g500_imbalance_exceeds_er(self):
+        er = er_matrix(9, 8, seed=8)
+        g5 = g500_matrix(9, 8, seed=8)
+        _, rep_er = sparse_summa(er, er, 4)
+        _, rep_g5 = sparse_summa(g5, g5, 4)
+        assert rep_g5.flop_imbalance > rep_er.flop_imbalance
+
+    def test_flop_ledger_matches_total(self):
+        from repro.matrix.stats import total_flop
+
+        a = er_matrix(8, 8, seed=9)
+        _, rep = sparse_summa(a, a, 3)
+        assert rep.local_flop.sum() == pytest.approx(total_flop(a, a))
+
+    def test_summary_renders(self):
+        a = er_matrix(7, 4, seed=10)
+        _, rep = sparse_summa(a, a, 2)
+        assert "SUMMA on 2x2" in rep.summary()

@@ -1,0 +1,229 @@
+"""Dedicated tests for the extension kernels: blocked SPA and merge tree.
+
+(The generic all-algorithms sweeps in test_kernels_correctness.py already
+cover them; these tests exercise their *specific* mechanics.)
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, KernelStats, random_csr, spgemm
+from repro.core.blocked_spa import (
+    blocked_spa_spgemm,
+    default_block_cols,
+    _column_block_views,
+)
+from repro.core.merge_spgemm import merge_sorted_lists, merge_spgemm
+from repro.rmat import g500_matrix
+from repro.semiring import MIN_PLUS, PLUS_TIMES
+
+
+class TestBlockedSpa:
+    @pytest.mark.parametrize("block_cols", [1, 3, 8, 17, 64, 4096])
+    def test_block_size_invariance(self, medium_random, block_cols):
+        ref = medium_random.to_dense() @ medium_random.to_dense()
+        c = blocked_spa_spgemm(
+            medium_random, medium_random, block_cols=block_cols, nthreads=2
+        )
+        np.testing.assert_allclose(c.to_dense(), ref)
+        assert c.sorted_rows
+        c.validate()
+
+    def test_block_views_partition_b(self, medium_random):
+        views = _column_block_views(medium_random, 10)
+        total = sum(v.nnz for _, v in views if v is not None)
+        assert total == medium_random.nnz
+        for k, v in views:
+            if v is None:
+                continue
+            # rebased indices stay within the block width
+            assert v.ncols <= 10
+            if v.nnz:
+                assert v.indices.max() < v.ncols
+
+    def test_block_views_reassemble(self, medium_random):
+        views = _column_block_views(medium_random, 16)
+        dense = np.zeros(medium_random.shape)
+        for k, v in views:
+            if v is not None:
+                dense[:, 16 * k : 16 * k + v.ncols] += v.to_dense()
+        np.testing.assert_allclose(dense, medium_random.to_dense())
+
+    def test_invalid_block_cols(self, medium_random):
+        with pytest.raises(ConfigError):
+            blocked_spa_spgemm(medium_random, medium_random, block_cols=0)
+
+    def test_default_block_cols(self):
+        assert default_block_cols(256 * 1024) == 16384
+        bc = default_block_cols(48 * 1024)
+        assert bc & (bc - 1) == 0  # power of two
+        assert bc * 12 <= 48 * 1024
+
+    def test_semiring(self, medium_random):
+        c = blocked_spa_spgemm(
+            medium_random, medium_random, semiring=MIN_PLUS, block_cols=16
+        )
+        ref = spgemm(medium_random, medium_random, algorithm="esc",
+                     semiring=MIN_PLUS)
+        assert c.allclose(ref)
+
+    def test_stats_flop_exact(self, medium_random):
+        from repro.matrix.stats import total_flop
+
+        stats = KernelStats()
+        blocked_spa_spgemm(
+            medium_random, medium_random, block_cols=16, stats=stats
+        )
+        assert stats.flops == total_flop(medium_random, medium_random)
+
+
+class TestMergeSortedLists:
+    def test_disjoint(self):
+        c, v = merge_sorted_lists(
+            np.array([1, 5]), np.array([1.0, 2.0]),
+            np.array([3, 9]), np.array([4.0, 8.0]),
+            PLUS_TIMES,
+        )
+        np.testing.assert_array_equal(c, [1, 3, 5, 9])
+        np.testing.assert_allclose(v, [1.0, 4.0, 2.0, 8.0])
+
+    def test_duplicates_combined(self):
+        c, v = merge_sorted_lists(
+            np.array([1, 4, 7]), np.array([1.0, 2.0, 3.0]),
+            np.array([4, 7, 9]), np.array([10.0, 20.0, 30.0]),
+            PLUS_TIMES,
+        )
+        np.testing.assert_array_equal(c, [1, 4, 7, 9])
+        np.testing.assert_allclose(v, [1.0, 12.0, 23.0, 30.0])
+
+    def test_identical_lists(self):
+        c, v = merge_sorted_lists(
+            np.array([2, 5]), np.array([1.0, 1.0]),
+            np.array([2, 5]), np.array([2.0, 2.0]),
+            PLUS_TIMES,
+        )
+        np.testing.assert_array_equal(c, [2, 5])
+        np.testing.assert_allclose(v, [3.0, 3.0])
+
+    def test_empty_sides(self):
+        a = (np.array([1]), np.array([2.0]))
+        empty = (np.empty(0, np.int64), np.empty(0))
+        c, v = merge_sorted_lists(*a, *empty, PLUS_TIMES)
+        np.testing.assert_array_equal(c, [1])
+        c, v = merge_sorted_lists(*empty, *a, PLUS_TIMES)
+        np.testing.assert_array_equal(c, [1])
+
+    def test_min_plus_duplicates(self):
+        c, v = merge_sorted_lists(
+            np.array([3]), np.array([5.0]),
+            np.array([3]), np.array([2.0]),
+            MIN_PLUS,
+        )
+        np.testing.assert_allclose(v, [2.0])
+
+    def test_random_merges_match_concat_sort(self, rng):
+        for _ in range(25):
+            na, nb = rng.integers(0, 30, 2)
+            ca = np.unique(rng.integers(0, 50, na))
+            cb = np.unique(rng.integers(0, 50, nb))
+            va = rng.random(len(ca))
+            vb = rng.random(len(cb))
+            c, v = merge_sorted_lists(ca, va, cb, vb, PLUS_TIMES)
+            dense = np.zeros(50)
+            dense[ca] += va
+            dense[cb] += vb
+            np.testing.assert_array_equal(c, np.flatnonzero(dense))
+            np.testing.assert_allclose(v, dense[dense != 0])
+
+
+class TestMergeSpgemm:
+    def test_requires_sorted_b(self, medium_random):
+        unsorted = medium_random.shuffle_rows(seed=5)
+        if unsorted.sorted_rows:
+            pytest.skip("shuffle produced sorted rows")
+        with pytest.raises(ConfigError, match="sorted"):
+            merge_spgemm(medium_random, unsorted)
+
+    def test_dispatcher_sorts(self, medium_random):
+        unsorted = medium_random.shuffle_rows(seed=5)
+        c = spgemm(unsorted, unsorted, algorithm="merge")
+        np.testing.assert_allclose(
+            c.to_dense(), medium_random.to_dense() @ medium_random.to_dense()
+        )
+
+    def test_skewed_input(self):
+        g = g500_matrix(9, 12, seed=4)
+        ref = spgemm(g, g, algorithm="esc")
+        c = spgemm(g, g, algorithm="merge", nthreads=5)
+        assert c.allclose(ref)
+
+    def test_stats_merge_volume(self, medium_random):
+        """Merged element count is ~flop * log2(k) (each round re-touches
+        the surviving elements)."""
+        from repro.matrix.stats import total_flop
+
+        stats = KernelStats()
+        merge_spgemm(medium_random, medium_random, stats=stats)
+        flop = total_flop(medium_random, medium_random)
+        assert stats.flops == flop
+        assert stats.sorted_elements <= flop * int(
+            np.ceil(np.log2(max(medium_random.row_nnz().max(), 2)))
+        )
+        assert stats.sorted_elements > 0
+
+    def test_single_source_rows(self):
+        """Rows of A with one nonzero are pure row copies (no merging)."""
+        from repro import identity
+
+        i = identity(12)
+        m = random_csr(12, 12, 0.3, seed=3)
+        stats = KernelStats()
+        c = merge_spgemm(i, m.sort_rows(), stats=stats)
+        assert c.allclose(m)
+        assert stats.sorted_elements == 0  # nothing ever needed a merge
+
+
+class TestOnePhaseHash:
+    """§2's 'allocate enough and compute' strategy as a hash variant."""
+
+    def test_matches_two_phase(self, medium_random):
+        two = spgemm(medium_random, medium_random, algorithm="hash")
+        from repro.core.hash_spgemm import hash_spgemm
+
+        one = hash_spgemm(medium_random, medium_random, one_phase=True,
+                          nthreads=3)
+        assert one.allclose(two)
+
+    @pytest.mark.parametrize("sort_output", [True, False])
+    @pytest.mark.parametrize("vector_width", [0, 8])
+    def test_variants(self, medium_random, sort_output, vector_width):
+        from repro.core.hash_spgemm import hash_spgemm
+
+        c = hash_spgemm(
+            medium_random, medium_random,
+            one_phase=True, sort_output=sort_output,
+            vector_width=vector_width,
+        )
+        np.testing.assert_allclose(
+            c.to_dense(),
+            medium_random.to_dense() @ medium_random.to_dense(),
+        )
+
+    def test_halves_accesses(self):
+        from repro.core.hash_spgemm import hash_spgemm
+
+        g = g500_matrix(8, 8, seed=3)
+        two, one = KernelStats(), KernelStats()
+        hash_spgemm(g, g, stats=two)
+        hash_spgemm(g, g, one_phase=True, stats=one)
+        assert 2 * one.hash_accesses == two.hash_accesses
+        assert one.flops == two.flops
+
+    def test_semiring(self, medium_random):
+        from repro.core.hash_spgemm import hash_spgemm
+
+        c = hash_spgemm(medium_random, medium_random, one_phase=True,
+                        semiring=MIN_PLUS)
+        ref = spgemm(medium_random, medium_random, algorithm="esc",
+                     semiring=MIN_PLUS)
+        assert c.allclose(ref)

@@ -1,0 +1,148 @@
+"""Failure-injection tests: corrupted structures and hostile inputs must be
+rejected with the library's own error types, never with silent corruption."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CSR,
+    ConfigError,
+    FormatError,
+    ReproError,
+    ShapeError,
+    csr_from_dense,
+    random_csr,
+    spgemm,
+)
+from repro.matrix.io import read_matrix_market
+
+
+class TestCorruptedCSR:
+    """Tampered CSR arrays must fail validation loudly."""
+
+    def _tamper(self, m: CSR, **overrides) -> CSR:
+        parts = dict(
+            shape=m.shape,
+            indptr=m.indptr.copy(),
+            indices=m.indices.copy(),
+            data=m.data.copy(),
+        )
+        parts.update(overrides)
+        return CSR(
+            parts["shape"], parts["indptr"], parts["indices"], parts["data"],
+            sorted_rows=m.sorted_rows, check=True,
+        )
+
+    def test_truncated_indices(self, medium_random):
+        with pytest.raises(FormatError):
+            self._tamper(medium_random, indices=medium_random.indices[:-1])
+
+    def test_overflowed_indptr_tail(self, medium_random):
+        bad = medium_random.indptr.copy()
+        bad[-1] += 5
+        with pytest.raises(FormatError):
+            self._tamper(medium_random, indptr=bad)
+
+    def test_negative_index_injected(self, medium_random):
+        if medium_random.nnz == 0:
+            pytest.skip("empty")
+        bad = medium_random.indices.copy()
+        bad[0] = -7
+        with pytest.raises(FormatError):
+            self._tamper(medium_random, indices=bad)
+
+    def test_duplicate_injected(self, small_square):
+        # duplicate the first entry of a 2+-entry row
+        bad = small_square.indices.copy()
+        bad[1] = bad[0]
+        with pytest.raises(FormatError):
+            self._tamper(small_square, indices=bad)
+
+    def test_all_errors_are_reproerrors(self):
+        """Every library error type is catchable as ReproError."""
+        for exc in (ShapeError, FormatError, ConfigError):
+            assert issubclass(exc, ReproError)
+
+
+class TestHostileMatrixMarket:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "hostile.mtx"
+        path.write_text(text)
+        return path
+
+    def test_nnz_header_lies_high(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 99\n1 1 1.0\n",
+        )
+        with pytest.raises(FormatError):
+            read_matrix_market(path)
+
+    def test_indices_out_of_declared_range(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n5 5 1.0\n",
+        )
+        with pytest.raises(FormatError):
+            read_matrix_market(path)
+
+    def test_zero_based_entry_rejected(self, tmp_path):
+        # Matrix Market is 1-based; a 0 row index must not wrap silently
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n0 1 1.0\n",
+        )
+        with pytest.raises(FormatError):
+            read_matrix_market(path)
+
+    def test_garbage_value(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 not-a-number\n",
+        )
+        with pytest.raises((FormatError, ValueError)):
+            read_matrix_market(path)
+
+    def test_empty_file(self, tmp_path):
+        path = self._write(tmp_path, "")
+        with pytest.raises(FormatError):
+            read_matrix_market(path)
+
+
+class TestKernelsRejectBadConfigs:
+    def test_every_kernel_checks_shapes(self, small_square, rectangular_pair):
+        from repro import available_algorithms
+
+        _, b = rectangular_pair
+        for alg in available_algorithms():
+            with pytest.raises(ShapeError):
+                spgemm(small_square, b, algorithm=alg)
+
+    def test_zero_threads_rejected_everywhere(self, small_square):
+        for alg in ("hash", "heap", "spa", "merge", "blocked_spa"):
+            with pytest.raises(ConfigError):
+                spgemm(small_square, small_square, algorithm=alg, nthreads=0)
+
+    def test_foreign_partition_rejected(self, small_square, medium_random):
+        from repro import rows_to_threads
+
+        wrong = rows_to_threads(medium_random, medium_random, 2)
+        for alg in ("hash", "heap", "spa", "kokkos"):
+            with pytest.raises(ConfigError):
+                spgemm(small_square, small_square, algorithm=alg,
+                       partition=wrong)
+
+    def test_huge_value_matrices_stay_finite(self):
+        # products reach 1e300, sums 4e300 — near the double limit but finite
+        a = csr_from_dense(np.full((4, 4), 1e150))
+        c = spgemm(a, a, algorithm="hash")
+        assert np.isfinite(c.data).all()
+
+    def test_inf_values_propagate_not_crash(self):
+        a = csr_from_dense(np.array([[np.inf, 1.0], [1.0, 1.0]]))
+        c = spgemm(a, a, algorithm="hash")
+        assert np.isinf(c.to_dense()).any()

@@ -1,0 +1,141 @@
+"""Matrix Market I/O round trips and Table-2 statistics."""
+
+import numpy as np
+import pytest
+
+from repro import FormatError, matrix_stats
+from repro.matrix.io import read_matrix_market, write_matrix_market
+from repro.matrix.stats import compression_ratio, flop_per_row, row_skew, total_flop
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, medium_random, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(medium_random, path, comment="test matrix")
+        back = read_matrix_market(path)
+        assert back.allclose(medium_random)
+
+    def test_roundtrip_gzip(self, small_square, tmp_path):
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(small_square, path)
+        assert read_matrix_market(path).allclose(small_square)
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 2\n1 1\n2 3\n"
+        )
+        m = read_matrix_market(path)
+        assert m.shape == (2, 3)
+        np.testing.assert_allclose(m.to_dense(), [[1, 0, 0], [0, 0, 1]])
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 5.0\n2 1 2.0\n3 2 4.0\n"
+        )
+        m = read_matrix_market(path)
+        d = m.to_dense()
+        np.testing.assert_allclose(d, d.T)
+        assert d[0, 0] == 5.0 and d[0, 1] == 2.0 and d[1, 0] == 2.0
+
+    def test_skew_symmetric(self, tmp_path):
+        path = tmp_path / "k.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        d = read_matrix_market(path).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_integer_field(self, tmp_path):
+        path = tmp_path / "i.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "1 1 1\n1 1 7\n"
+        )
+        assert read_matrix_market(path).data[0] == 7.0
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "%%MatrixMarket matrix array real general",
+            "%%MatrixMarket matrix coordinate complex general",
+            "%%MatrixMarket vector coordinate real general",
+            "%%MatrixMarket matrix coordinate real hermitian",
+            "%%Wrong header",
+        ],
+    )
+    def test_unsupported_headers(self, tmp_path, header):
+        path = tmp_path / "bad.mtx"
+        path.write_text(header + "\n1 1 0\n")
+        with pytest.raises(FormatError):
+            read_matrix_market(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "t.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n"
+        )
+        with pytest.raises(FormatError, match="ended"):
+            read_matrix_market(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n%another\n\n2 2 1\n% inline\n1 2 9.0\n"
+        )
+        assert read_matrix_market(path).to_dense()[0, 1] == 9.0
+
+
+class TestStats:
+    def test_flop_per_row_manual(self, small_square):
+        f = flop_per_row(small_square, small_square)
+        d = small_square.to_dense() != 0
+        expected = (d @ d.sum(axis=1)).astype(float)
+        np.testing.assert_allclose(f, expected)
+
+    def test_total_flop_empty_rows(self, small_square):
+        f = flop_per_row(small_square, small_square)
+        assert f[2] == 0 and f[5] == 0
+        assert total_flop(small_square, small_square) == f.sum()
+
+    def test_flop_shape_mismatch(self, rectangular_pair):
+        a, b = rectangular_pair
+        from repro import ShapeError
+
+        with pytest.raises(ShapeError):
+            flop_per_row(b, a)
+
+    def test_matrix_stats_consistency(self, medium_random):
+        st = matrix_stats("m", medium_random)
+        d = medium_random.to_dense()
+        assert st.nnz_c == int(((d @ d) != 0).sum())
+        assert st.flop == total_flop(medium_random, medium_random)
+        assert st.compression_ratio == pytest.approx(st.flop / st.nnz_c)
+
+    def test_compression_ratio_of_permutation(self):
+        # A permutation matrix squared: flop == nnz == n -> CR = 1.
+        from repro import csr_from_coo
+
+        n = 16
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(n)
+        p = csr_from_coo(n, n, np.arange(n), perm)
+        assert compression_ratio(p) == pytest.approx(1.0)
+
+    def test_row_skew_uniform_vs_skewed(self, uniform_graph, skewed_graph):
+        assert row_skew(uniform_graph) < row_skew(skewed_graph)
+
+    def test_table_row_formatting(self, medium_random):
+        st = matrix_stats("fancy_name", medium_random)
+        row_m = st.table_row(millions=True)
+        row_r = st.table_row(millions=False)
+        assert "fancy_name" in row_m and "fancy_name" in row_r
+
+    def test_edge_factor(self, uniform_graph):
+        st = matrix_stats("er", uniform_graph)
+        assert st.edge_factor == pytest.approx(uniform_graph.nnz / uniform_graph.nrows)

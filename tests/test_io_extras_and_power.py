@@ -1,0 +1,154 @@
+"""Tests for npz persistence, matrix_power, and more hypothesis coverage
+of the extension kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import ConfigError, FormatError, ShapeError, identity, random_csr, spgemm
+from repro.core.chain import matrix_power
+from repro.core.masked import masked_spgemm
+from repro.core.merge_spgemm import merge_sorted_lists
+from repro.matrix.io import load_npz, save_npz
+from repro.semiring import OR_AND, PLUS_TIMES
+
+COMMON = dict(
+    deadline=None, max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestNpz:
+    def test_roundtrip_preserves_everything(self, tmp_path, medium_random):
+        path = tmp_path / "m.npz"
+        save_npz(medium_random, path)
+        back = load_npz(path)
+        assert back.allclose(medium_random)
+        assert back.shape == medium_random.shape
+        assert back.sorted_rows == medium_random.sorted_rows
+
+    def test_unsorted_flag_survives(self, tmp_path, medium_random):
+        shuffled = medium_random.shuffle_rows(seed=1)
+        path = tmp_path / "u.npz"
+        save_npz(shuffled, path)
+        assert load_npz(path).sorted_rows == shuffled.sorted_rows
+
+    def test_empty_matrix(self, tmp_path):
+        from repro import csr_from_dense
+
+        z = csr_from_dense(np.zeros((4, 6)))
+        path = tmp_path / "z.npz"
+        save_npz(z, path)
+        back = load_npz(path)
+        assert back.shape == (4, 6) and back.nnz == 0
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(FormatError, match="not a repro CSR archive"):
+            load_npz(path)
+
+
+class TestMatrixPower:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+    def test_matches_dense_power(self, medium_random, k):
+        got = matrix_power(medium_random, k, algorithm="esc")
+        expected = np.linalg.matrix_power(medium_random.to_dense(), k)
+        np.testing.assert_allclose(got.to_dense(), expected, rtol=1e-9,
+                                   atol=1e-9)
+
+    def test_boolean_reachability(self):
+        # directed cycle of length 5: A^5 over or_and is the identity pattern
+        from repro import csr_from_coo
+
+        n = 5
+        a = csr_from_coo(n, n, np.arange(n), (np.arange(n) + 1) % n)
+        reach = matrix_power(a, n, semiring=OR_AND)
+        np.testing.assert_allclose(reach.to_dense(), np.eye(n))
+
+    def test_power_one_is_copyless_identity_case(self, medium_random):
+        assert matrix_power(medium_random, 1).allclose(medium_random)
+
+    def test_errors(self, rectangular_pair, medium_random):
+        with pytest.raises(ShapeError):
+            matrix_power(rectangular_pair[0], 2)
+        with pytest.raises(ConfigError):
+            matrix_power(medium_random, 0)
+
+
+@st.composite
+def sorted_unique_runs(draw, max_len=25, key_space=60):
+    n = draw(st.integers(0, max_len))
+    keys = draw(
+        st.lists(st.integers(0, key_space - 1), min_size=n, max_size=n,
+                 unique=True)
+    )
+    keys = np.array(sorted(keys), dtype=np.int64)
+    vals = draw(
+        arrays(np.float64, len(keys),
+               elements=st.floats(-5, 5, allow_nan=False, width=32))
+    )
+    return keys, vals
+
+
+class TestMergePropertyBased:
+    @given(a=sorted_unique_runs(), b=sorted_unique_runs())
+    @settings(**COMMON)
+    def test_merge_equals_dense_accumulate(self, a, b):
+        ca, va = a
+        cb, vb = b
+        cols, vals = merge_sorted_lists(ca, va, cb, vb, PLUS_TIMES)
+        dense = np.zeros(60)
+        dense[ca] += va
+        dense[cb] += vb
+        # output columns are exactly the union, sorted and unique
+        union = np.union1d(ca, cb)
+        np.testing.assert_array_equal(cols, union)
+        np.testing.assert_allclose(vals, dense[union], atol=1e-12)
+
+    @given(a=sorted_unique_runs(), b=sorted_unique_runs())
+    @settings(**COMMON)
+    def test_merge_commutative(self, a, b):
+        c1, v1 = merge_sorted_lists(*a, *b, PLUS_TIMES)
+        c2, v2 = merge_sorted_lists(*b, *a, PLUS_TIMES)
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_allclose(v1, v2, atol=1e-12)
+
+
+class TestMaskedPropertyBased:
+    @given(
+        seed=st.integers(0, 2**16),
+        density=st.floats(0.05, 0.4),
+        mask_density=st.floats(0.0, 0.6),
+        complement=st.booleans(),
+    )
+    @settings(**COMMON)
+    def test_masked_equals_multiply_then_mask(
+        self, seed, density, mask_density, complement
+    ):
+        a = random_csr(15, 15, density, seed=seed)
+        mask = random_csr(15, 15, mask_density, seed=seed + 1)
+        got = masked_spgemm(a, a, mask, complement=complement)
+        full = spgemm(a, a, algorithm="esc")
+        dense = full.to_dense()
+        keep = mask.to_dense() != 0
+        if complement:
+            keep = ~keep
+        dense[~keep] = 0.0
+        np.testing.assert_allclose(got.to_dense(), dense, atol=1e-12)
+
+
+class TestSummaPropertyBased:
+    @given(seed=st.integers(0, 2**16), p=st.integers(1, 4))
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_summa_equals_single_node(self, seed, p):
+        from repro.distributed import sparse_summa
+
+        a = random_csr(20, 20, 0.2, seed=seed)
+        c, report = sparse_summa(a, a, p, algorithm="esc")
+        ref = spgemm(a, a, algorithm="esc")
+        assert c.allclose(ref)
+        assert report.sent.sum() == report.received.sum()

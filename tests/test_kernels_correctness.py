@@ -1,0 +1,260 @@
+"""Correctness of every SpGEMM kernel against an independent dense oracle.
+
+Every algorithm x sortedness x semiring x thread-count combination must
+produce the mathematically identical product; this is the foundation the
+whole reproduction rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CSR,
+    ConfigError,
+    ShapeError,
+    available_algorithms,
+    csr_from_dense,
+    random_csr,
+    spgemm,
+)
+from repro.core.heap_spgemm import heap_spgemm
+from repro.core.scheduler import dynamic_assignment, guided_assignment
+from repro.matrix.stats import flop_per_row
+from repro.rmat import er_matrix, g500_matrix
+from repro.semiring import MIN_PLUS, OR_AND, PLUS_TIMES
+
+ALGOS = available_algorithms()
+
+
+def dense_product(a, b, semiring=PLUS_TIMES):
+    """Dense oracle over an arbitrary semiring, honouring implicit zeros."""
+    da, db = a.to_dense(), b.to_dense()
+    pa, pb = a.to_dense() != 0, b.to_dense() != 0
+    if semiring is PLUS_TIMES:
+        return da @ db
+    m, n = a.nrows, b.ncols
+    out = np.full((m, n), semiring.zero)
+    for i in range(m):
+        for j in range(n):
+            acc = semiring.zero
+            for k in range(a.ncols):
+                if pa[i, k] and pb[k, j]:
+                    acc = semiring.scalar_add(
+                        acc, semiring.scalar_mul(da[i, k], db[k, j])
+                    )
+            out[i, j] = acc
+    # convert semiring-zero back to 0 for comparison with to_dense()
+    out[out == semiring.zero] = 0.0
+    return out
+
+
+@pytest.mark.parametrize("algorithm", ALGOS)
+@pytest.mark.parametrize("sort_output", [True, False])
+class TestAllAlgorithms:
+    def test_square_random(self, algorithm, sort_output, medium_random):
+        c = spgemm(
+            medium_random, medium_random,
+            algorithm=algorithm, sort_output=sort_output, nthreads=3,
+        )
+        np.testing.assert_allclose(
+            c.to_dense(), medium_random.to_dense() @ medium_random.to_dense()
+        )
+        c.validate()
+
+    def test_rectangular(self, algorithm, sort_output, rectangular_pair):
+        a, b = rectangular_pair
+        c = spgemm(a, b, algorithm=algorithm, sort_output=sort_output)
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_unsorted_inputs(self, algorithm, sort_output, medium_random):
+        ua = medium_random.shuffle_rows(seed=1)
+        ub = medium_random.shuffle_rows(seed=2)
+        c = spgemm(ua, ub, algorithm=algorithm, sort_output=sort_output, nthreads=2)
+        np.testing.assert_allclose(
+            c.to_dense(), medium_random.to_dense() @ medium_random.to_dense()
+        )
+
+    def test_skewed_graph(self, algorithm, sort_output, skewed_graph):
+        c = spgemm(
+            skewed_graph, skewed_graph,
+            algorithm=algorithm, sort_output=sort_output, nthreads=4,
+        )
+        ref = (skewed_graph.to_scipy() @ skewed_graph.to_scipy()).toarray()
+        np.testing.assert_allclose(c.to_dense(), ref)
+
+    def test_empty_result(self, algorithm, sort_output):
+        a = csr_from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        b = csr_from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        c = spgemm(a, b, algorithm=algorithm, sort_output=sort_output)
+        assert c.nnz == 0 or not c.to_dense().any()
+
+    def test_empty_operands(self, algorithm, sort_output):
+        a = csr_from_dense(np.zeros((4, 5)))
+        b = csr_from_dense(np.zeros((5, 3)))
+        c = spgemm(a, b, algorithm=algorithm, sort_output=sort_output)
+        assert c.shape == (4, 3)
+        assert c.nnz == 0
+
+    def test_identity_multiplication(self, algorithm, sort_output, medium_random):
+        from repro import identity
+
+        i = identity(medium_random.nrows)
+        c = spgemm(i, medium_random, algorithm=algorithm, sort_output=sort_output)
+        assert c.allclose(medium_random)
+
+    def test_single_dense_row(self, algorithm, sort_output):
+        a = csr_from_dense(np.ones((1, 20)))
+        b = csr_from_dense(np.ones((20, 7)))
+        c = spgemm(a, b, algorithm=algorithm, sort_output=sort_output)
+        np.testing.assert_allclose(c.to_dense(), np.full((1, 7), 20.0))
+
+    def test_output_sortedness_flag_truthful(
+        self, algorithm, sort_output, medium_random
+    ):
+        c = spgemm(
+            medium_random, medium_random,
+            algorithm=algorithm, sort_output=sort_output,
+        )
+        assert c.sorted_rows == c._detect_sorted() or not c.sorted_rows
+        # when the flag says sorted, it must really be sorted
+        if c.sorted_rows:
+            assert c._detect_sorted()
+
+
+@pytest.mark.parametrize("algorithm", ["hash", "hashvec", "heap", "spa", "esc"])
+class TestSemirings:
+    def test_or_and(self, algorithm):
+        a = random_csr(20, 20, 0.15, seed=5, values="ones")
+        c = spgemm(a, a, algorithm=algorithm, semiring=OR_AND)
+        expected = ((a.to_dense() @ a.to_dense()) > 0).astype(float)
+        np.testing.assert_allclose(c.to_dense(), expected)
+
+    def test_min_plus(self, algorithm):
+        a = random_csr(15, 15, 0.2, seed=6)
+        c = spgemm(a, a, algorithm=algorithm, semiring=MIN_PLUS)
+        expected = dense_product(a, a, MIN_PLUS)
+        np.testing.assert_allclose(c.to_dense(), expected)
+
+    def test_min_plus_by_name(self, algorithm):
+        a = random_csr(10, 10, 0.3, seed=7)
+        c1 = spgemm(a, a, algorithm=algorithm, semiring="min_plus")
+        c2 = spgemm(a, a, algorithm=algorithm, semiring=MIN_PLUS)
+        assert c1.allclose(c2)
+
+
+class TestDispatcher:
+    def test_unknown_algorithm(self, small_square):
+        with pytest.raises(ConfigError, match="unknown algorithm"):
+            spgemm(small_square, small_square, algorithm="magic")
+
+    def test_shape_mismatch(self, small_square, rectangular_pair):
+        with pytest.raises(ShapeError):
+            spgemm(small_square, rectangular_pair[1])
+
+    def test_auto_uses_recipe(self, medium_random):
+        c = spgemm(medium_random, medium_random, algorithm="auto")
+        np.testing.assert_allclose(
+            c.to_dense(), medium_random.to_dense() @ medium_random.to_dense()
+        )
+
+    def test_heap_requires_sorted_b_direct_call(self, medium_random):
+        unsorted = medium_random.shuffle_rows(seed=3)
+        if unsorted.sorted_rows:
+            pytest.skip("shuffle produced sorted rows")
+        with pytest.raises(ConfigError, match="sorted"):
+            heap_spgemm(medium_random, unsorted)
+
+    def test_heap_dispatcher_sorts_transparently(self, medium_random):
+        unsorted = medium_random.shuffle_rows(seed=3)
+        c = spgemm(unsorted, unsorted, algorithm="heap")
+        np.testing.assert_allclose(
+            c.to_dense(), medium_random.to_dense() @ medium_random.to_dense()
+        )
+
+    def test_partition_override(self, medium_random):
+        flop = flop_per_row(medium_random, medium_random)
+        for make in (
+            lambda: dynamic_assignment(flop, 3, chunk=2),
+            lambda: guided_assignment(flop, 3),
+        ):
+            c = spgemm(
+                medium_random, medium_random,
+                algorithm="hash", partition=make(),
+            )
+            np.testing.assert_allclose(
+                c.to_dense(),
+                medium_random.to_dense() @ medium_random.to_dense(),
+            )
+
+    def test_partition_size_mismatch(self, medium_random, small_square):
+        from repro import rows_to_threads
+
+        p = rows_to_threads(small_square, small_square, 2)
+        with pytest.raises(ConfigError, match="partition"):
+            spgemm(medium_random, medium_random, algorithm="hash", partition=p)
+
+    def test_vector_bits_variants(self, medium_random):
+        for bits in (128, 256, 512):
+            c = spgemm(
+                medium_random, medium_random,
+                algorithm="hashvec", vector_bits=bits,
+            )
+            np.testing.assert_allclose(
+                c.to_dense(),
+                medium_random.to_dense() @ medium_random.to_dense(),
+            )
+
+
+class TestTable1Registry:
+    def test_paper_rows_present(self):
+        from repro.core.spgemm import ALGORITHMS
+
+        assert ALGORITHMS["heap"].phases == 1
+        assert ALGORITHMS["heap"].input_sorted == "sorted"
+        assert ALGORITHMS["heap"].output_sorted == "sorted"
+        assert ALGORITHMS["hash"].phases == 2
+        assert ALGORITHMS["hash"].output_sorted == "select"
+        assert ALGORITHMS["mkl_inspector"].output_sorted == "unsorted"
+        assert ALGORITHMS["kokkos"].accumulator == "HashMap"
+        assert ALGORITHMS["mkl"].is_proxy and ALGORITHMS["kokkos"].is_proxy
+
+    def test_table_rows_render(self):
+        from repro.core.spgemm import ALGORITHMS
+
+        for info in ALGORITHMS.values():
+            line = info.table_row()
+            assert info.name in line
+
+
+class TestNumericEdgeCases:
+    def test_cancellation_keeps_explicit_zero(self):
+        # +1 * 1 and -1 * 1 cancel: symbolic pattern keeps the entry at 0.0
+        a = csr_from_dense(np.array([[1.0, -1.0]]))
+        b = csr_from_dense(np.array([[1.0], [1.0]]))
+        for alg in ("hash", "heap", "spa", "esc"):
+            c = spgemm(a, b, algorithm=alg)
+            assert c.nnz == 1
+            assert c.data[0] == 0.0
+
+    def test_negative_values(self, rng):
+        a = random_csr(25, 25, 0.2, seed=8, values="pm1")
+        for alg in ALGOS:
+            c = spgemm(a, a, algorithm=alg)
+            np.testing.assert_allclose(
+                c.to_dense(), a.to_dense() @ a.to_dense(), atol=1e-12
+            )
+
+    def test_large_values_precision(self):
+        a = csr_from_dense(np.array([[1e15, 1.0], [0.0, 1e-15]]))
+        for alg in ("hash", "heap", "spa", "esc"):
+            c = spgemm(a, a, algorithm=alg)
+            np.testing.assert_allclose(
+                c.to_dense(), a.to_dense() @ a.to_dense(), rtol=1e-12
+            )
+
+    def test_all_kernels_agree_at_scale(self):
+        g = g500_matrix(9, 12, seed=21)
+        ref = spgemm(g, g, algorithm="esc")
+        for alg in ALGOS:
+            c = spgemm(g, g, algorithm=alg, nthreads=5, sort_output=True)
+            assert c.allclose(ref), alg

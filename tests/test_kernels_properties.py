@@ -1,0 +1,171 @@
+"""Hypothesis property tests: kernel equivalence and structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import CSR, csr_from_coo, csr_from_dense, spgemm
+from repro.core.accumulators import lowest_p2
+from repro.core.scheduler import rows_to_threads
+from repro.matrix.stats import flop_per_row
+
+COMMON = dict(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def csr_matrices(draw, max_dim=24, square=False):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = nrows if square else draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, nrows * ncols))
+    if nnz:
+        rows = draw(
+            arrays(np.int64, nnz, elements=st.integers(0, nrows - 1))
+        )
+        cols = draw(
+            arrays(np.int64, nnz, elements=st.integers(0, ncols - 1))
+        )
+        vals = draw(
+            arrays(
+                np.float64,
+                nnz,
+                elements=st.floats(-8, 8, allow_nan=False, width=32),
+            )
+        )
+    else:
+        rows = np.empty(0, np.int64)
+        cols = np.empty(0, np.int64)
+        vals = np.empty(0, np.float64)
+    sort = draw(st.booleans())
+    return csr_from_coo(nrows, ncols, rows, cols, vals, sort_rows=sort)
+
+
+@st.composite
+def csr_pairs(draw, max_dim=18):
+    a = draw(csr_matrices(max_dim=max_dim))
+    inner = a.ncols
+    ncols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, inner * ncols))
+    rows = (
+        draw(arrays(np.int64, nnz, elements=st.integers(0, inner - 1)))
+        if nnz
+        else np.empty(0, np.int64)
+    )
+    cols = (
+        draw(arrays(np.int64, nnz, elements=st.integers(0, ncols - 1)))
+        if nnz
+        else np.empty(0, np.int64)
+    )
+    vals = (
+        draw(
+            arrays(
+                np.float64,
+                nnz,
+                elements=st.floats(-8, 8, allow_nan=False, width=32),
+            )
+        )
+        if nnz
+        else np.empty(0, np.float64)
+    )
+    b = csr_from_coo(inner, ncols, rows, cols, vals, sort_rows=draw(st.booleans()))
+    return a, b
+
+
+class TestCsrInvariants:
+    @given(m=csr_matrices())
+    @settings(**COMMON)
+    def test_validate_passes_on_generated(self, m):
+        m.validate()
+
+    @given(m=csr_matrices())
+    @settings(**COMMON)
+    def test_dense_roundtrip(self, m):
+        back = csr_from_dense(m.to_dense())
+        # entries that became exactly 0 by duplicate-summing may drop
+        np.testing.assert_allclose(back.to_dense(), m.to_dense())
+
+    @given(m=csr_matrices())
+    @settings(**COMMON)
+    def test_sort_preserves_matrix(self, m):
+        assert m.sort_rows().allclose(m)
+
+    @given(m=csr_matrices(), seed=st.integers(0, 2**16))
+    @settings(**COMMON)
+    def test_shuffle_preserves_matrix(self, m, seed):
+        assert m.shuffle_rows(seed=seed).allclose(m)
+
+    @given(m=csr_matrices())
+    @settings(**COMMON)
+    def test_transpose_involution(self, m):
+        from repro.matrix.ops import transpose
+
+        assert transpose(transpose(m)).allclose(m)
+
+
+class TestKernelEquivalence:
+    @given(pair=csr_pairs())
+    @settings(**COMMON)
+    def test_all_kernels_match_dense(self, pair):
+        a, b = pair
+        expected = a.to_dense() @ b.to_dense()
+        for alg in ("hash", "hashvec", "heap", "spa", "esc", "kokkos"):
+            c = spgemm(a, b, algorithm=alg, nthreads=2)
+            np.testing.assert_allclose(
+                c.to_dense(), expected, atol=1e-9, rtol=1e-9
+            )
+
+    @given(pair=csr_pairs())
+    @settings(**COMMON)
+    def test_sorted_unsorted_same_matrix(self, pair):
+        a, b = pair
+        cs = spgemm(a, b, algorithm="hash", sort_output=True)
+        cu = spgemm(a, b, algorithm="hash", sort_output=False)
+        assert cs.allclose(cu)
+
+    @given(pair=csr_pairs(), nthreads=st.integers(1, 7))
+    @settings(**COMMON)
+    def test_thread_count_invariance(self, pair, nthreads):
+        a, b = pair
+        c1 = spgemm(a, b, algorithm="hash", nthreads=1)
+        cn = spgemm(a, b, algorithm="hash", nthreads=nthreads)
+        assert c1.allclose(cn)
+
+    @given(pair=csr_pairs())
+    @settings(**COMMON)
+    def test_output_pattern_equals_symbolic(self, pair):
+        from repro.core.symbolic import symbolic_row_nnz
+
+        a, b = pair
+        c = spgemm(a, b, algorithm="hash")
+        np.testing.assert_array_equal(symbolic_row_nnz(a, b), c.row_nnz())
+
+
+class TestSchedulerProperties:
+    @given(pair=csr_pairs(), nthreads=st.integers(1, 9))
+    @settings(**COMMON)
+    def test_partition_covers_and_balances(self, pair, nthreads):
+        a, b = pair
+        p = rows_to_threads(a, b, nthreads)
+        flop = flop_per_row(a, b)
+        loads = p.thread_loads(flop)
+        assert loads.sum() == pytest.approx(flop.sum())
+        if flop.sum() > 0:
+            # contiguous balanced partition bound
+            assert loads.max() <= flop.sum() / nthreads + flop.max() + 1e-9
+
+
+class TestLowestP2:
+    @given(x=st.integers(0, 2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_power_of_two_and_bounds(self, x):
+        p = lowest_p2(x)
+        assert p >= 1
+        assert p & (p - 1) == 0  # power of two
+        assert p >= x
+        if x > 1:
+            assert p < 2 * x

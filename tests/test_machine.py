@@ -1,0 +1,220 @@
+"""Machine-model tests: each model must reproduce its paper microbenchmark's
+qualitative structure (Figs. 2, 4, 5 and Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError
+from repro.machine import (
+    HASWELL,
+    KNL,
+    MemoryMode,
+    aggregate_bandwidth,
+    allocation_cost,
+    deallocation_cost,
+    loop_scheduling_cost,
+    stanza_bandwidth,
+)
+
+
+class TestSpecs:
+    def test_table3_values(self):
+        assert KNL.cores == 68 and KNL.smt == 4 and KNL.max_threads == 272
+        assert HASWELL.cores == 32 and HASWELL.smt == 2 and HASWELL.max_threads == 64
+        assert KNL.clock_ghz == 1.4 and HASWELL.clock_ghz == 2.3
+        assert KNL.vector_bits == 512 and HASWELL.vector_bits == 256
+        assert KNL.l3_per_core_bytes == 0  # Table 3: no L3 on KNL
+
+    def test_effective_parallelism_monotone(self):
+        for m in (KNL, HASWELL):
+            eff = [m.effective_parallelism(t) for t in range(1, m.max_threads + 1)]
+            assert all(b >= a for a, b in zip(eff, eff[1:]))
+
+    def test_linear_until_cores(self):
+        assert KNL.effective_parallelism(68) == 68
+        assert KNL.effective_parallelism(34) == 34
+
+    def test_smt_adds_less_than_linear(self):
+        eff_272 = KNL.effective_parallelism(272)
+        assert 68 < eff_272 < 272
+
+    def test_smt_slowdown_bounds(self):
+        assert KNL.smt_slowdown(1) == 1.0
+        assert KNL.smt_slowdown(272) > 1.0
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigError):
+            KNL.effective_parallelism(0)
+
+
+class TestSchedulingModel:
+    """Figure 2's structure."""
+
+    def test_static_flat_then_linear(self):
+        small = loop_scheduling_cost(KNL, "static", 2**5)
+        mid = loop_scheduling_cost(KNL, "static", 2**12)
+        big = loop_scheduling_cost(KNL, "static", 2**19)
+        assert mid == pytest.approx(small, rel=0.1)  # flat region
+        assert big > 1.5 * small  # eventually rises
+
+    def test_dynamic_linear_in_iterations(self):
+        a = loop_scheduling_cost(KNL, "dynamic", 2**15)
+        b = loop_scheduling_cost(KNL, "dynamic", 2**16)
+        assert b == pytest.approx(2 * a, rel=0.15)
+
+    def test_dynamic_much_worse_than_static_at_scale(self):
+        for m in (KNL, HASWELL):
+            st = loop_scheduling_cost(m, "static", 2**19)
+            dy = loop_scheduling_cost(m, "dynamic", 2**19)
+            assert dy > 20 * st
+
+    def test_knl_worse_than_haswell(self):
+        for pol in ("static", "dynamic", "guided"):
+            assert loop_scheduling_cost(KNL, pol, 2**19) > loop_scheduling_cost(
+                HASWELL, pol, 2**19
+            )
+
+    def test_guided_close_to_dynamic_on_knl(self):
+        """Paper: 'guided scheduling is also as expensive as dynamic
+        scheduling, especially on the KNL processor'."""
+        dy = loop_scheduling_cost(KNL, "dynamic", 2**19)
+        gu = loop_scheduling_cost(KNL, "guided", 2**19)
+        assert 0.5 * dy < gu <= dy
+
+    def test_guided_between_on_haswell(self):
+        st = loop_scheduling_cost(HASWELL, "static", 2**19)
+        dy = loop_scheduling_cost(HASWELL, "dynamic", 2**19)
+        gu = loop_scheduling_cost(HASWELL, "guided", 2**19)
+        assert st < gu < dy
+
+    def test_balanced_cheap(self):
+        ba = loop_scheduling_cost(KNL, "balanced", 2**19)
+        dy = loop_scheduling_cost(KNL, "dynamic", 2**19)
+        assert ba < dy / 10
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            loop_scheduling_cost(KNL, "fifo", 100)
+        with pytest.raises(ConfigError):
+            loop_scheduling_cost(KNL, "static", -1)
+
+
+class TestAllocatorModel:
+    """Figure 4's structure (KNL, 256 threads)."""
+
+    def test_1gb_single_dealloc_over_100ms(self):
+        assert deallocation_cost(KNL, 1 << 30, scheme="single") > 0.1
+
+    def test_small_blocks_cheap(self):
+        assert deallocation_cost(KNL, 1 << 20, scheme="single") < 1e-4
+
+    def test_parallel_beats_single_for_large(self):
+        big = 8 << 30
+        single = deallocation_cost(KNL, big, scheme="single", nthreads=256)
+        parallel = deallocation_cost(KNL, big, scheme="parallel", nthreads=256)
+        assert parallel < single / 50
+
+    def test_parallel_worse_for_small(self):
+        """Paper: parallel deallocation of small memory costs more than
+        single due to OpenMP scheduling/synchronization overheads."""
+        small = 4 << 20
+        single = deallocation_cost(KNL, small, scheme="single", nthreads=256)
+        parallel = deallocation_cost(KNL, small, scheme="parallel", nthreads=256)
+        assert parallel > single
+
+    def test_cpp_parallel_jump_at_8gb(self):
+        below = deallocation_cost(
+            KNL, 6 << 30, allocator="cpp", scheme="parallel", nthreads=256
+        )
+        above = deallocation_cost(
+            KNL, 16 << 30, allocator="cpp", scheme="parallel", nthreads=256
+        )
+        assert above > 10 * below
+
+    def test_tbb_parallel_flat_until_64gb(self):
+        at_32g = deallocation_cost(
+            KNL, 32 << 30, allocator="tbb", scheme="parallel", nthreads=256
+        )
+        at_128g = deallocation_cost(
+            KNL, 128 << 30, allocator="tbb", scheme="parallel", nthreads=256
+        )
+        assert at_128g > 10 * at_32g
+
+    def test_tbb_threshold_higher_than_cpp(self):
+        size = 64 << 20  # between the two single-thread thresholds
+        cpp = deallocation_cost(KNL, size, allocator="cpp", scheme="single")
+        tbb = deallocation_cost(KNL, size, allocator="tbb", scheme="single")
+        assert tbb < cpp
+
+    def test_aligned_behaves_like_cpp(self):
+        """Paper: 'aligned allocation showed nearly same performance as C++'."""
+        size = 1 << 30
+        assert deallocation_cost(
+            KNL, size, allocator="aligned", scheme="single"
+        ) == deallocation_cost(KNL, size, allocator="cpp", scheme="single")
+
+    def test_allocation_cheaper_than_deallocation(self):
+        size = 1 << 30
+        assert allocation_cost(KNL, size, scheme="single") < deallocation_cost(
+            KNL, size, scheme="single"
+        )
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            deallocation_cost(KNL, -5)
+        with pytest.raises(ConfigError):
+            deallocation_cost(KNL, 10, allocator="jemalloc")
+        with pytest.raises(ConfigError):
+            deallocation_cost(KNL, 10, scheme="magic")
+
+
+class TestMemoryModel:
+    """Figure 5's structure."""
+
+    def test_mcdram_over_3x_at_long_stanza(self):
+        ddr = stanza_bandwidth(KNL, 16384, MemoryMode.FLAT_DDR)
+        mcd = stanza_bandwidth(KNL, 16384, MemoryMode.CACHE)
+        assert mcd / ddr > 3.4
+
+    def test_no_benefit_at_8_bytes(self):
+        """Paper: 'When the stanza length is small, there is little benefit
+        of using MCDRAM.'"""
+        ddr = stanza_bandwidth(KNL, 8, MemoryMode.FLAT_DDR)
+        mcd = stanza_bandwidth(KNL, 8, MemoryMode.CACHE)
+        assert mcd < 1.1 * ddr
+
+    def test_bandwidth_monotone_in_stanza(self):
+        for mode in MemoryMode:
+            bws = [stanza_bandwidth(KNL, 2**k, mode) for k in range(3, 15)]
+            assert all(b >= a for a, b in zip(bws, bws[1:]))
+
+    def test_capacity_spill_degrades_cache_mode(self):
+        fits = stanza_bandwidth(KNL, 4096, MemoryMode.CACHE,
+                                working_set_bytes=8e9)
+        spills = stanza_bandwidth(KNL, 4096, MemoryMode.CACHE,
+                                  working_set_bytes=64e9)
+        assert spills < fits
+        # and degrades toward (but not below) DDR
+        ddr = stanza_bandwidth(KNL, 4096, MemoryMode.FLAT_DDR)
+        assert spills > ddr * 0.99
+
+    def test_haswell_modes_coincide(self):
+        for stanza in (8, 256, 8192):
+            assert stanza_bandwidth(
+                HASWELL, stanza, MemoryMode.CACHE
+            ) == stanza_bandwidth(HASWELL, stanza, MemoryMode.FLAT_DDR)
+
+    def test_aggregate_saturates(self):
+        one = aggregate_bandwidth(KNL, 4096, 1)
+        some = aggregate_bandwidth(KNL, 4096, 32)
+        full = aggregate_bandwidth(KNL, 4096, 272)
+        assert one < some <= full
+        assert full <= stanza_bandwidth(KNL, 4096, MemoryMode.CACHE)
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            stanza_bandwidth(KNL, 0)
+        with pytest.raises(ConfigError):
+            aggregate_bandwidth(KNL, 64, 0)
+        with pytest.raises(ValueError):
+            stanza_bandwidth(KNL, 64, "weird-mode")

@@ -1,0 +1,287 @@
+"""Tests for structural/elementwise CSR operations."""
+
+import numpy as np
+import pytest
+
+from repro import ShapeError
+from repro.matrix.ops import (
+    add,
+    degree_reorder,
+    elementwise_multiply,
+    hstack_columns,
+    permute_columns,
+    permute_rows,
+    prune,
+    scale_columns,
+    scale_rows,
+    select_columns,
+    spmv,
+    transpose,
+    triangular_split,
+    tril_strict,
+    triu_strict,
+)
+from repro.semiring import MIN_PLUS, OR_AND
+
+
+class TestTranspose:
+    def test_against_dense(self, medium_random):
+        np.testing.assert_allclose(
+            transpose(medium_random).to_dense(), medium_random.to_dense().T
+        )
+
+    def test_output_sorted(self, medium_random):
+        t = transpose(medium_random.shuffle_rows(seed=1))
+        assert t.sorted_rows
+        t.validate()
+
+    def test_double_transpose_identity(self, rectangular_pair):
+        a, _ = rectangular_pair
+        assert transpose(transpose(a)).allclose(a)
+
+    def test_rectangular_shape(self, rectangular_pair):
+        a, _ = rectangular_pair
+        assert transpose(a).shape == (a.ncols, a.nrows)
+
+
+class TestPermutations:
+    def test_permute_columns_dense(self, medium_random, rng):
+        perm = rng.permutation(medium_random.ncols)
+        out = permute_columns(medium_random, perm)
+        expected = np.zeros_like(medium_random.to_dense())
+        expected[:, perm] = medium_random.to_dense()
+        np.testing.assert_allclose(out.to_dense(), expected)
+
+    def test_permute_columns_marks_unsorted(self, medium_random, rng):
+        perm = rng.permutation(medium_random.ncols)
+        out = permute_columns(medium_random, perm)
+        assert out.sorted_rows == out._detect_sorted()
+        sorted_out = permute_columns(medium_random, perm, sort_rows=True)
+        assert sorted_out.sorted_rows
+        assert sorted_out.allclose(out)
+
+    def test_permute_rows_dense(self, medium_random, rng):
+        perm = rng.permutation(medium_random.nrows)
+        out = permute_rows(medium_random, perm)
+        np.testing.assert_allclose(out.to_dense(), medium_random.to_dense()[perm])
+
+    def test_permute_wrong_length(self, medium_random):
+        with pytest.raises(ShapeError):
+            permute_rows(medium_random, np.arange(3))
+        with pytest.raises(ShapeError):
+            permute_columns(medium_random, np.arange(3))
+
+    def test_identity_permutation(self, medium_random):
+        n = medium_random.nrows
+        assert permute_rows(medium_random, np.arange(n)).allclose(medium_random)
+
+
+class TestSelection:
+    def test_select_columns_dense(self, medium_random, rng):
+        cols = rng.choice(medium_random.ncols, 10, replace=False)
+        out = select_columns(medium_random, cols)
+        np.testing.assert_allclose(
+            out.to_dense(), medium_random.to_dense()[:, cols]
+        )
+        out.validate()
+
+    def test_select_preserves_order_of_request(self, medium_random):
+        cols = np.array([5, 2, 9])
+        out = select_columns(medium_random, cols)
+        np.testing.assert_allclose(
+            out.to_dense(), medium_random.to_dense()[:, cols]
+        )
+
+    def test_hstack(self, medium_random):
+        both = hstack_columns([medium_random, medium_random])
+        assert both.ncols == 2 * medium_random.ncols
+        np.testing.assert_allclose(
+            both.to_dense(),
+            np.hstack([medium_random.to_dense(), medium_random.to_dense()]),
+        )
+
+    def test_hstack_rejects_mismatched_rows(self, medium_random, small_square):
+        with pytest.raises(ShapeError):
+            hstack_columns([medium_random, small_square])
+
+    def test_hstack_empty_list(self):
+        with pytest.raises(ShapeError):
+            hstack_columns([])
+
+
+class TestTriangular:
+    def test_split_reassembles(self, symmetric_adjacency):
+        low, up = triangular_split(symmetric_adjacency)
+        np.testing.assert_allclose(
+            low.to_dense() + up.to_dense(), symmetric_adjacency.to_dense()
+        )
+
+    def test_strictness(self, small_square):
+        low = tril_strict(small_square)
+        up = triu_strict(small_square)
+        rows_l = np.repeat(np.arange(8), low.row_nnz())
+        assert (low.indices < rows_l).all()
+        rows_u = np.repeat(np.arange(8), up.row_nnz())
+        assert (up.indices > rows_u).all()
+
+    def test_degree_reorder_sorts_degrees(self, symmetric_adjacency):
+        out, perm = degree_reorder(symmetric_adjacency)
+        deg = out.row_nnz()
+        assert (np.diff(deg) >= 0).all()
+
+    def test_degree_reorder_is_similarity_transform(self, symmetric_adjacency):
+        out, perm = degree_reorder(symmetric_adjacency)
+        d = symmetric_adjacency.to_dense()
+        np.testing.assert_allclose(out.to_dense(), d[np.ix_(perm, perm)])
+
+    def test_degree_reorder_requires_square(self, rectangular_pair):
+        with pytest.raises(ShapeError):
+            degree_reorder(rectangular_pair[0])
+
+
+class TestElementwise:
+    def test_add_dense(self, medium_random):
+        other = medium_random.shuffle_rows(seed=8)
+        np.testing.assert_allclose(
+            add(medium_random, other).to_dense(), 2 * medium_random.to_dense()
+        )
+
+    def test_add_min_plus_semiring(self, small_square):
+        out = add(small_square, small_square, MIN_PLUS)
+        np.testing.assert_allclose(
+            out.data, small_square.sort_rows().data
+        )
+
+    def test_ewise_multiply_dense(self, medium_random, rng):
+        from repro import csr_from_dense
+
+        other = csr_from_dense((rng.random(medium_random.shape) < 0.2) * 1.0)
+        out = elementwise_multiply(medium_random, other)
+        np.testing.assert_allclose(
+            out.to_dense(), medium_random.to_dense() * other.to_dense()
+        )
+
+    def test_ewise_multiply_disjoint_empty(self, small_square):
+        from repro import csr_from_dense
+
+        disjoint = csr_from_dense(
+            (small_square.to_dense() == 0).astype(float)
+        )
+        assert elementwise_multiply(small_square, disjoint).nnz == 0
+
+    def test_shape_mismatch(self, small_square, medium_random):
+        with pytest.raises(ShapeError):
+            add(small_square, medium_random)
+        with pytest.raises(ShapeError):
+            elementwise_multiply(small_square, medium_random)
+
+
+class TestVectorAndScaling:
+    def test_spmv_dense(self, medium_random, rng):
+        x = rng.random(medium_random.ncols)
+        np.testing.assert_allclose(
+            spmv(medium_random, x), medium_random.to_dense() @ x
+        )
+
+    def test_spmv_empty_rows_get_zero(self, small_square, rng):
+        x = rng.random(8)
+        out = spmv(small_square, x)
+        assert out[2] == 0.0 and out[5] == 0.0
+
+    def test_spmv_or_and(self, small_square):
+        x = np.ones(8)
+        out = spmv(small_square, x, OR_AND)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_spmv_wrong_length(self, small_square):
+        with pytest.raises(ShapeError):
+            spmv(small_square, np.ones(3))
+
+    def test_prune(self, small_square):
+        out = prune(small_square, 2.0)
+        assert (np.abs(out.data) > 2.0).all()
+        out.validate()
+
+    def test_scale_rows_and_columns(self, small_square, rng):
+        r = rng.random(8) + 0.5
+        c = rng.random(8) + 0.5
+        np.testing.assert_allclose(
+            scale_rows(small_square, r).to_dense(),
+            np.diag(r) @ small_square.to_dense(),
+        )
+        np.testing.assert_allclose(
+            scale_columns(small_square, c).to_dense(),
+            small_square.to_dense() @ np.diag(c),
+        )
+
+    def test_scale_wrong_length(self, small_square):
+        with pytest.raises(ShapeError):
+            scale_rows(small_square, np.ones(2))
+        with pytest.raises(ShapeError):
+            scale_columns(small_square, np.ones(2))
+
+
+class TestSymmetryHelpers:
+    def test_diag_vector(self, small_square):
+        from repro.matrix.ops import diag_vector
+
+        np.testing.assert_allclose(
+            diag_vector(small_square), np.diag(small_square.to_dense())
+        )
+
+    def test_diag_vector_rectangular(self, rectangular_pair):
+        from repro.matrix.ops import diag_vector
+
+        a, _ = rectangular_pair
+        d = diag_vector(a)
+        assert len(d) == min(a.shape)
+
+    def test_is_structurally_symmetric(self, symmetric_adjacency, small_square):
+        from repro.matrix.ops import is_structurally_symmetric
+
+        assert is_structurally_symmetric(symmetric_adjacency)
+        assert not is_structurally_symmetric(small_square)
+
+    def test_rectangular_never_symmetric(self, rectangular_pair):
+        from repro.matrix.ops import is_structurally_symmetric
+
+        assert not is_structurally_symmetric(rectangular_pair[0])
+
+    def test_symmetrize(self, small_square):
+        from repro.matrix.ops import is_structurally_symmetric, symmetrize
+
+        sym = symmetrize(small_square)
+        assert is_structurally_symmetric(sym)
+        np.testing.assert_allclose(
+            sym.to_dense(),
+            small_square.to_dense() + small_square.to_dense().T,
+        )
+
+    def test_symmetrize_requires_square(self, rectangular_pair):
+        from repro.matrix.ops import symmetrize
+
+        with pytest.raises(ShapeError):
+            symmetrize(rectangular_pair[0])
+
+
+class TestKron:
+    def test_kron_matches_numpy(self, rng):
+        from repro import random_csr
+        from repro.matrix.ops import kron
+
+        a = random_csr(4, 6, 0.4, seed=11)
+        b = random_csr(5, 3, 0.5, seed=12)
+        np.testing.assert_allclose(
+            kron(a, b).to_dense(), np.kron(a.to_dense(), b.to_dense())
+        )
+
+    def test_kron_associativity_of_pattern(self):
+        from repro import random_csr
+        from repro.matrix.ops import kron
+
+        a = random_csr(3, 3, 0.6, seed=13)
+        b = random_csr(2, 2, 0.8, seed=14)
+        c = random_csr(2, 2, 0.8, seed=15)
+        lhs = kron(kron(a, b), c)
+        rhs = kron(a, kron(b, c))
+        assert lhs.allclose(rhs)

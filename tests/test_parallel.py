@@ -1,0 +1,75 @@
+"""Process-pool SpGEMM tests (real wall-clock parallel path)."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, ShapeError
+from repro.parallel import parallel_spgemm
+from repro.parallel.pool import row_block
+from repro.rmat import er_matrix, g500_matrix
+
+
+class TestRowBlock:
+    def test_slice_matches_dense(self, medium_random):
+        blk = row_block(medium_random, 10, 25)
+        np.testing.assert_allclose(
+            blk.to_dense(), medium_random.to_dense()[10:25]
+        )
+        blk.validate()
+
+    def test_empty_slice(self, medium_random):
+        blk = row_block(medium_random, 7, 7)
+        assert blk.nrows == 0 and blk.nnz == 0
+
+
+class TestParallelSpgemm:
+    def test_matches_serial(self):
+        g = g500_matrix(9, 8, seed=1)
+        serial = parallel_spgemm(g, g, nworkers=1)
+        parallel = parallel_spgemm(g, g, nworkers=4)
+        assert parallel.allclose(serial)
+
+    def test_various_worker_counts(self):
+        a = er_matrix(8, 6, seed=2)
+        ref = (a.to_scipy() @ a.to_scipy()).toarray()
+        for nw in (2, 3, 5):
+            c = parallel_spgemm(a, a, nworkers=nw)
+            np.testing.assert_allclose(c.to_dense(), ref)
+
+    def test_more_workers_than_rows(self, small_square):
+        c = parallel_spgemm(small_square, small_square, nworkers=6)
+        np.testing.assert_allclose(
+            c.to_dense(), small_square.to_dense() @ small_square.to_dense()
+        )
+
+    def test_hash_kernel_unsorted(self):
+        g = g500_matrix(8, 8, seed=3)
+        c = parallel_spgemm(g, g, algorithm="hash", sort_output=False, nworkers=3)
+        ref = (g.to_scipy() @ g.to_scipy()).toarray()
+        np.testing.assert_allclose(c.to_dense(), ref)
+
+    def test_rectangular(self, rectangular_pair):
+        a, b = rectangular_pair
+        c = parallel_spgemm(a, b, nworkers=2)
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_semiring(self):
+        g = er_matrix(7, 4, seed=4, values="ones")
+        c = parallel_spgemm(g, g, semiring="or_and", nworkers=2)
+        expected = ((g.to_dense() @ g.to_dense()) > 0).astype(float)
+        np.testing.assert_allclose(c.to_dense(), expected)
+
+    def test_shape_mismatch(self, small_square, rectangular_pair):
+        with pytest.raises(ShapeError):
+            parallel_spgemm(small_square, rectangular_pair[1])
+
+    def test_invalid_workers(self, small_square):
+        with pytest.raises(ConfigError):
+            parallel_spgemm(small_square, small_square, nworkers=0)
+
+    def test_empty_matrix(self):
+        from repro import csr_from_dense
+
+        z = csr_from_dense(np.zeros((5, 5)))
+        c = parallel_spgemm(z, z, nworkers=3)
+        assert c.nnz == 0

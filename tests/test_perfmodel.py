@@ -1,0 +1,295 @@
+"""Performance-model tests: exact quantities, cost structure, and the
+figure-level qualitative claims of the paper."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, KernelStats, spgemm
+from repro.machine import HASWELL, KNL, MemoryMode
+from repro.matrix.stats import total_flop
+from repro.perfmodel import (
+    CostParts,
+    ProblemQuantities,
+    SimConfig,
+    build_cost,
+    mflops_series,
+    simulate_spgemm,
+)
+from repro.rmat import er_matrix, g500_matrix
+
+
+@pytest.fixture(scope="module")
+def er12():
+    return er_matrix(12, 16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def g512():
+    return g500_matrix(12, 16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def q_er(er12):
+    return ProblemQuantities.compute(er12, er12)
+
+
+@pytest.fixture(scope="module")
+def q_g5(g512):
+    return ProblemQuantities.compute(g512, g512)
+
+
+class TestQuantities:
+    def test_flop_exact(self, er12, q_er):
+        assert q_er.total_flop == total_flop(er12, er12)
+
+    def test_nnz_c_exact(self, er12, q_er):
+        c = spgemm(er12, er12, algorithm="esc")
+        assert q_er.total_nnz_c == c.nnz
+        np.testing.assert_array_equal(q_er.nnz_c, c.row_nnz())
+
+    def test_compression_ratio(self, q_er):
+        assert q_er.compression_ratio == pytest.approx(
+            q_er.total_flop / q_er.total_nnz_c
+        )
+
+    def test_table_sizes_are_p2_and_bounded(self, q_g5):
+        sizes = q_g5.hash_table_size()
+        as_int = sizes.astype(np.int64)
+        assert ((as_int & (as_int - 1)) == 0).all()
+        bound = np.minimum(q_g5.flop, q_g5.ncols)
+        assert (sizes > bound).all()
+
+    def test_load_capped(self, q_g5):
+        assert (q_g5.hash_load() <= 0.95).all()
+
+    def test_collision_factor_at_least_one(self, q_g5):
+        assert (q_g5.collision_factor() >= 1.0).all()
+        assert q_g5.mean_collision_factor() >= 1.0
+
+    def test_instrumented_collision_factor_in_model_ballpark(self, g512, q_g5):
+        """The analytic probe estimate must agree with the measured kernel
+        within a small factor (both are averages over the same rows)."""
+        stats = KernelStats()
+        spgemm(g512, g512, algorithm="hash", stats=stats, nthreads=1)
+        measured = stats.hash_probes / max(2 * stats.flops, 1)
+        predicted = q_g5.mean_collision_factor()
+        assert 0.3 * predicted < measured < 3.0 * predicted
+
+    def test_byte_accounting_positive(self, q_er):
+        assert q_er.input_bytes() > 0
+        assert q_er.output_bytes() > 0
+        assert q_er.b_row_stanza_bytes() >= 12
+
+
+class TestCostParts:
+    @pytest.mark.parametrize(
+        "alg", ["hash", "hashvec", "heap", "spa", "mkl", "mkl_inspector", "kokkos", "esc"]
+    )
+    def test_builds_for_all_algorithms(self, q_er, alg):
+        parts = build_cost(alg, q_er, KNL, 64)
+        assert isinstance(parts, CostParts)
+        assert len(parts.per_thread_cycles) == 64
+        assert parts.per_thread_cycles.sum() > 0
+        assert parts.total_traffic_bytes > 0
+        assert parts.temp_bytes >= 0
+
+    def test_unknown_algorithm(self, q_er):
+        with pytest.raises(ConfigError):
+            build_cost("quantum", q_er, KNL, 4)
+
+    def test_sorted_costs_more_cycles(self, q_er):
+        s = build_cost("hash", q_er, KNL, 64, sort_output=True)
+        u = build_cost("hash", q_er, KNL, 64, sort_output=False)
+        assert s.per_thread_cycles.sum() > u.per_thread_cycles.sum()
+
+    def test_heap_temp_is_flop_bound(self, q_er):
+        parts = build_cost("heap", q_er, KNL, 64)
+        assert parts.temp_bytes == pytest.approx(q_er.total_flop * 12.0)
+
+    def test_balanced_partition_used_by_default(self, q_g5):
+        parts = build_cost("hash", q_g5, KNL, 16)
+        assert parts.partition.policy == "balanced"
+        parts_mkl = build_cost("mkl", q_g5, KNL, 16)
+        assert parts_mkl.partition.policy == "static"
+
+    def test_scheduling_override(self, q_g5):
+        parts = build_cost("heap", q_g5, KNL, 16, scheduling="dynamic")
+        assert parts.partition.policy == "dynamic"
+
+    def test_balanced_reduces_makespan_on_skew(self, q_g5):
+        bal = build_cost("hash", q_g5, KNL, 64, scheduling="balanced")
+        sta = build_cost("hash", q_g5, KNL, 64, scheduling="static")
+        assert bal.per_thread_cycles.max() < sta.per_thread_cycles.max()
+
+
+class TestSimulate:
+    def test_report_structure(self, q_er):
+        r = simulate_spgemm("hash", config=SimConfig(machine=KNL), quantities=q_er)
+        assert r.seconds > 0 and r.mflops > 0
+        assert set(r.breakdown) == {"compute", "serial", "memory", "sched", "alloc"}
+        assert sum(r.breakdown.values()) == pytest.approx(r.seconds)
+
+    def test_matrices_or_quantities_required(self):
+        with pytest.raises(ConfigError):
+            simulate_spgemm("hash")
+
+    def test_thread_bounds_enforced(self, q_er):
+        with pytest.raises(ConfigError):
+            simulate_spgemm(
+                "hash", config=SimConfig(machine=KNL, nthreads=500), quantities=q_er
+            )
+
+    def test_more_threads_faster(self, q_er):
+        t1 = simulate_spgemm(
+            "hash", config=SimConfig(machine=KNL, nthreads=1), quantities=q_er
+        )
+        t64 = simulate_spgemm(
+            "hash", config=SimConfig(machine=KNL, nthreads=64), quantities=q_er
+        )
+        assert t64.seconds < t1.seconds / 8
+
+    def test_mflops_series_shares_analysis(self, er12):
+        out = mflops_series(["hash", "heap"], er12, er12)
+        assert set(out) == {"hash", "heap"}
+        assert all(v > 0 for v in out.values())
+
+    def test_with_helper(self):
+        cfg = SimConfig(machine=KNL)
+        cfg64 = cfg.with_(nthreads=64)
+        assert cfg64.nthreads == 64 and cfg.nthreads is None
+
+
+class TestPaperQualitativeClaims:
+    """Each test pins one sentence of the paper to the model's output."""
+
+    def test_unsorted_faster_for_hash(self, q_er, q_g5):
+        for q in (q_er, q_g5):
+            s = simulate_spgemm(
+                "hash", config=SimConfig(machine=KNL, sort_output=True), quantities=q
+            )
+            u = simulate_spgemm(
+                "hash", config=SimConfig(machine=KNL, sort_output=False), quantities=q
+            )
+            assert u.seconds < s.seconds
+
+    def test_hash_beats_heap_on_skewed(self, q_g5):
+        """§4.2.4: Hash is better when compression ratio is large (G500)."""
+        cfg = SimConfig(machine=KNL)
+        hash_r = simulate_spgemm("hash", config=cfg, quantities=q_g5)
+        heap_r = simulate_spgemm("heap", config=cfg, quantities=q_g5)
+        assert hash_r.mflops > heap_r.mflops
+
+    def test_mkl_terrible_on_skewed(self):
+        """§5.4.2: 'the performance of MKL is terrible' for G500 — driven
+        by load imbalance, which grows with the skew of the input."""
+        g = g500_matrix(14, 16, seed=1)
+        q = ProblemQuantities.compute(g, g)
+        cfg = SimConfig(machine=KNL, sort_output=False)
+        mkl = simulate_spgemm("mkl", config=cfg, quantities=q)
+        hsh = simulate_spgemm("hash", config=cfg, quantities=q)
+        assert hsh.mflops > 2 * mkl.mflops
+
+    def test_balanced_beats_static_dynamic_guided_for_heap(self):
+        """Fig. 9: the 'balanced' scheme wins for Heap SpGEMM on G500
+        (static loses to load imbalance; dynamic/guided to dispatch
+        overhead, which matters most at small-to-mid scales)."""
+        g = g500_matrix(10, 16, seed=1)
+        q = ProblemQuantities.compute(g, g)
+        results = {}
+        for pol in ("balanced", "static", "dynamic", "guided"):
+            cfg = SimConfig(machine=KNL, scheduling=pol)
+            results[pol] = simulate_spgemm("heap", config=cfg, quantities=q).seconds
+        assert results["balanced"] < min(
+            results["static"], results["dynamic"], results["guided"]
+        )
+
+    def test_parallel_allocation_helps_heap_at_scale(self):
+        """Fig. 9: 'balanced parallel' beats 'balanced single' for larger
+        inputs (Heap's flop-sized temporaries dominate deallocation)."""
+        g = g500_matrix(13, 16, seed=2)
+        q = ProblemQuantities.compute(g, g)
+        par = simulate_spgemm(
+            "heap",
+            config=SimConfig(machine=KNL, memory_scheme="parallel",
+                             allocator="cpp"),
+            quantities=q,
+        )
+        sin = simulate_spgemm(
+            "heap",
+            config=SimConfig(machine=KNL, memory_scheme="single",
+                             allocator="cpp"),
+            quantities=q,
+        )
+        assert par.seconds < sin.seconds
+
+    def test_mcdram_helps_hash_on_dense_not_sparse(self):
+        """Fig. 10: Hash speedup from Cache mode grows with edge factor."""
+        speedups = []
+        for ef in (4, 32):
+            g = g500_matrix(11, ef, seed=3)
+            q = ProblemQuantities.compute(g, g)
+            cache = simulate_spgemm(
+                "hash",
+                config=SimConfig(machine=KNL, memory_mode=MemoryMode.CACHE),
+                quantities=q,
+            )
+            flat = simulate_spgemm(
+                "hash",
+                config=SimConfig(machine=KNL, memory_mode=MemoryMode.FLAT_DDR),
+                quantities=q,
+            )
+            speedups.append(flat.seconds / cache.seconds)
+        assert speedups[1] > speedups[0]
+        assert speedups[1] > 1.05
+
+    def test_heap_no_mcdram_benefit(self, q_g5):
+        """Fig. 10 / §5.3.2: Heap 'is not benefitted from high-bandwidth
+        MCDRAM because of its fine-grained memory accesses'."""
+        cache = simulate_spgemm(
+            "heap", config=SimConfig(machine=KNL, memory_mode=MemoryMode.CACHE),
+            quantities=q_g5,
+        )
+        flat = simulate_spgemm(
+            "heap", config=SimConfig(machine=KNL, memory_mode=MemoryMode.FLAT_DDR),
+            quantities=q_g5,
+        )
+        assert flat.seconds / cache.seconds < 1.15
+
+    def test_strong_scaling_shape(self, q_g5):
+        """Fig. 13: good scaling to 64 threads, further gains past 68."""
+        cfg = SimConfig(machine=KNL)
+        t1 = simulate_spgemm("hash", config=cfg.with_(nthreads=1), quantities=q_g5)
+        t64 = simulate_spgemm("hash", config=cfg.with_(nthreads=64), quantities=q_g5)
+        t272 = simulate_spgemm("hash", config=cfg.with_(nthreads=272), quantities=q_g5)
+        assert t1.seconds / t64.seconds > 8  # scales well to 64
+        assert t272.seconds < t64.seconds  # SMT still helps past cores
+
+    def test_mkl_unsorted_plateaus_past_cores(self):
+        """Fig. 13: 'MKL with unsorted output has no improvement over 68
+        threads' while hash keeps improving (on skewed inputs MKL even
+        degrades: the hub thread's share is indivisible and SMT slows it)."""
+        g = g500_matrix(14, 16, seed=1)
+        q = ProblemQuantities.compute(g, g)
+        cfg = SimConfig(machine=KNL, sort_output=False)
+        mkl68 = simulate_spgemm("mkl_inspector", config=cfg.with_(nthreads=68),
+                                quantities=q)
+        mkl272 = simulate_spgemm("mkl_inspector", config=cfg.with_(nthreads=272),
+                                 quantities=q)
+        hash68 = simulate_spgemm("hash", config=cfg.with_(nthreads=68),
+                                 quantities=q)
+        hash272 = simulate_spgemm("hash", config=cfg.with_(nthreads=272),
+                                  quantities=q)
+        mkl_gain = mkl68.seconds / mkl272.seconds
+        hash_gain = hash68.seconds / hash272.seconds
+        assert hash_gain > mkl_gain
+        assert mkl_gain < 1.02  # the plateau itself
+
+    def test_haswell_faster_than_knl_per_thread(self, q_er):
+        """Clock and OoO advantage: single-thread Haswell beats KNL."""
+        knl = simulate_spgemm(
+            "hash", config=SimConfig(machine=KNL, nthreads=1), quantities=q_er
+        )
+        hsw = simulate_spgemm(
+            "hash", config=SimConfig(machine=HASWELL, nthreads=1), quantities=q_er
+        )
+        assert hsw.seconds < knl.seconds

@@ -1,0 +1,131 @@
+"""Performance-profile and speedup-statistic tests."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError
+from repro.profiling import (
+    geometric_mean,
+    harmonic_mean_speedup,
+    performance_profile,
+    render_profile,
+    render_series,
+)
+
+
+@pytest.fixture
+def times():
+    # solver A best on p1/p2, B best on p3
+    return {
+        "A": {"p1": 1.0, "p2": 2.0, "p3": 6.0},
+        "B": {"p1": 2.0, "p2": 3.0, "p3": 3.0},
+        "C": {"p1": 4.0, "p2": 8.0, "p3": 12.0},
+    }
+
+
+class TestPerformanceProfile:
+    def test_ratios(self, times):
+        prof = performance_profile(times)
+        np.testing.assert_allclose(
+            prof.ratios,
+            [[1.0, 2.0, 4.0], [1.0, 1.5, 4.0], [2.0, 1.0, 4.0]],
+        )
+
+    def test_wins(self, times):
+        prof = performance_profile(times)
+        assert prof.wins("A") == pytest.approx(2 / 3)
+        assert prof.wins("B") == pytest.approx(1 / 3)
+        assert prof.wins("C") == 0.0
+
+    def test_rho_monotone_in_tau(self, times):
+        prof = performance_profile(times)
+        for s in prof.solvers:
+            rhos = [prof.rho(s, t) for t in (1.0, 1.5, 2.0, 4.0, 10.0)]
+            assert all(b >= a for a, b in zip(rhos, rhos[1:]))
+            assert rhos[-1] == 1.0  # every solver eventually covers all
+
+    def test_curve_shape(self, times):
+        prof = performance_profile(times)
+        taus, rho = prof.curve("A")
+        assert len(taus) == len(rho)
+        assert rho[-1] == 1.0
+
+    def test_worst_ratio(self, times):
+        prof = performance_profile(times)
+        assert prof.worst_ratio("C") == 4.0
+
+    def test_ranking_order(self, times):
+        prof = performance_profile(times)
+        names = [name for name, _ in prof.ranking()]
+        assert names.index("C") == 2  # C is dominated, always last
+
+    def test_paper_statement_example(self):
+        """'if algorithm A and B solve the same problem in 1 and 3 seconds,
+        their relative performance scores will be 1 and 3' (§5.4.5)."""
+        prof = performance_profile({"A": {"p": 1.0}, "B": {"p": 3.0}})
+        assert prof.ratios[0, 0] == 1.0 and prof.ratios[0, 1] == 3.0
+
+    def test_mismatched_problem_sets(self):
+        with pytest.raises(ConfigError):
+            performance_profile({"A": {"p": 1.0}, "B": {"q": 1.0}})
+
+    def test_empty_inputs(self):
+        with pytest.raises(ConfigError):
+            performance_profile({})
+        with pytest.raises(ConfigError):
+            performance_profile({"A": {}})
+
+    def test_nonpositive_time(self):
+        with pytest.raises(ConfigError):
+            performance_profile({"A": {"p": 0.0}})
+
+
+class TestSpeedups:
+    def test_harmonic_mean_known_value(self):
+        base = {"a": 2.0, "b": 4.0}
+        fast = {"a": 1.0, "b": 1.0}  # speedups 2 and 4
+        # harmonic mean of (2, 4) = 2 / (1/2 + 1/4) = 8/3
+        assert harmonic_mean_speedup(base, fast) == pytest.approx(8 / 3)
+
+    def test_harmonic_leq_arithmetic(self, rng):
+        base = {str(i): float(v) for i, v in enumerate(rng.random(20) + 0.5)}
+        fast = {k: v / (1 + rng.random()) for k, v in base.items()}
+        hm = harmonic_mean_speedup(base, fast)
+        am = np.mean([base[k] / fast[k] for k in base])
+        assert hm <= am + 1e-12
+
+    def test_no_common_problems(self):
+        with pytest.raises(ConfigError):
+            harmonic_mean_speedup({"a": 1.0}, {"b": 1.0})
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestAsciiRendering:
+    def test_series_contains_values_and_legend(self):
+        out = render_series(
+            "demo", "scale", [1, 2, 3],
+            {"hash": [10.0, 20.0, 30.0], "heap": [5.0, 5.0, 5.0]},
+        )
+        assert "demo" in out and "legend" in out
+        assert "hash" in out and "heap" in out
+
+    def test_series_log_scale(self):
+        out = render_series(
+            "log demo", "n", [1, 2], {"s": [1.0, 1000.0]}, log_y=True
+        )
+        assert "log10" in out
+
+    def test_profile_rendering(self, times):
+        prof = performance_profile(times)
+        out = render_profile("profiles", prof)
+        assert "wins@1.0" in out and "tau" in out
+
+    def test_series_handles_all_zero(self):
+        out = render_series("z", "x", [1], {"s": [0.0]})
+        assert "z" in out

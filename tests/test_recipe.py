@@ -1,0 +1,107 @@
+"""Recipe tests: Eq. (1)/(2) cost models and the Table-4 decision rules."""
+
+import numpy as np
+import pytest
+
+from repro import recommend
+from repro.core.recipe import (
+    hash_cost_model,
+    heap_cost_model,
+    recipe_table,
+)
+from repro.datasets import load_dataset
+from repro.matrix.ops import degree_reorder, triangular_split
+from repro.rmat import er_matrix, g500_matrix
+
+
+class TestCostModels:
+    def test_heap_cost_formula(self, small_square):
+        """Direct evaluation of Eq. (1) against the closed form."""
+        from repro.matrix.stats import flop_per_row
+
+        flop = flop_per_row(small_square, small_square)
+        nnz_a = small_square.row_nnz().astype(float)
+        expected = float(
+            (flop * np.log2(np.maximum(nnz_a, 2.0))).sum()
+        )
+        assert heap_cost_model(small_square, small_square) == pytest.approx(expected)
+
+    def test_hash_cost_sort_term_optional(self, medium_random):
+        sorted_cost = hash_cost_model(medium_random, medium_random, sort_output=True)
+        unsorted_cost = hash_cost_model(
+            medium_random, medium_random, sort_output=False
+        )
+        assert unsorted_cost < sorted_cost
+
+    def test_hash_cost_collision_factor_scales(self, medium_random):
+        c1 = hash_cost_model(
+            medium_random, medium_random, sort_output=False, collision_factor=1.0
+        )
+        c2 = hash_cost_model(
+            medium_random, medium_random, sort_output=False, collision_factor=2.0
+        )
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_eq_prediction_hash_wins_high_cr(self):
+        """§4.2.4: 'Hash SpGEMM tends to achieve superior performance to
+        Heap SpGEMM when nnz(c_i*) or flop/nnz is large' — the formulas
+        must order that way on a high-CR FEM proxy."""
+        m = load_dataset("cant", max_n=8000)
+        t_heap = heap_cost_model(m, m)
+        t_hash = hash_cost_model(m, m, sort_output=True)
+        assert t_hash < t_heap
+
+
+class TestRecommend:
+    def test_real_sorted_always_hash(self):
+        for name in ("cant", "mc2depi"):
+            m = load_dataset(name, max_n=6000)
+            d = recommend(m, sort_output=True)
+            assert d.algorithm == "hash", name
+
+    def test_real_unsorted_split_by_cr(self):
+        high_cr = load_dataset("cant", max_n=6000)
+        d = recommend(high_cr, sort_output=False)
+        assert d.algorithm == "mkl_inspector"
+        assert d.compression_ratio > 2.0
+        low_cr = load_dataset("mc2depi", max_n=6000)
+        d2 = recommend(low_cr, sort_output=False)
+        assert d2.algorithm == "hash"
+        assert d2.compression_ratio <= 2.0
+
+    def test_lxu_low_cr_heap(self):
+        m = load_dataset("patents_main", max_n=6000)
+        a, _ = degree_reorder(m)
+        low, up = triangular_split(a.sort_rows())
+        d = recommend(low, up, operation="lxu")
+        if d.compression_ratio <= 2.0:
+            assert d.algorithm == "heap"
+        else:
+            assert d.algorithm == "hash"
+
+    def test_synthetic_table4b(self):
+        er = er_matrix(9, 4, seed=1)   # sparse uniform
+        g5d = g500_matrix(9, 16, seed=1)  # dense skewed
+        assert recommend(er, synthetic=True, sort_output=True).algorithm == "heap"
+        assert recommend(er, synthetic=True, sort_output=False).algorithm == "hashvec"
+        assert recommend(g5d, synthetic=True, sort_output=True).algorithm == "hash"
+        assert recommend(g5d, synthetic=True, sort_output=False).algorithm == "hash"
+
+    def test_tallskinny_rules(self):
+        g5 = g500_matrix(9, 16, seed=2)
+        d_sorted = recommend(g5, operation="tallskinny", sort_output=True)
+        d_unsorted = recommend(g5, operation="tallskinny", sort_output=False)
+        assert d_unsorted.algorithm == "hash"
+        assert d_sorted.algorithm in ("hash", "hashvec")
+
+    def test_decision_carries_features(self, medium_random):
+        d = recommend(medium_random)
+        assert d.compression_ratio > 0
+        assert d.edge_factor > 0
+        assert d.skew >= 1.0
+        assert d.reason
+
+    def test_recipe_table_renders(self):
+        text = recipe_table()
+        assert "Table 4(a)" in text and "Table 4(b)" in text
+        assert "MKL-inspector" in text

@@ -1,0 +1,130 @@
+"""R-MAT generator tests: parameters, shapes, degree distributions."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError
+from repro.matrix.stats import row_skew
+from repro.rmat import (
+    ER_PARAMS,
+    G500_PARAMS,
+    RmatParams,
+    er_matrix,
+    g500_matrix,
+    rmat,
+    rmat_edges,
+    tall_skinny_from_columns,
+    tall_skinny_pair,
+)
+
+
+class TestParams:
+    def test_presets_sum_to_one(self):
+        for p in (ER_PARAMS, G500_PARAMS):
+            assert p.a + p.b + p.c + p.d == pytest.approx(1.0)
+
+    def test_paper_g500_values(self):
+        assert G500_PARAMS.a == 0.57
+        assert G500_PARAMS.b == G500_PARAMS.c == 0.19
+        assert G500_PARAMS.d == pytest.approx(0.05)
+
+    def test_invalid_sum_rejected(self):
+        with pytest.raises(ConfigError):
+            RmatParams(0.5, 0.5, 0.5, 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            RmatParams(1.2, -0.1, -0.05, -0.05)
+
+
+class TestEdges:
+    def test_edge_count_and_range(self):
+        r, c = rmat_edges(10, 5000, ER_PARAMS, seed=1)
+        assert len(r) == len(c) == 5000
+        assert r.min() >= 0 and r.max() < 1024
+        assert c.min() >= 0 and c.max() < 1024
+
+    def test_deterministic_by_seed(self):
+        a = rmat_edges(8, 100, G500_PARAMS, seed=5)
+        b = rmat_edges(8, 100, G500_PARAMS, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_seed_changes_output(self):
+        a = rmat_edges(8, 100, G500_PARAMS, seed=5)
+        b = rmat_edges(8, 100, G500_PARAMS, seed=6)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_scale_zero(self):
+        r, c = rmat_edges(0, 10, ER_PARAMS)
+        assert (r == 0).all() and (c == 0).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            rmat_edges(-1, 10)
+        with pytest.raises(ConfigError):
+            rmat_edges(4, -10)
+
+
+class TestMatrices:
+    def test_shape_and_nnz(self):
+        m = er_matrix(9, 8, seed=0)
+        assert m.shape == (512, 512)
+        # duplicates merge, so nnz <= n * ef, but should be close for ER
+        assert 0.85 * 512 * 8 <= m.nnz <= 512 * 8
+
+    def test_g500_is_skewed_er_is_not(self):
+        er = er_matrix(10, 16, seed=1)
+        g5 = g500_matrix(10, 16, seed=1)
+        assert row_skew(g5) > 3 * row_skew(er)
+
+    def test_exact_nnz_mode(self):
+        m = g500_matrix(8, 8, seed=2, exact_nnz=True)
+        assert m.nnz >= 256 * 8
+
+    def test_pattern_values(self):
+        m = er_matrix(7, 4, seed=3, values="ones")
+        assert (m.data == 1.0).all()
+
+    def test_bad_values_mode(self):
+        with pytest.raises(ConfigError):
+            rmat(6, 4, values="negative")
+
+    def test_symmetrize(self):
+        m = rmat(7, 6, seed=4, symmetrize=True, drop_diagonal=True)
+        d = m.to_dense()
+        np.testing.assert_array_equal(d != 0, (d != 0).T)
+        assert (np.diag(d) == 0).all()
+
+    def test_unsorted_generation(self):
+        m = er_matrix(8, 8, seed=5, sort_rows=False)
+        assert m.allclose(er_matrix(8, 8, seed=5, sort_rows=True))
+
+
+class TestTallSkinny:
+    def test_pair_shapes(self):
+        a, b = tall_skinny_pair(10, 6, edge_factor=8, seed=1)
+        assert a.shape == (1024, 1024)
+        assert b.shape == (1024, 64)
+        b.validate()
+
+    def test_columns_come_from_graph(self):
+        a, b = tall_skinny_pair(9, 5, edge_factor=8, seed=2)
+        # every selected column's nnz must match some column nnz of a
+        col_counts_a = np.bincount(a.indices, minlength=a.ncols)
+        col_counts_b = np.bincount(b.indices, minlength=b.ncols)
+        assert col_counts_b.sum() <= col_counts_a.sum()
+
+    def test_short_exceeds_long_rejected(self):
+        with pytest.raises(ConfigError):
+            tall_skinny_pair(6, 8)
+
+    def test_select_too_many_columns(self, medium_random):
+        with pytest.raises(ConfigError):
+            tall_skinny_from_columns(medium_random, medium_random.ncols + 1)
+
+    def test_selected_submatrix_values(self, medium_random):
+        sub = tall_skinny_from_columns(medium_random, 7, seed=9)
+        assert sub.shape == (medium_random.nrows, 7)
+        # selected columns are a subset: total nnz can't exceed original
+        assert sub.nnz <= medium_random.nnz

@@ -1,0 +1,145 @@
+"""Scheduler tests: lowbnd, balanced partitioning (Fig. 6), policies."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError
+from repro.core.scheduler import (
+    ThreadPartition,
+    dynamic_assignment,
+    guided_assignment,
+    lowbnd,
+    partition_for_policy,
+    rows_to_threads,
+    static_partition,
+)
+from repro.matrix.stats import flop_per_row
+from repro.rmat import g500_matrix
+
+
+class TestLowbnd:
+    def test_basic(self):
+        vec = np.array([1, 3, 3, 7, 9])
+        assert lowbnd(vec, 3) == 1
+        assert lowbnd(vec, 4) == 3
+        assert lowbnd(vec, 0) == 0
+        assert lowbnd(vec, 100) == 5
+
+    def test_exact_boundary(self):
+        assert lowbnd(np.array([2, 4, 6]), 6) == 2
+
+
+class TestBalanced:
+    def test_covers_all_rows(self, skewed_graph):
+        p = rows_to_threads(skewed_graph, skewed_graph, 7)
+        assert p.offsets[0] == 0
+        assert p.offsets[-1] == skewed_graph.nrows
+        assert (np.diff(p.offsets) >= 0).all()
+        p.validate()
+
+    def test_balances_flop_not_rows(self, skewed_graph):
+        nt = 8
+        flop = flop_per_row(skewed_graph, skewed_graph)
+        balanced = rows_to_threads(skewed_graph, skewed_graph, nt)
+        static = static_partition(skewed_graph.nrows, nt)
+        lb = balanced.thread_loads(flop)
+        ls = static.thread_loads(flop)
+        # balanced max load must be no worse than static max load
+        assert lb.max() <= ls.max()
+        # and on skewed inputs, strictly better by a margin
+        assert lb.max() < 0.9 * ls.max()
+
+    def test_single_thread(self, medium_random):
+        p = rows_to_threads(medium_random, medium_random, 1)
+        assert p.rows_of(0) == [(0, medium_random.nrows)]
+
+    def test_more_threads_than_rows(self, small_square):
+        p = rows_to_threads(small_square, small_square, 64)
+        loads = p.thread_loads(flop_per_row(small_square, small_square))
+        total = flop_per_row(small_square, small_square).sum()
+        assert loads.sum() == total
+
+    def test_invalid_threads(self, small_square):
+        with pytest.raises(ConfigError):
+            rows_to_threads(small_square, small_square, 0)
+
+    def test_balance_quality_bound(self):
+        """Max thread load <= average + max single row (contiguity bound)."""
+        g = g500_matrix(9, 8, seed=3)
+        flop = flop_per_row(g, g)
+        for nt in (2, 4, 16, 64):
+            p = rows_to_threads(g, g, nt)
+            loads = p.thread_loads(flop)
+            assert loads.max() <= flop.sum() / nt + flop.max() + 1e-9
+
+
+class TestStatic:
+    def test_even_row_counts(self):
+        p = static_partition(100, 8)
+        sizes = np.diff(p.offsets)
+        assert sizes.sum() == 100
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_dispatch_count(self):
+        assert static_partition(100, 8).num_dispatches() == 8
+
+
+class TestDynamicGuided:
+    def test_dynamic_covers_exactly(self):
+        cost = np.random.default_rng(0).integers(1, 100, 57).astype(float)
+        p = dynamic_assignment(cost, 5, chunk=3)
+        p.validate()
+        assert p.thread_loads(cost).sum() == pytest.approx(cost.sum())
+
+    def test_dynamic_chunk1_near_optimal(self):
+        cost = np.ones(64)
+        p = dynamic_assignment(cost, 4, chunk=1)
+        loads = p.thread_loads(cost)
+        assert loads.max() == 16
+
+    def test_dynamic_bad_chunk(self):
+        with pytest.raises(ConfigError):
+            dynamic_assignment(np.ones(4), 2, chunk=0)
+
+    def test_guided_shrinking_chunks(self):
+        cost = np.ones(1000)
+        p = guided_assignment(cost, 4)
+        sizes = [e - s for s, e, _ in p.chunks]
+        assert sizes[0] >= sizes[-1]
+        assert sizes[0] == 250
+        p.validate()
+
+    def test_guided_fewer_dispatches_than_dynamic(self):
+        cost = np.ones(512)
+        d = dynamic_assignment(cost, 8, chunk=1)
+        g = guided_assignment(cost, 8)
+        assert g.num_dispatches() < d.num_dispatches()
+
+    def test_dynamic_balances_adversarial_cost(self):
+        # one huge row at the start: dynamic shrugs it off
+        cost = np.ones(100)
+        cost[0] = 70.0
+        p = dynamic_assignment(cost, 4, chunk=1)
+        loads = p.thread_loads(cost)
+        assert loads.max() == pytest.approx(70.0)
+        # remaining threads share the rest
+        assert sorted(loads)[:3] == pytest.approx([33, 33, 33], abs=1)
+
+
+class TestPartitionForPolicy:
+    @pytest.mark.parametrize("policy", ["balanced", "static", "dynamic", "guided"])
+    def test_all_policies_cover(self, medium_random, policy):
+        p = partition_for_policy(policy, medium_random, medium_random, 6)
+        p.validate()
+        flop = flop_per_row(medium_random, medium_random)
+        assert p.thread_loads(flop).sum() == pytest.approx(flop.sum())
+
+    def test_unknown_policy(self, medium_random):
+        with pytest.raises(ConfigError):
+            partition_for_policy("fifo", medium_random, medium_random, 2)
+
+    def test_rows_of_chunked(self):
+        p = dynamic_assignment(np.ones(10), 2, chunk=4)
+        all_ranges = [r for t in range(2) for r in p.rows_of(t)]
+        covered = sorted((s, e) for s, e in all_ranges)
+        assert covered == [(0, 4), (4, 8), (8, 10)]

@@ -1,0 +1,159 @@
+"""Symbolic-phase machinery and kernel instrumentation tests."""
+
+import numpy as np
+import pytest
+
+from repro import KernelStats, spgemm
+from repro.core.symbolic import expand_rows, iter_row_blocks, symbolic_row_nnz
+from repro.matrix.stats import flop_per_row, total_flop
+from repro.rmat import er_matrix, g500_matrix
+
+
+class TestExpandRows:
+    def test_counts_match_flop(self, medium_random):
+        rows, cols, vals = expand_rows(
+            medium_random, medium_random, 0, medium_random.nrows
+        )
+        assert len(rows) == total_flop(medium_random, medium_random)
+        assert vals.shape == (2, len(rows))
+
+    def test_products_are_correct_multiset(self, small_square):
+        rows, cols, vals = expand_rows(small_square, small_square, 0, 8)
+        d = small_square.to_dense()
+        # accumulate expanded products densely; must equal d @ d
+        acc = np.zeros((8, 8))
+        np.add.at(acc, (rows, cols), vals[0] * vals[1])
+        np.testing.assert_allclose(acc, d @ d)
+
+    def test_partial_range(self, medium_random):
+        rows, cols, _ = expand_rows(medium_random, medium_random, 5, 9)
+        if len(rows):
+            assert rows.min() >= 5 and rows.max() < 9
+
+    def test_without_values(self, medium_random):
+        rows, cols, vals = expand_rows(
+            medium_random, medium_random, 0, 10, with_values=False
+        )
+        assert vals is None
+
+    def test_empty_range(self, medium_random):
+        rows, cols, vals = expand_rows(medium_random, medium_random, 3, 3)
+        assert len(rows) == 0
+
+
+class TestRowBlocks:
+    def test_blocks_cover_contiguously(self, medium_random):
+        blocks = list(iter_row_blocks(medium_random, medium_random, 50))
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == medium_random.nrows
+        for (s1, e1), (s2, e2) in zip(blocks, blocks[1:]):
+            assert e1 == s2
+
+    def test_block_flop_bounded(self, medium_random):
+        cap = 64
+        flop = flop_per_row(medium_random, medium_random)
+        for s, e in iter_row_blocks(medium_random, medium_random, cap):
+            if e - s > 1:  # single oversized rows are allowed
+                assert flop[s:e].sum() <= cap
+
+    def test_one_giant_row_gets_own_block(self):
+        from repro import csr_from_dense
+
+        a = csr_from_dense(np.ones((3, 3)))
+        blocks = list(iter_row_blocks(a, a, max_block_flop=2))
+        assert blocks == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty_matrix(self):
+        from repro import csr_from_dense
+
+        a = csr_from_dense(np.zeros((0, 0)))
+        assert list(iter_row_blocks(a, a, 10)) == [(0, 0)]
+
+
+class TestSymbolicNnz:
+    def test_matches_scipy(self, skewed_graph):
+        got = symbolic_row_nnz(skewed_graph, skewed_graph)
+        s = skewed_graph.to_scipy()
+        ref = (s @ s).tocsr()
+        ref.eliminate_zeros()  # scipy keeps explicit zeros? ensure pattern
+        np.testing.assert_array_equal(got.sum(), (s @ s).nnz)
+
+    def test_blocking_invariance(self, medium_random):
+        full = symbolic_row_nnz(medium_random, medium_random, max_block_flop=1 << 30)
+        tiny = symbolic_row_nnz(medium_random, medium_random, max_block_flop=17)
+        np.testing.assert_array_equal(full, tiny)
+
+    def test_rectangular(self, rectangular_pair):
+        a, b = rectangular_pair
+        got = symbolic_row_nnz(a, b)
+        ref = ((a.to_dense() @ b.to_dense()) != 0).sum(axis=1)
+        # numerical cancellation can make dense pattern smaller, but with
+        # random U(0,1) values cancellation has probability ~0
+        np.testing.assert_array_equal(got, ref)
+
+
+class TestInstrumentation:
+    def test_hash_stats_exact_counts(self, medium_random):
+        stats = KernelStats()
+        c = spgemm(
+            medium_random, medium_random,
+            algorithm="hash", stats=stats, nthreads=3,
+        )
+        assert stats.flops == total_flop(medium_random, medium_random)
+        assert stats.output_nnz == c.nnz
+        assert stats.rows == medium_random.nrows
+        assert stats.hash_inserts == 2 * c.nnz  # symbolic + numeric phases
+        assert stats.hash_probes >= 2 * stats.flops  # >= one probe per access
+        assert stats.sorted_elements == c.nnz
+
+    def test_hash_unsorted_skips_sort_count(self, medium_random):
+        stats = KernelStats()
+        spgemm(
+            medium_random, medium_random,
+            algorithm="hash", stats=stats, sort_output=False,
+        )
+        assert stats.sorted_elements == 0
+
+    def test_heap_stats(self, medium_random):
+        stats = KernelStats()
+        c = spgemm(medium_random, medium_random, algorithm="heap", stats=stats)
+        flop = total_flop(medium_random, medium_random)
+        assert stats.flops == flop
+        assert stats.heap_pops == flop  # every product extracted exactly once
+        assert stats.heap_pushes >= stats.heap_pops  # initial fills
+        assert stats.output_nnz == c.nnz
+
+    def test_hashvec_counts_vector_probes(self, medium_random):
+        stats = KernelStats()
+        spgemm(medium_random, medium_random, algorithm="hashvec", stats=stats)
+        assert stats.vector_probes > 0
+        assert stats.hash_probes == 0
+
+    def test_spa_touches(self, medium_random):
+        stats = KernelStats()
+        spgemm(medium_random, medium_random, algorithm="spa", stats=stats)
+        assert stats.spa_touches == total_flop(medium_random, medium_random)
+
+    def test_per_thread_flop_partition(self, skewed_graph):
+        stats = KernelStats()
+        spgemm(skewed_graph, skewed_graph, algorithm="hash",
+               stats=stats, nthreads=4)
+        per_thread_flop = sum(f for _, f in stats.per_thread)
+        assert per_thread_flop == total_flop(skewed_graph, skewed_graph)
+
+    def test_collision_factor_at_least_one(self, skewed_graph):
+        stats = KernelStats()
+        spgemm(skewed_graph, skewed_graph, algorithm="hash", stats=stats)
+        assert stats.collision_factor() >= 1.0
+
+    def test_merge(self):
+        a = KernelStats(flops=5, hash_probes=7, output_nnz=2, rows=1)
+        b = KernelStats(flops=3, hash_probes=1, output_nnz=4, rows=2)
+        a.merge(b)
+        assert a.flops == 8 and a.hash_probes == 8
+        assert a.output_nnz == 6 and a.rows == 3
+
+    def test_kokkos_probes_counted(self, medium_random):
+        stats = KernelStats()
+        spgemm(medium_random, medium_random, algorithm="kokkos", stats=stats)
+        assert stats.hash_probes >= total_flop(medium_random, medium_random)

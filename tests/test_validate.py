@@ -1,0 +1,77 @@
+"""Tests for the model-vs-kernel count validation API."""
+
+import numpy as np
+import pytest
+
+from repro import random_csr
+from repro.perfmodel import CountCheck, validate_counts
+from repro.rmat import er_matrix, g500_matrix
+
+
+class TestCountCheck:
+    def test_exact_semantics(self):
+        assert CountCheck("x", 10, 10, 0.0).ok
+        assert not CountCheck("x", 10, 11, 0.0).ok
+
+    def test_band_semantics(self):
+        assert CountCheck("x", 11, 10, 0.2).ok
+        assert not CountCheck("x", 13, 10, 0.2).ok
+
+    def test_upper_bound_semantics(self):
+        # prediction may exceed the measurement arbitrarily ...
+        assert CountCheck("c", 5.0, 1.0, 0.1, upper_bound=True).ok
+        # ... but must not be undercut by more than the tolerance
+        assert not CountCheck("c", 1.0, 1.5, 0.1, upper_bound=True).ok
+        assert CountCheck("c", 1.0, 1.05, 0.1, upper_bound=True).ok
+
+    def test_zero_measured(self):
+        assert CountCheck("x", 0, 0, 0.0).ok
+        assert not CountCheck("x", 1, 0, 0.0).ok
+
+    def test_render(self):
+        line = CountCheck("thing", 100, 100, 0.0).render()
+        assert "ok" in line and "thing" in line
+        assert "FAIL" in CountCheck("thing", 1, 2, 0.0).render()
+
+
+class TestValidateCounts:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            er_matrix(8, 8, seed=1),
+            g500_matrix(8, 8, seed=1),
+            g500_matrix(9, 4, seed=3),
+            random_csr(70, 70, 0.12, seed=5),
+        ],
+        ids=["er", "g500", "g500-sparse", "uniform-random"],
+    )
+    def test_model_validates_on(self, matrix):
+        report = validate_counts(matrix, matrix)
+        assert report.ok, report.render()
+
+    def test_rectangular(self):
+        a = random_csr(40, 60, 0.12, seed=6)
+        b = random_csr(60, 30, 0.12, seed=7)
+        report = validate_counts(a, b)
+        assert report.ok, report.render()
+
+    def test_exact_counts_are_exact(self, medium_random):
+        report = validate_counts(medium_random, medium_random)
+        for check in report.checks:
+            if check.tolerance == 0.0 and not check.upper_bound:
+                assert check.predicted == check.measured, check.name
+
+    def test_report_renders(self, medium_random):
+        report = validate_counts(medium_random, medium_random)
+        text = report.render()
+        assert "flop (hash)" in text
+        assert "PASS" in text or "FAIL" in text
+
+    def test_empty_product(self):
+        import numpy as np
+
+        from repro import csr_from_dense
+
+        z = csr_from_dense(np.zeros((6, 6)))
+        report = validate_counts(z, z)
+        assert report.ok
