@@ -16,7 +16,10 @@ persist after the run.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
 from repro.machine import HASWELL, KNL
@@ -65,6 +68,50 @@ def emit(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def time_call(fn, *args, warmup: int = 1, repeats: int = 3, **kwargs):
+    """Best-of-N wall-clock timing with warmup.
+
+    Runs ``fn(*args, **kwargs)`` ``warmup`` times untimed (JIT-free Python
+    still benefits: allocator pools, branch caches, the engine's scratch
+    arena), then ``repeats`` timed runs.  Returns ``(best_seconds,
+    all_seconds, last_result)`` — best-of is the standard estimator for
+    minimum-noise comparisons, and the full list is kept for the JSON
+    record so variance stays inspectable across PRs.
+    """
+    if warmup < 0 or repeats < 1:
+        raise ValueError("warmup must be >= 0 and repeats >= 1")
+    for _ in range(warmup):
+        fn(*args, **kwargs)
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        samples.append(time.perf_counter() - t0)
+    return min(samples), samples, result
+
+
+def record_json(name: str, payload: dict, *, mirror_repo_root: bool = False) -> Path:
+    """Persist a machine-readable benchmark record as ``<name>.json``.
+
+    The record is annotated with timestamp and interpreter/platform info so
+    the perf trajectory is comparable across PRs.  ``mirror_repo_root=True``
+    additionally writes a copy next to the repository root (for records,
+    like ``BENCH_engine.json``, that are committed as part of the PR).
+    """
+    record = dict(payload)
+    record.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    record.setdefault("python", platform.python_version())
+    record.setdefault("platform", platform.platform())
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(text)
+    if mirror_repo_root:
+        (Path(__file__).resolve().parent.parent / f"{name}.json").write_text(text)
+    return path
 
 
 def simulate_codes(q: ProblemQuantities, machine, codes=PAPER_CODES, **cfg_kw):

@@ -49,6 +49,7 @@ from .semiring import (
 from .core import (
     KernelStats,
     available_algorithms,
+    available_engines,
     masked_spgemm,
     multiply_chain,
     recommend,
@@ -83,6 +84,7 @@ __all__ = [
     "masked_spgemm",
     "multiply_chain",
     "available_algorithms",
+    "available_engines",
     "recommend",
     "rows_to_threads",
     "KernelStats",

@@ -81,7 +81,10 @@ def _greedy_aggregate(strength: CSR) -> np.ndarray:
     return agg
 
 
-def amg_setup(a: CSR, *, theta: float = 0.25, algorithm: str = "hash") -> AmgHierarchy:
+def amg_setup(
+    a: CSR, *, theta: float = 0.25, algorithm: str = "hash",
+    engine: str = "faithful",
+) -> AmgHierarchy:
     """Build a two-level hierarchy for a symmetric M-matrix-like operator.
 
     Parameters
@@ -112,7 +115,9 @@ def amg_setup(a: CSR, *, theta: float = 0.25, algorithm: str = "hash") -> AmgHie
     r = transpose(p)
 
     plan = plan_chain([r, a, p])
-    coarse = multiply_chain([r, a, p], algorithm=algorithm, plan=plan)
+    coarse = multiply_chain(
+        [r, a, p], algorithm=algorithm, engine=engine, plan=plan
+    )
     return AmgHierarchy(
         fine=a,
         prolongation=p,

@@ -40,6 +40,7 @@ def multi_source_bfs(
     sources: "np.ndarray | list[int]",
     *,
     algorithm: str = "hash",
+    engine: str = "faithful",
     max_depth: int | None = None,
 ) -> np.ndarray:
     """Run BFS from every source simultaneously via SpGEMM.
@@ -55,6 +56,9 @@ def multi_source_bfs(
         SpGEMM kernel used for the frontier expansion.  Unsorted output is
         requested — levels only need membership, never ordering — which is
         precisely the paper's argument for unsorted SpGEMM pipelines.
+    engine:
+        Execution engine for the kernel (``"faithful"`` or ``"fast"``; see
+        :func:`repro.spgemm`).
     max_depth:
         Optional level cap.
 
@@ -84,7 +88,8 @@ def multi_source_bfs(
     while frontier.nnz and depth < cap:
         depth += 1
         nxt = spgemm(
-            at, frontier, algorithm=algorithm, semiring=OR_AND, sort_output=False
+            at, frontier, algorithm=algorithm, semiring=OR_AND,
+            sort_output=False, engine=engine,
         )
         # Keep only newly discovered (vertex, search) pairs.
         rows, cols, _ = nxt.to_coo()

@@ -39,6 +39,7 @@ def betweenness_centrality(
     sources: "np.ndarray | list[int] | None" = None,
     *,
     algorithm: str = "hash",
+    engine: str = "faithful",
     normalized: bool = False,
 ) -> np.ndarray:
     """Exact (or source-sampled) betweenness centrality of a digraph.
@@ -93,7 +94,7 @@ def betweenness_centrality(
     while frontier.nnz:
         d += 1
         nxt = spgemm(at, frontier, algorithm=algorithm, semiring=PLUS_TIMES,
-                     sort_output=False)
+                     sort_output=False, engine=engine)
         rows, cols, vals = nxt.to_coo()
         fresh = depth[rows, cols] < 0
         rows, cols, vals = rows[fresh], cols[fresh], vals[fresh]
@@ -117,7 +118,7 @@ def betweenness_centrality(
         w = _frontier_from_pairs(n, k, rows, cols, w_vals)
         # push to predecessors: contribution[v, j] = sum_w A[v, w] * w[w, j]
         contrib = spgemm(adjacency, w, algorithm=algorithm,
-                         semiring=PLUS_TIMES, sort_output=False)
+                         semiring=PLUS_TIMES, sort_output=False, engine=engine)
         crows, ccols, cvals = contrib.to_coo()
         # keep only predecessors exactly one level up (on shortest paths)
         on_path = depth[crows, ccols] == level - 1

@@ -28,7 +28,7 @@ __all__ = ["clustering_coefficients", "label_propagation", "LabelPropagationResu
 
 
 def clustering_coefficients(
-    adjacency: CSR, *, algorithm: str = "hash"
+    adjacency: CSR, *, algorithm: str = "hash", engine: str = "faithful"
 ) -> np.ndarray:
     """Local clustering coefficient of every vertex of an undirected graph.
 
@@ -37,7 +37,9 @@ def clustering_coefficients(
     """
     if adjacency.nrows != adjacency.ncols:
         raise ShapeError("adjacency must be square")
-    tri = triangle_counts_per_vertex(adjacency, algorithm=algorithm)
+    tri = triangle_counts_per_vertex(
+        adjacency, algorithm=algorithm, engine=engine
+    )
     deg = adjacency.row_nnz().astype(np.float64)
     wedges = deg * (deg - 1.0)
     return np.divide(
@@ -73,6 +75,7 @@ def label_propagation(
     max_iterations: int = 30,
     seed: int = 0,
     algorithm: str = "hash",
+    engine: str = "faithful",
 ) -> LabelPropagationResult:
     """Community detection by (semi-synchronous) label propagation.
 
@@ -100,7 +103,7 @@ def label_propagation(
         uniq, compact = np.unique(labels, return_inverse=True)
         lmat = _one_hot_labels(compact, len(uniq))
         hist = spgemm(adjacency, lmat, algorithm=algorithm,
-                      semiring=PLUS_TIMES, sort_output=False)
+                      semiring=PLUS_TIMES, sort_output=False, engine=engine)
         new_labels = compact.copy()
         rows, cols, vals = hist.to_coo()
         # per-vertex argmax with random tie-break: add tiny seeded jitter

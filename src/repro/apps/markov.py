@@ -79,6 +79,7 @@ def markov_cluster(
     max_iterations: int = 50,
     tolerance: float = 1e-6,
     algorithm: str = "hash",
+    engine: str = "faithful",
     add_self_loops: bool = True,
 ) -> MclResult:
     """Cluster a graph given a (symmetric, non-negative) similarity matrix.
@@ -116,7 +117,9 @@ def markov_cluster(
     converged = False
     it = 0
     for it in range(1, max_iterations + 1):
-        expanded = spgemm(m, m, algorithm=algorithm, semiring=PLUS_TIMES)
+        expanded = spgemm(
+            m, m, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine
+        )
         # Inflation: elementwise power + column re-normalization.
         inflated = CSR(
             expanded.shape,

@@ -42,6 +42,7 @@ def count_triangles(
     adjacency: CSR,
     *,
     algorithm: str = "hash",
+    engine: str = "faithful",
     reorder: bool = True,
     masked: bool = False,
 ) -> int:
@@ -70,14 +71,16 @@ def count_triangles(
     if masked:
         closed = masked_spgemm(low, up, a, semiring=PLUS_TIMES)
     else:
-        wedges = spgemm(low, up, algorithm=algorithm, semiring=PLUS_TIMES)
+        wedges = spgemm(
+            low, up, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine
+        )
         closed = elementwise_multiply(a, wedges)
     total = float(closed.data.sum())
     return int(round(total / 2.0))
 
 
 def triangle_counts_per_vertex(
-    adjacency: CSR, *, algorithm: str = "hash"
+    adjacency: CSR, *, algorithm: str = "hash", engine: str = "faithful"
 ) -> np.ndarray:
     """Number of triangles through each vertex.
 
@@ -87,7 +90,7 @@ def triangle_counts_per_vertex(
     if adjacency.nrows != adjacency.ncols:
         raise ShapeError("adjacency must be square")
     a = _pattern(adjacency)
-    a2 = spgemm(a, a, algorithm=algorithm, semiring=PLUS_TIMES)
+    a2 = spgemm(a, a, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine)
     masked = elementwise_multiply(a, a2)
     out = np.zeros(a.nrows)
     rows, _, vals = masked.to_coo()

@@ -33,8 +33,11 @@ from .spgemm import (
     ALGORITHMS,
     AlgorithmInfo,
     available_algorithms,
+    available_engines,
     spgemm,
 )
+from .engine import ENGINES, EngineInfo, ScratchArena, get_thread_arena
+from .hash_batch import batch_hash_spgemm
 from .scheduler import (
     ThreadPartition,
     rows_to_threads,
@@ -53,6 +56,12 @@ __all__ = [
     "ALGORITHMS",
     "AlgorithmInfo",
     "available_algorithms",
+    "available_engines",
+    "ENGINES",
+    "EngineInfo",
+    "ScratchArena",
+    "get_thread_arena",
+    "batch_hash_spgemm",
     "spgemm",
     "ThreadPartition",
     "rows_to_threads",

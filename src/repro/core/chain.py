@@ -117,6 +117,7 @@ def multiply_chain(
     semiring: "str | Semiring" = PLUS_TIMES,
     sort_output: bool = True,
     nthreads: int = 1,
+    engine: str = "faithful",
     plan: ChainPlan | None = None,
 ) -> CSR:
     """Multiply a chain of matrices in the flop-optimal association order."""
@@ -131,7 +132,7 @@ def multiply_chain(
         return spgemm(
             left, right,
             algorithm=algorithm, semiring=semiring,
-            sort_output=sort_output, nthreads=nthreads,
+            sort_output=sort_output, nthreads=nthreads, engine=engine,
         )
 
     return evaluate(plan.order)
@@ -144,6 +145,7 @@ def matrix_power(
     algorithm: str = "hash",
     semiring: "str | Semiring" = PLUS_TIMES,
     nthreads: int = 1,
+    engine: str = "faithful",
 ) -> CSR:
     """``A^k`` by repeated squaring — ceil(log2 k) SpGEMMs instead of k-1.
 
@@ -164,6 +166,7 @@ def matrix_power(
             result = base if result is None else spgemm(
                 result, base,
                 algorithm=algorithm, semiring=semiring, nthreads=nthreads,
+                engine=engine,
             )
         e >>= 1
         if not e:
@@ -171,5 +174,6 @@ def matrix_power(
         base = spgemm(
             base, base,
             algorithm=algorithm, semiring=semiring, nthreads=nthreads,
+            engine=engine,
         )
     return result

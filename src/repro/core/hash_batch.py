@@ -1,0 +1,302 @@
+"""Batched (numpy-vectorized) execution of the hash-family kernels and SPA.
+
+This is the ``engine="fast"`` implementation behind :func:`repro.spgemm`.
+Instead of probing a hash table per element in Python, a whole flop-bounded
+row block is processed at once:
+
+1. **expand** — materialize every intermediate product of the block with the
+   existing :func:`repro.core.symbolic.expand_rows` machinery (the classic
+   ragged gather);
+2. **bucket** — combine each product's output coordinate into one fused
+   ``row * ncols + col`` key and stable-sort, which lands every colliding
+   product in a contiguous segment (this plays the role of the scalar
+   kernels' multiplicative-hash probing: same groups, vector width instead
+   of slot width);
+3. **reduce** — collapse each segment with an ordered ``np.add.at``
+   scatter-reduction (:meth:`repro.semiring.Semiring.accumulate_segments`).
+   The stable sort preserves *arrival order* inside a segment and the
+   reduction applies ``add`` one value at a time in that sequence — exactly
+   how the scalar kernels accumulate, float-for-float the same values
+   (``reduceat`` would sum pairwise and drift by ULPs).
+
+Output *ordering* is then emulated per algorithm so the result is
+indistinguishable from the faithful kernel's:
+
+* sorted output — ascending column (all kernels agree);
+* ``hash`` / ``spa`` unsorted — **first-occurrence order**.  The scalar hash
+  table extracts via its ``occupied`` list, which records keys in first
+  insertion order, and SPA harvests in first-touch order: both equal the
+  order each distinct column first appears in the expansion stream, which we
+  recover from the stable sort for free;
+* ``hashvec`` unsorted — chunk-table order.  The chunked accumulator emits
+  chunks in first-touch order and keys within a chunk in insertion order.
+  When no chunk overflows (the common case, detected exactly) this equals a
+  lexsort by (chunk first-touch, key first-occurrence) with the chunk id
+  computed by the same multiplicative hash as the scalar table; rows where
+  a chunk *does* overflow are re-ordered through a real
+  :class:`~repro.core.accumulators.VectorHashAccumulator`, so the emulation
+  is exact in all cases.
+
+Scratch (fused keys, gathered copies, segment flags) lives in the calling
+thread's :class:`~repro.core.engine.ScratchArena` — allocated once, reused
+across row blocks and across calls, mirroring the paper's §5.3.1 parallel
+allocation scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..matrix.stats import flop_per_row
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .accumulators import HASH_SCALE, VectorHashAccumulator, lowest_p2
+from .engine import ScratchArena, get_thread_arena
+from .hash_vector import lanes_for_vector_bits
+from .instrument import KernelStats
+from .scheduler import ThreadPartition, rows_to_threads
+from .symbolic import DEFAULT_MAX_BLOCK_FLOP, expand_rows, iter_row_blocks
+
+__all__ = ["batch_hash_spgemm"]
+
+#: Algorithms this module implements (same names as the Table-1 registry).
+BATCH_ALGORITHMS = ("hash", "hashvec", "spa")
+
+
+def _max_flop_per_thread(
+    partition: ThreadPartition, flop: np.ndarray
+) -> "list[int]":
+    """Per-thread row-flop upper bound — identical to the faithful kernel's
+    table sizing input (Fig. 7 l.5-8)."""
+    caps = []
+    for tid in range(partition.nthreads):
+        cap = 0
+        for s, e in partition.rows_of(tid):
+            if e > s:
+                cap = max(cap, int(flop[s:e].max(initial=0)))
+        caps.append(cap)
+    return caps
+
+
+def _vhash_geometry(
+    a: CSR, b: CSR, nthreads: int, partition: ThreadPartition | None, lanes: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-row ``(chunk_mask, table_capacity)`` of the faithful HashVector.
+
+    The chunked table's shape depends on the owning thread's row-flop cap,
+    so the partition must be reproduced exactly (same default call as
+    :func:`repro.core.hash_spgemm.hash_spgemm`).
+    """
+    flop = flop_per_row(a, b)
+    if partition is None:
+        partition = rows_to_threads(a, b, nthreads, row_cost=flop)
+    caps = _max_flop_per_thread(partition, flop)
+    chunk_mask = np.zeros(a.nrows, dtype=np.int64)
+    cap_row = np.zeros(a.nrows, dtype=np.int64)
+    ncols_floor = max(b.ncols, 1)
+    for tid in range(partition.nthreads):
+        bound = min(max(caps[tid], 0), ncols_floor)
+        base = lowest_p2(bound + 1)
+        nchunks = lowest_p2((base + lanes - 1) // lanes)
+        for s, e in partition.rows_of(tid):
+            chunk_mask[s:e] = nchunks - 1
+            cap_row[s:e] = caps[tid]
+    return chunk_mask, cap_row
+
+
+def _emulate_vhash_row(
+    cols_arrival: np.ndarray, capacity: int, ncols: int, lanes: int
+) -> np.ndarray:
+    """Exact chunk-table extraction order for one row, via the real
+    accumulator (only used for the rare rows where a chunk overflows)."""
+    table = VectorHashAccumulator(capacity, ncols, lane_width=lanes)
+    for col in cols_arrival.tolist():
+        table.insert_symbolic(int(col))
+    order_cols, _ = table.extract(sort=False)
+    return order_cols
+
+
+def _vhash_order(
+    seg_rows: np.ndarray,
+    seg_cols: np.ndarray,
+    first_idx: np.ndarray,
+    chunk_mask: np.ndarray,
+    cap_row: np.ndarray,
+    ncols: int,
+    lanes: int,
+) -> np.ndarray:
+    """Permutation putting (row, col)-sorted segments into chunk-table order.
+
+    Rows occupy disjoint ranges of the arrival-index space (the expansion
+    enumerates rows in order), so one global lexsort keyed on
+    (chunk-first-touch arrival, key arrival) realizes the per-row ordering.
+    """
+    masks = chunk_mask[seg_rows]
+    home = (seg_cols * HASH_SCALE) & masks
+    # Group by (row, home chunk), arrival order inside the group.
+    grp = np.lexsort((first_idx, home, seg_rows))
+    g_rows = seg_rows[grp]
+    g_home = home[grp]
+    g_first = first_idx[grp]
+    n = len(grp)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(g_rows[1:], g_rows[:-1], out=boundary[1:])
+    np.logical_or(boundary[1:], g_home[1:] != g_home[:-1], out=boundary[1:])
+    g_starts = np.flatnonzero(boundary)
+    sizes = np.diff(np.append(g_starts, n))
+    # First-touch time of each chunk = arrival of its earliest key.
+    chunk_touch = np.repeat(g_first[g_starts], sizes)
+    perm_grp = np.lexsort((g_first, chunk_touch))
+    perm = grp[perm_grp]
+
+    overflow = sizes > lanes
+    if overflow.any():
+        # A full home chunk spills keys into neighbouring chunks, perturbing
+        # both fills and first-touch order — emulate those rows exactly.
+        bad_rows = np.unique(g_rows[g_starts][overflow])
+        perm_rows = seg_rows[perm]
+        for row in bad_rows.tolist():
+            sel = np.flatnonzero(seg_rows == row)
+            arrival = sel[np.argsort(first_idx[sel])]
+            cols_arrival = seg_cols[arrival]
+            order_cols = _emulate_vhash_row(
+                cols_arrival, int(cap_row[row]), ncols, lanes
+            )
+            pos_of_col = {int(c): int(p) for c, p in zip(seg_cols[sel], sel)}
+            emulated = np.fromiter(
+                (pos_of_col[int(c)] for c in order_cols),
+                dtype=perm.dtype,
+                count=len(order_cols),
+            )
+            slot = np.flatnonzero(perm_rows == row)
+            perm[slot] = emulated
+    return perm
+
+
+def batch_hash_spgemm(
+    a: CSR,
+    b: CSR,
+    *,
+    algorithm: str = "hash",
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    nthreads: int = 1,
+    partition: ThreadPartition | None = None,
+    stats: KernelStats | None = None,
+    vector_bits: int = 512,
+    max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP,
+    arena: ScratchArena | None = None,
+) -> CSR:
+    """Batched ``C = A (x) B`` — bit-identical to the faithful kernel.
+
+    Parameters mirror :func:`repro.core.hash_spgemm.hash_spgemm`;
+    ``algorithm`` selects whose output conventions to reproduce
+    (``"hash"``, ``"hashvec"`` or ``"spa"``).  ``stats`` receives the coarse
+    ledger entries only (flop, output nnz, rows, sort volume) — per-probe
+    counts exist only on the faithful engine, by design.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if algorithm not in BATCH_ALGORITHMS:
+        raise ConfigError(
+            f"batch engine has no implementation for {algorithm!r}; "
+            f"available: {list(BATCH_ALGORITHMS)}"
+        )
+    sr = get_semiring(semiring)
+    if partition is not None and partition.nrows != a.nrows:
+        raise ConfigError(
+            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+        )
+    if arena is None:
+        arena = get_thread_arena()
+    nrows, ncols = a.nrows, b.ncols
+
+    chunk_mask = cap_row = None
+    lanes = lanes_for_vector_bits(vector_bits)
+    if algorithm == "hashvec" and not sort_output:
+        chunk_mask, cap_row = _vhash_geometry(a, b, nthreads, partition, lanes)
+
+    row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
+    block_cols: "list[np.ndarray]" = []
+    block_vals: "list[np.ndarray]" = []
+    total_flop = 0
+
+    for r0, r1 in iter_row_blocks(a, b, max_block_flop):
+        rows, cols, factors = expand_rows(a, b, r0, r1, with_values=True)
+        n = len(rows)
+        if n == 0:
+            continue
+        total_flop += n
+        vals = np.asarray(sr.mul(factors[0], factors[1]), dtype=VALUE_DTYPE)
+
+        # Stable bucketing by fused (row, col) key: collisions become
+        # contiguous segments, arrival order preserved inside each.
+        span = r1 - r0
+        if ncols and span <= (2**62) // max(ncols, 1):
+            key = arena.take("key", n, INDPTR_DTYPE)
+            np.subtract(rows, r0, out=key)
+            key *= ncols
+            key += cols
+            order = np.argsort(key, kind="stable")
+        else:  # fused key would overflow int64 — fall back to two-key sort
+            order = np.lexsort((cols, rows))
+        r_s = np.take(rows, order, out=arena.take("rows_s", n, rows.dtype))
+        c_s = np.take(cols, order, out=arena.take("cols_s", n, cols.dtype))
+        v_s = np.take(vals, order, out=arena.take("vals_s", n, VALUE_DTYPE))
+
+        new_run = arena.take("new_run", n, bool)
+        new_run[0] = True
+        np.not_equal(r_s[1:], r_s[:-1], out=new_run[1:])
+        np.logical_or(new_run[1:], c_s[1:] != c_s[:-1], out=new_run[1:])
+        starts = np.flatnonzero(new_run)
+
+        # Strict arrival-order reduction.  ufunc.reduceat sums pairwise for
+        # float accuracy, which is *not* the scalar kernels' left-to-right
+        # sequence — accumulate_segments folds values one at a time.
+        seg_vals = sr.accumulate_segments(v_s, new_run, starts)
+        seg_cols = c_s[starts]
+        seg_rows = r_s[starts]
+        first_idx = order[starts]  # arrival position of each distinct key
+        row_nnz[r0:r1] += np.bincount(seg_rows - r0, minlength=span)
+
+        if sort_output:
+            pass  # segments are already in ascending (row, col) order
+        elif algorithm in ("hash", "spa"):
+            # First-occurrence order; rows are disjoint in arrival space, so
+            # a single argsort is simultaneously row-major and per-row exact.
+            reorder = np.argsort(first_idx)
+            seg_cols = seg_cols[reorder]
+            seg_vals = seg_vals[reorder]
+        else:  # hashvec
+            reorder = _vhash_order(
+                seg_rows, seg_cols, first_idx, chunk_mask, cap_row, ncols, lanes
+            )
+            seg_cols = seg_cols[reorder]
+            seg_vals = seg_vals[reorder]
+
+        block_cols.append(np.ascontiguousarray(seg_cols, dtype=INDEX_DTYPE))
+        block_vals.append(np.ascontiguousarray(seg_vals, dtype=VALUE_DTYPE))
+
+    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    nnz_total = int(indptr[-1])
+    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+    cursor = 0
+    for bc, bv in zip(block_cols, block_vals):
+        out_indices[cursor : cursor + len(bc)] = bc
+        out_data[cursor : cursor + len(bv)] = bv
+        cursor += len(bc)
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.output_nnz += nnz_total
+        stats.rows += nrows
+        if sort_output:
+            stats.sorted_elements += nnz_total
+
+    return CSR(
+        (nrows, ncols), indptr, out_indices, out_data, sorted_rows=sort_output
+    )

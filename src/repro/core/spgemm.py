@@ -17,7 +17,9 @@ from ..errors import ConfigError
 from ..matrix.csr import CSR
 from ..semiring import PLUS_TIMES, Semiring
 from .blocked_spa import blocked_spa_spgemm
+from .engine import available_engines, resolve_engine
 from .esc_spgemm import esc_spgemm
+from .hash_batch import batch_hash_spgemm
 from .hash_spgemm import hash_spgemm
 from .merge_spgemm import merge_spgemm
 from .hash_vector import hash_vector_spgemm
@@ -28,7 +30,13 @@ from .mkl_like import mkl_inspector_spgemm, mkl_proxy_spgemm
 from .scheduler import ThreadPartition
 from .spa_spgemm import spa_spgemm
 
-__all__ = ["AlgorithmInfo", "ALGORITHMS", "available_algorithms", "spgemm"]
+__all__ = [
+    "AlgorithmInfo",
+    "ALGORITHMS",
+    "available_algorithms",
+    "available_engines",
+    "spgemm",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +114,7 @@ def spgemm(
     partition: ThreadPartition | None = None,
     stats: KernelStats | None = None,
     vector_bits: int = 512,
+    engine: str = "faithful",
 ) -> CSR:
     """Compute ``C = A (x) B`` over a semiring with a selectable algorithm.
 
@@ -118,6 +127,13 @@ def spgemm(
         Forwarded to the kernel (see :func:`repro.core.hash_spgemm.hash_spgemm`).
     vector_bits:
         Simulated register width for ``hashvec`` (512 = KNL, 256 = Haswell).
+    engine:
+        ``"faithful"`` (default) runs the scalar instrumented kernels;
+        ``"fast"`` runs the batched numpy implementation
+        (:mod:`repro.core.hash_batch`) for the hash family and SPA —
+        bit-for-bit identical output at numpy speed.  Algorithms without a
+        batched implementation fall back to the faithful kernel (see
+        :func:`repro.core.engine.resolve_engine`).
 
     Notes
     -----
@@ -136,6 +152,13 @@ def spgemm(
     if info is None:
         raise ConfigError(
             f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
+        )
+    engine = resolve_engine(engine, algorithm)
+    if engine == "fast" and algorithm in ("hash", "hashvec", "spa"):
+        return batch_hash_spgemm(
+            a, b, algorithm=algorithm, semiring=semiring,
+            sort_output=sort_output, nthreads=nthreads, partition=partition,
+            stats=stats, vector_bits=vector_bits,
         )
 
     if algorithm == "hash":

@@ -1,7 +1,31 @@
-"""Process-pool SpGEMM: flop-balanced row blocks, one worker per block."""
+"""Process-pool SpGEMM: flop-balanced row blocks, one worker per block.
+
+Operand transport — how each worker gets A and B — is selectable and
+defaults to zero-copy:
+
+* ``"shm"`` — the six CSR arrays of A and B are packed once into a single
+  :class:`multiprocessing.shared_memory.SharedMemory` segment (64-byte
+  aligned, mirroring cache-line alignment of the paper's scratch buffers);
+  each worker maps the segment and reconstructs zero-copy numpy views.
+  Nothing of the operands is pickled — only the segment name and a small
+  metadata header travel to the workers.
+* ``"fork"`` — operands are published in a module global before the pool
+  starts and inherited by forked children through copy-on-write pages.
+  Used automatically where ``shared_memory`` is unavailable.
+* ``"pickle"`` — the legacy transport: each worker receives a pickled copy
+  of its A block and of all of B.  Kept for debugging and as a behavioural
+  baseline; this is exactly the per-worker allocation storm that the
+  paper's Fig. 4 warns about at the thread level.
+
+``share="auto"`` (the default) picks the first available mode in the order
+above; the ``REPRO_POOL_SHARE`` environment variable overrides the choice
+without code changes.
+"""
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 
@@ -13,29 +37,188 @@ from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 
-__all__ = ["parallel_spgemm", "row_block"]
+__all__ = ["parallel_spgemm", "row_block", "SHARE_MODES"]
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from multiprocessing import shared_memory as _shm_module
+except ImportError:  # pragma: no cover - absent only on exotic platforms
+    _shm_module = None
+
+#: Operand transports accepted by ``parallel_spgemm(..., share=...)``.
+SHARE_MODES = ("auto", "shm", "fork", "pickle")
+
+#: Shared-memory segment alignment for each packed array (cache line).
+_ALIGN = 64
 
 
 def row_block(a: CSR, start: int, end: int) -> CSR:
-    """The sub-matrix of rows ``[start, end)`` as a standalone CSR."""
+    """The sub-matrix of rows ``[start, end)`` as a standalone CSR.
+
+    The block's ``sorted_rows`` flag carries per-block state: a sorted
+    parent yields sorted blocks for free, while a block cut from an
+    unsorted parent is re-detected — its own rows may well be sorted even
+    when some other row of the parent is not.
+    """
+    if not 0 <= start <= end <= a.nrows:
+        raise ConfigError(
+            f"row_block range [{start}, {end}) invalid for {a.nrows} rows"
+        )
     lo, hi = int(a.indptr[start]), int(a.indptr[end])
     return CSR(
         (end - start, a.ncols),
         a.indptr[start : end + 1] - a.indptr[start],
         a.indices[lo:hi],
         a.data[lo:hi],
-        sorted_rows=a.sorted_rows,
+        sorted_rows=True if a.sorted_rows else None,
     )
 
 
-def _worker(args) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-    a_block, b, algorithm, semiring_name, sort_output = args
+# --------------------------------------------------------------------------
+# operand transport
+# --------------------------------------------------------------------------
+
+def _pack_layout(arrays: "list[np.ndarray]") -> "tuple[list, int]":
+    """Aligned (offset, dtype, size) for each array and the total bytes."""
+    metas = []
+    offset = 0
+    for arr in arrays:
+        offset = -(-offset // _ALIGN) * _ALIGN
+        metas.append((offset, arr.dtype.str, int(arr.size)))
+        offset += arr.nbytes
+    return metas, max(offset, 1)
+
+
+def _csr_arrays(m: CSR) -> "list[np.ndarray]":
+    return [m.indptr, m.indices, m.data]
+
+
+def _pack_shm(a: CSR, b: CSR):
+    """Copy both operands into one shared segment; return (shm, header)."""
+    arrays = _csr_arrays(a) + _csr_arrays(b)
+    metas, total = _pack_layout(arrays)
+    shm = _shm_module.SharedMemory(create=True, size=total)
+    for (off, dtype, size), arr in zip(metas, arrays):
+        view = np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=off)
+        view[:] = arr
+    header = (a.shape, a.sorted_rows, b.shape, b.sorted_rows, metas)
+    return shm, header
+
+
+#: Worker-side cache of attached segments.  Handles are deliberately never
+#: closed while the worker lives: numpy views borrow the mapped buffer, and
+#: closing underneath them raises ``BufferError``.  The mapping dies with
+#: the worker process.
+_SHM_HANDLES: "dict[str, object]" = {}
+
+
+def _attach_shm(name: str):
+    shm = _SHM_HANDLES.get(name)
+    if shm is None:
+        # The parent owns the segment's lifetime (it unlinks after the pool
+        # drains).  Attaching must therefore not register with the resource
+        # tracker: a fork worker shares the parent's tracker and its
+        # unregister would race the parent's unlink, while a spawn worker's
+        # private tracker would warn about a "leak" it does not own.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        try:
+            resource_tracker.register = (
+                lambda n, rtype: None
+                if rtype == "shared_memory"
+                else original_register(n, rtype)
+            )
+            shm = _shm_module.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _SHM_HANDLES[name] = shm
+    return shm
+
+
+def _unpack_shm(shm, header) -> "tuple[CSR, CSR]":
+    a_shape, a_sorted, b_shape, b_sorted, metas = header
+    views = [
+        np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=off)
+        for off, dtype, size in metas
+    ]
+    a = CSR(a_shape, views[0], views[1], views[2], sorted_rows=a_sorted)
+    b = CSR(b_shape, views[3], views[4], views[5], sorted_rows=b_sorted)
+    return a, b
+
+
+#: Fork-inheritance mailbox: operands published here before the pool forks
+#: are visible to children via copy-on-write, with zero serialization.
+_FORK_OPERANDS: "dict[int, tuple[CSR, CSR]]" = {}
+_FORK_TOKENS = itertools.count()
+
+
+def _resolve_share(share: str) -> str:
+    """Validate ``share`` and resolve ``"auto"`` to a concrete transport."""
+    if share == "auto":
+        share = os.environ.get("REPRO_POOL_SHARE", "").strip() or "auto"
+    if share not in SHARE_MODES:
+        raise ConfigError(
+            f"unknown share mode {share!r}; available: {list(SHARE_MODES)}"
+        )
+    fork_ok = "fork" in multiprocessing.get_all_start_methods()
+    if share == "auto":
+        if _shm_module is not None:
+            return "shm"
+        if fork_ok:
+            return "fork"
+        return "pickle"
+    if share == "shm" and _shm_module is None:
+        raise ConfigError("shared_memory is unavailable on this platform")
+    if share == "fork" and not fork_ok:
+        raise ConfigError("fork start method is unavailable on this platform")
+    return share
+
+
+# --------------------------------------------------------------------------
+# workers (top-level so every start method can pickle them)
+# --------------------------------------------------------------------------
+
+def _compute_block(
+    a: CSR, b: CSR, start: int, end: int,
+    algorithm: str, semiring_name: str, sort_output: bool, engine: str,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
     c = spgemm(
-        a_block, b,
-        algorithm=algorithm, semiring=semiring_name, sort_output=sort_output,
+        row_block(a, start, end), b,
+        algorithm=algorithm, semiring=semiring_name,
+        sort_output=sort_output, engine=engine,
     )
     return c.indptr, c.indices, c.data
 
+
+def _worker_shm(args):
+    shm_name, header, start, end, algorithm, sr_name, sort_output, engine = args
+    a, b = _unpack_shm(_attach_shm(shm_name), header)
+    return _compute_block(
+        a, b, start, end, algorithm, sr_name, sort_output, engine
+    )
+
+
+def _worker_fork(args):
+    token, start, end, algorithm, sr_name, sort_output, engine = args
+    a, b = _FORK_OPERANDS[token]
+    return _compute_block(
+        a, b, start, end, algorithm, sr_name, sort_output, engine
+    )
+
+
+def _worker_pickle(args):
+    a_block, b, algorithm, sr_name, sort_output, engine = args
+    c = spgemm(
+        a_block, b,
+        algorithm=algorithm, semiring=sr_name,
+        sort_output=sort_output, engine=engine,
+    )
+    return c.indptr, c.indices, c.data
+
+
+# --------------------------------------------------------------------------
+# entry point
+# --------------------------------------------------------------------------
 
 def parallel_spgemm(
     a: CSR,
@@ -45,18 +228,34 @@ def parallel_spgemm(
     semiring: "str | Semiring" = PLUS_TIMES,
     sort_output: bool = True,
     nworkers: int | None = None,
+    engine: str = "faithful",
+    share: str = "auto",
 ) -> CSR:
     """Compute ``C = A (x) B`` across ``nworkers`` OS processes.
 
     Rows are split with the paper's flop-balanced scheduler so workers
     finish together even on skewed inputs.  The default ``esc`` kernel is
-    the fastest executable one; any registered algorithm works.
+    the fastest executable one under the faithful engine; pair the hash
+    family with ``engine="fast"`` for the batched implementation.
+
+    Parameters
+    ----------
+    nworkers:
+        Process count (default: min(cores, 8)).  Must be >= 1; counts
+        beyond the row count are clamped — no silent empty blocks.
+    engine:
+        Execution engine each worker runs (see :func:`repro.spgemm`).
+    share:
+        Operand transport: ``"shm"`` (zero-copy shared memory),
+        ``"fork"`` (copy-on-write inheritance), ``"pickle"`` (legacy
+        serialized copies), or ``"auto"`` to pick the best available,
+        overridable via the ``REPRO_POOL_SHARE`` environment variable.
 
     Notes
     -----
-    Workers receive pickled copies of their A block and of all of B, so
-    speedups require the per-block compute to dominate the one-time IPC
-    cost — true for the scales where parallelism matters.
+    Only the *output* blocks travel back over IPC; under ``"shm"``/
+    ``"fork"`` the operands are never serialized, so the setup cost is one
+    memcpy (or none) instead of ``nworkers`` pickled copies of B.
     """
     if a.ncols != b.nrows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
@@ -65,24 +264,56 @@ def parallel_spgemm(
         nworkers = min(os.cpu_count() or 1, 8)
     if nworkers < 1:
         raise ConfigError(f"nworkers must be >= 1, got {nworkers}")
+    mode = _resolve_share(share)
+    nworkers = min(nworkers, max(a.nrows, 1))
     if nworkers == 1 or a.nrows == 0:
         return spgemm(
-            a, b, algorithm=algorithm, semiring=sr, sort_output=sort_output
+            a, b, algorithm=algorithm, semiring=sr,
+            sort_output=sort_output, engine=engine,
         )
     partition = rows_to_threads(a, b, nworkers)
     blocks = [
         (int(partition.offsets[t]), int(partition.offsets[t + 1]))
         for t in range(nworkers)
     ]
-    tasks = [
-        (row_block(a, s, e), b, algorithm, sr.name, sort_output)
-        for s, e in blocks
-        if e > s
-    ]
-    with ProcessPoolExecutor(max_workers=nworkers) as pool:
-        results = list(pool.map(_worker, tasks))
+    work = [(s, e) for s, e in blocks if e > s]
 
-    # Stitch the block outputs back together.
+    if mode == "shm":
+        shm, header = _pack_shm(a, b)
+        tasks = [
+            (shm.name, header, s, e, algorithm, sr.name, sort_output, engine)
+            for s, e in work
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                results = list(pool.map(_worker_shm, tasks))
+        finally:
+            shm.close()
+            shm.unlink()
+    elif mode == "fork":
+        token = next(_FORK_TOKENS)
+        _FORK_OPERANDS[token] = (a, b)
+        tasks = [
+            (token, s, e, algorithm, sr.name, sort_output, engine)
+            for s, e in work
+        ]
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=len(tasks), mp_context=ctx
+            ) as pool:
+                results = list(pool.map(_worker_fork, tasks))
+        finally:
+            del _FORK_OPERANDS[token]
+    else:  # pickle
+        tasks = [
+            (row_block(a, s, e), b, algorithm, sr.name, sort_output, engine)
+            for s, e in work
+        ]
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            results = list(pool.map(_worker_pickle, tasks))
+
+    # Preallocated single-pass stitch: sizes first, then one copy per block.
     nrows = a.nrows
     indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
     total = 0

@@ -95,6 +95,40 @@ class Semiring:
             return np.empty(0, dtype=values.dtype)
         return self.add.reduceat(values, starts)
 
+    def accumulate_segments(
+        self,
+        values: np.ndarray,
+        new_run: np.ndarray,
+        starts: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reduce contiguous segments in strict left-to-right order.
+
+        :meth:`reduce_segments` delegates to ``ufunc.reduceat``, which numpy
+        may evaluate *pairwise* for floating-point accuracy — an addition
+        tree, not a sequence.  The scalar kernels instead fold one value at
+        a time into their accumulator, so a bit-for-bit replica needs the
+        exact same sequence.  This method reproduces it: each segment's
+        output starts as its first value verbatim (no identity fold — this
+        also preserves ``-0.0`` and matters for non-``plus`` monoids on
+        values below the identity), and every later value is applied with
+        one ordered ``add`` via ``ufunc.at``, which processes its operands
+        in array order.
+
+        ``new_run`` is the boolean segment-start mask (``new_run[0]`` must
+        be True); ``starts`` may pass ``np.flatnonzero(new_run)`` when the
+        caller already has it.
+        """
+        if len(values) == 0:
+            return np.empty(0, dtype=values.dtype)
+        if starts is None:
+            starts = np.flatnonzero(new_run)
+        out = values[starts].copy()
+        if len(values) > len(starts):
+            seg_ids = np.cumsum(new_run) - 1
+            rest = ~new_run
+            self.add.at(out, seg_ids[rest], values[rest])
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Semiring({self.name!r})"
 

@@ -73,3 +73,73 @@ class TestParallelSpgemm:
         z = csr_from_dense(np.zeros((5, 5)))
         c = parallel_spgemm(z, z, nworkers=3)
         assert c.nnz == 0
+
+
+class TestRowBlockValidation:
+    def test_bad_range_rejected(self, medium_random):
+        for start, end in ((-1, 5), (5, 3), (0, medium_random.nrows + 1)):
+            with pytest.raises(ConfigError):
+                row_block(medium_random, start, end)
+
+    def test_block_of_unsorted_parent_redetects_sortedness(self):
+        from repro import CSR
+
+        # row 0 is unsorted, row 1 is sorted: a block of just row 1 should
+        # carry sorted_rows=True even though the parent is unsorted.
+        m = CSR(
+            (2, 4),
+            np.array([0, 2, 4]), np.array([3, 1, 0, 2]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        assert not m.sorted_rows
+        assert row_block(m, 1, 2).sorted_rows
+        assert not row_block(m, 0, 1).sorted_rows
+
+    def test_block_of_sorted_parent_stays_sorted(self, medium_random):
+        parent = medium_random.sort_rows()
+        assert row_block(parent, 3, 9).sorted_rows
+
+
+class TestShareModes:
+    def test_all_transports_match_serial(self):
+        g = g500_matrix(8, 8, seed=5)
+        serial = parallel_spgemm(g, g, algorithm="hash", nworkers=1)
+        for share in ("shm", "fork", "pickle", "auto"):
+            c = parallel_spgemm(g, g, algorithm="hash", nworkers=3, share=share)
+            assert c.allclose(serial), share
+
+    def test_unknown_share_rejected(self, small_square):
+        with pytest.raises(ConfigError):
+            parallel_spgemm(small_square, small_square, share="telepathy")
+
+    def test_env_override(self, small_square, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_SHARE", "carrier-pigeon")
+        with pytest.raises(ConfigError):
+            parallel_spgemm(small_square, small_square, nworkers=2)
+
+    def test_fast_engine_parallel_bit_identical(self):
+        from repro import spgemm
+
+        g = g500_matrix(8, 8, seed=3)
+        ref = spgemm(g, g, algorithm="hash")
+        c = parallel_spgemm(g, g, algorithm="hash", nworkers=3, engine="fast")
+        np.testing.assert_array_equal(c.indptr, ref.indptr)
+        np.testing.assert_array_equal(c.indices, ref.indices)
+        np.testing.assert_array_equal(
+            c.data.view(np.uint64), ref.data.view(np.uint64)
+        )
+
+    def test_worker_clamp_no_empty_blocks(self):
+        from repro import csr_from_dense
+
+        m = csr_from_dense(np.eye(3) * 2.0)
+        c = parallel_spgemm(m, m, nworkers=64, share="shm")
+        np.testing.assert_allclose(c.to_dense(), np.eye(3) * 4.0)
+
+    def test_empty_matrix_all_modes(self):
+        from repro import csr_from_dense
+
+        z = csr_from_dense(np.zeros((4, 4)))
+        for share in ("shm", "fork", "pickle"):
+            c = parallel_spgemm(z, z, nworkers=3, share=share)
+            assert c.nnz == 0
