@@ -93,11 +93,38 @@ def time_call(fn, *args, warmup: int = 1, repeats: int = 3, **kwargs):
     return min(samples), samples, result
 
 
+@functools.lru_cache(maxsize=1)
+def lint_status() -> "tuple[tuple[str, object], ...]":
+    """Contract-linter verdict on ``src/repro`` at benchmark time.
+
+    Benchmark numbers from a tree that violates its own registration or
+    accumulation-order contracts are not comparable to numbers from a clean
+    tree, so every JSON record carries the verdict.  Cached: one lint pass
+    per benchmark session.  Returned as a tuple of items (lru_cache needs a
+    hashable value); callers ``dict(...)`` it.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    src = repo_root / "src" / "repro"
+    try:
+        from repro.analysis import analyze_paths
+
+        result = analyze_paths([str(src)], root=str(repo_root))
+    except Exception as exc:  # repro-lint: disable=overbroad-except — never let linting break a benchmark run
+        return (("clean", False), ("error", f"{type(exc).__name__}: {exc}"))
+    return (
+        ("clean", result.clean),
+        ("findings", len(result.findings)),
+        ("suppressed", len(result.suppressed)),
+        ("files_scanned", result.files_scanned),
+    )
+
+
 def record_json(name: str, payload: dict, *, mirror_repo_root: bool = False) -> Path:
     """Persist a machine-readable benchmark record as ``<name>.json``.
 
-    The record is annotated with timestamp and interpreter/platform info so
-    the perf trajectory is comparable across PRs.  ``mirror_repo_root=True``
+    The record is annotated with timestamp, interpreter/platform info and
+    the contract-linter verdict (see :func:`lint_status`) so the perf
+    trajectory is comparable across PRs.  ``mirror_repo_root=True``
     additionally writes a copy next to the repository root (for records,
     like ``BENCH_engine.json``, that are committed as part of the PR).
     """
@@ -105,6 +132,7 @@ def record_json(name: str, payload: dict, *, mirror_repo_root: bool = False) -> 
     record.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
     record.setdefault("python", platform.python_version())
     record.setdefault("platform", platform.platform())
+    record.setdefault("lint", dict(lint_status()))
     text = json.dumps(record, indent=2, sort_keys=True) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"

@@ -1,0 +1,81 @@
+"""Small AST helpers shared by the bundled checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted_name",
+    "const_str_set",
+    "call_name",
+    "walk_functions",
+    "names_used",
+]
+
+
+def dotted_name(node: ast.AST) -> "str | None":
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Chains hanging off calls or subscripts (``f().x``) return None — the
+    checkers only match statically-resolvable module/attribute paths.
+    """
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> "str | None":
+    """Dotted name of a call's callee (``np.random.default_rng``)."""
+    return dotted_name(node.func)
+
+
+def const_str_set(node: ast.AST) -> "list[tuple[str, int]] | None":
+    """``(value, lineno)`` pairs for a literal collection of string constants.
+
+    Understands ``{"a", "b"}``, ``("a", "b")``, ``["a", "b"]`` and
+    ``frozenset({...})`` / ``set({...})`` wrappers — the registration-table
+    shapes the dispatch checker needs.  Returns None for anything dynamic.
+    """
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("frozenset", "set") and len(node.args) == 1 and not node.keywords:
+            return const_str_set(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out: "list[tuple[str, int]]" = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append((elt.value, elt.lineno))
+            else:
+                return None
+        return out
+    return None
+
+
+def walk_functions(tree: ast.AST) -> "Iterator[ast.FunctionDef | ast.AsyncFunctionDef]":
+    """Every function definition in ``tree``, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def names_used(tree: ast.AST) -> "set[str]":
+    """Every identifier referenced in ``tree``: Name ids plus import aliases."""
+    names: "set[str]" = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+                if isinstance(node, ast.ImportFrom):
+                    names.add(alias.name)
+    return names

@@ -1,0 +1,66 @@
+"""Baseline files: adopt a linter on a tree with pre-existing findings.
+
+A baseline is a JSON file of finding fingerprints (see
+:attr:`repro.analysis.findings.Finding.fingerprint`).  Findings whose
+fingerprint appears in the baseline are reported separately and do **not**
+fail the run — so the linter can gate *new* findings in CI from day one
+while the backlog is burned down.  Fingerprints hash the rule, path,
+source line and message (not the line number), so baselined findings keep
+matching across unrelated edits to the same file.
+
+This repository's own tree lints clean, so no baseline file is committed;
+the mechanism exists for downstream forks and for future rules that land
+with a backlog.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> "frozenset[str]":
+    """Read a baseline file and return its fingerprint set.
+
+    Raises :class:`ValueError` on a malformed file (CI should fail loudly
+    rather than silently gate nothing).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"baseline {path!r} has no 'fingerprints' key")
+    fingerprints = payload["fingerprints"]
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(fp, str) for fp in fingerprints
+    ):
+        raise ValueError(f"baseline {path!r}: 'fingerprints' must be a string list")
+    return frozenset(fingerprints)
+
+
+def write_baseline(path: str, findings: "Iterable[Finding]") -> int:
+    """Write the fingerprints of ``findings`` to ``path``; return the count.
+
+    Entries are sorted and annotated with their location so the file reviews
+    well in a diff, but only ``fingerprints`` is consulted when loading.
+    """
+    items = sorted(
+        {(f.fingerprint, f"{f.path}:{f.line} [{f.rule}] {f.message}") for f in findings}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": [fp for fp, _ in items],
+        "annotations": {fp: note for fp, note in items},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(items)

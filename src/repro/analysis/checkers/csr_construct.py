@@ -1,0 +1,72 @@
+"""Rule ``csr-construct`` — CSR structs are built, not attribute-stuffed.
+
+:class:`repro.matrix.csr.CSR` instances are logically immutable, and the
+``sorted_rows`` flag is the paper's central object of study — it must never
+be guessed or stuffed after the fact.  The validating constructor is the
+single place the invariants (array shapes/dtypes, flag truthfulness) are
+established; assigning ``indptr``/``indices``/``data``/``sorted_rows`` on a
+CSR from outside bypasses that and is exactly how a kernel ships a matrix
+whose flag lies about its rows.
+
+Flags any assignment (including augmented and annotated assignment) whose
+target is ``<expr>.indptr`` / ``.indices`` / ``.data`` / ``.sorted_rows``
+where ``<expr>`` is not ``self`` — ``matrix/csr.py`` itself is exempt (the
+class manages its own fields, e.g. ``sort_rows(inplace=True)`` and the
+``shuffle_rows`` flag re-detection).  The fix is always the same: construct
+a new ``CSR(..., sorted_rows=...)`` (pass ``None`` to have the constructor
+detect the flag).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+_CSR_FIELDS = frozenset({"indptr", "indices", "data", "sorted_rows"})
+_OWNER_SUFFIX = "matrix/csr.py"
+
+
+def _stuffed_targets(node: ast.AST) -> "Iterator[ast.Attribute]":
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return
+    for target in targets:
+        nodes = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+        for t in nodes:
+            if (
+                isinstance(t, ast.Attribute)
+                and t.attr in _CSR_FIELDS
+                and not (isinstance(t.value, ast.Name) and t.value.id == "self")
+            ):
+                yield t
+
+
+@register
+class CSRConstructChecker(Checker):
+    rule = "csr-construct"
+    description = (
+        "assignment to CSR indptr/indices/data/sorted_rows outside the "
+        "validating constructor"
+    )
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        if ctx.relpath.endswith(_OWNER_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            for target in _stuffed_targets(node):
+                yield self.finding(
+                    ctx,
+                    target.lineno,
+                    f"attribute-stuffing `.{target.attr}` bypasses the "
+                    "validating CSR constructor; build a new "
+                    "CSR(..., sorted_rows=...) (None = detect) instead",
+                    target.col_offset,
+                )

@@ -1,0 +1,114 @@
+"""Rule ``determinism`` — kernel code must be bit-reproducible run to run.
+
+Every kernel, scheduler and generator in :mod:`repro` is validated by
+bit-exactness tests (and the fast engine's whole contract is bit-for-bit
+equality), so any ambient nondeterminism in library code is a latent test
+flake and a silent correctness hazard.  Three sources are flagged:
+
+* **unseeded RNG** — ``np.random.default_rng()`` with no seed argument, the
+  legacy ``np.random.*`` global-state functions, and stdlib ``random``
+  module-level functions.  Library code must thread an explicit ``seed``
+  (every generator in :mod:`repro.rmat` / :mod:`repro.datasets` does);
+* **wall-clock logic** — ``time.time()`` / ``time.time_ns()`` in library
+  code.  Timing belongs in the benchmark harness (``time.perf_counter``
+  for *reported* durations is fine and not flagged);
+* **set-iteration order** — ``for ... in {a, b}`` / ``for ... in set(...)``:
+  set iteration order varies with hash seeding across processes; iterate a
+  sorted or list form instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+#: Legacy global-state numpy RNG entry points (non-exhaustive on purpose:
+#: these are the ones that appear in real SpGEMM codebases).
+_NP_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "shuffle", "permutation", "choice", "uniform",
+})
+
+#: stdlib ``random`` module-level functions (global Mersenne state).
+_STDLIB_RANDOM = frozenset({
+    "random", "randint", "randrange", "shuffle", "choice", "choices",
+    "sample", "uniform", "seed", "gauss",
+})
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = (
+        "unseeded RNG, wall-clock-dependent logic, or set-iteration order "
+        "in library code"
+    )
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(ctx, node.iter)
+            elif isinstance(node, ast.comprehension):
+                yield from self._check_iteration(ctx, node.iter)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> "Iterator[Finding]":
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf == "default_rng" and not node.args and not node.keywords:
+            yield self.finding(
+                ctx,
+                node.lineno,
+                "unseeded default_rng() draws OS entropy; thread an explicit "
+                "seed parameter (every repro generator takes one)",
+                node.col_offset,
+            )
+        elif name.startswith(("np.random.", "numpy.random.")) and leaf in _NP_LEGACY:
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"legacy global-state RNG {name}() is unseeded shared state; "
+                "use np.random.default_rng(seed)",
+                node.col_offset,
+            )
+        elif name.startswith("random.") and leaf in _STDLIB_RANDOM:
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"stdlib {name}() uses hidden global state; use "
+                "np.random.default_rng(seed)",
+                node.col_offset,
+            )
+        elif name in ("time.time", "time.time_ns"):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                "wall-clock time in library code breaks reproducibility; "
+                "timing belongs in the bench harness (perf_counter for "
+                "reported durations is fine)",
+                node.col_offset,
+            )
+
+    def _check_iteration(self, ctx: FileContext, iter_node: ast.AST) -> "Iterator[Finding]":
+        is_set_literal = isinstance(iter_node, ast.Set)
+        is_set_call = (
+            isinstance(iter_node, ast.Call)
+            and dotted_name(iter_node.func) in ("set", "frozenset")
+        )
+        if is_set_literal or is_set_call:
+            yield self.finding(
+                ctx,
+                iter_node.lineno,
+                "iteration order over a set varies with hash seeding across "
+                "processes; iterate sorted(...) or a list/tuple instead",
+                iter_node.col_offset,
+            )

@@ -1,0 +1,291 @@
+"""Rule ``kernel-dispatch`` — the multi-kernel registration tables must agree.
+
+The paper's central engineering claim is that many SpGEMM kernels coexist
+behind one dispatch surface.  In this codebase that surface is split over
+three registration tables plus the kernel modules themselves, and they rot
+independently (a kernel registered in one table but forgotten in another is
+exactly how multi-kernel SpGEMM codebases decay — cf. KokkosKernels):
+
+* ``core/spgemm.py`` — the Table-1 registry ``ALGORITHMS`` and the
+  ``spgemm()`` dispatch branches;
+* ``core/recipe.py`` — the Table-4 recipe: every registered algorithm must
+  either be recommendable by some rule or listed in ``RECIPE_EXCLUDED``
+  with a justification;
+* ``core/engine.py`` — the engine coverage partition: every registered
+  algorithm must appear in exactly one of ``FAST_ALGORITHMS``,
+  ``VECTORIZED_ALGORITHMS``, ``FAITHFUL_ONLY_ALGORITHMS``;
+* every public ``*_spgemm(a, b, ...)`` entry point in ``core/`` must be
+  referenced by the dispatcher (or carry a
+  ``# repro-lint: disable=kernel-dispatch`` comment explaining why it is a
+  deliberately separate surface, e.g. ``masked_spgemm``).
+
+This is a *project-scope* checker: it activates only when the file set
+being analyzed contains ``core/spgemm.py`` (so linting a stray file or a
+test fixture tree does not demand the whole package), and it checks only
+the tables present in the set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import const_str_set, names_used
+from ..context import FileContext, ProjectContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+
+def _assignment_value(tree: ast.Module, name: str) -> "tuple[ast.AST, int] | None":
+    """``(value, lineno)`` of a module-level ``name = ...`` assignment."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value, node.lineno
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node.value, node.lineno
+    return None
+
+
+def _registry_keys(tree: ast.Module) -> "tuple[dict[str, int], int]":
+    """``{algorithm: lineno}`` of the ALGORITHMS dict keys, plus its lineno."""
+    found = _assignment_value(tree, "ALGORITHMS")
+    if found is None:
+        return {}, 1
+    value, lineno = found
+    keys: "dict[str, int]" = {}
+    if isinstance(value, ast.Dict):
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys[key.value] = key.lineno
+    return keys, lineno
+
+
+#: The recipe sentinel: resolved to a concrete algorithm before dispatch,
+#: deliberately absent from the Table-1 registry.
+_AUTO_SENTINEL = "auto"
+
+
+def _dispatch_strings(tree: ast.Module) -> "set[str]":
+    """Every algorithm name the dispatcher compares against.
+
+    Collects ``algorithm == "x"`` equality tests and
+    ``algorithm in ("x", "y")`` membership tests anywhere in the dispatch
+    module (the chain lives in ``spgemm()`` / ``_dispatch_kernel()``; both
+    branch styles appear).  The ``"auto"`` sentinel is not an algorithm
+    and is ignored.
+    """
+    out: "set[str]" = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not (isinstance(node.left, ast.Name) and node.left.id == "algorithm"):
+            continue
+        comparator = node.comparators[0]
+        if isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            if isinstance(comparator, ast.Constant) and isinstance(comparator.value, str):
+                out.add(comparator.value)
+        elif isinstance(node.ops[0], (ast.In, ast.NotIn)):
+            strs = const_str_set(comparator)
+            if strs:
+                out.update(value for value, _ in strs)
+    out.discard(_AUTO_SENTINEL)
+    return out
+
+
+def _recipe_recommendations(tree: ast.Module) -> "set[str]":
+    """Every algorithm name a Table-4 rule can return."""
+    out: "set[str]" = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = callee.id if isinstance(callee, ast.Name) else getattr(callee, "attr", "")
+        if name == "decision" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                out.add(first.value)
+        elif name == "RecipeDecision":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "algorithm"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    out.add(kw.value.value)
+    return out
+
+
+def _named_str_set(tree: ast.Module, name: str) -> "tuple[dict[str, int], int] | None":
+    """``({value: lineno}, set lineno)`` for a module-level string-set constant."""
+    found = _assignment_value(tree, name)
+    if found is None:
+        return None
+    value, lineno = found
+    strs = const_str_set(value)
+    if strs is None:
+        return None
+    return {v: ln for v, ln in strs}, lineno
+
+
+def _kernel_entry_points(ctx: FileContext) -> "Iterator[ast.FunctionDef]":
+    """Public top-level ``*_spgemm(a, b, ...)`` functions in a core module."""
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.startswith("_") or not node.name.endswith("_spgemm"):
+            continue
+        args = node.args.posonlyargs + node.args.args
+        if len(args) >= 2 and args[0].arg == "a" and args[1].arg == "b":
+            yield node
+
+
+@register
+class KernelDispatchChecker(Checker):
+    rule = "kernel-dispatch"
+    description = (
+        "SpGEMM kernels must be consistently registered across the Table-1 "
+        "registry, the spgemm() dispatch, the Table-4 recipe, and the "
+        "engine coverage map"
+    )
+    scope = "project"
+
+    def check(self, project: ProjectContext) -> "Iterator[Finding]":
+        spgemm_ctx = project.by_suffix("core/spgemm.py")
+        if spgemm_ctx is None or spgemm_ctx.tree is None:
+            return
+        registered, registry_line = _registry_keys(spgemm_ctx.tree)
+        dispatched = _dispatch_strings(spgemm_ctx.tree)
+        yield from self._check_dispatch(spgemm_ctx, registered, registry_line, dispatched)
+        yield from self._check_entry_points(project, spgemm_ctx)
+        recipe_ctx = project.by_suffix("core/recipe.py")
+        if recipe_ctx is not None and recipe_ctx.tree is not None and registered:
+            yield from self._check_recipe(recipe_ctx, registered)
+        engine_ctx = project.by_suffix("core/engine.py")
+        if engine_ctx is not None and engine_ctx.tree is not None and registered:
+            yield from self._check_engine_coverage(engine_ctx, registered)
+
+    # -- spgemm.py: registry vs dispatch branches ------------------------
+    def _check_dispatch(self, ctx, registered, registry_line, dispatched):
+        for alg in sorted(set(registered) - dispatched):
+            yield self.finding(
+                ctx,
+                registered[alg],
+                f"algorithm {alg!r} is registered in ALGORITHMS but spgemm() "
+                "has no dispatch branch for it — calls would hit the "
+                "registry/dispatch-mismatch assertion",
+            )
+        for alg in sorted(dispatched - set(registered)):
+            yield self.finding(
+                ctx,
+                registry_line,
+                f"spgemm() dispatches algorithm {alg!r} which is not in the "
+                "ALGORITHMS registry — unreachable branch or missing "
+                "Table-1 row",
+            )
+
+    # -- core/*.py: every public kernel entry point is dispatched --------
+    def _check_entry_points(self, project: ProjectContext, spgemm_ctx: FileContext):
+        referenced = names_used(spgemm_ctx.tree)
+        for ctx in project.in_dir("core"):
+            if ctx is spgemm_ctx or ctx.tree is None:
+                continue
+            for fn in _kernel_entry_points(ctx):
+                if fn.name not in referenced:
+                    yield self.finding(
+                        ctx,
+                        fn.lineno,
+                        f"kernel entry point {fn.name}() is not referenced by "
+                        "the spgemm() dispatcher; register it in ALGORITHMS "
+                        "+ dispatch, or whitelist it as a deliberately "
+                        "separate surface",
+                    )
+
+    # -- recipe.py: Table-4 coverage -------------------------------------
+    def _check_recipe(self, ctx, registered):
+        recommended = _recipe_recommendations(ctx.tree)
+        excluded_info = _named_str_set(ctx.tree, "RECIPE_EXCLUDED")
+        if excluded_info is None:
+            excluded, excluded_line = {}, 1
+        else:
+            excluded, excluded_line = excluded_info
+        for alg in sorted(set(registered) - recommended - set(excluded)):
+            yield self.finding(
+                ctx,
+                excluded_line,
+                f"registered algorithm {alg!r} is neither recommendable by "
+                "any Table-4 rule nor listed in RECIPE_EXCLUDED — add a "
+                "recipe rule or an explicit exclusion with justification",
+            )
+        for alg in sorted(recommended & set(excluded)):
+            yield self.finding(
+                ctx,
+                excluded[alg],
+                f"algorithm {alg!r} is listed in RECIPE_EXCLUDED but a "
+                "Table-4 rule can still recommend it — the exclusion lies",
+            )
+        for alg in sorted(set(excluded) - set(registered)):
+            yield self.finding(
+                ctx,
+                excluded[alg],
+                f"RECIPE_EXCLUDED entry {alg!r} is not a registered "
+                "algorithm — stale exclusion",
+            )
+        for alg in sorted(recommended - set(registered)):
+            yield self.finding(
+                ctx,
+                excluded_line,
+                f"a Table-4 rule recommends {alg!r} which is not in the "
+                "ALGORITHMS registry — recommend() would hand spgemm() an "
+                "unknown algorithm",
+            )
+
+    # -- engine.py: coverage partition -----------------------------------
+    def _check_engine_coverage(self, ctx, registered):
+        sets = {}
+        line = 1
+        for set_name in (
+            "FAST_ALGORITHMS",
+            "VECTORIZED_ALGORITHMS",
+            "FAITHFUL_ONLY_ALGORITHMS",
+        ):
+            info = _named_str_set(ctx.tree, set_name)
+            if info is None:
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"engine coverage set {set_name} is missing or not a "
+                    "literal set of algorithm names — the fast-engine "
+                    "coverage contract cannot be checked",
+                )
+                return
+            sets[set_name], line = info
+        for alg in sorted(registered):
+            owners = [name for name, members in sets.items() if alg in members]
+            if not owners:
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"registered algorithm {alg!r} appears in no engine "
+                    "coverage set — declare it FAST, VECTORIZED, or "
+                    "FAITHFUL_ONLY so resolve_engine()'s fallback is a "
+                    "decision, not an accident",
+                )
+            elif len(owners) > 1:
+                yield self.finding(
+                    ctx,
+                    sets[owners[1]][alg],
+                    f"algorithm {alg!r} appears in multiple engine coverage "
+                    f"sets ({', '.join(owners)}) — the partition must be "
+                    "disjoint",
+                )
+        for set_name, members in sets.items():
+            for alg in sorted(set(members) - set(registered)):
+                yield self.finding(
+                    ctx,
+                    members[alg],
+                    f"{set_name} entry {alg!r} is not a registered algorithm "
+                    "— stale coverage claim",
+                )

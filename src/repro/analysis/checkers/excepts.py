@@ -1,0 +1,71 @@
+"""Rule ``overbroad-except`` — bare and overbroad exception handlers.
+
+Kernel code that swallows ``Exception`` (or everything) hides the exact
+failures the reproduction is supposed to surface: a shape mismatch caught
+accidentally turns a loud contract violation into silent wrong numbers.
+The repo's own error hierarchy (:mod:`repro.errors`) exists precisely so
+callers can catch narrowly.
+
+Flags:
+
+* ``except:`` — always (also swallows ``SystemExit``/``KeyboardInterrupt``);
+* ``except BaseException:`` — always;
+* ``except Exception:`` — unless the handler re-raises (a bare ``raise``
+  anywhere in the handler body), which is the legitimate
+  log-and-propagate shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@register
+class OverbroadExceptChecker(Checker):
+    rule = "overbroad-except"
+    description = "bare `except:` and non-re-raising `except Exception:` handlers"
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "bare `except:` swallows SystemExit/KeyboardInterrupt; "
+                    "catch a specific exception (see repro.errors)",
+                    node.col_offset,
+                )
+                continue
+            name = dotted_name(node.type)
+            if name in ("BaseException", "builtins.BaseException"):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "`except BaseException:` swallows interpreter-exit signals; "
+                    "catch a specific exception",
+                    node.col_offset,
+                )
+            elif name in ("Exception", "builtins.Exception") and not _reraises(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "`except Exception:` without re-raise hides contract violations; "
+                    "catch a specific exception or re-raise",
+                    node.col_offset,
+                )

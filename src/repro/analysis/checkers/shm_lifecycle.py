@@ -1,0 +1,196 @@
+"""Rule ``shm-lifecycle`` — shared-memory segments must be cleaned up.
+
+The zero-copy pool (:mod:`repro.parallel.pool`) owns real OS resources:
+a ``SharedMemory(create=True)`` segment outlives the process unless
+``unlink()`` runs, and leaks the mapping unless ``close()`` runs.  PR 1's
+lifecycle (create → workers attach → ``close()``+``unlink()`` in a
+``finally``) is easy to silently break — dropping the ``finally`` still
+passes every happy-path test and only leaks under worker crashes.
+
+The checker runs only on files that import
+``multiprocessing.shared_memory`` and applies three function-local rules:
+
+* **create-without-cleanup** — a function that calls
+  ``SharedMemory(create=True)`` must either return/yield the handle
+  (ownership escapes to the caller, e.g. ``_pack_shm``) or call both
+  ``close()`` and ``unlink()`` on it;
+* **cleanup-off-exceptional-path** — when cleanup is local, at least one of
+  ``close()``/``unlink()`` must sit in a ``finally`` block (or the segment
+  must be managed by a ``with`` statement), otherwise an exception between
+  create and cleanup leaks the segment;
+* **unlink-without-close** — any function that calls ``x.unlink()`` must
+  also call ``x.close()``: unlinking without closing leaks the local
+  mapping until process exit.
+
+Attach-side handles (``SharedMemory(name=...)``) are exempt: workers
+deliberately keep them alive for the life of the numpy views (see the
+``_SHM_HANDLES`` note in :mod:`repro.parallel.pool`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name, walk_functions
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Checker, register
+
+
+def _imports_shared_memory(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith("multiprocessing") for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod.startswith("multiprocessing") or any(
+                a.name == "shared_memory" for a in node.names
+            ):
+                return True
+    return False
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    if name is None or name.rsplit(".", 1)[-1] != "SharedMemory":
+        return False
+    return any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in node.keywords
+    )
+
+
+def _method_calls(tree: ast.AST, method: str) -> "set[str]":
+    """Receiver variable names of ``<name>.<method>()`` calls in ``tree``."""
+    out: "set[str]" = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+        ):
+            out.add(node.func.value.id)
+    return out
+
+
+def _finally_subtrees(func: ast.AST) -> "Iterator[ast.stmt]":
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            yield from node.finalbody
+
+
+def _collect_escaping(node: ast.AST, out: "set[str]") -> None:
+    """Names handed out by a return/yield expression.
+
+    ``return shm`` / ``return shm, header`` transfer the handle;
+    ``return shm.name`` / ``return table[shm]`` only leak a derived value,
+    so attribute/subscript subtrees are not descended into.
+    """
+    if isinstance(node, ast.Name):
+        out.add(node.id)
+    elif isinstance(node, (ast.Attribute, ast.Subscript)):
+        return
+    else:
+        for child in ast.iter_child_nodes(node):
+            _collect_escaping(child, out)
+
+
+def _escaping_names(func: ast.AST) -> "set[str]":
+    """Names that escape ``func`` through a return/yield expression."""
+    out: "set[str]" = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                _collect_escaping(node.value, out)
+    return out
+
+
+def _with_managed_names(func: ast.AST) -> "set[str]":
+    """Names bound or used as context managers in ``with`` statements."""
+    out: "set[str]" = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+                if isinstance(item.optional_vars, ast.Name):
+                    out.add(item.optional_vars.id)
+    return out
+
+
+@register
+class ShmLifecycleChecker(Checker):
+    rule = "shm-lifecycle"
+    description = (
+        "SharedMemory(create=True) without matching close()/unlink() on all "
+        "paths (try/finally-aware)"
+    )
+    scope = "file"
+
+    def check(self, ctx: FileContext) -> "Iterator[Finding]":
+        if not _imports_shared_memory(ctx.tree):
+            return
+        for func in walk_functions(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: FileContext, func: ast.AST) -> "Iterator[Finding]":
+        created: "dict[str, int]" = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _is_create_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            created.setdefault(target.id, node.lineno)
+
+        closed = _method_calls(func, "close")
+        unlinked = _method_calls(func, "unlink")
+        finally_closed: "set[str]" = set()
+        finally_unlinked: "set[str]" = set()
+        for stmt in _finally_subtrees(func):
+            finally_closed |= _method_calls(stmt, "close")
+            finally_unlinked |= _method_calls(stmt, "unlink")
+        escaping = _escaping_names(func)
+        with_managed = _with_managed_names(func)
+
+        for name, lineno in created.items():
+            if name in escaping:
+                continue  # ownership transferred to the caller
+            if name not in closed or name not in unlinked:
+                missing = [
+                    m
+                    for m, have in (("close()", name in closed), ("unlink()", name in unlinked))
+                    if not have
+                ]
+                yield self.finding(
+                    ctx,
+                    lineno,
+                    f"SharedMemory segment {name!r} is created here but "
+                    f"{' and '.join(missing)} never run(s) in this function "
+                    "and the handle does not escape — the segment leaks",
+                )
+            elif (
+                name not in finally_closed
+                and name not in finally_unlinked
+                and name not in with_managed
+            ):
+                yield self.finding(
+                    ctx,
+                    lineno,
+                    f"cleanup of SharedMemory segment {name!r} is not on the "
+                    "exceptional path; put close()/unlink() in a finally "
+                    "block (or manage the segment with a `with` statement)",
+                )
+
+        for name in sorted(unlinked - closed):
+            yield self.finding(
+                ctx,
+                getattr(func, "lineno", 1),
+                f"{name}.unlink() without {name}.close() leaks the local "
+                "mapping until process exit",
+            )

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (no active findings), 1 = active findings, 2 = usage
+or I/O error.  ``--format json`` emits a machine-readable report for CI;
+``--write-baseline`` snapshots the current findings so later runs only
+fail on *new* ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .baseline import load_baseline, write_baseline
+from .registry import analyze_paths, available_rules
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_PATH = os.path.join("src", "repro")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="AST-based contract linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="fingerprints in FILE are reported as baselined, not failures",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings' fingerprints to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RULE[,RULE...]",
+        help="run only these rules (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    return parser
+
+
+def _render_text(result, stream) -> None:
+    for f in result.findings:
+        print(f.render(), file=stream)
+        if f.snippet:
+            print(f"    {f.snippet}", file=stream)
+    summary = (
+        f"{len(result.findings)} finding(s) "
+        f"({len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined) "
+        f"in {result.files_scanned} file(s)"
+    )
+    print(summary, file=stream)
+
+
+def _render_json(result, stream) -> None:
+    payload = {
+        "version": 1,
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "rules": result.rules,
+        "counts": {
+            "active": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "findings": [f.to_json() for f in result.findings],
+        "suppressed": [f.to_json() for f in result.suppressed],
+        "baselined": [f.to_json() for f in result.baselined],
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in available_rules():
+            print(f"{rule:<18s} {description}")
+        return 0
+
+    paths = args.paths
+    if not paths:
+        if not os.path.exists(DEFAULT_PATH):
+            print(
+                f"error: no paths given and default {DEFAULT_PATH!r} does not "
+                "exist (run from the repository root or pass paths)",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [DEFAULT_PATH]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    baseline = frozenset()
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        result = analyze_paths(paths, root=args.root, rules=rules, baseline=baseline)
+    except ValueError as exc:  # unknown rule names
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, result.findings)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        _render_json(result, sys.stdout)
+    else:
+        _render_text(result, sys.stdout)
+    return 0 if result.clean else 1

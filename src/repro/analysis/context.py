@@ -1,0 +1,149 @@
+"""Parsed-source contexts handed to checkers, including suppression state.
+
+A :class:`FileContext` owns everything a file-scope checker needs: source
+text, the parsed AST, and the suppression table extracted from
+``# repro-lint:`` comments.  A :class:`ProjectContext` wraps the whole file
+set of one analysis run so cross-module checkers (the kernel-dispatch rule)
+can correlate registration tables that live in different files.
+
+Suppression comments
+--------------------
+Three forms, mirroring the conventions of pylint/ruff:
+
+* ``# repro-lint: disable=rule1,rule2`` — trailing comment on the offending
+  line (the line of the AST node the checker anchored the finding to);
+* ``# repro-lint: disable-next-line=rule`` — standalone comment covering the
+  following line (for lines too long to carry a trailing comment);
+* ``# repro-lint: disable-file=rule`` — anywhere in the file, covers the
+  whole file (used sparingly; prefer line-level comments with a
+  justification in prose next to them).
+
+``disable=all`` suppresses every rule at that scope.  Comments are located
+with :mod:`tokenize`, so a ``# repro-lint:`` inside a string literal is
+never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["FileContext", "ProjectContext", "build_file_context"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-next-line|-file)?)\s*=\s*"
+    r"([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+def _parse_rules(raw: str) -> "frozenset[str]":
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus its suppression table."""
+
+    path: str  # absolute path on disk
+    relpath: str  # analysis-root-relative, forward slashes
+    source: str
+    lines: "list[str]"
+    tree: "ast.Module | None"
+    parse_error: "SyntaxError | None" = None
+    line_disables: "dict[int, frozenset[str]]" = field(default_factory=dict)
+    file_disables: "frozenset[str]" = frozenset()
+
+    def snippet(self, line: int) -> str:
+        """The stripped source line at 1-based ``line`` (or empty)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is disabled by comment."""
+        for scope in (self.file_disables, self.line_disables.get(line, frozenset())):
+            if rule in scope or "all" in scope:
+                return True
+        return False
+
+
+def _collect_directives(source: str) -> "tuple[dict[int, frozenset[str]], frozenset[str]]":
+    """Extract (per-line disables, file-wide disables) from comments."""
+    line_disables: "dict[int, set[str]]" = {}
+    file_disables: "set[str]" = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, frozenset()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(tok.string)
+        if not match:
+            continue
+        kind, raw_rules = match.groups()
+        rules = _parse_rules(raw_rules)
+        lineno = tok.start[0]
+        if kind == "disable":
+            line_disables.setdefault(lineno, set()).update(rules)
+        elif kind == "disable-next-line":
+            line_disables.setdefault(lineno + 1, set()).update(rules)
+        else:  # disable-file
+            file_disables.update(rules)
+    return (
+        {line: frozenset(rules) for line, rules in line_disables.items()},
+        frozenset(file_disables),
+    )
+
+
+def build_file_context(path: str, relpath: str, source: str) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` (never raises on bad code)."""
+    tree: "ast.Module | None" = None
+    parse_error: "SyntaxError | None" = None
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        parse_error = exc
+    line_disables, file_disables = _collect_directives(source)
+    return FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        parse_error=parse_error,
+        line_disables=line_disables,
+        file_disables=file_disables,
+    )
+
+
+@dataclass
+class ProjectContext:
+    """The whole file set of one analysis run, for cross-module checkers."""
+
+    root: str
+    files: "list[FileContext]"
+
+    def by_suffix(self, suffix: str) -> "FileContext | None":
+        """The unique file whose relpath ends with ``suffix`` (or None)."""
+        matches = [f for f in self.files if f.relpath.endswith(suffix)]
+        return matches[0] if len(matches) == 1 else None
+
+    def in_dir(self, dirname: str) -> "list[FileContext]":
+        """Every file with ``dirname`` as a path component (e.g. ``"core"``)."""
+        out = []
+        for f in self.files:
+            parts = f.relpath.split("/")
+            if dirname in parts[:-1]:
+                out.append(f)
+        return out
+
+    def is_suppressed(self, relpath: str, rule: str, line: int) -> bool:
+        """Suppression lookup for findings anchored in another file."""
+        for f in self.files:
+            if f.relpath == relpath:
+                return f.is_suppressed(rule, line)
+        return False

@@ -1,0 +1,77 @@
+"""The finding model shared by every checker and output format.
+
+A :class:`Finding` is one violation of one contract rule at one source
+location.  Findings are value objects: checkers yield them, the runner
+annotates suppression state, and the CLI renders them as text or JSON.
+
+The :attr:`Finding.fingerprint` identifies a finding *stably across
+unrelated edits*: it hashes the rule id, the repo-relative path, the
+stripped source line and the message — but **not** the line number, so a
+baseline entry keeps matching when code above the finding moves it up or
+down the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (e.g. ``"accum-order"``), usable in
+        ``# repro-lint: disable=`` comments and ``--rules`` filters.
+    path:
+        Path of the offending file, relative to the analysis root, with
+        forward slashes (stable across platforms for baselines).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the violated contract.
+    snippet:
+        The stripped source line (fingerprint input and text-output context).
+    suppressed:
+        True when a ``# repro-lint: disable=...`` comment covers the finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by baseline files."""
+        basis = "|".join((self.rule, self.path, self.snippet, self.message))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def as_suppressed(self) -> "Finding":
+        """A copy marked as suppressed."""
+        return replace(self, suppressed=True)
+
+    def render(self) -> str:
+        """One-line ``path:line:col: rule: message`` form for text output."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serializable form for ``--format json`` and CI consumers."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+        }

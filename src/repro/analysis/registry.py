@@ -1,0 +1,220 @@
+"""Checker base class, rule registry, and the analysis runner.
+
+Adding a checker is ~50 lines: subclass :class:`Checker`, implement
+``check`` as a generator of :class:`~repro.analysis.findings.Finding`, and
+decorate with :func:`register`.  File-scope checkers receive one
+:class:`~repro.analysis.context.FileContext` per call; project-scope
+checkers receive the whole :class:`~repro.analysis.context.ProjectContext`
+once per run (that is how the kernel-dispatch rule correlates registration
+tables split across ``core/spgemm.py``, ``core/recipe.py`` and
+``core/engine.py``).
+
+The runner (:func:`analyze_paths`) walks the requested paths, parses each
+``.py`` file once, fans the contexts out to every registered checker, and
+sorts findings into three buckets: *active* (fail the run), *suppressed*
+(covered by a ``# repro-lint: disable`` comment) and *baselined* (matched a
+fingerprint in the supplied baseline file).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .context import FileContext, ProjectContext, build_file_context
+from .findings import Finding
+
+__all__ = [
+    "Checker",
+    "CHECKERS",
+    "register",
+    "available_rules",
+    "AnalysisResult",
+    "analyze_paths",
+]
+
+
+class Checker:
+    """Base class for one contract rule.
+
+    Class attributes
+    ----------------
+    rule:
+        Unique rule id (kebab-case), used in suppression comments, baseline
+        fingerprints, and ``--rules`` filters.
+    description:
+        One-line summary shown by ``--list-rules`` and the docs.
+    scope:
+        ``"file"`` (``check`` called once per file with a
+        :class:`FileContext`) or ``"project"`` (called once per run with the
+        :class:`ProjectContext`).
+    """
+
+    rule: str = ""
+    description: str = ""
+    scope: str = "file"
+
+    def check(self, ctx) -> "Iterator[Finding]":
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, line: int, message: str, col: int = 0
+    ) -> Finding:
+        """Build a finding anchored in ``ctx`` with the snippet filled in."""
+        return Finding(
+            rule=self.rule,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.snippet(line),
+        )
+
+
+#: Rule id -> checker instance.  Populated by :func:`register` at import of
+#: :mod:`repro.analysis.checkers`.
+CHECKERS: "dict[str, Checker]" = {}
+
+
+def register(cls: "type[Checker]") -> "type[Checker]":
+    """Class decorator: instantiate and add to the rule registry."""
+    if not cls.rule:
+        raise ValueError(f"checker {cls.__name__} has no rule id")
+    if cls.rule in CHECKERS:
+        raise ValueError(f"duplicate checker rule id {cls.rule!r}")
+    CHECKERS[cls.rule] = cls()
+    return cls
+
+
+def available_rules() -> "list[tuple[str, str]]":
+    """``(rule, description)`` pairs in deterministic (sorted) order."""
+    _load_builtin_checkers()
+    return [(r, CHECKERS[r].description) for r in sorted(CHECKERS)]
+
+
+def _load_builtin_checkers() -> None:
+    """Import the bundled checker modules exactly once (self-registering)."""
+    from . import checkers  # noqa: F401  (import side effect registers rules)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: "list[Finding]"  # active: fail the run
+    suppressed: "list[Finding]"
+    baselined: "list[Finding]"
+    files_scanned: int
+    rules: "list[str]" = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no active finding remains."""
+        return not self.findings
+
+
+def _iter_py_files(paths: "Iterable[str]") -> "Iterator[str]":
+    """Yield every ``.py`` file under ``paths`` (files passed through)."""
+    seen = set()
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    full = os.path.join(dirpath, name)
+                    if full not in seen:
+                        seen.add(full)
+                        yield full
+
+
+def _sort_key(f: Finding):
+    return (f.path, f.line, f.col, f.rule, f.message)
+
+
+def analyze_paths(
+    paths: "Iterable[str]",
+    *,
+    root: "str | None" = None,
+    rules: "Iterable[str] | None" = None,
+    baseline: "frozenset[str] | set[str]" = frozenset(),
+) -> AnalysisResult:
+    """Run every registered checker over the ``.py`` files under ``paths``.
+
+    Parameters
+    ----------
+    root:
+        Directory findings' paths are made relative to (default: the
+        current working directory).  Baseline fingerprints embed these
+        relative paths, so CI and local runs must share a root convention
+        (both run from the repository root).
+    rules:
+        Restrict the run to these rule ids (default: all registered).
+    baseline:
+        Fingerprints of known findings to report as *baselined* instead of
+        active (see :mod:`repro.analysis.baseline`).
+    """
+    _load_builtin_checkers()
+    root = os.path.abspath(root or os.getcwd())
+    selected = set(rules) if rules is not None else set(CHECKERS)
+    unknown = selected - set(CHECKERS)
+    if unknown:
+        raise ValueError(f"unknown rules: {sorted(unknown)}")
+
+    files: "list[FileContext]" = []
+    for path in _iter_py_files(paths):
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        files.append(build_file_context(path, relpath, source))
+    project = ProjectContext(root=root, files=files)
+
+    raw: "list[Finding]" = []
+    for ctx in files:
+        if ctx.parse_error is not None:
+            line = ctx.parse_error.lineno or 1
+            raw.append(
+                Finding(
+                    rule="parse-error",
+                    path=ctx.relpath,
+                    line=line,
+                    col=ctx.parse_error.offset or 0,
+                    message=f"file does not parse: {ctx.parse_error.msg}",
+                    snippet=ctx.snippet(line),
+                )
+            )
+    for rule in sorted(selected):
+        checker = CHECKERS[rule]
+        if checker.scope == "project":
+            raw.extend(checker.check(project))
+        else:
+            for ctx in files:
+                if ctx.tree is None:
+                    continue
+                raw.extend(checker.check(ctx))
+
+    active: "list[Finding]" = []
+    suppressed: "list[Finding]" = []
+    baselined: "list[Finding]" = []
+    for f in raw:
+        if project.is_suppressed(f.path, f.rule, f.line):
+            suppressed.append(f.as_suppressed())
+        elif f.fingerprint in baseline:
+            baselined.append(f)
+        else:
+            active.append(f)
+    return AnalysisResult(
+        findings=sorted(active, key=_sort_key),
+        suppressed=sorted(suppressed, key=_sort_key),
+        baselined=sorted(baselined, key=_sort_key),
+        files_scanned=len(files),
+        rules=sorted(selected),
+    )

@@ -46,6 +46,7 @@ __all__ = [
     "ENGINES",
     "FAST_ALGORITHMS",
     "VECTORIZED_ALGORITHMS",
+    "FAITHFUL_ONLY_ALGORITHMS",
     "available_engines",
     "resolve_engine",
     "ScratchArena",
@@ -96,6 +97,23 @@ FAST_ALGORITHMS = frozenset({"hash", "hashvec", "spa"})
 #: Algorithms that are already fully vectorized, so both engines run the
 #: same code path.
 VECTORIZED_ALGORITHMS = frozenset({"esc"})
+
+#: Algorithms that deliberately have *no* batched implementation and always
+#: run the faithful kernel: the Heap family's element-level merge order and
+#: the behavioural proxies' operation streams are their entire purpose.
+#: Every registered algorithm must appear in exactly one of the three
+#: coverage sets — the contract linter (rule ``kernel-dispatch``) and
+#: :func:`repro.core.spgemm._check_registry_coverage` both enforce the
+#: partition, so a new kernel cannot fall through ``resolve_engine`` by
+#: accident.
+FAITHFUL_ONLY_ALGORITHMS = frozenset({
+    "heap",
+    "merge",
+    "mkl",
+    "mkl_inspector",
+    "kokkos",
+    "blocked_spa",
+})
 
 
 def available_engines() -> "list[str]":

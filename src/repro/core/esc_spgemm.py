@@ -72,7 +72,9 @@ def esc_spgemm(
         np.logical_or(new_run[1:], c[1:] != c[:-1], out=new_run[1:])
         starts = np.flatnonzero(new_run)
         block_indices.append(c[starts])
-        block_data.append(sr.reduce_segments(v, starts))
+        # The ESC sort boundary itself: this kernel *defines* the pairwise
+        # sorted-merge convention the accum-order rule carves out.
+        block_data.append(sr.reduce_segments(v, starts))  # repro-lint: disable=accum-order
         row_nnz[r0:r1] += np.bincount(r[starts] - r0, minlength=r1 - r0)
 
     indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)

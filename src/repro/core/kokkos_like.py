@@ -164,6 +164,7 @@ def kokkos_proxy_spgemm(
         stats.output_nnz += nnz_total
         stats.rows += nrows
 
-    out = CSR((nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=False)
-    out.sorted_rows = out._detect_sorted()
-    return out
+    # sorted_rows=None: hashmap extraction order is unsorted in general, but
+    # the constructor's detection keeps the flag truthful for the tiny rows
+    # that come out sorted anyway.
+    return CSR((nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=None)

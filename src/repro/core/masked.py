@@ -27,7 +27,9 @@ from .scheduler import ThreadPartition, rows_to_threads
 __all__ = ["masked_spgemm"]
 
 
-def masked_spgemm(
+# Deliberately NOT in the spgemm() dispatch: the mask is a third operand, so
+# this is a different surface (GraphBLAS mxm-with-mask), exported directly.
+def masked_spgemm(  # repro-lint: disable=kernel-dispatch
     a: CSR,
     b: CSR,
     mask: CSR,

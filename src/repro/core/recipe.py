@@ -38,9 +38,37 @@ __all__ = [
     "heap_cost_model",
     "hash_cost_model",
     "RecipeDecision",
+    "RECIPE_EXCLUDED",
     "recommend",
     "recipe_table",
 ]
+
+#: Registered algorithms Table 4 can never recommend, with why.  The paper's
+#: recipe only names the per-scenario *winners* of its evaluation (hash,
+#: hashvec, heap, mkl_inspector); everything else in the Table-1 registry is
+#: either a measured-but-never-winning comparator or a post-paper extension:
+#:
+#: * ``spa``/``blocked_spa`` — dense-accumulator baselines; dominated by the
+#:   hash family on every Table-4 scenario (cache-residency cliff, Fig. 12);
+#: * ``mkl``/``kokkos`` — behavioural proxies evaluated as comparators; the
+#:   recipe never selects a proxy when a native kernel wins the scenario
+#:   (``mkl_inspector`` is the single exception Table 4(a) names);
+#: * ``esc`` — distributed/GPU-lineage kernel studied for SUMMA node-local
+#:   use (§5.7), outside Table 4's shared-memory scope;
+#: * ``merge`` — related-work extension (Gremse et al.), not in the paper's
+#:   evaluation at all.
+#:
+#: The contract linter (rule ``kernel-dispatch``) enforces that every
+#: registered algorithm is either recommendable by :func:`recommend` or
+#: listed here, so adding a kernel forces this decision explicitly.
+RECIPE_EXCLUDED = frozenset({
+    "spa",
+    "blocked_spa",
+    "mkl",
+    "kokkos",
+    "esc",
+    "merge",
+})
 
 #: Table 4(a)'s compression-ratio threshold separating "high" from "low".
 HIGH_CR_THRESHOLD = 2.0

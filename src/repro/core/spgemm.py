@@ -10,6 +10,7 @@ Table 1 ("Summary of SpGEMM codes studied in this paper").
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
@@ -17,7 +18,13 @@ from ..errors import ConfigError
 from ..matrix.csr import CSR
 from ..semiring import PLUS_TIMES, Semiring
 from .blocked_spa import blocked_spa_spgemm
-from .engine import available_engines, resolve_engine
+from .engine import (
+    FAITHFUL_ONLY_ALGORITHMS,
+    FAST_ALGORITHMS,
+    VECTORIZED_ALGORITHMS,
+    available_engines,
+    resolve_engine,
+)
 from .esc_spgemm import esc_spgemm
 from .hash_batch import batch_hash_spgemm
 from .hash_spgemm import hash_spgemm
@@ -98,6 +105,50 @@ ALGORITHMS: "dict[str, AlgorithmInfo]" = {
 }
 
 
+def _check_registry_coverage() -> None:
+    """Fail import when the engine coverage sets drift from the registry.
+
+    Every registered algorithm must be claimed by exactly one of
+    ``FAST_ALGORITHMS`` / ``VECTORIZED_ALGORITHMS`` /
+    ``FAITHFUL_ONLY_ALGORITHMS`` (see :mod:`repro.core.engine`).  The
+    contract linter checks the same partition statically; this runtime
+    twin makes the drift impossible to import, not just impossible to
+    merge.
+    """
+    coverage = (FAST_ALGORITHMS, VECTORIZED_ALGORITHMS, FAITHFUL_ONLY_ALGORITHMS)
+    problems = []
+    registered = set(ALGORITHMS)
+    claimed: "set[str]" = set()
+    for cover in coverage:
+        overlap = claimed & cover
+        if overlap:
+            problems.append(f"claimed by multiple engine sets: {sorted(overlap)}")
+        claimed |= cover
+    missing = registered - claimed
+    if missing:
+        problems.append(f"in ALGORITHMS but no engine coverage set: {sorted(missing)}")
+    stale = claimed - registered
+    if stale:
+        problems.append(f"in an engine coverage set but unregistered: {sorted(stale)}")
+    if problems:
+        raise ConfigError(
+            "algorithm registry / engine coverage mismatch: " + "; ".join(problems)
+        )
+
+
+_check_registry_coverage()
+
+
+def _debug_validate_enabled() -> bool:
+    """Whether ``REPRO_DEBUG_VALIDATE=1`` CSR invariant checking is on.
+
+    Read per call (not at import) so tests and debugging sessions can
+    toggle it; the lookup is two dict probes and does not perturb
+    benchmarks, which only pay when the mode is enabled.
+    """
+    return os.environ.get("REPRO_DEBUG_VALIDATE", "") == "1"
+
+
 def available_algorithms() -> "list[str]":
     """Names accepted by :func:`spgemm`, in registry order."""
     return list(ALGORITHMS)
@@ -143,6 +194,11 @@ def spgemm(
     dispatcher sorts a copy transparently when needed (charging that cost is
     the perfmodel's job, mirroring the paper's fairness argument that
     sorted-input algorithms must emit sorted output).
+
+    With ``REPRO_DEBUG_VALIDATE=1`` in the environment, the full CSR
+    invariant suite (monotone indptr, index bounds, sorted-flag
+    truthfulness, duplicate detection) runs on both operands at entry and
+    on the result at exit — off by default so benchmarks are unaffected.
     """
     if algorithm == "auto":
         from .recipe import recommend
@@ -154,6 +210,34 @@ def spgemm(
             f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
         )
     engine = resolve_engine(engine, algorithm)
+    debug_validate = _debug_validate_enabled()
+    if debug_validate:
+        a.validate()
+        b.validate()
+    c = _dispatch_kernel(
+        algorithm, a, b, engine=engine, semiring=semiring,
+        sort_output=sort_output, nthreads=nthreads, partition=partition,
+        stats=stats, vector_bits=vector_bits,
+    )
+    if debug_validate:
+        c.validate()
+    return c
+
+
+def _dispatch_kernel(
+    algorithm: str,
+    a: CSR,
+    b: CSR,
+    *,
+    engine: str,
+    semiring: "str | Semiring",
+    sort_output: bool,
+    nthreads: int,
+    partition: ThreadPartition | None,
+    stats: KernelStats | None,
+    vector_bits: int,
+) -> CSR:
+    """Route one (algorithm, engine) pair to its kernel (resolved inputs)."""
     if engine == "fast" and algorithm in ("hash", "hashvec", "spa"):
         return batch_hash_spgemm(
             a, b, algorithm=algorithm, semiring=semiring,

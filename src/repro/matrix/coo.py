@@ -93,7 +93,9 @@ class COO:
         np.not_equal(r[1:], r[:-1], out=new_run[1:])
         np.logical_or(new_run[1:], c[1:] != c[:-1], out=new_run[1:])
         starts = np.flatnonzero(new_run)
-        merged_vals = semiring.reduce_segments(v, starts)
+        # ESC sort boundary: duplicate-merge order is defined by the lexsort,
+        # not by any scalar kernel's arrival order — pairwise is legitimate.
+        merged_vals = semiring.reduce_segments(v, starts)  # repro-lint: disable=accum-order
         merged_rows = r[starts]
         merged_cols = c[starts]
         counts = np.bincount(merged_rows, minlength=nrows)

@@ -111,17 +111,17 @@ def permute_columns(a: CSR, perm: np.ndarray, *, sort_rows: bool = False) -> CSR
     perm = np.asarray(perm, dtype=INDEX_DTYPE)
     if len(perm) != a.ncols:
         raise ShapeError(f"perm length {len(perm)} != ncols {a.ncols}")
+    # sorted_rows=None: the constructor detects — a permutation may happen
+    # to preserve order, and the flag must stay truthful either way.
     out = CSR(
         a.shape,
         a.indptr.copy(),
         perm[a.indices],
         a.data.copy(),
-        sorted_rows=False,
+        sorted_rows=None,
     )
     if sort_rows:
         out.sort_rows(inplace=True)
-    else:
-        out.sorted_rows = out._detect_sorted()
     return out
 
 
@@ -162,15 +162,15 @@ def select_columns(a: CSR, columns: np.ndarray) -> CSR:
     )
     indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
     np.cumsum(counts, out=indptr[1:])
-    out = CSR(
+    # sorted_rows=None: column relabeling scrambles order in general, but
+    # the constructor's detection keeps the flag truthful when it survives.
+    return CSR(
         (a.nrows, len(columns)),
         indptr,
         new_col[keep],
         a.data[keep],
-        sorted_rows=False,
+        sorted_rows=None,
     )
-    out.sorted_rows = out._detect_sorted()
-    return out
 
 
 def hstack_columns(mats: "list[CSR]") -> CSR:
@@ -299,7 +299,9 @@ def spmv(a: CSR, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
     nonempty = np.flatnonzero(nnz_per_row)
     if len(nonempty):
         starts = a.indptr[nonempty]
-        out[nonempty] = semiring.add.reduceat(np.asarray(prods), starts)
+        # SpMV has no scalar-kernel twin to stay bit-identical with; rows are
+        # segment boundaries exactly as at the ESC merge, so pairwise is fine.
+        out[nonempty] = semiring.add.reduceat(np.asarray(prods), starts)  # repro-lint: disable=accum-order
     return out
 
 

@@ -93,7 +93,10 @@ class Semiring:
         """
         if len(values) == 0:
             return np.empty(0, dtype=values.dtype)
-        return self.add.reduceat(values, starts)
+        # The one sanctioned pairwise reduction: ESC's contract is "sorted
+        # merge", not "scalar-kernel replica" (ordered paths must use
+        # accumulate_segments below).
+        return self.add.reduceat(values, starts)  # repro-lint: disable=accum-order
 
     def accumulate_segments(
         self,

@@ -1,0 +1,15 @@
+"""Fixture: pairwise float reductions in an accumulation path (3 findings)."""
+
+import numpy as np
+
+
+def scatter_reduce(values, starts):
+    return np.add.reduceat(values, starts)
+
+
+def merge(semiring, values, starts):
+    return semiring.reduce_segments(values, starts)
+
+
+def total(values):
+    return np.add.reduce(values)

@@ -1,0 +1,16 @@
+"""Fixture: CSR attribute-stuffing outside the constructor (3 findings)."""
+
+
+def stuff_flag(matrix):
+    matrix.sorted_rows = True
+
+
+def stuff_arrays(matrix, indices, data):
+    matrix.indices = indices
+    matrix.data = data
+
+
+class NotACSR:
+    def __init__(self, data):
+        # self-assignment in a class managing its own fields: allowed.
+        self.data = data

@@ -1,0 +1,26 @@
+"""Fixture: nondeterminism in library-style code (5 findings)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def legacy_global_rng(n):
+    return np.random.randint(0, 10, size=n)
+
+
+def stdlib_rng():
+    return random.random()
+
+
+def wall_clock_logic():
+    return time.time()
+
+
+def set_iteration(items):
+    return [x for x in set(items)]

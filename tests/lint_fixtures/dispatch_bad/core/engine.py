@@ -1,0 +1,10 @@
+"""Fixture: broken engine coverage partition (3 findings).
+
+* ``'hash'`` appears in two coverage sets (overlap);
+* ``'orphan'`` (registered) appears in no coverage set (missing);
+* ``'stale_engine'`` is claimed but not registered (stale).
+"""
+
+FAST_ALGORITHMS = frozenset({"hash"})
+VECTORIZED_ALGORITHMS = frozenset({"hash", "ghost"})
+FAITHFUL_ONLY_ALGORITHMS = frozenset({"heap", "stale_engine"})

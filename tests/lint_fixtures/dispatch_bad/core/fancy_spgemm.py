@@ -1,0 +1,20 @@
+"""Fixture: a public kernel entry point the dispatcher never references.
+
+Expected findings in this file (1): ``fancy_spgemm`` matches the
+``*_spgemm(a, b, ...)`` entry-point shape but ``core/spgemm.py`` never
+mentions it.
+"""
+
+
+def fancy_spgemm(a, b, nthreads=1):
+    return a
+
+
+def _private_spgemm(a, b):
+    # Private helpers are exempt.
+    return b
+
+
+def not_a_kernel(a, b):
+    # Wrong name shape: exempt.
+    return a

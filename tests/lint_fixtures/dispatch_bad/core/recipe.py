@@ -1,0 +1,16 @@
+"""Fixture: broken Table-4 recipe coverage (3 findings).
+
+* ``'ghost'`` is registered but neither recommendable nor excluded;
+* ``'hash'`` is excluded yet a rule still recommends it (contradiction);
+* ``'stale_alg'`` is excluded but not a registered algorithm (stale).
+"""
+
+RECIPE_EXCLUDED = frozenset({"hash", "heap", "orphan", "stale_alg"})
+
+
+def decision(algorithm, why):
+    return algorithm, why
+
+
+def recommend(a, b):
+    return decision("hash", "compression ratio below threshold")

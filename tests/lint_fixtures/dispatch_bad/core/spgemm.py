@@ -1,0 +1,34 @@
+"""Fixture: registry/dispatch mismatches for the kernel-dispatch rule.
+
+Expected findings in this file (2):
+
+* ``'ghost'`` is registered but has no dispatch branch;
+* ``'phantom'`` has a dispatch branch but is not registered.
+"""
+
+ALGORITHMS = {
+    "hash": "paper section IV-A",
+    "heap": "paper section II",
+    "ghost": "registered but never dispatched",
+    "orphan": "dispatched but missing from every engine coverage set",
+}
+
+
+def spgemm(a, b, algorithm="auto"):
+    if algorithm == "auto":
+        algorithm = "hash"
+    if algorithm == "hash":
+        return hash_spgemm(a, b)
+    if algorithm in ("heap", "orphan"):
+        return heap_spgemm(a, b)
+    if algorithm == "phantom":
+        return heap_spgemm(a, b)
+    raise ValueError(algorithm)
+
+
+def hash_spgemm(a, b):
+    return a
+
+
+def heap_spgemm(a, b):
+    return b

@@ -1,0 +1,31 @@
+"""Fixture: bare/overbroad exception handlers (3 findings, 1 allowed)."""
+
+
+def bare(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def basest(fn):
+    try:
+        return fn()
+    except BaseException:
+        return None
+
+
+def overbroad(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def log_and_propagate(fn, log):
+    # Allowed: `except Exception` that re-raises.
+    try:
+        return fn()
+    except Exception:
+        log("failed")
+        raise

@@ -1,0 +1,22 @@
+"""Fixture: broken shared-memory lifecycles (3 findings)."""
+
+from multiprocessing import shared_memory
+
+
+def leak_segment(nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm.name  # handle itself does not escape: segment leaks
+
+
+def cleanup_off_exceptional_path(nbytes, work):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    work(shm.buf)  # raises -> close/unlink never run
+    shm.close()
+    shm.unlink()
+
+
+def unlink_without_close(shm):
+    try:
+        pass
+    finally:
+        shm.unlink()

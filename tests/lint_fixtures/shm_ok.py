@@ -1,0 +1,22 @@
+"""Fixture: correct shared-memory lifecycles (no findings)."""
+
+from multiprocessing import shared_memory
+
+
+def create_and_clean(nbytes, work):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        work(shm.buf)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def create_and_hand_off(nbytes):
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    return shm  # ownership escapes to the caller
+
+
+def attach_only(name):
+    # Attach-side handle (create=False implied): exempt by design.
+    return shared_memory.SharedMemory(name=name)

@@ -1,0 +1,13 @@
+"""Fixture: every violation here is covered by a suppression directive."""
+
+import numpy as np
+
+
+def sanctioned(values, starts):
+    # Justification prose goes here in real code.
+    return np.add.reduceat(values, starts)  # repro-lint: disable=accum-order
+
+
+def sanctioned_next_line(values, starts):
+    # repro-lint: disable-next-line=accum-order
+    return np.add.reduceat(values, starts)
