@@ -26,6 +26,7 @@ from .errors import (
     ConfigError,
     DatasetError,
     FormatError,
+    PlanError,
     ReproError,
     ShapeError,
 )
@@ -48,8 +49,12 @@ from .semiring import (
 )
 from .core import (
     KernelStats,
+    PlanCache,
+    SpgemmOptions,
+    SpgemmPlan,
     available_algorithms,
     available_engines,
+    inspect,
     masked_spgemm,
     multiply_chain,
     recommend,
@@ -81,6 +86,11 @@ __all__ = [
     "MIN_PLUS",
     "MAX_TIMES",
     "spgemm",
+    "SpgemmOptions",
+    "SpgemmPlan",
+    "PlanCache",
+    "PlanError",
+    "inspect",
     "masked_spgemm",
     "multiply_chain",
     "available_algorithms",

@@ -14,6 +14,10 @@ exactly how multi-kernel SpGEMM codebases decay — cf. KokkosKernels):
 * ``core/engine.py`` — the engine coverage partition: every registered
   algorithm must appear in exactly one of ``FAST_ALGORITHMS``,
   ``VECTORIZED_ALGORITHMS``, ``FAITHFUL_ONLY_ALGORITHMS``;
+* ``core/plan.py`` — the inspector–executor coverage partition: every
+  registered algorithm must appear in exactly one of ``PLAN_ALGORITHMS``
+  (has an ``inspect()``/``execute()`` split) or ``PLANLESS_ALGORITHMS``
+  (deliberately plan-free, with justification);
 * every public ``*_spgemm(a, b, ...)`` entry point in ``core/`` must be
   referenced by the dispatcher (or carry a
   ``# repro-lint: disable=kernel-dispatch`` comment explaining why it is a
@@ -166,6 +170,9 @@ class KernelDispatchChecker(Checker):
         engine_ctx = project.by_suffix("core/engine.py")
         if engine_ctx is not None and engine_ctx.tree is not None and registered:
             yield from self._check_engine_coverage(engine_ctx, registered)
+        plan_ctx = project.by_suffix("core/plan.py")
+        if plan_ctx is not None and plan_ctx.tree is not None and registered:
+            yield from self._check_plan_coverage(plan_ctx, registered)
 
     # -- spgemm.py: registry vs dispatch branches ------------------------
     def _check_dispatch(self, ctx, registered, registry_line, dispatched):
@@ -280,6 +287,48 @@ class KernelDispatchChecker(Checker):
                     f"algorithm {alg!r} appears in multiple engine coverage "
                     f"sets ({', '.join(owners)}) — the partition must be "
                     "disjoint",
+                )
+        for set_name, members in sets.items():
+            for alg in sorted(set(members) - set(registered)):
+                yield self.finding(
+                    ctx,
+                    members[alg],
+                    f"{set_name} entry {alg!r} is not a registered algorithm "
+                    "— stale coverage claim",
+                )
+
+    # -- plan.py: inspector–executor coverage partition ------------------
+    def _check_plan_coverage(self, ctx, registered):
+        sets = {}
+        line = 1
+        for set_name in ("PLAN_ALGORITHMS", "PLANLESS_ALGORITHMS"):
+            info = _named_str_set(ctx.tree, set_name)
+            if info is None:
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"plan coverage set {set_name} is missing or not a "
+                    "literal set of algorithm names — the inspector–executor "
+                    "coverage contract cannot be checked",
+                )
+                return
+            sets[set_name], line = info
+        for alg in sorted(registered):
+            owners = [name for name, members in sets.items() if alg in members]
+            if not owners:
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"registered algorithm {alg!r} appears in no plan "
+                    "coverage set — declare it PLAN-capable or PLANLESS so "
+                    "inspect()'s rejection is a decision, not an accident",
+                )
+            elif len(owners) > 1:
+                yield self.finding(
+                    ctx,
+                    sets[owners[1]][alg],
+                    f"algorithm {alg!r} appears in both PLAN_ALGORITHMS and "
+                    "PLANLESS_ALGORITHMS — the partition must be disjoint",
                 )
         for set_name, members in sets.items():
             for alg in sorted(set(members) - set(registered)):

@@ -83,7 +83,7 @@ def _greedy_aggregate(strength: CSR) -> np.ndarray:
 
 def amg_setup(
     a: CSR, *, theta: float = 0.25, algorithm: str = "hash",
-    engine: str = "faithful",
+    engine: str = "faithful", plan_cache=None,
 ) -> AmgHierarchy:
     """Build a two-level hierarchy for a symmetric M-matrix-like operator.
 
@@ -95,6 +95,11 @@ def amg_setup(
         Strength-of-connection threshold in [0, 1).
     algorithm:
         SpGEMM kernel for the Galerkin product.
+    plan_cache:
+        Optional :class:`repro.core.plan.PlanCache` forwarded to the
+        Galerkin SpGEMMs — rebuilding hierarchies whose operators keep
+        their sparsity pattern (time-dependent coefficients on a fixed
+        mesh) then re-runs numeric-only.
     """
     if a.nrows != a.ncols:
         raise ShapeError("AMG operator must be square")
@@ -116,7 +121,8 @@ def amg_setup(
 
     plan = plan_chain([r, a, p])
     coarse = multiply_chain(
-        [r, a, p], algorithm=algorithm, engine=engine, plan=plan
+        [r, a, p], algorithm=algorithm, engine=engine, plan=plan,
+        plan_cache=plan_cache,
     )
     return AmgHierarchy(
         fine=a,

@@ -42,6 +42,7 @@ def multi_source_bfs(
     algorithm: str = "hash",
     engine: str = "faithful",
     max_depth: int | None = None,
+    plan_cache=None,
 ) -> np.ndarray:
     """Run BFS from every source simultaneously via SpGEMM.
 
@@ -61,6 +62,11 @@ def multi_source_bfs(
         :func:`repro.spgemm`).
     max_depth:
         Optional level cap.
+    plan_cache:
+        Optional :class:`repro.core.plan.PlanCache` forwarded to each
+        expansion.  Frontiers change shape every level, so the payoff is
+        across *repeated* BFS batches on the same graph (each level's
+        ``A^T``-side structure is re-fingerprinted per call).
 
     Returns
     -------
@@ -89,7 +95,7 @@ def multi_source_bfs(
         depth += 1
         nxt = spgemm(
             at, frontier, algorithm=algorithm, semiring=OR_AND,
-            sort_output=False, engine=engine,
+            sort_output=False, engine=engine, plan_cache=plan_cache,
         )
         # Keep only newly discovered (vertex, search) pairs.
         rows, cols, _ = nxt.to_coo()

@@ -81,6 +81,7 @@ def markov_cluster(
     algorithm: str = "hash",
     engine: str = "faithful",
     add_self_loops: bool = True,
+    plan_cache=None,
 ) -> MclResult:
     """Cluster a graph given a (symmetric, non-negative) similarity matrix.
 
@@ -97,6 +98,10 @@ def markov_cluster(
         similarity matrix is exactly the §5.4 benchmark scenario.
     add_self_loops:
         Standard MCL regularization: unit diagonal before normalization.
+    plan_cache:
+        Optional :class:`repro.core.plan.PlanCache` forwarded to every
+        expansion — iterations whose pruned support stabilizes (MCL's
+        usual late phase) replay the cached plan numeric-only.
     """
     if similarity.nrows != similarity.ncols:
         raise ShapeError("similarity matrix must be square")
@@ -118,7 +123,8 @@ def markov_cluster(
     it = 0
     for it in range(1, max_iterations + 1):
         expanded = spgemm(
-            m, m, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine
+            m, m, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine,
+            plan_cache=plan_cache,
         )
         # Inflation: elementwise power + column re-normalization.
         inflated = CSR(

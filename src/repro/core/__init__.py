@@ -38,6 +38,15 @@ from .spgemm import (
 )
 from .engine import ENGINES, EngineInfo, ScratchArena, get_thread_arena
 from .hash_batch import batch_hash_spgemm
+from .options import SpgemmOptions
+from .plan import (
+    PLAN_ALGORITHMS,
+    PLANLESS_ALGORITHMS,
+    PlanCache,
+    SpgemmPlan,
+    inspect,
+    structure_fingerprint,
+)
 from .scheduler import (
     ThreadPartition,
     rows_to_threads,
@@ -63,6 +72,13 @@ __all__ = [
     "get_thread_arena",
     "batch_hash_spgemm",
     "spgemm",
+    "SpgemmOptions",
+    "SpgemmPlan",
+    "PlanCache",
+    "PLAN_ALGORITHMS",
+    "PLANLESS_ALGORITHMS",
+    "inspect",
+    "structure_fingerprint",
     "ThreadPartition",
     "rows_to_threads",
     "static_partition",

@@ -119,8 +119,15 @@ def multiply_chain(
     nthreads: int = 1,
     engine: str = "faithful",
     plan: ChainPlan | None = None,
+    plan_cache=None,
 ) -> CSR:
-    """Multiply a chain of matrices in the flop-optimal association order."""
+    """Multiply a chain of matrices in the flop-optimal association order.
+
+    ``plan_cache`` (a :class:`repro.core.plan.PlanCache`) is forwarded to
+    every product, so re-evaluating a chain whose operands keep their
+    sparsity patterns — AMG's Galerkin triple product per cycle, Markov
+    iterations — pays structure discovery only on the first evaluation.
+    """
     if plan is None:
         plan = plan_chain(matrices)
 
@@ -133,6 +140,7 @@ def multiply_chain(
             left, right,
             algorithm=algorithm, semiring=semiring,
             sort_output=sort_output, nthreads=nthreads, engine=engine,
+            plan_cache=plan_cache,
         )
 
     return evaluate(plan.order)
@@ -146,13 +154,17 @@ def matrix_power(
     semiring: "str | Semiring" = PLUS_TIMES,
     nthreads: int = 1,
     engine: str = "faithful",
+    plan_cache=None,
 ) -> CSR:
     """``A^k`` by repeated squaring — ceil(log2 k) SpGEMMs instead of k-1.
 
     Over the boolean semiring this is k-hop reachability; over plus-times
     it is the walk-counting power used by spectral-style graph statistics.
     ``exponent`` must be >= 1 (sparse identity is well-defined, but an
-    explicit ``identity(n)`` call is clearer at call sites).
+    explicit ``identity(n)`` call is clearer at call sites).  The squaring
+    sequence produces a fresh pattern at every step, so ``plan_cache``
+    mostly pays off across *repeated* ``matrix_power`` calls on the same
+    matrix (each step's plan is recalled the second time around).
     """
     if a.nrows != a.ncols:
         raise ShapeError("matrix_power requires a square matrix")
@@ -166,7 +178,7 @@ def matrix_power(
             result = base if result is None else spgemm(
                 result, base,
                 algorithm=algorithm, semiring=semiring, nthreads=nthreads,
-                engine=engine,
+                engine=engine, plan_cache=plan_cache,
             )
         e >>= 1
         if not e:
@@ -174,6 +186,6 @@ def matrix_power(
         base = spgemm(
             base, base,
             algorithm=algorithm, semiring=semiring, nthreads=nthreads,
-            engine=engine,
+            engine=engine, plan_cache=plan_cache,
         )
     return result

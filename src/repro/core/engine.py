@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, invalid_choice
 
 __all__ = [
     "EngineInfo",
@@ -130,9 +130,7 @@ def resolve_engine(engine: str, algorithm: str) -> str:
     hash family, SPA and the inherently-vectorized ESC.
     """
     if engine not in ENGINES:
-        raise ConfigError(
-            f"unknown engine {engine!r}; available: {available_engines()}"
-        )
+        raise invalid_choice("engine", engine, available_engines())
     if engine == "fast" and algorithm in (FAST_ALGORITHMS | VECTORIZED_ALGORITHMS):
         return "fast"
     return "faithful"

@@ -24,7 +24,12 @@ from ..errors import ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from .instrument import KernelStats
-from .symbolic import DEFAULT_MAX_BLOCK_FLOP, expand_rows, iter_row_blocks
+from .symbolic import (
+    DEFAULT_MAX_BLOCK_FLOP,
+    expand_rows,
+    iter_row_blocks,
+    segment_mask,
+)
 
 __all__ = ["esc_spgemm"]
 
@@ -66,10 +71,7 @@ def esc_spgemm(
         r = rows[order]
         c = cols[order]
         v = vals[order]
-        new_run = np.empty(len(r), dtype=bool)
-        new_run[0] = True
-        np.not_equal(r[1:], r[:-1], out=new_run[1:])
-        np.logical_or(new_run[1:], c[1:] != c[:-1], out=new_run[1:])
+        new_run = segment_mask(r, c)
         starts = np.flatnonzero(new_run)
         block_indices.append(c[starts])
         # The ESC sort boundary itself: this kernel *defines* the pairwise

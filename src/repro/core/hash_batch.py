@@ -56,12 +56,48 @@ from .engine import ScratchArena, get_thread_arena
 from .hash_vector import lanes_for_vector_bits
 from .instrument import KernelStats
 from .scheduler import ThreadPartition, rows_to_threads
-from .symbolic import DEFAULT_MAX_BLOCK_FLOP, expand_rows, iter_row_blocks
+from .symbolic import (
+    DEFAULT_MAX_BLOCK_FLOP,
+    expand_rows,
+    iter_row_blocks,
+    segment_mask,
+)
 
 __all__ = ["batch_hash_spgemm"]
 
 #: Algorithms this module implements (same names as the Table-1 registry).
 BATCH_ALGORITHMS = ("hash", "hashvec", "spa")
+
+
+def _stable_coordinate_order(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    r0: int,
+    span: int,
+    ncols: int,
+    arena: ScratchArena | None = None,
+) -> np.ndarray:
+    """Stable permutation grouping products by (row, col), arrival order kept.
+
+    Uses a fused ``(row - r0) * ncols + col`` key with a single stable
+    argsort when it fits in int64, falling back to a two-key lexsort
+    otherwise — bitwise the same permutation either way (both sorts are
+    stable over identical keys).  Shared by the batched engine and the plan
+    inspector, which caches the permutation.
+    """
+    n = len(rows)
+    if ncols and span <= (2**62) // max(ncols, 1):
+        key = (
+            arena.take("key", n, INDPTR_DTYPE)
+            if arena is not None
+            else np.empty(n, dtype=INDPTR_DTYPE)
+        )
+        np.subtract(rows, r0, out=key)
+        key *= ncols
+        key += cols
+        return np.argsort(key, kind="stable")
+    # fused key would overflow int64 — fall back to two-key sort
+    return np.lexsort((cols, rows))
 
 
 def _max_flop_per_thread(
@@ -234,22 +270,12 @@ def batch_hash_spgemm(
         # Stable bucketing by fused (row, col) key: collisions become
         # contiguous segments, arrival order preserved inside each.
         span = r1 - r0
-        if ncols and span <= (2**62) // max(ncols, 1):
-            key = arena.take("key", n, INDPTR_DTYPE)
-            np.subtract(rows, r0, out=key)
-            key *= ncols
-            key += cols
-            order = np.argsort(key, kind="stable")
-        else:  # fused key would overflow int64 — fall back to two-key sort
-            order = np.lexsort((cols, rows))
+        order = _stable_coordinate_order(rows, cols, r0, span, ncols, arena)
         r_s = np.take(rows, order, out=arena.take("rows_s", n, rows.dtype))
         c_s = np.take(cols, order, out=arena.take("cols_s", n, cols.dtype))
         v_s = np.take(vals, order, out=arena.take("vals_s", n, VALUE_DTYPE))
 
-        new_run = arena.take("new_run", n, bool)
-        new_run[0] = True
-        np.not_equal(r_s[1:], r_s[:-1], out=new_run[1:])
-        np.logical_or(new_run[1:], c_s[1:] != c_s[:-1], out=new_run[1:])
+        new_run = segment_mask(r_s, c_s, out=arena.take("new_run", n, bool))
         starts = np.flatnonzero(new_run)
 
         # Strict arrival-order reduction.  ufunc.reduceat sums pairwise for

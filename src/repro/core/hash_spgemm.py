@@ -27,7 +27,7 @@ from .accumulators import HashAccumulator, VectorHashAccumulator
 from .instrument import KernelStats
 from .scheduler import ThreadPartition, rows_to_threads
 
-__all__ = ["hash_spgemm"]
+__all__ = ["hash_spgemm", "hash_numeric"]
 
 
 def _check_operands(a: CSR, b: CSR) -> None:
@@ -151,6 +151,45 @@ def hash_spgemm(
     # ------------------------------------------------------------------
     # Numeric phase: recompute with values, harvest into the output.
     # ------------------------------------------------------------------
+    total_flop = _numeric_phase(
+        a, b, sr, sort_output, partition, tables,
+        indptr, out_indices, out_data, stats, vector_width,
+    )
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.output_nnz += int(indptr[-1])
+        stats.rows += a.nrows
+        if sort_output:
+            stats.sorted_elements += int(indptr[-1])
+
+    return CSR(
+        (a.nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sort_output
+    )
+
+
+def _numeric_phase(
+    a: CSR,
+    b: CSR,
+    sr: Semiring,
+    sort_output: bool,
+    partition: ThreadPartition,
+    tables: list,
+    indptr: np.ndarray,
+    out_indices: np.ndarray,
+    out_data: np.ndarray,
+    stats: KernelStats | None,
+    vector_width: int,
+) -> int:
+    """Numeric pass against pre-sized tables and a known ``indptr``.
+
+    Shared by the fresh two-phase kernel (tables arrive warm from its own
+    symbolic pass) and :func:`hash_numeric` (tables are freshly built from
+    the plan's cached capacities — same sizes, so the probe sequences and
+    extraction orders are identical).  Returns the total flop executed.
+    """
+    a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
+    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
     total_flop = 0
     for tid in range(partition.nthreads):
         table = tables[tid]
@@ -179,14 +218,58 @@ def hash_spgemm(
             ) - thread_ops_before
             stats.per_thread.append((thread_ops, thread_flop))
             table.flush_stats(stats)
+    return total_flop
 
+
+def hash_numeric(
+    a: CSR,
+    b: CSR,
+    *,
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    partition: ThreadPartition,
+    caps: "list[int]",
+    indptr: np.ndarray,
+    stats: KernelStats | None = None,
+    vector_width: int = 0,
+) -> CSR:
+    """Numeric-only hash multiplication against a cached symbolic result.
+
+    The inspector–executor entry point (:mod:`repro.core.plan`): ``indptr``
+    is the output row-pointer array discovered by a previous symbolic phase
+    on the same sparsity structure, ``caps`` the per-thread row-flop bounds
+    that size each thread's table, and ``partition`` the row partition both
+    phases share.  Tables are rebuilt at the cached capacities, so the
+    numeric pass is operation-for-operation the one :func:`hash_spgemm`
+    would run — the symbolic pass is simply skipped.
+    """
+    _check_operands(a, b)
+    sr = get_semiring(semiring)
+    if partition.nrows != a.nrows:
+        raise ConfigError(
+            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+        )
+    nnz_total = int(indptr[-1])
+    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+    tables = []
+    for tid in range(partition.nthreads):
+        if vector_width:
+            tables.append(
+                VectorHashAccumulator(caps[tid], b.ncols, lane_width=vector_width)
+            )
+        else:
+            tables.append(HashAccumulator(caps[tid], b.ncols))
+    total_flop = _numeric_phase(
+        a, b, sr, sort_output, partition, tables,
+        indptr, out_indices, out_data, stats, vector_width,
+    )
     if stats is not None:
         stats.flops += total_flop
-        stats.output_nnz += int(indptr[-1])
+        stats.output_nnz += nnz_total
         stats.rows += a.nrows
         if sort_output:
-            stats.sorted_elements += int(indptr[-1])
-
+            stats.sorted_elements += nnz_total
     return CSR(
         (a.nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sort_output
     )

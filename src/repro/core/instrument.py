@@ -46,6 +46,14 @@ class KernelStats:
     spa_touches: int = 0
     #: rows processed
     rows: int = 0
+    #: inspector–executor plan-cache hits (``spgemm(..., plan_cache=...)``)
+    plan_hits: int = 0
+    #: inspector–executor plan-cache misses (inspection had to run)
+    plan_misses: int = 0
+    #: wall-clock seconds spent in plan inspection (symbolic/structure phase)
+    inspect_seconds: float = 0.0
+    #: wall-clock seconds spent in plan numeric-only executions
+    execute_seconds: float = 0.0
     #: per-simulated-thread (ops, flop) pairs
     per_thread: "list[tuple[int, int]]" = field(default_factory=list)
 
@@ -72,4 +80,8 @@ class KernelStats:
         self.output_nnz += other.output_nnz
         self.spa_touches += other.spa_touches
         self.rows += other.rows
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.inspect_seconds += other.inspect_seconds
+        self.execute_seconds += other.execute_seconds
         self.per_thread.extend(other.per_thread)

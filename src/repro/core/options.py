@@ -1,0 +1,149 @@
+"""Unified option surface for :func:`repro.spgemm` and the plan layer.
+
+The ``spgemm`` keyword list grew one parameter per PR (``algorithm``,
+``semiring``, ``sort_output``, ``nthreads``, ``partition``, ``stats``,
+``vector_bits``, ``engine``, now ``plan``/``plan_cache``), and the
+inspector–executor entry points (:func:`repro.core.plan.inspect`,
+:meth:`repro.core.plan.SpgemmPlan.execute`) need the *same* knobs.  Rather
+than re-growing parallel kwarg lists, every entry point canonicalizes its
+keywords into one frozen :class:`SpgemmOptions` value whose constructor is
+the single place configuration is validated.
+
+Validation raises :class:`repro.errors.ConfigError` through
+:func:`repro.errors.invalid_choice` so the message shape is uniform for
+every enumerated parameter: ``unknown <kind> <value>; valid choices: [...]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigError, invalid_choice
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .engine import ENGINES
+from .instrument import KernelStats
+from .scheduler import ThreadPartition
+
+__all__ = ["SpgemmOptions", "VALID_VECTOR_BITS"]
+
+#: Simulated register widths accepted by the HashVector kernels
+#: (512 = KNL AVX-512, 256 = Haswell AVX2, 128 = SSE-width lower bound).
+VALID_VECTOR_BITS = (128, 256, 512)
+
+
+@dataclass(frozen=True)
+class SpgemmOptions:
+    """Frozen, validated configuration for one SpGEMM computation.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name from :func:`repro.core.spgemm.available_algorithms`,
+        or ``"auto"`` to apply the Table-4 recipe at call time.
+    semiring:
+        A :class:`repro.semiring.Semiring` or its registry name; resolved to
+        the instance during validation.
+    sort_output:
+        Whether output rows must have ascending column indices (kernels with
+        a fixed output convention override this, see :func:`repro.spgemm`).
+    nthreads:
+        Simulated thread count (``>= 1``).
+    partition:
+        Optional explicit :class:`repro.core.scheduler.ThreadPartition`;
+        ``None`` lets the kernel compute a flop-balanced one.
+    stats:
+        Optional :class:`repro.core.instrument.KernelStats` collector.
+    vector_bits:
+        Simulated register width for ``hashvec`` (one of
+        :data:`VALID_VECTOR_BITS`).
+    engine:
+        ``"faithful"`` or ``"fast"`` (see :mod:`repro.core.engine`).
+    plan:
+        Optional pre-built :class:`repro.core.plan.SpgemmPlan` to execute
+        instead of running inspection.
+    plan_cache:
+        Optional :class:`repro.core.plan.PlanCache`; ``spgemm`` will look up
+        / populate a plan keyed by the operands' structure fingerprints.
+    """
+
+    algorithm: str = "auto"
+    semiring: Semiring = PLUS_TIMES
+    sort_output: bool = True
+    nthreads: int = 1
+    partition: ThreadPartition | None = None
+    stats: KernelStats | None = field(default=None, compare=False)
+    vector_bits: int = 512
+    engine: str = "faithful"
+    plan: Any = field(default=None, compare=False)
+    plan_cache: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        # Canonicalize the semiring first so equality/caching always compares
+        # resolved instances, then validate every enumerated knob in the one
+        # place the whole API shares.
+        object.__setattr__(self, "semiring", get_semiring(self.semiring))
+        from .spgemm import ALGORITHMS  # deferred: spgemm.py imports us
+
+        if self.algorithm != "auto" and self.algorithm not in ALGORITHMS:
+            raise invalid_choice(
+                "algorithm", self.algorithm, ["auto", *ALGORITHMS]
+            )
+        if self.engine not in ENGINES:
+            raise invalid_choice("engine", self.engine, list(ENGINES))
+        if self.vector_bits not in VALID_VECTOR_BITS:
+            raise invalid_choice(
+                "vector_bits", self.vector_bits, list(VALID_VECTOR_BITS)
+            )
+        if not isinstance(self.nthreads, int) or self.nthreads < 1:
+            raise ConfigError(
+                f"nthreads must be a positive integer, got {self.nthreads!r}"
+            )
+        if self.partition is not None and not isinstance(
+            self.partition, ThreadPartition
+        ):
+            raise ConfigError(
+                f"partition must be a ThreadPartition or None, "
+                f"got {type(self.partition).__name__}"
+            )
+        if self.plan is not None and not hasattr(self.plan, "execute"):
+            raise ConfigError(
+                f"plan must provide .execute(a, b), "
+                f"got {type(self.plan).__name__}"
+            )
+        if self.plan_cache is not None and not hasattr(self.plan_cache, "execute"):
+            raise ConfigError(
+                f"plan_cache must provide .execute(a, b, options), "
+                f"got {type(self.plan_cache).__name__}"
+            )
+
+    @classmethod
+    def from_kwargs(
+        cls, opts: "SpgemmOptions | None" = None, **kwargs: Any
+    ) -> "SpgemmOptions":
+        """Canonicalize an options object and/or loose keywords.
+
+        ``spgemm(a, b, opts)`` passes a ready-made :class:`SpgemmOptions`;
+        ``spgemm(a, b, algorithm=...)`` passes loose keywords; mixing both
+        applies the keywords on top of ``opts``.  Unknown keywords raise
+        :class:`repro.errors.ConfigError` listing the valid names.
+        """
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(kwargs) - valid
+        if unknown:
+            raise ConfigError(
+                f"unknown spgemm option(s) {sorted(unknown)}; "
+                f"valid options: {sorted(valid)}"
+            )
+        if opts is None:
+            return cls(**kwargs)
+        if not isinstance(opts, cls):
+            raise ConfigError(
+                f"opts must be SpgemmOptions or None, got {type(opts).__name__}"
+            )
+        return opts.replace(**kwargs) if kwargs else opts
+
+    def replace(self, **changes: Any) -> "SpgemmOptions":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,580 @@
+"""Inspector–executor plan layer: pay structure discovery once, replay it.
+
+The paper's fastest one-phase baseline is MKL's *inspector–executor* mode,
+which wins on repeated products precisely because the symbolic work —
+output pattern, table sizes, load balance — is paid once and amortized
+across numeric executions.  Our two-phase kernels already compute exactly
+that structure, then throw it away on every call.  This module keeps it:
+
+* :func:`inspect` runs the symbolic phase once and returns an
+  :class:`SpgemmPlan`;
+* :meth:`SpgemmPlan.execute` runs *numeric-only* against any operands with
+  the same sparsity pattern (validated by a cheap structure fingerprint,
+  always before any numeric work), optionally substituting the semiring;
+* :class:`PlanCache` is a bounded LRU keyed by structure fingerprints,
+  wired behind ``spgemm(..., plan_cache=...)`` so iterative apps (AMG's
+  Galerkin products, Markov clustering, multi-source BFS) get numeric-only
+  inner loops without restructuring their call sites.
+
+Two plan modes cover the plan-capable algorithms (the partition is
+enforced both at import time and by the ``kernel-dispatch`` contract
+linter):
+
+* **batched** — ``engine="fast"`` hash/hashvec/spa, and ``esc`` on either
+  engine.  The inspector caches, per flop-bounded row block, the gather
+  sources into both operands *already in grouped order*, the segment
+  boundaries, and the output-ordering permutation, plus the full output
+  ``indptr``/``indices``.  Execution is then gather → ``semiring.mul`` →
+  segment-accumulate → write: **zero sorting**, which is where the fresh
+  kernel spends most of its time.
+* **faithful** — ``engine="faithful"`` hash/hashvec/spa.  The inspector
+  caches the thread partition, the per-thread table capacities and the
+  output ``indptr`` (via the vectorized :func:`symbolic_row_nnz`, which
+  counts exactly what the scalar symbolic pass would), and execution runs
+  only the kernel's numeric phase (:func:`repro.core.hash_spgemm.hash_numeric`
+  / :func:`repro.core.spa_spgemm.spa_numeric`).
+
+Either way the executed output is **bit-for-bit identical** to a fresh
+``spgemm`` call with the same options: the cached permutations are the
+unique stable-sort orders the fresh kernels compute, elementwise
+``semiring.mul`` commutes with permutation, and segment accumulation
+replays the same value sequence.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, PlanError, ShapeError
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..matrix.stats import flop_per_row
+from ..semiring import Semiring, get_semiring
+from .engine import resolve_engine
+from .hash_batch import (
+    _max_flop_per_thread,
+    _stable_coordinate_order,
+    _vhash_geometry,
+    _vhash_order,
+)
+from .hash_spgemm import hash_numeric
+from .hash_vector import lanes_for_vector_bits
+from .instrument import KernelStats
+from .options import SpgemmOptions
+from .scheduler import ThreadPartition, rows_to_threads
+from .spa_spgemm import spa_numeric
+from .symbolic import (
+    expand_structure,
+    iter_row_blocks,
+    segment_mask,
+    symbolic_row_nnz,
+)
+
+__all__ = [
+    "PLAN_ALGORITHMS",
+    "PLANLESS_ALGORITHMS",
+    "SpgemmPlan",
+    "PlanCache",
+    "inspect",
+    "structure_fingerprint",
+]
+
+#: Algorithms with an inspector–executor split: the two-phase hash family
+#: and SPA (both engines) plus the inherently two-phase ESC.
+PLAN_ALGORITHMS = frozenset({"hash", "hashvec", "spa", "esc"})
+
+#: Algorithms deliberately without a plan: the one-phase Heap/Merge designs
+#: have no symbolic artifact to cache (their accumulators discover structure
+#: and values together), and the behavioural proxies' operation streams are
+#: their entire purpose — caching would change what they measure.
+#: ``mkl_inspector`` is the *model* of an inspector, not a host for ours.
+PLANLESS_ALGORITHMS = frozenset({
+    "heap",
+    "merge",
+    "blocked_spa",
+    "mkl",
+    "mkl_inspector",
+    "kokkos",
+})
+
+
+def _check_plan_coverage() -> None:
+    """Fail import when the plan coverage sets drift from the registry.
+
+    Mirrors :func:`repro.core.spgemm._check_registry_coverage`: every
+    registered algorithm must be claimed by exactly one of
+    ``PLAN_ALGORITHMS`` / ``PLANLESS_ALGORITHMS``.  The contract linter
+    enforces the same partition statically.
+    """
+    from .spgemm import ALGORITHMS
+
+    registered = set(ALGORITHMS)
+    problems = []
+    overlap = PLAN_ALGORITHMS & PLANLESS_ALGORITHMS
+    if overlap:
+        problems.append(f"claimed by both plan coverage sets: {sorted(overlap)}")
+    missing = registered - PLAN_ALGORITHMS - PLANLESS_ALGORITHMS
+    if missing:
+        problems.append(f"in ALGORITHMS but no plan coverage set: {sorted(missing)}")
+    stale = (PLAN_ALGORITHMS | PLANLESS_ALGORITHMS) - registered
+    if stale:
+        problems.append(f"in a plan coverage set but unregistered: {sorted(stale)}")
+    if problems:
+        raise ConfigError(
+            "algorithm registry / plan coverage mismatch: " + "; ".join(problems)
+        )
+
+
+_check_plan_coverage()
+
+
+def structure_fingerprint(m: CSR) -> "tuple[int, int, int, int]":
+    """Cheap O(nnz) fingerprint of a matrix's sparsity *structure*.
+
+    ``(nrows, ncols, nnz, crc32(indptr || indices))`` — values are excluded
+    (that is the point: a plan replays against new values), and so is the
+    ``sorted_rows`` flag, because the ``indices`` bytes already capture the
+    ordering that matters to the plan-capable kernels.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(m.indptr))
+    crc = zlib.crc32(np.ascontiguousarray(m.indices), crc)
+    return (m.nrows, m.ncols, m.nnz, crc)
+
+
+@dataclass(frozen=True)
+class _BlockRecipe:
+    """Cached structure for one flop-bounded row block (batched mode).
+
+    ``a_src``/``b_src`` gather the operands' ``data`` arrays directly in
+    grouped (row, col)-stable order; ``new_run``/``starts`` delimit the
+    duplicate-coordinate segments; ``reorder`` permutes the reduced
+    segments into the kernel's output order (``None`` when the grouped
+    order already is the output order, i.e. sorted output).
+    """
+
+    a_src: np.ndarray
+    b_src: np.ndarray
+    new_run: np.ndarray
+    starts: np.ndarray
+    reorder: np.ndarray | None
+
+
+class SpgemmPlan:
+    """Reusable symbolic structure for one ``(A-pattern, B-pattern)`` pair.
+
+    Build with :func:`inspect`; call :meth:`execute` against any operands
+    sharing the inspected sparsity patterns.  Plans are immutable once
+    built and safe to reuse across calls.
+    """
+
+    __slots__ = (
+        "options", "algorithm", "engine", "mode",
+        "_fp_a", "_fp_b", "_shape_c",
+        "indptr", "indices", "_blocks", "_sorted_rows",
+        "partition", "_caps", "_vector_width",
+    )
+
+    def __init__(
+        self,
+        *,
+        options: SpgemmOptions,
+        algorithm: str,
+        engine: str,
+        mode: str,
+        fp_a: tuple,
+        fp_b: tuple,
+        shape_c: "tuple[int, int]",
+        indptr: np.ndarray,
+        indices: np.ndarray | None = None,
+        blocks: "list[_BlockRecipe] | None" = None,
+        sorted_rows: bool = True,
+        partition: ThreadPartition | None = None,
+        caps: "list[int] | None" = None,
+        vector_width: int = 0,
+    ) -> None:
+        self.options = options
+        self.algorithm = algorithm
+        self.engine = engine
+        self.mode = mode
+        self._fp_a = fp_a
+        self._fp_b = fp_b
+        self._shape_c = shape_c
+        self.indptr = indptr
+        self.indices = indices
+        self._blocks = blocks
+        self._sorted_rows = sorted_rows
+        self.partition = partition
+        self._caps = caps
+        self._vector_width = vector_width
+
+    @property
+    def nnz(self) -> int:
+        """Output nonzeros the plan will produce."""
+        return int(self.indptr[-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"SpgemmPlan(algorithm={self.algorithm!r}, engine={self.engine!r}, "
+            f"mode={self.mode!r}, shape={self._shape_c}, nnz={self.nnz})"
+        )
+
+    def _validate_operands(self, a: CSR, b: CSR) -> None:
+        """Raise :class:`PlanError` on any structure mismatch — always
+        before numeric work touches the cached arrays."""
+        fa = structure_fingerprint(a)
+        fb = structure_fingerprint(b)
+        if fa != self._fp_a:
+            raise PlanError(
+                f"operand A structure {fa} does not match the inspected "
+                f"structure {self._fp_a}; re-run inspect() for this pattern"
+            )
+        if fb != self._fp_b:
+            raise PlanError(
+                f"operand B structure {fb} does not match the inspected "
+                f"structure {self._fp_b}; re-run inspect() for this pattern"
+            )
+
+    def execute(
+        self,
+        a: CSR,
+        b: CSR,
+        *,
+        semiring: "str | Semiring | None" = None,
+        stats: KernelStats | None = None,
+    ) -> CSR:
+        """Numeric-only ``C = A (x) B`` against the cached structure.
+
+        ``semiring`` substitutes the plan's semiring for this execution
+        (the cached structure is semiring-independent); ``stats`` overrides
+        the plan options' collector.  Output is bit-for-bit what a fresh
+        ``spgemm`` call with the plan's options would return.
+        """
+        t0 = time.perf_counter()
+        self._validate_operands(a, b)
+        sr = get_semiring(
+            semiring if semiring is not None else self.options.semiring
+        )
+        if stats is None:
+            stats = self.options.stats
+        if self.mode == "batched":
+            c = self._execute_batched(a, b, sr, stats)
+        else:
+            c = self._execute_faithful(a, b, sr, stats)
+        if stats is not None:
+            stats.execute_seconds += time.perf_counter() - t0
+        return c
+
+    def _execute_faithful(
+        self, a: CSR, b: CSR, sr: Semiring, stats: KernelStats | None
+    ) -> CSR:
+        if self.algorithm == "spa":
+            return spa_numeric(
+                a, b, semiring=sr, sort_output=self.options.sort_output,
+                partition=self.partition, indptr=self.indptr, stats=stats,
+            )
+        return hash_numeric(
+            a, b, semiring=sr, sort_output=self.options.sort_output,
+            partition=self.partition, caps=self._caps, indptr=self.indptr,
+            stats=stats, vector_width=self._vector_width,
+        )
+
+    def _execute_batched(
+        self, a: CSR, b: CSR, sr: Semiring, stats: KernelStats | None
+    ) -> CSR:
+        nnz_total = self.nnz
+        out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+        cursor = 0
+        total_flop = 0
+        for rec in self._blocks:
+            vals = np.asarray(
+                sr.mul(a.data[rec.a_src], b.data[rec.b_src]), dtype=VALUE_DTYPE
+            )
+            total_flop += len(vals)
+            if self.algorithm == "esc":
+                # Replays the ESC compress: same sorted segments, same
+                # pairwise reduceat — bitwise the fresh kernel's values.
+                seg_vals = sr.reduce_segments(vals, rec.starts)  # repro-lint: disable=accum-order
+            else:
+                # Strict arrival-order fold, exactly like the fresh batched
+                # engine (and therefore the scalar kernels).
+                seg_vals = sr.accumulate_segments(vals, rec.new_run, rec.starts)
+            if rec.reorder is not None:
+                seg_vals = seg_vals[rec.reorder]
+            out_data[cursor : cursor + len(seg_vals)] = seg_vals
+            cursor += len(seg_vals)
+        if stats is not None:
+            # Coarse ledger only, like the fast engine; no sort happens at
+            # execute time (that is the whole point), so no sort volume.
+            stats.flops += total_flop
+            stats.output_nnz += nnz_total
+            stats.rows += self._shape_c[0]
+        return CSR(
+            self._shape_c,
+            self.indptr,
+            self.indices,
+            out_data,
+            sorted_rows=self._sorted_rows,
+        )
+
+
+def inspect(
+    a: CSR,
+    b: CSR,
+    opts: SpgemmOptions | None = None,
+    **kwargs,
+) -> SpgemmPlan:
+    """Run the symbolic phase of ``C = A (x) B`` once; return the plan.
+
+    Accepts the same options surface as :func:`repro.spgemm` (an
+    :class:`SpgemmOptions` and/or loose keywords).  ``algorithm="auto"``
+    resolves through the Table-4 recipe first; the resolved algorithm must
+    be plan-capable (:data:`PLAN_ALGORITHMS`), otherwise a
+    :class:`~repro.errors.ConfigError` explains the choices.
+
+    If the options carry a ``stats`` collector, the inspection wall time is
+    added to its ``inspect_seconds`` counter.
+    """
+    options = SpgemmOptions.from_kwargs(opts, **kwargs)
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    t0 = time.perf_counter()
+    algorithm = options.algorithm
+    if algorithm == "auto":
+        from .recipe import recommend
+
+        algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
+    if algorithm not in PLAN_ALGORITHMS:
+        raise ConfigError(
+            f"algorithm {algorithm!r} has no inspector–executor split; "
+            f"plan-capable algorithms: {sorted(PLAN_ALGORITHMS)}"
+        )
+    engine = resolve_engine(options.engine, algorithm)
+    if engine == "fast" or algorithm == "esc":
+        plan = _inspect_batched(a, b, algorithm, engine, options)
+    else:
+        plan = _inspect_faithful(a, b, algorithm, engine, options)
+    if options.stats is not None:
+        options.stats.inspect_seconds += time.perf_counter() - t0
+    return plan
+
+
+def _inspect_batched(
+    a: CSR, b: CSR, algorithm: str, engine: str, options: SpgemmOptions
+) -> SpgemmPlan:
+    """Structure pass of the batched engine, caching every permutation.
+
+    Mirrors :func:`repro.core.hash_batch.batch_hash_spgemm` (and the ESC
+    kernel) step for step, minus the value arithmetic: same blocks, same
+    stable coordinate sort, same output-order emulation — so the cached
+    ``indices`` and per-block recipes reproduce the fresh output exactly.
+    """
+    nrows, ncols = a.nrows, b.ncols
+    esc = algorithm == "esc"
+    sort_output = True if esc else options.sort_output
+    chunk_mask = cap_row = None
+    lanes = lanes_for_vector_bits(options.vector_bits)
+    if algorithm == "hashvec" and not sort_output:
+        chunk_mask, cap_row = _vhash_geometry(
+            a, b, options.nthreads, options.partition, lanes
+        )
+
+    row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
+    blocks: "list[_BlockRecipe]" = []
+    block_cols: "list[np.ndarray]" = []
+    for r0, r1 in iter_row_blocks(a, b):
+        rows, cols, a_src, b_src = expand_structure(a, b, r0, r1)
+        n = len(rows)
+        if n == 0:
+            continue
+        order = _stable_coordinate_order(rows, cols, r0, r1 - r0, ncols)
+        r_s = rows[order]
+        c_s = cols[order]
+        new_run = segment_mask(r_s, c_s)
+        starts = np.flatnonzero(new_run)
+        seg_rows = r_s[starts]
+        seg_cols = c_s[starts]
+        first_idx = order[starts]
+        row_nnz[r0:r1] += np.bincount(seg_rows - r0, minlength=r1 - r0)
+
+        reorder = None
+        if not sort_output:
+            if algorithm in ("hash", "spa"):
+                reorder = np.argsort(first_idx)
+            else:  # hashvec: chunk-table extraction order
+                reorder = _vhash_order(
+                    seg_rows, seg_cols, first_idx,
+                    chunk_mask, cap_row, ncols, lanes,
+                )
+            seg_cols = seg_cols[reorder]
+        blocks.append(
+            _BlockRecipe(a_src[order], b_src[order], new_run, starts, reorder)
+        )
+        block_cols.append(np.ascontiguousarray(seg_cols, dtype=INDEX_DTYPE))
+
+    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    indices = (
+        np.concatenate(block_cols)
+        if block_cols
+        else np.empty(0, dtype=INDEX_DTYPE)
+    )
+    return SpgemmPlan(
+        options=options,
+        algorithm=algorithm,
+        engine=engine,
+        mode="batched",
+        fp_a=structure_fingerprint(a),
+        fp_b=structure_fingerprint(b),
+        shape_c=(nrows, ncols),
+        indptr=indptr,
+        indices=indices,
+        blocks=blocks,
+        sorted_rows=sort_output,
+    )
+
+
+def _inspect_faithful(
+    a: CSR, b: CSR, algorithm: str, engine: str, options: SpgemmOptions
+) -> SpgemmPlan:
+    """Symbolic phase for the faithful scalar kernels.
+
+    Caches the flop-balanced partition, the per-thread table capacities
+    (the hash kernels' Fig. 7 sizing) and the exact output ``indptr`` —
+    computed with the vectorized :func:`symbolic_row_nnz`, which counts
+    precisely what the scalar symbolic pass would, just faster.
+    """
+    flop = flop_per_row(a, b)
+    partition = options.partition
+    if partition is None:
+        partition = rows_to_threads(a, b, options.nthreads, row_cost=flop)
+    elif partition.nrows != a.nrows:
+        raise ConfigError(
+            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+        )
+    caps = _max_flop_per_thread(partition, flop)
+    vector_width = lanes_for_vector_bits(options.vector_bits) if algorithm == "hashvec" else 0
+    row_nnz = symbolic_row_nnz(a, b)
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    return SpgemmPlan(
+        options=options,
+        algorithm=algorithm,
+        engine=engine,
+        mode="faithful",
+        fp_a=structure_fingerprint(a),
+        fp_b=structure_fingerprint(b),
+        shape_c=(a.nrows, b.ncols),
+        indptr=indptr,
+        sorted_rows=options.sort_output,
+        partition=partition,
+        caps=caps,
+        vector_width=vector_width,
+    )
+
+
+def _partition_key(partition: ThreadPartition | None):
+    """Hashable content fingerprint of a partition (ndarrays aren't)."""
+    if partition is None:
+        return None
+    crc = 0
+    if partition.offsets is not None:
+        crc = zlib.crc32(np.ascontiguousarray(partition.offsets), crc)
+    if partition.chunks is not None:
+        crc = zlib.crc32(repr(partition.chunks).encode(), crc)
+    return (partition.policy, partition.nthreads, crc)
+
+
+class PlanCache:
+    """Bounded LRU of :class:`SpgemmPlan` keyed by structure fingerprints.
+
+    ``spgemm(a, b, plan_cache=cache)`` routes through :meth:`execute`: a
+    hit replays the cached plan numeric-only; a miss pays one inspection
+    (plan-capable algorithms) and caches the plan.  Plan-less algorithms —
+    including an ``"auto"`` resolution landing on one — are remembered as
+    resolved-name markers so the Table-4 recipe is not re-run per
+    iteration, and fall back to an ordinary full multiplication.
+
+    Hit/miss totals live on :attr:`hits`/:attr:`misses` and are also pushed
+    into each call's :class:`~repro.core.instrument.KernelStats` (as
+    ``plan_hits``/``plan_misses``) when one is supplied.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ConfigError(f"PlanCache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, SpgemmPlan | str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        self._entries.clear()
+
+    def _key(self, a: CSR, b: CSR, options: SpgemmOptions) -> tuple:
+        # The semiring is deliberately absent: a plan is semiring-agnostic
+        # and execute() substitutes the caller's per call.
+        return (
+            structure_fingerprint(a),
+            structure_fingerprint(b),
+            options.algorithm,
+            options.sort_output,
+            options.nthreads,
+            options.engine,
+            options.vector_bits,
+            _partition_key(options.partition),
+        )
+
+    def _store(self, key: tuple, entry) -> None:
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def execute(
+        self,
+        a: CSR,
+        b: CSR,
+        options: SpgemmOptions | None = None,
+        **kwargs,
+    ) -> CSR:
+        """``C = A (x) B`` through the cache (inspect on miss, replay on hit)."""
+        options = SpgemmOptions.from_kwargs(options, **kwargs)
+        if options.plan is not None or options.plan_cache is not None:
+            # Strip routing fields so the fallback dispatch cannot recurse.
+            options = options.replace(plan=None, plan_cache=None)
+        key = self._key(a, b, options)
+        stats = options.stats
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if stats is not None:
+                stats.plan_hits += 1
+            if isinstance(entry, str):  # plan-less algorithm marker
+                from .spgemm import _spgemm_resolved
+
+                return _spgemm_resolved(a, b, options.replace(algorithm=entry))
+            return entry.execute(a, b, semiring=options.semiring, stats=stats)
+        self.misses += 1
+        if stats is not None:
+            stats.plan_misses += 1
+        algorithm = options.algorithm
+        if algorithm == "auto":
+            from .recipe import recommend
+
+            algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
+        if algorithm in PLANLESS_ALGORITHMS:
+            from .spgemm import _spgemm_resolved
+
+            self._store(key, algorithm)
+            return _spgemm_resolved(a, b, options.replace(algorithm=algorithm))
+        plan = inspect(a, b, options.replace(algorithm=algorithm))
+        self._store(key, plan)
+        return plan.execute(a, b, semiring=options.semiring, stats=stats)

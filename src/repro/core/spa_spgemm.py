@@ -22,7 +22,29 @@ from .accumulators import SparseAccumulator
 from .instrument import KernelStats
 from .scheduler import ThreadPartition, rows_to_threads
 
-__all__ = ["spa_spgemm"]
+__all__ = ["spa_spgemm", "spa_numeric"]
+
+
+def _spa_accumulate_row(
+    spa: SparseAccumulator,
+    i: int,
+    a: CSR,
+    b: CSR,
+    sr: Semiring,
+) -> int:
+    """Scatter row ``i``'s intermediate products into ``spa``; returns flop."""
+    a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
+    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
+    spa.start_row(i)
+    flop = 0
+    for j in range(a_indptr[i], a_indptr[i + 1]):
+        k = a_indices[j]
+        lo, hi = b_indptr[k], b_indptr[k + 1]
+        cols = b_indices[lo:hi]
+        contrib = np.atleast_1d(sr.mul(a_data[j], b_data[lo:hi]))
+        spa.scatter(cols, contrib, sr)
+        flop += hi - lo
+    return flop
 
 
 def spa_spgemm(
@@ -51,9 +73,6 @@ def spa_spgemm(
             f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
         )
 
-    a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
-    b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
-
     nrows = a.nrows
     row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
     pieces: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
@@ -66,14 +85,7 @@ def spa_spgemm(
             row_cols: list[np.ndarray] = []
             row_vals: list[np.ndarray] = []
             for i in range(s, e):
-                spa.start_row(i)
-                for j in range(a_indptr[i], a_indptr[i + 1]):
-                    k = a_indices[j]
-                    lo, hi = b_indptr[k], b_indptr[k + 1]
-                    cols = b_indices[lo:hi]
-                    contrib = np.atleast_1d(sr.mul(a_data[j], b_data[lo:hi]))
-                    spa.scatter(cols, contrib, sr)
-                    thread_flop += hi - lo
+                thread_flop += _spa_accumulate_row(spa, i, a, b, sr)
                 cols_out, vals_out = spa.harvest(sort=sort_output)
                 row_nnz[i] = len(cols_out)
                 row_cols.append(cols_out)
@@ -101,6 +113,64 @@ def spa_spgemm(
     for s, (cols, vals) in pieces.items():
         out_indices[indptr[s] : indptr[s] + len(cols)] = cols
         out_data[indptr[s] : indptr[s] + len(vals)] = vals
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.output_nnz += nnz_total
+        stats.rows += nrows
+        if sort_output:
+            stats.sorted_elements += nnz_total
+
+    return CSR(
+        (nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sort_output
+    )
+
+
+def spa_numeric(
+    a: CSR,
+    b: CSR,
+    *,
+    semiring: "str | Semiring" = PLUS_TIMES,
+    sort_output: bool = True,
+    partition: ThreadPartition,
+    indptr: np.ndarray,
+    stats: KernelStats | None = None,
+) -> CSR:
+    """Numeric-only SPA multiplication against a cached output ``indptr``.
+
+    The inspector–executor entry point (:mod:`repro.core.plan`): since SPA
+    is one-phase, the only symbolic artifact worth caching is the output
+    row-pointer array — knowing it lets each harvested row be written
+    straight into its final slot, skipping the per-thread piece buffers and
+    the stitch pass of :func:`spa_spgemm`.  Accumulation order is untouched,
+    so output is bit-for-bit the fresh kernel's.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    sr = get_semiring(semiring)
+    if partition.nrows != a.nrows:
+        raise ConfigError(
+            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+        )
+    nrows = a.nrows
+    nnz_total = int(indptr[-1])
+    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+
+    total_flop = 0
+    for tid in range(partition.nthreads):
+        spa = SparseAccumulator(b.ncols)
+        thread_flop = 0
+        for s, e in partition.rows_of(tid):
+            for i in range(s, e):
+                thread_flop += _spa_accumulate_row(spa, i, a, b, sr)
+                cols_out, vals_out = spa.harvest(sort=sort_output)
+                out_indices[indptr[i] : indptr[i + 1]] = cols_out
+                out_data[indptr[i] : indptr[i + 1]] = vals_out
+        total_flop += thread_flop
+        if stats is not None:
+            stats.per_thread.append((spa.touches, thread_flop))
+            spa.flush_stats(stats)
 
     if stats is not None:
         stats.flops += total_flop

@@ -16,7 +16,7 @@ from typing import Callable
 
 from ..errors import ConfigError
 from ..matrix.csr import CSR
-from ..semiring import PLUS_TIMES, Semiring
+from ..semiring import Semiring
 from .blocked_spa import blocked_spa_spgemm
 from .engine import (
     FAITHFUL_ONLY_ALGORITHMS,
@@ -34,6 +34,7 @@ from .heap_spgemm import heap_spgemm
 from .instrument import KernelStats
 from .kokkos_like import kokkos_proxy_spgemm
 from .mkl_like import mkl_inspector_spgemm, mkl_proxy_spgemm
+from .options import SpgemmOptions
 from .scheduler import ThreadPartition
 from .spa_spgemm import spa_spgemm
 
@@ -43,6 +44,7 @@ __all__ = [
     "available_algorithms",
     "available_engines",
     "spgemm",
+    "SpgemmOptions",
 ]
 
 
@@ -154,23 +156,20 @@ def available_algorithms() -> "list[str]":
     return list(ALGORITHMS)
 
 
-def spgemm(
-    a: CSR,
-    b: CSR,
-    *,
-    algorithm: str = "auto",
-    semiring: "str | Semiring" = PLUS_TIMES,
-    sort_output: bool = True,
-    nthreads: int = 1,
-    partition: ThreadPartition | None = None,
-    stats: KernelStats | None = None,
-    vector_bits: int = 512,
-    engine: str = "faithful",
-) -> CSR:
+def spgemm(a: CSR, b: CSR, opts: SpgemmOptions | None = None, **kwargs) -> CSR:
     """Compute ``C = A (x) B`` over a semiring with a selectable algorithm.
 
-    Parameters
-    ----------
+    Configuration arrives either as a ready-made
+    :class:`~repro.core.options.SpgemmOptions` (``spgemm(a, b, opts)``), as
+    loose keywords (``spgemm(a, b, algorithm="hash", engine="fast")``), or
+    both — keywords override the options object's fields.  Everything is
+    canonicalized through :meth:`SpgemmOptions.from_kwargs`, which is the
+    single place configuration is validated: unknown ``algorithm`` /
+    ``engine`` / ``vector_bits`` values raise
+    :class:`~repro.errors.ConfigError` listing the valid choices.
+
+    Options
+    -------
     algorithm:
         One of :func:`available_algorithms`, or ``"auto"`` to apply the
         paper's Table-4 recipe (:func:`repro.core.recipe.recommend`).
@@ -185,6 +184,17 @@ def spgemm(
         bit-for-bit identical output at numpy speed.  Algorithms without a
         batched implementation fall back to the faithful kernel (see
         :func:`repro.core.engine.resolve_engine`).
+    plan:
+        A pre-built :class:`~repro.core.plan.SpgemmPlan` (from
+        :func:`repro.core.plan.inspect`): the multiplication replays the
+        cached structure numeric-only.  The operands must match the
+        inspected sparsity patterns (:class:`~repro.errors.PlanError`
+        otherwise).
+    plan_cache:
+        A :class:`~repro.core.plan.PlanCache`: plans are looked up by the
+        operands' structure fingerprints, inspected on miss and replayed on
+        hit — the drop-in way to make iterative workloads (AMG, Markov,
+        BFS) numeric-only after their first iteration.
 
     Notes
     -----
@@ -200,28 +210,42 @@ def spgemm(
     truthfulness, duplicate detection) runs on both operands at entry and
     on the result at exit — off by default so benchmarks are unaffected.
     """
-    if algorithm == "auto":
-        from .recipe import recommend
-
-        algorithm = recommend(a, b, sort_output=sort_output).algorithm
-    info = ALGORITHMS.get(algorithm)
-    if info is None:
-        raise ConfigError(
-            f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
-        )
-    engine = resolve_engine(engine, algorithm)
+    options = SpgemmOptions.from_kwargs(opts, **kwargs)
     debug_validate = _debug_validate_enabled()
     if debug_validate:
         a.validate()
         b.validate()
-    c = _dispatch_kernel(
-        algorithm, a, b, engine=engine, semiring=semiring,
-        sort_output=sort_output, nthreads=nthreads, partition=partition,
-        stats=stats, vector_bits=vector_bits,
-    )
+    if options.plan is not None:
+        c = options.plan.execute(
+            a, b, semiring=options.semiring, stats=options.stats
+        )
+    elif options.plan_cache is not None:
+        c = options.plan_cache.execute(a, b, options)
+    else:
+        c = _spgemm_resolved(a, b, options)
     if debug_validate:
         c.validate()
     return c
+
+
+def _spgemm_resolved(a: CSR, b: CSR, options: SpgemmOptions) -> CSR:
+    """Plan-free dispatch: resolve ``auto`` + engine, then run the kernel.
+
+    Also the fallback the :class:`~repro.core.plan.PlanCache` uses for
+    plan-less algorithms, which is why it is factored out of :func:`spgemm`.
+    """
+    algorithm = options.algorithm
+    if algorithm == "auto":
+        from .recipe import recommend
+
+        algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
+    engine = resolve_engine(options.engine, algorithm)
+    return _dispatch_kernel(
+        algorithm, a, b, engine=engine, semiring=options.semiring,
+        sort_output=options.sort_output, nthreads=options.nthreads,
+        partition=options.partition, stats=options.stats,
+        vector_bits=options.vector_bits,
+    )
 
 
 def _dispatch_kernel(

@@ -24,11 +24,64 @@ from ..errors import ShapeError
 from ..matrix.csr import CSR, INDPTR_DTYPE
 from ..matrix.stats import flop_per_row
 
-__all__ = ["expand_rows", "iter_row_blocks", "symbolic_row_nnz"]
+__all__ = [
+    "expand_rows",
+    "expand_structure",
+    "iter_row_blocks",
+    "segment_mask",
+    "symbolic_row_nnz",
+]
 
 #: Default cap on intermediate products materialized at once (~8M entries
 #: = a few hundred MB of scratch), keeping peak memory laptop-friendly.
 DEFAULT_MAX_BLOCK_FLOP = 1 << 23
+
+
+def expand_structure(
+    a: CSR,
+    b: CSR,
+    row_start: int,
+    row_end: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Value-free expansion plan for output rows [row_start, row_end).
+
+    Returns ``(out_rows, out_cols, a_src, b_src)`` where ``a_src`` /
+    ``b_src`` index the operands' ``data`` arrays: intermediate product
+    ``p`` is ``a.data[a_src[p]] * b.data[b_src[p]]`` landing at coordinate
+    ``(out_rows[p], out_cols[p])``.  The four arrays depend only on the
+    operands' *structure* (``indptr``/``indices``), which is what lets the
+    inspector–executor plan layer cache them and replay numeric-only
+    executions against new values.
+
+    Everything is vectorized: the classic "ragged gather" uses a repeated
+    arange built from cumulative offsets.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    lo = int(a.indptr[row_start])
+    hi = int(a.indptr[row_end])
+    a_cols = a.indices[lo:hi]
+    reps = np.diff(b.indptr)[a_cols]  # nnz(b_k*) per a-nonzero
+    total = int(reps.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=a.indices.dtype)
+        eidx = np.empty(0, dtype=INDPTR_DTYPE)
+        return empty, empty, eidx, eidx
+    # Output row of each intermediate product.
+    row_of_entry = np.repeat(
+        np.arange(row_start, row_end, dtype=a.indices.dtype),
+        np.diff(a.indptr[row_start : row_end + 1]),
+    )
+    out_rows = np.repeat(row_of_entry, reps)
+    # Positions into B's arrays: starts[j] + (0..reps[j]-1), vectorized.
+    starts = b.indptr[a_cols]
+    offs = np.arange(total, dtype=INDPTR_DTYPE)
+    seg_begin = np.concatenate([[0], np.cumsum(reps)[:-1]])
+    offs -= np.repeat(seg_begin, reps)
+    b_src = np.repeat(starts, reps) + offs
+    out_cols = b.indices[b_src]
+    a_src = np.repeat(np.arange(lo, hi, dtype=INDPTR_DTYPE), reps)
+    return out_rows, out_cols, a_src, b_src
 
 
 def expand_rows(
@@ -46,40 +99,39 @@ def expand_rows(
     ordinary multiplication; semiring-specific combination is done by the
     caller (ESC passes the raw gathers through ``semiring.mul``).
 
-    Everything is vectorized: the classic "ragged gather" uses a repeated
-    arange built from cumulative offsets.
+    Structure discovery is delegated to :func:`expand_structure`; this
+    wrapper just gathers the factor values on top.
     """
-    if a.ncols != b.nrows:
-        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
-    lo = int(a.indptr[row_start])
-    hi = int(a.indptr[row_end])
-    a_cols = a.indices[lo:hi]
-    reps = np.diff(b.indptr)[a_cols]  # nnz(b_k*) per a-nonzero
-    total = int(reps.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=a.indices.dtype)
-        return empty, empty, (np.empty(0) if with_values else None)
-    # Output row of each intermediate product.
-    row_of_entry = np.repeat(
-        np.arange(row_start, row_end, dtype=a.indices.dtype),
-        np.diff(a.indptr[row_start : row_end + 1]),
-    )
-    out_rows = np.repeat(row_of_entry, reps)
-    # Positions into B's arrays: starts[j] + (0..reps[j]-1), vectorized.
-    starts = b.indptr[a_cols]
-    offs = np.arange(total, dtype=INDPTR_DTYPE)
-    seg_begin = np.concatenate([[0], np.cumsum(reps)[:-1]])
-    offs -= np.repeat(seg_begin, reps)
-    gather = np.repeat(starts, reps) + offs
-    out_cols = b.indices[gather]
+    out_rows, out_cols, a_src, b_src = expand_structure(a, b, row_start, row_end)
     if not with_values:
         return out_rows, out_cols, None
+    if len(out_rows) == 0:
+        return out_rows, out_cols, np.empty(0)
     # Keep the two factor gathers separate so semirings other than
     # plus_times can combine them; we return a 2-row stack.
-    a_fac = np.repeat(a.data[lo:hi], reps)
-    b_fac = b.data[gather]
-    vals = np.stack([a_fac, b_fac])
+    vals = np.stack([a.data[a_src], b.data[b_src]])
     return out_rows, out_cols, vals
+
+
+def segment_mask(
+    rows: np.ndarray, cols: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Boolean mask marking where a new ``(row, col)`` segment begins.
+
+    ``rows``/``cols`` must already be grouped so equal coordinates are
+    contiguous (any stable (row, col) sort does).  Shared by the ESC
+    compress step, the batched engine and :func:`symbolic_row_nnz` — and
+    cached by the plan layer, for which the mask *is* the symbolic result.
+    """
+    n = len(rows)
+    if out is None:
+        out = np.empty(n, dtype=bool)
+    if n == 0:
+        return out
+    out[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=out[1:])
+    np.logical_or(out[1:], cols[1:] != cols[:-1], out=out[1:])
+    return out
 
 
 def iter_row_blocks(
@@ -122,10 +174,7 @@ def symbolic_row_nnz(
         order = np.lexsort((cols, rows))
         r = rows[order]
         c = cols[order]
-        new_run = np.empty(len(r), dtype=bool)
-        new_run[0] = True
-        np.not_equal(r[1:], r[:-1], out=new_run[1:])
-        np.logical_or(new_run[1:], c[1:] != c[:-1], out=new_run[1:])
+        new_run = segment_mask(r, c)
         distinct_rows = r[new_run]
         out[r0:r1] += np.bincount(distinct_rows - r0, minlength=r1 - r0)
     return out

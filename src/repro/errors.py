@@ -14,6 +14,8 @@ __all__ = [
     "FormatError",
     "ConfigError",
     "DatasetError",
+    "PlanError",
+    "invalid_choice",
 ]
 
 
@@ -41,3 +43,23 @@ class ConfigError(ReproError, ValueError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset name is unknown or a generator received invalid options."""
+
+
+class PlanError(ReproError, ValueError):
+    """An inspector–executor plan was applied to incompatible operands.
+
+    Raised by :meth:`repro.core.plan.SpgemmPlan.execute` when the operands'
+    sparsity structure (shape / ``indptr`` / ``indices``) does not match the
+    structure the plan was inspected on — always *before* any numeric work
+    touches the cached structure.
+    """
+
+
+def invalid_choice(kind: str, got: object, choices) -> ConfigError:
+    """Build the canonical :class:`ConfigError` for an enumerated parameter.
+
+    Every "pick one of these" parameter (``algorithm``, ``engine``,
+    ``vector_bits``, ...) raises through this helper so the message shape is
+    uniform across kernels: ``unknown <kind> <got>; valid choices: [...]``.
+    """
+    return ConfigError(f"unknown {kind} {got!r}; valid choices: {list(choices)}")

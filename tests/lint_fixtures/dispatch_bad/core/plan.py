@@ -1,0 +1,9 @@
+"""Fixture: broken inspector–executor coverage partition (3 findings).
+
+* ``'hash'`` appears in both plan coverage sets (overlap);
+* ``'orphan'`` (registered) appears in no plan coverage set (missing);
+* ``'stale_plan'`` is claimed but not registered (stale).
+"""
+
+PLAN_ALGORITHMS = frozenset({"hash", "stale_plan"})
+PLANLESS_ALGORITHMS = frozenset({"hash", "heap", "ghost"})

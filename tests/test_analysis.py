@@ -81,7 +81,7 @@ def test_overbroad_except_fixture():
 def test_kernel_dispatch_fixture():
     result = run([FIXTURES / "dispatch_bad"], rules=["kernel-dispatch"])
     messages = [f.message for f in result.findings]
-    assert len(messages) == 9
+    assert len(messages) == 12
     expected_fragments = [
         "'ghost' is registered in ALGORITHMS but spgemm() has no dispatch",
         "dispatches algorithm 'phantom' which is not in the ALGORITHMS",
@@ -92,6 +92,9 @@ def test_kernel_dispatch_fixture():
         "'orphan' appears in no engine coverage set",
         "'hash' appears in multiple engine coverage sets",
         "FAITHFUL_ONLY_ALGORITHMS entry 'stale_engine' is not a registered",
+        "'orphan' appears in no plan coverage set",
+        "'hash' appears in both PLAN_ALGORITHMS and PLANLESS_ALGORITHMS",
+        "PLAN_ALGORITHMS entry 'stale_plan' is not a registered",
     ]
     for fragment in expected_fragments:
         assert any(fragment in m for m in messages), fragment
