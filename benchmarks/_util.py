@@ -93,6 +93,44 @@ def time_call(fn, *args, warmup: int = 1, repeats: int = 3, **kwargs):
     return min(samples), samples, result
 
 
+def time_call_traced(fn, *args, warmup: int = 1, repeats: int = 3, **kwargs):
+    """Paired untraced/traced timing for the phase-breakdown benches.
+
+    Runs ``fn(*args, **kwargs)`` in *interleaved* untraced/traced rounds
+    (so ambient drift — GC pressure, cache state — hits both sides alike)
+    and takes best-of-N on each side, keeping the tracer of the fastest
+    traced run.  ``REPRO_TRACE`` is masked for the duration so the env
+    tracer cannot contaminate the untraced baseline.  Returns
+    ``(untraced_best, traced_best, tracer_of_best)``.
+    """
+    from repro.observability import Tracer
+
+    if warmup < 0 or repeats < 1:
+        raise ValueError("warmup must be >= 0 and repeats >= 1")
+    saved = os.environ.pop("REPRO_TRACE", None)
+    try:
+        for _ in range(warmup):
+            fn(*args, **kwargs)
+        untraced_best = traced_best = None
+        best_tracer = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(*args, **kwargs)
+            elapsed = time.perf_counter() - t0
+            if untraced_best is None or elapsed < untraced_best:
+                untraced_best = elapsed
+            tracer = Tracer()
+            t0 = time.perf_counter()
+            fn(*args, tracer=tracer, **kwargs)
+            elapsed = time.perf_counter() - t0
+            if traced_best is None or elapsed < traced_best:
+                traced_best, best_tracer = elapsed, tracer
+        return untraced_best, traced_best, best_tracer
+    finally:
+        if saved is not None:
+            os.environ["REPRO_TRACE"] = saved
+
+
 @functools.lru_cache(maxsize=1)
 def lint_status() -> "tuple[tuple[str, object], ...]":
     """Contract-linter verdict on ``src/repro`` at benchmark time.

@@ -6,13 +6,30 @@ is the best performer for sorted matrices ("outperforms all other
 algorithms for 70% matrices and its runtime is always within 1.6x of the
 best"); for unsorted matrices Hash / HashVector / MKL-inspector share the
 wins and Kokkos trails.
+
+Also regenerates the *measured* per-phase breakdown Fig. 15's left panel
+is built from: real traced runs of the executable kernels, with the phase
+sums checked against an untraced wall-clock baseline (the observability
+layer's ≤5% overhead acceptance bar).  ``REPRO_TRACE=json`` additionally
+persists the raw trace JSON under ``benchmarks/results/``.
 """
+
+import os
 
 import pytest
 
+from repro.core.spgemm import spgemm
+from repro.observability import (
+    json_trace,
+    phase_breakdown,
+    render_breakdown,
+    validate_trace_schema,
+    write_json_trace,
+)
 from repro.profiling import performance_profile, render_profile
+from repro.rmat import er_matrix
 
-from _util import SUITE_MAX_N, emit, suite_times
+from _util import RESULTS_DIR, SUITE_MAX_N, emit, suite_times, time_call_traced
 
 
 @pytest.fixture(scope="module")
@@ -55,3 +72,47 @@ def test_fig15_profile_structure(figure15, benchmark):
         assert unsorted_prof.rho(s, unsorted_prof.worst_ratio(s) + 1e-9) == 1.0
 
     benchmark(performance_profile, suite_times("KNL", True, SUITE_MAX_N))
+
+
+def test_fig15_phase_breakdown_traced():
+    """Measured per-phase breakdown of the executable kernels.
+
+    For each of hash/heap/spa, runs the product untraced (wall baseline)
+    and traced, then checks the breakdown's phase sum — which by the
+    exclusive-time invariant equals the traced root's wall — against the
+    untraced wall within 5% (plus a 10ms absolute floor so sub-second
+    scheduler noise cannot flake CI).
+    """
+    a = er_matrix(10, 8, seed=7)
+    merged = {}
+    for alg in ("hash", "heap", "spa"):
+        untraced, traced, tracer = time_call_traced(
+            spgemm, a, a, algorithm=alg, warmup=1, repeats=5
+        )
+        trace = validate_trace_schema(json_trace(tracer))
+        breakdown = phase_breakdown(tracer)
+        assert alg in breakdown, breakdown.keys()
+        phases = breakdown[alg]
+        assert "numeric" in phases
+        if alg == "hash":
+            assert "symbolic" in phases and "sort" in phases
+        phase_sum = sum(phases.values())
+        root_wall = sum(s["seconds"] for s in trace["spans"])
+        # exclusive times partition the roots' wall exactly
+        assert phase_sum == pytest.approx(root_wall, rel=1e-9)
+        # tracing overhead gate: ≤5% of the untraced wall (±10ms floor)
+        assert abs(phase_sum - untraced) <= 0.05 * untraced + 0.010, (
+            alg, phase_sum, untraced
+        )
+        merged[alg] = phases
+        if os.environ.get("REPRO_TRACE", "").lower() == "json":
+            RESULTS_DIR.mkdir(exist_ok=True)
+            write_json_trace(tracer, str(RESULTS_DIR / f"fig15_trace_{alg}.json"))
+    emit(
+        "fig15_phase_breakdown",
+        render_breakdown(
+            "Figure 15 (measured): per-phase breakdown, ER scale 10, "
+            "traced kernels",
+            merged,
+        ),
+    )

@@ -19,7 +19,10 @@ Public surface (see README for a tour):
 * :mod:`repro.apps` — SpGEMM-powered graph algorithms (multi-source BFS,
   triangle counting, Markov clustering);
 * :mod:`repro.profiling` — Dolan–Moré performance profiles and speedup
-  statistics.
+  statistics;
+* :mod:`repro.observability` — phase-level span tracing across every
+  kernel (enable with ``tracer=`` or ``REPRO_TRACE=1``; see
+  ``docs/observability.md``).
 """
 
 from .errors import (
@@ -61,6 +64,15 @@ from .core import (
     rows_to_threads,
     spgemm,
 )
+from .observability import (
+    Span,
+    Tracer,
+    json_trace,
+    phase_breakdown,
+    render_breakdown,
+    render_tree,
+    tracer_from_env,
+)
 
 __version__ = "1.0.0"
 
@@ -98,5 +110,12 @@ __all__ = [
     "recommend",
     "rows_to_threads",
     "KernelStats",
+    "Tracer",
+    "Span",
+    "tracer_from_env",
+    "json_trace",
+    "render_tree",
+    "render_breakdown",
+    "phase_breakdown",
     "__version__",
 ]

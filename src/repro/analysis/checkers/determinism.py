@@ -15,6 +15,12 @@ flake and a silent correctness hazard.  Three sources are flagged:
 * **set-iteration order** — ``for ... in {a, b}`` / ``for ... in set(...)``:
   set iteration order varies with hash seeding across processes; iterate a
   sorted or list form instead.
+
+The observability layer (:mod:`repro.observability` and the kernels'
+tracer seams) is exempt by construction rather than by suppression: its
+only clock is the already-sanctioned ``perf_counter``, and it never feeds
+timing back into control flow — traced and untraced runs are
+property-tested bit-identical in ``tests/test_observability.py``.
 """
 
 from __future__ import annotations

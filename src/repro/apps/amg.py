@@ -21,6 +21,7 @@ from ..core.chain import multiply_chain, plan_chain
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.ops import spmv, transpose
+from ..observability import NULL_TRACER
 
 __all__ = ["AmgHierarchy", "amg_setup", "two_level_solve"]
 
@@ -83,7 +84,7 @@ def _greedy_aggregate(strength: CSR) -> np.ndarray:
 
 def amg_setup(
     a: CSR, *, theta: float = 0.25, algorithm: str = "hash",
-    engine: str = "faithful", plan_cache=None,
+    engine: str = "faithful", plan_cache=None, tracer=None,
 ) -> AmgHierarchy:
     """Build a two-level hierarchy for a symmetric M-matrix-like operator.
 
@@ -100,30 +101,39 @@ def amg_setup(
         Galerkin SpGEMMs — rebuilding hierarchies whose operators keep
         their sparsity pattern (time-dependent coefficients on a fixed
         mesh) then re-runs numeric-only.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; the setup stages
+        (strength graph, aggregation, Galerkin product) each get a span,
+        with the Galerkin SpGEMM roots nested under the last.
     """
     if a.nrows != a.ncols:
         raise ShapeError("AMG operator must be square")
     if not 0.0 <= theta < 1.0:
         raise ConfigError(f"theta must be in [0, 1), got {theta}")
-    strength = _strength_graph(a, theta)
-    aggregates = _greedy_aggregate(strength)
-    n_coarse = int(aggregates.max()) + 1 if a.nrows else 0
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span("amg_setup", phase="other", nrows=a.nrows, theta=theta):
+        with obs.span("strength", phase="other"):
+            strength = _strength_graph(a, theta)
+        with obs.span("aggregate", phase="other"):
+            aggregates = _greedy_aggregate(strength)
+        n_coarse = int(aggregates.max()) + 1 if a.nrows else 0
 
-    # Piecewise-constant prolongation: P[i, agg(i)] = 1.
-    p = CSR(
-        (a.nrows, n_coarse),
-        np.arange(a.nrows + 1, dtype=INDPTR_DTYPE),
-        aggregates.astype(INDEX_DTYPE),
-        np.ones(a.nrows, dtype=VALUE_DTYPE),
-        sorted_rows=True,
-    )
-    r = transpose(p)
+        # Piecewise-constant prolongation: P[i, agg(i)] = 1.
+        p = CSR(
+            (a.nrows, n_coarse),
+            np.arange(a.nrows + 1, dtype=INDPTR_DTYPE),
+            aggregates.astype(INDEX_DTYPE),
+            np.ones(a.nrows, dtype=VALUE_DTYPE),
+            sorted_rows=True,
+        )
+        r = transpose(p)
 
-    plan = plan_chain([r, a, p])
-    coarse = multiply_chain(
-        [r, a, p], algorithm=algorithm, engine=engine, plan=plan,
-        plan_cache=plan_cache,
-    )
+        with obs.span("galerkin", phase="other"):
+            plan = plan_chain([r, a, p])
+            coarse = multiply_chain(
+                [r, a, p], algorithm=algorithm, engine=engine, plan=plan,
+                plan_cache=plan_cache, tracer=tracer,
+            )
     return AmgHierarchy(
         fine=a,
         prolongation=p,

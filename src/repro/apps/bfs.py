@@ -18,6 +18,7 @@ from ..core.spgemm import spgemm
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.ops import transpose
+from ..observability import NULL_TRACER
 from ..semiring import OR_AND
 
 __all__ = ["multi_source_bfs"]
@@ -43,6 +44,7 @@ def multi_source_bfs(
     engine: str = "faithful",
     max_depth: int | None = None,
     plan_cache=None,
+    tracer=None,
 ) -> np.ndarray:
     """Run BFS from every source simultaneously via SpGEMM.
 
@@ -67,6 +69,10 @@ def multi_source_bfs(
         expansion.  Frontiers change shape every level, so the payoff is
         across *repeated* BFS batches on the same graph (each level's
         ``A^T``-side structure is re-fingerprinted per call).
+    tracer:
+        Optional :class:`repro.observability.Tracer`; every frontier
+        expansion gets a ``bfs_level`` span (meta: depth, frontier nnz)
+        containing that level's SpGEMM root.
 
     Returns
     -------
@@ -91,12 +97,15 @@ def multi_source_bfs(
     frontier = _frontier_matrix(n, sources)
     depth = 0
     cap = max_depth if max_depth is not None else n
+    obs = tracer if tracer is not None else NULL_TRACER
     while frontier.nnz and depth < cap:
         depth += 1
-        nxt = spgemm(
-            at, frontier, algorithm=algorithm, semiring=OR_AND,
-            sort_output=False, engine=engine, plan_cache=plan_cache,
-        )
+        with obs.span("bfs_level", phase="other", depth=depth, frontier_nnz=frontier.nnz):
+            nxt = spgemm(
+                at, frontier, algorithm=algorithm, semiring=OR_AND,
+                sort_output=False, engine=engine, plan_cache=plan_cache,
+                tracer=tracer,
+            )
         # Keep only newly discovered (vertex, search) pairs.
         rows, cols, _ = nxt.to_coo()
         fresh = levels[rows, cols] < 0

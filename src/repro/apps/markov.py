@@ -24,6 +24,7 @@ from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR
 from ..matrix.ops import prune as prune_small
 from ..matrix.ops import scale_columns, transpose
+from ..observability import NULL_TRACER
 from ..semiring import PLUS_TIMES
 
 __all__ = ["MclResult", "markov_cluster"]
@@ -82,6 +83,7 @@ def markov_cluster(
     engine: str = "faithful",
     add_self_loops: bool = True,
     plan_cache=None,
+    tracer=None,
 ) -> MclResult:
     """Cluster a graph given a (symmetric, non-negative) similarity matrix.
 
@@ -102,6 +104,10 @@ def markov_cluster(
         Optional :class:`repro.core.plan.PlanCache` forwarded to every
         expansion — iterations whose pruned support stabilizes (MCL's
         usual late phase) replay the cached plan numeric-only.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; each iteration gets
+        an ``mcl_iteration`` span holding expansion (the SpGEMM root),
+        inflation, and prune children.
     """
     if similarity.nrows != similarity.ncols:
         raise ShapeError("similarity matrix must be square")
@@ -121,22 +127,27 @@ def markov_cluster(
 
     converged = False
     it = 0
+    obs = tracer if tracer is not None else NULL_TRACER
     for it in range(1, max_iterations + 1):
-        expanded = spgemm(
-            m, m, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine,
-            plan_cache=plan_cache,
-        )
-        # Inflation: elementwise power + column re-normalization.
-        inflated = CSR(
-            expanded.shape,
-            expanded.indptr.copy(),
-            expanded.indices.copy(),
-            np.power(expanded.data, inflation),
-            sorted_rows=expanded.sorted_rows,
-        )
-        inflated = _column_normalize(inflated)
-        nxt = prune_small(inflated, prune_threshold)
-        nxt = _column_normalize(nxt)
+        with obs.span("mcl_iteration", phase="other", iteration=it, nnz=m.nnz):
+            with obs.span("expansion", phase="other"):
+                expanded = spgemm(
+                    m, m, algorithm=algorithm, semiring=PLUS_TIMES,
+                    engine=engine, plan_cache=plan_cache, tracer=tracer,
+                )
+            # Inflation: elementwise power + column re-normalization.
+            with obs.span("inflation", phase="other"):
+                inflated = CSR(
+                    expanded.shape,
+                    expanded.indptr.copy(),
+                    expanded.indices.copy(),
+                    np.power(expanded.data, inflation),
+                    sorted_rows=expanded.sorted_rows,
+                )
+                inflated = _column_normalize(inflated)
+            with obs.span("prune", phase="other"):
+                nxt = prune_small(inflated, prune_threshold)
+                nxt = _column_normalize(nxt)
         # Convergence: the chaos/steady-state test via max entry change on
         # the shared support (cheap, sufficient for these sizes).
         if nxt.same_pattern(m):

@@ -22,6 +22,7 @@ from ..core.spgemm import spgemm
 from ..errors import ShapeError
 from ..matrix.csr import CSR
 from ..matrix.ops import degree_reorder, elementwise_multiply, triangular_split
+from ..observability import NULL_TRACER
 from ..semiring import PLUS_TIMES
 
 __all__ = ["count_triangles", "triangle_counts_per_vertex"]
@@ -45,6 +46,7 @@ def count_triangles(
     engine: str = "faithful",
     reorder: bool = True,
     masked: bool = False,
+    tracer=None,
 ) -> int:
     """Count triangles of an undirected graph given its adjacency matrix.
 
@@ -62,20 +64,28 @@ def count_triangles(
     """
     if adjacency.nrows != adjacency.ncols:
         raise ShapeError("adjacency must be square")
-    a = _pattern(adjacency)
-    if reorder:
-        a, _ = degree_reorder(a, ascending=True)
-    if not a.sorted_rows:
-        a = a.sort_rows()
-    low, up = triangular_split(a)
-    if masked:
-        closed = masked_spgemm(low, up, a, semiring=PLUS_TIMES)
-    else:
-        wedges = spgemm(
-            low, up, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine
-        )
-        closed = elementwise_multiply(a, wedges)
-    total = float(closed.data.sum())
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span("count_triangles", phase="other", nnz=adjacency.nnz):
+        with obs.span("reorder", phase="other"):
+            a = _pattern(adjacency)
+            if reorder:
+                a, _ = degree_reorder(a, ascending=True)
+            if not a.sorted_rows:
+                a = a.sort_rows()
+        with obs.span("split", phase="other"):
+            low, up = triangular_split(a)
+        with obs.span("wedges", phase="other"):
+            if masked:
+                closed = masked_spgemm(low, up, a, semiring=PLUS_TIMES)
+            else:
+                wedges = spgemm(
+                    low, up, algorithm=algorithm, semiring=PLUS_TIMES,
+                    engine=engine, tracer=tracer,
+                )
+        with obs.span("mask", phase="other"):
+            if not masked:
+                closed = elementwise_multiply(a, wedges)
+            total = float(closed.data.sum())
     return int(round(total / 2.0))
 
 

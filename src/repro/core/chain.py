@@ -120,6 +120,7 @@ def multiply_chain(
     engine: str = "faithful",
     plan: ChainPlan | None = None,
     plan_cache=None,
+    tracer=None,
 ) -> CSR:
     """Multiply a chain of matrices in the flop-optimal association order.
 
@@ -127,6 +128,8 @@ def multiply_chain(
     every product, so re-evaluating a chain whose operands keep their
     sparsity patterns — AMG's Galerkin triple product per cycle, Markov
     iterations — pays structure discovery only on the first evaluation.
+    ``tracer`` is forwarded to every product, so each association step shows
+    up as its own ``spgemm`` root span.
     """
     if plan is None:
         plan = plan_chain(matrices)
@@ -140,7 +143,7 @@ def multiply_chain(
             left, right,
             algorithm=algorithm, semiring=semiring,
             sort_output=sort_output, nthreads=nthreads, engine=engine,
-            plan_cache=plan_cache,
+            plan_cache=plan_cache, tracer=tracer,
         )
 
     return evaluate(plan.order)

@@ -18,6 +18,8 @@ Memory is ``O(flop)`` per block; row blocks are capped at
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import ShapeError
@@ -42,6 +44,7 @@ def esc_spgemm(
     sort_output: bool = True,
     stats: KernelStats | None = None,
     max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP,
+    tracer=None,
 ) -> CSR:
     """Multiply two CSR matrices by expand-sort-compress.
 
@@ -50,6 +53,11 @@ def esc_spgemm(
     True because the rows really are sorted).
 
     Accepts sorted or unsorted inputs and any semiring.
+
+    With a ``tracer``, the per-block expand/sort/compress times accumulate
+    into three phase spans (numeric / sort / stitch) reported once at the
+    end — ESC's phases interleave block-by-block, so scoped spans per block
+    would drown the trace in one span triple per block.
     """
     if a.ncols != b.nrows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
@@ -61,16 +69,27 @@ def esc_spgemm(
     row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
     total_flop = 0
 
+    traced = tracer is not None
+    expand_seconds = sort_seconds = compress_seconds = 0.0
+    clock = time.perf_counter
+    t0 = clock() if traced else 0.0
+
     for r0, r1 in iter_row_blocks(a, b, max_block_flop):
         rows, cols, factors = expand_rows(a, b, r0, r1, with_values=True)
         if len(rows) == 0:
             continue
         total_flop += len(rows)
         vals = np.asarray(sr.mul(factors[0], factors[1]), dtype=VALUE_DTYPE)
+        if traced:
+            t1 = clock()
+            expand_seconds += t1 - t0
         order = np.lexsort((cols, rows))
         r = rows[order]
         c = cols[order]
         v = vals[order]
+        if traced:
+            t2 = clock()
+            sort_seconds += t2 - t1
         new_run = segment_mask(r, c)
         starts = np.flatnonzero(new_run)
         block_indices.append(c[starts])
@@ -78,7 +97,12 @@ def esc_spgemm(
         # sorted-merge convention the accum-order rule carves out.
         block_data.append(sr.reduce_segments(v, starts))  # repro-lint: disable=accum-order
         row_nnz[r0:r1] += np.bincount(r[starts] - r0, minlength=r1 - r0)
+        if traced:
+            t0 = clock()
+            compress_seconds += t0 - t2
 
+    if traced:
+        t3 = clock()
     indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
     np.cumsum(row_nnz, out=indptr[1:])
     out_indices = (
@@ -89,6 +113,13 @@ def esc_spgemm(
     out_data = (
         np.concatenate(block_data) if block_data else np.empty(0, dtype=VALUE_DTYPE)
     )
+    if traced:
+        stitch_seconds = compress_seconds + (clock() - t3)
+        tracer.record("expand", expand_seconds, phase="numeric", what="expand+mul")
+        tracer.record("sort", sort_seconds, phase="sort", what="coordinate lexsort")
+        tracer.record(
+            "compress", stitch_seconds, phase="stitch", what="reduce+assemble"
+        )
 
     if stats is not None:
         stats.flops += total_flop

@@ -45,6 +45,8 @@ allocation scheme.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
@@ -224,6 +226,7 @@ def batch_hash_spgemm(
     vector_bits: int = 512,
     max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP,
     arena: ScratchArena | None = None,
+    tracer=None,
 ) -> CSR:
     """Batched ``C = A (x) B`` — bit-identical to the faithful kernel.
 
@@ -231,7 +234,9 @@ def batch_hash_spgemm(
     ``algorithm`` selects whose output conventions to reproduce
     (``"hash"``, ``"hashvec"`` or ``"spa"``).  ``stats`` receives the coarse
     ledger entries only (flop, output nnz, rows, sort volume) — per-probe
-    counts exist only on the faithful engine, by design.
+    counts exist only on the faithful engine, by design.  With a ``tracer``,
+    per-block expand/bucket/reduce times accumulate into numeric/sort/stitch
+    phase spans reported once at the end (like the ESC kernel).
     """
     if a.ncols != b.nrows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
@@ -259,6 +264,11 @@ def batch_hash_spgemm(
     block_vals: "list[np.ndarray]" = []
     total_flop = 0
 
+    traced = tracer is not None
+    numeric_seconds = sort_seconds = 0.0
+    clock = time.perf_counter
+    t0 = clock() if traced else 0.0
+
     for r0, r1 in iter_row_blocks(a, b, max_block_flop):
         rows, cols, factors = expand_rows(a, b, r0, r1, with_values=True)
         n = len(rows)
@@ -266,6 +276,9 @@ def batch_hash_spgemm(
             continue
         total_flop += n
         vals = np.asarray(sr.mul(factors[0], factors[1]), dtype=VALUE_DTYPE)
+        if traced:
+            t1 = clock()
+            numeric_seconds += t1 - t0
 
         # Stable bucketing by fused (row, col) key: collisions become
         # contiguous segments, arrival order preserved inside each.
@@ -274,6 +287,9 @@ def batch_hash_spgemm(
         r_s = np.take(rows, order, out=arena.take("rows_s", n, rows.dtype))
         c_s = np.take(cols, order, out=arena.take("cols_s", n, cols.dtype))
         v_s = np.take(vals, order, out=arena.take("vals_s", n, VALUE_DTYPE))
+        if traced:
+            t2 = clock()
+            sort_seconds += t2 - t1
 
         new_run = segment_mask(r_s, c_s, out=arena.take("new_run", n, bool))
         starts = np.flatnonzero(new_run)
@@ -286,6 +302,9 @@ def batch_hash_spgemm(
         seg_rows = r_s[starts]
         first_idx = order[starts]  # arrival position of each distinct key
         row_nnz[r0:r1] += np.bincount(seg_rows - r0, minlength=span)
+        if traced:
+            t3 = clock()
+            numeric_seconds += t3 - t2
 
         if sort_output:
             pass  # segments are already in ascending (row, col) order
@@ -304,7 +323,12 @@ def batch_hash_spgemm(
 
         block_cols.append(np.ascontiguousarray(seg_cols, dtype=INDEX_DTYPE))
         block_vals.append(np.ascontiguousarray(seg_vals, dtype=VALUE_DTYPE))
+        if traced:
+            t0 = clock()
+            sort_seconds += t0 - t3
 
+    if traced:
+        t4 = clock()
     indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
     np.cumsum(row_nnz, out=indptr[1:])
     nnz_total = int(indptr[-1])
@@ -315,6 +339,14 @@ def batch_hash_spgemm(
         out_indices[cursor : cursor + len(bc)] = bc
         out_data[cursor : cursor + len(bv)] = bv
         cursor += len(bc)
+    if traced:
+        tracer.record(
+            "expand+reduce", numeric_seconds, phase="numeric", what="expand/mul/reduce"
+        )
+        tracer.record(
+            "bucket", sort_seconds, phase="sort", what="stable coordinate order"
+        )
+        tracer.record("assemble", clock() - t4, phase="stitch", what="block assembly")
 
     if stats is not None:
         stats.flops += total_flop

@@ -17,11 +17,14 @@ allocation scheme that §5.3.1 shows is essential on KNL.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.stats import flop_per_row
+from ..observability import NULL_TRACER
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from .accumulators import HashAccumulator, VectorHashAccumulator
 from .instrument import KernelStats
@@ -60,6 +63,7 @@ def hash_spgemm(
     stats: KernelStats | None = None,
     vector_width: int = 0,
     one_phase: bool = False,
+    tracer=None,
 ) -> CSR:
     """Multiply two CSR matrices with the hash-table accumulator.
 
@@ -91,6 +95,11 @@ def hash_spgemm(
         for output matrix and compute").  Halves the probing work at the
         price of flop-bounded temporary memory — the trade-off the paper
         lays out between its two-phase Hash and one-phase Heap designs.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; opens
+        partition/symbolic/numeric spans and reports the per-row
+        extract+sort total as a ``sort``-phase span.  ``None`` (default)
+        executes no tracing work in the row loops.
 
     Returns
     -------
@@ -99,62 +108,70 @@ def hash_spgemm(
     """
     _check_operands(a, b)
     sr = get_semiring(semiring)
-    flop = flop_per_row(a, b)
-    if partition is None:
-        partition = rows_to_threads(a, b, nthreads, row_cost=flop)
-    elif partition.nrows != a.nrows:
-        raise ConfigError(
-            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
-        )
-    caps = _max_flop_per_thread(partition, flop)
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span("partition", phase="partition"):
+        flop = flop_per_row(a, b)
+        if partition is None:
+            partition = rows_to_threads(a, b, nthreads, row_cost=flop)
+        elif partition.nrows != a.nrows:
+            raise ConfigError(
+                f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+            )
+        caps = _max_flop_per_thread(partition, flop)
 
     a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
     b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
 
     if one_phase:
         return _hash_one_phase(
-            a, b, sr, sort_output, partition, caps, stats, vector_width
+            a, b, sr, sort_output, partition, caps, stats, vector_width,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------
     # Symbolic phase: per-row output sizes.
     # ------------------------------------------------------------------
-    row_nnz = np.zeros(a.nrows, dtype=INDPTR_DTYPE)
-    tables = []
-    for tid in range(partition.nthreads):
-        if vector_width:
-            table = VectorHashAccumulator(caps[tid], b.ncols, lane_width=vector_width)
-        else:
-            table = HashAccumulator(caps[tid], b.ncols)
-        tables.append(table)
-        for s, e in partition.rows_of(tid):
-            for i in range(s, e):
-                table.reset()
-                insert = table.insert_symbolic
-                for j in range(a_indptr[i], a_indptr[i + 1]):
-                    k = a_indices[j]
-                    for col in b_indices[b_indptr[k] : b_indptr[k + 1]].tolist():
-                        insert(col)
-                row_nnz[i] = (
-                    len(table.occupied)
-                    if not vector_width
-                    else int(table.fill[table.touched].sum()) if table.touched else 0
+    with obs.span("symbolic", phase="symbolic", rows=a.nrows):
+        row_nnz = np.zeros(a.nrows, dtype=INDPTR_DTYPE)
+        tables = []
+        for tid in range(partition.nthreads):
+            if vector_width:
+                table = VectorHashAccumulator(
+                    caps[tid], b.ncols, lane_width=vector_width
                 )
-        if stats is not None:
-            table.flush_stats(stats)
+            else:
+                table = HashAccumulator(caps[tid], b.ncols)
+            tables.append(table)
+            for s, e in partition.rows_of(tid):
+                for i in range(s, e):
+                    table.reset()
+                    insert = table.insert_symbolic
+                    for j in range(a_indptr[i], a_indptr[i + 1]):
+                        k = a_indices[j]
+                        for col in b_indices[b_indptr[k] : b_indptr[k + 1]].tolist():
+                            insert(col)
+                    row_nnz[i] = (
+                        len(table.occupied)
+                        if not vector_width
+                        else int(table.fill[table.touched].sum()) if table.touched else 0
+                    )
+            if stats is not None:
+                table.flush_stats(stats)
 
-    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
-    np.cumsum(row_nnz, out=indptr[1:])
-    out_indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
-    out_data = np.empty(int(indptr[-1]), dtype=VALUE_DTYPE)
+        indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(row_nnz, out=indptr[1:])
+        out_indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+        out_data = np.empty(int(indptr[-1]), dtype=VALUE_DTYPE)
 
     # ------------------------------------------------------------------
     # Numeric phase: recompute with values, harvest into the output.
     # ------------------------------------------------------------------
-    total_flop = _numeric_phase(
-        a, b, sr, sort_output, partition, tables,
-        indptr, out_indices, out_data, stats, vector_width,
-    )
+    with obs.span("numeric", phase="numeric", rows=a.nrows):
+        total_flop = _numeric_phase(
+            a, b, sr, sort_output, partition, tables,
+            indptr, out_indices, out_data, stats, vector_width,
+            tracer=tracer,
+        )
 
     if stats is not None:
         stats.flops += total_flop
@@ -180,6 +197,7 @@ def _numeric_phase(
     out_data: np.ndarray,
     stats: KernelStats | None,
     vector_width: int,
+    tracer=None,
 ) -> int:
     """Numeric pass against pre-sized tables and a known ``indptr``.
 
@@ -191,6 +209,11 @@ def _numeric_phase(
     a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
     b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
     total_flop = 0
+    # Per-row sort timing only exists on the traced path: a plain local
+    # accumulator around extract(), reported once as a "sort" child span.
+    time_sort = tracer is not None and sort_output
+    sort_seconds = 0.0
+    clock = time.perf_counter
     for tid in range(partition.nthreads):
         table = tables[tid]
         thread_ops_before = table.probes if not vector_width else table.vprobes
@@ -208,7 +231,12 @@ def _numeric_phase(
                     thread_flop += len(cols)
                     for col, val in zip(cols, np.atleast_1d(prods).tolist()):
                         insert(col, val, sr)
-                cols_out, vals_out = table.extract(sort=sort_output)
+                if time_sort:
+                    t0 = clock()
+                    cols_out, vals_out = table.extract(sort=True)
+                    sort_seconds += clock() - t0
+                else:
+                    cols_out, vals_out = table.extract(sort=sort_output)
                 out_indices[indptr[i] : indptr[i + 1]] = cols_out
                 out_data[indptr[i] : indptr[i + 1]] = vals_out
         total_flop += thread_flop
@@ -218,6 +246,8 @@ def _numeric_phase(
             ) - thread_ops_before
             stats.per_thread.append((thread_ops, thread_flop))
             table.flush_stats(stats)
+    if time_sort:
+        tracer.record("sort", sort_seconds, phase="sort", what="row extract+sort")
     return total_flop
 
 
@@ -232,6 +262,7 @@ def hash_numeric(
     indptr: np.ndarray,
     stats: KernelStats | None = None,
     vector_width: int = 0,
+    tracer=None,
 ) -> CSR:
     """Numeric-only hash multiplication against a cached symbolic result.
 
@@ -260,10 +291,13 @@ def hash_numeric(
             )
         else:
             tables.append(HashAccumulator(caps[tid], b.ncols))
-    total_flop = _numeric_phase(
-        a, b, sr, sort_output, partition, tables,
-        indptr, out_indices, out_data, stats, vector_width,
-    )
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span("numeric", phase="numeric", rows=a.nrows):
+        total_flop = _numeric_phase(
+            a, b, sr, sort_output, partition, tables,
+            indptr, out_indices, out_data, stats, vector_width,
+            tracer=tracer,
+        )
     if stats is not None:
         stats.flops += total_flop
         stats.output_nnz += nnz_total
@@ -284,6 +318,7 @@ def _hash_one_phase(
     caps: "list[int]",
     stats: KernelStats | None,
     vector_width: int,
+    tracer=None,
 ) -> CSR:
     """Single numeric pass; per-thread result buffers grow per row."""
     a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
@@ -292,48 +327,64 @@ def _hash_one_phase(
     row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
     pieces: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
     total_flop = 0
-    for tid in range(partition.nthreads):
-        if vector_width:
-            table = VectorHashAccumulator(caps[tid], b.ncols, lane_width=vector_width)
-        else:
-            table = HashAccumulator(caps[tid], b.ncols)
-        thread_flop = 0
-        for s, e in partition.rows_of(tid):
-            row_cols: "list[np.ndarray]" = []
-            row_vals: "list[np.ndarray]" = []
-            for i in range(s, e):
-                table.reset()
-                insert = table.insert_numeric
-                for j in range(a_indptr[i], a_indptr[i + 1]):
-                    k = a_indices[j]
-                    lo, hi = b_indptr[k], b_indptr[k + 1]
-                    cols = b_indices[lo:hi].tolist()
-                    prods = np.atleast_1d(sr.mul(a_data[j], b_data[lo:hi])).tolist()
-                    thread_flop += len(cols)
-                    for col, val in zip(cols, prods):
-                        insert(col, val, sr)
-                cols_out, vals_out = table.extract(sort=sort_output)
-                row_nnz[i] = len(cols_out)
-                row_cols.append(cols_out)
-                row_vals.append(vals_out)
-            pieces[s] = (
-                np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
-                np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),
-            )
-        total_flop += thread_flop
-        if stats is not None:
-            thread_ops = table.probes if not vector_width else table.vprobes
-            stats.per_thread.append((thread_ops, thread_flop))
-            table.flush_stats(stats)
+    obs = tracer if tracer is not None else NULL_TRACER
+    time_sort = tracer is not None and sort_output
+    sort_seconds = 0.0
+    clock = time.perf_counter
+    numeric_scope = obs.span("numeric", phase="numeric", rows=nrows)
+    with numeric_scope:
+        for tid in range(partition.nthreads):
+            if vector_width:
+                table = VectorHashAccumulator(
+                    caps[tid], b.ncols, lane_width=vector_width
+                )
+            else:
+                table = HashAccumulator(caps[tid], b.ncols)
+            thread_flop = 0
+            for s, e in partition.rows_of(tid):
+                row_cols: "list[np.ndarray]" = []
+                row_vals: "list[np.ndarray]" = []
+                for i in range(s, e):
+                    table.reset()
+                    insert = table.insert_numeric
+                    for j in range(a_indptr[i], a_indptr[i + 1]):
+                        k = a_indices[j]
+                        lo, hi = b_indptr[k], b_indptr[k + 1]
+                        cols = b_indices[lo:hi].tolist()
+                        prods = np.atleast_1d(sr.mul(a_data[j], b_data[lo:hi])).tolist()
+                        thread_flop += len(cols)
+                        for col, val in zip(cols, prods):
+                            insert(col, val, sr)
+                    if time_sort:
+                        t0 = clock()
+                        cols_out, vals_out = table.extract(sort=True)
+                        sort_seconds += clock() - t0
+                    else:
+                        cols_out, vals_out = table.extract(sort=sort_output)
+                    row_nnz[i] = len(cols_out)
+                    row_cols.append(cols_out)
+                    row_vals.append(vals_out)
+                pieces[s] = (
+                    np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
+                    np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),
+                )
+            total_flop += thread_flop
+            if stats is not None:
+                thread_ops = table.probes if not vector_width else table.vprobes
+                stats.per_thread.append((thread_ops, thread_flop))
+                table.flush_stats(stats)
+        if time_sort:
+            tracer.record("sort", sort_seconds, phase="sort", what="row extract+sort")
 
-    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
-    np.cumsum(row_nnz, out=indptr[1:])
-    nnz_total = int(indptr[-1])
-    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
-    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
-    for s, (ccols, cvals) in pieces.items():
-        out_indices[indptr[s] : indptr[s] + len(ccols)] = ccols
-        out_data[indptr[s] : indptr[s] + len(cvals)] = cvals
+    with obs.span("stitch", phase="stitch"):
+        indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(row_nnz, out=indptr[1:])
+        nnz_total = int(indptr[-1])
+        out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+        out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+        for s, (ccols, cvals) in pieces.items():
+            out_indices[indptr[s] : indptr[s] + len(ccols)] = ccols
+            out_data[indptr[s] : indptr[s] + len(cvals)] = cvals
 
     if stats is not None:
         stats.flops += total_flop

@@ -38,6 +38,7 @@ def hash_vector_spgemm(
     partition: ThreadPartition | None = None,
     stats: KernelStats | None = None,
     vector_bits: int = 512,
+    tracer=None,
 ) -> CSR:
     """Multiply with chunked (vector-register) hash probing.
 
@@ -54,4 +55,5 @@ def hash_vector_spgemm(
         partition=partition,
         stats=stats,
         vector_width=lanes_for_vector_bits(vector_bits),
+        tracer=tracer,
     )

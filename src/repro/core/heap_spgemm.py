@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.stats import flop_per_row
+from ..observability import NULL_TRACER
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from .instrument import KernelStats
 from .scheduler import ThreadPartition, rows_to_threads
@@ -42,6 +43,7 @@ def heap_spgemm(
     nthreads: int = 1,
     partition: ThreadPartition | None = None,
     stats: KernelStats | None = None,
+    tracer=None,
 ) -> CSR:
     """Multiply two *row-sorted* CSR matrices via per-row k-way heap merge.
 
@@ -59,12 +61,14 @@ def heap_spgemm(
             "call b.sort_rows() first or use spgemm(..., algorithm='heap')"
         )
     sr = get_semiring(semiring)
-    if partition is None:
-        partition = rows_to_threads(a, b, nthreads)
-    elif partition.nrows != a.nrows:
-        raise ConfigError(
-            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
-        )
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span("partition", phase="partition"):
+        if partition is None:
+            partition = rows_to_threads(a, b, nthreads)
+        elif partition.nrows != a.nrows:
+            raise ConfigError(
+                f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+            )
 
     a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
     b_indptr, b_indices, b_data = b.indptr, b.indices, b.data
@@ -75,73 +79,77 @@ def heap_spgemm(
     buffers: "list[tuple[list, list]]" = []
 
     pushes = pops = flops = 0
-    for tid in range(partition.nthreads):
-        cols_buf: list[int] = []
-        vals_buf: list[float] = []
-        thread_flop = 0
-        thread_ops = 0
-        for s, e in partition.rows_of(tid):
-            for i in range(s, e):
-                # Build the initial heap: first nonzero of every b_k* row.
-                heap: "list[tuple[int, int, int]]" = []
-                ends: list[int] = []
-                avals: list[float] = []
-                src = 0
-                for j in range(a_indptr[i], a_indptr[i + 1]):
-                    k = a_indices[j]
-                    lo, hi = int(b_indptr[k]), int(b_indptr[k + 1])
-                    if lo < hi:
-                        heap.append((int(b_indices[lo]), src, lo))
-                        ends.append(hi)
-                        avals.append(float(a_data[j]))
-                        src += 1
-                heapq.heapify(heap)
-                pushes += len(heap)
-                thread_ops += len(heap)
-                cur_col = -1
-                nnz_i = 0
-                while heap:
-                    col, src_id, pos = heapq.heappop(heap)
-                    pops += 1
-                    thread_ops += 1
-                    val = sr.scalar_mul(avals[src_id], float(b_data[pos]))
-                    flops += 1
-                    thread_flop += 1
-                    if col == cur_col:
-                        vals_buf[-1] = sr.scalar_add(vals_buf[-1], val)
-                    else:
-                        cols_buf.append(col)
-                        vals_buf.append(val)
-                        cur_col = col
-                        nnz_i += 1
-                    pos += 1
-                    if pos < ends[src_id]:
-                        heapq.heappush(heap, (int(b_indices[pos]), src_id, pos))
-                        pushes += 1
+    # One-phase kernel: the merge loop is its numeric phase (output rows
+    # come out sorted for free, so no sort phase ever exists).
+    with obs.span("numeric", phase="numeric", rows=nrows):
+        for tid in range(partition.nthreads):
+            cols_buf: list[int] = []
+            vals_buf: list[float] = []
+            thread_flop = 0
+            thread_ops = 0
+            for s, e in partition.rows_of(tid):
+                for i in range(s, e):
+                    # Build the initial heap: first nonzero of every b_k* row.
+                    heap: "list[tuple[int, int, int]]" = []
+                    ends: list[int] = []
+                    avals: list[float] = []
+                    src = 0
+                    for j in range(a_indptr[i], a_indptr[i + 1]):
+                        k = a_indices[j]
+                        lo, hi = int(b_indptr[k]), int(b_indptr[k + 1])
+                        if lo < hi:
+                            heap.append((int(b_indices[lo]), src, lo))
+                            ends.append(hi)
+                            avals.append(float(a_data[j]))
+                            src += 1
+                    heapq.heapify(heap)
+                    pushes += len(heap)
+                    thread_ops += len(heap)
+                    cur_col = -1
+                    nnz_i = 0
+                    while heap:
+                        col, src_id, pos = heapq.heappop(heap)
+                        pops += 1
                         thread_ops += 1
-                row_nnz[i] = nnz_i
-        buffers.append((cols_buf, vals_buf))
-        if stats is not None:
-            stats.per_thread.append((thread_ops, thread_flop))
-
-    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
-    np.cumsum(row_nnz, out=indptr[1:])
-    nnz_total = int(indptr[-1])
-    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
-    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+                        val = sr.scalar_mul(avals[src_id], float(b_data[pos]))
+                        flops += 1
+                        thread_flop += 1
+                        if col == cur_col:
+                            vals_buf[-1] = sr.scalar_add(vals_buf[-1], val)
+                        else:
+                            cols_buf.append(col)
+                            vals_buf.append(val)
+                            cur_col = col
+                            nnz_i += 1
+                        pos += 1
+                        if pos < ends[src_id]:
+                            heapq.heappush(heap, (int(b_indices[pos]), src_id, pos))
+                            pushes += 1
+                            thread_ops += 1
+                    row_nnz[i] = nnz_i
+            buffers.append((cols_buf, vals_buf))
+            if stats is not None:
+                stats.per_thread.append((thread_ops, thread_flop))
 
     # Stitch thread buffers into the global arrays.  Buffer order within a
     # thread follows its row ranges in ascending order, matching indptr for
     # contiguous partitions; for chunked partitions we must place each range
     # individually.
-    for tid in range(partition.nthreads):
-        cols_buf, vals_buf = buffers[tid]
-        cursor = 0
-        for s, e in partition.rows_of(tid):
-            length = int(indptr[e] - indptr[s])
-            out_indices[indptr[s] : indptr[e]] = cols_buf[cursor : cursor + length]
-            out_data[indptr[s] : indptr[e]] = vals_buf[cursor : cursor + length]
-            cursor += length
+    with obs.span("stitch", phase="stitch"):
+        indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(row_nnz, out=indptr[1:])
+        nnz_total = int(indptr[-1])
+        out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+        out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+
+        for tid in range(partition.nthreads):
+            cols_buf, vals_buf = buffers[tid]
+            cursor = 0
+            for s, e in partition.rows_of(tid):
+                length = int(indptr[e] - indptr[s])
+                out_indices[indptr[s] : indptr[e]] = cols_buf[cursor : cursor + length]
+                out_data[indptr[s] : indptr[e]] = vals_buf[cursor : cursor + length]
+                cursor += length
 
     if stats is not None:
         stats.flops += flops

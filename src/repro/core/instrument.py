@@ -6,10 +6,18 @@ touched.  Rather than modelling them twice, the executable kernels emit them
 through a :class:`KernelStats` collector when one is supplied, and the
 perfmodel's closed-form count functions are cross-validated against these
 measured counts in the test suite.
+
+Counters and spans land in one report: when a run is traced
+(:mod:`repro.observability`), the dispatcher snapshots the collector around
+the kernel and attaches the per-call deltas to the root span, and the
+kernel's per-phase wall times flow back into the ``*_seconds`` counters
+here — so a single ``KernelStats`` carries both the operation ledger and
+the phase timing of everything merged into it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 __all__ = ["KernelStats"]
@@ -54,6 +62,12 @@ class KernelStats:
     inspect_seconds: float = 0.0
     #: wall-clock seconds spent in plan numeric-only executions
     execute_seconds: float = 0.0
+    #: wall-clock seconds in the symbolic phase (filled on traced runs)
+    symbolic_seconds: float = 0.0
+    #: wall-clock seconds in the numeric phase (filled on traced runs)
+    numeric_seconds: float = 0.0
+    #: wall-clock seconds in output sorting/extraction (filled on traced runs)
+    sort_seconds: float = 0.0
     #: per-simulated-thread (ops, flop) pairs
     per_thread: "list[tuple[int, int]]" = field(default_factory=list)
 
@@ -67,21 +81,38 @@ class KernelStats:
             return 1.0
         return self.hash_probes / self.hash_accesses
 
+    def scalar_snapshot(self) -> "dict[str, float]":
+        """Current value of every numeric counter, by field name.
+
+        The observability layer diffs two snapshots to attribute counter
+        deltas to one traced call; list-valued fields (``per_thread``) are
+        deliberately excluded.
+        """
+        out: "dict[str, float]" = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)):
+                out[f.name] = value
+        return out
+
     def merge(self, other: "KernelStats") -> None:
-        """Accumulate another collector's counts into this one."""
-        self.flops += other.flops
-        self.hash_probes += other.hash_probes
-        self.hash_inserts += other.hash_inserts
-        self.hash_accesses += other.hash_accesses
-        self.vector_probes += other.vector_probes
-        self.heap_pushes += other.heap_pushes
-        self.heap_pops += other.heap_pops
-        self.sorted_elements += other.sorted_elements
-        self.output_nnz += other.output_nnz
-        self.spa_touches += other.spa_touches
-        self.rows += other.rows
-        self.plan_hits += other.plan_hits
-        self.plan_misses += other.plan_misses
-        self.inspect_seconds += other.inspect_seconds
-        self.execute_seconds += other.execute_seconds
-        self.per_thread.extend(other.per_thread)
+        """Accumulate another collector's counts into this one.
+
+        Driven by ``dataclasses.fields`` so a counter added to the class is
+        merged by construction — the previous hand-enumerated field list
+        silently dropped any counter it predated.  Numbers add; lists
+        extend; any other field type is a programming error surfaced loudly
+        rather than skipped.
+        """
+        for f in dataclasses.fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, list):
+                mine.extend(theirs)
+            elif isinstance(mine, (int, float)):
+                setattr(self, f.name, mine + theirs)
+            else:
+                raise TypeError(
+                    f"KernelStats.merge does not know how to combine field "
+                    f"{f.name!r} of type {type(mine).__name__}"
+                )

@@ -66,6 +66,11 @@ class SpgemmOptions:
     plan_cache:
         Optional :class:`repro.core.plan.PlanCache`; ``spgemm`` will look up
         / populate a plan keyed by the operands' structure fingerprints.
+    tracer:
+        Optional :class:`repro.observability.Tracer`.  ``None`` (the
+        default) is the zero-overhead path — kernels skip all tracing
+        work — unless the ``REPRO_TRACE`` environment variable activates
+        the process-wide tracer at dispatch time.
     """
 
     algorithm: str = "auto"
@@ -78,6 +83,7 @@ class SpgemmOptions:
     engine: str = "faithful"
     plan: Any = field(default=None, compare=False)
     plan_cache: Any = field(default=None, compare=False)
+    tracer: Any = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Canonicalize the semiring first so equality/caching always compares
@@ -116,6 +122,11 @@ class SpgemmOptions:
             raise ConfigError(
                 f"plan_cache must provide .execute(a, b, options), "
                 f"got {type(self.plan_cache).__name__}"
+            )
+        if self.tracer is not None and not hasattr(self.tracer, "span"):
+            raise ConfigError(
+                f"tracer must provide .span(name, phase=...), "
+                f"got {type(self.tracer).__name__}"
             )
 
     @classmethod

@@ -53,6 +53,7 @@ import numpy as np
 from ..errors import ConfigError, PlanError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.stats import flop_per_row
+from ..observability import NULL_TRACER, tracer_from_env
 from ..semiring import Semiring, get_semiring
 from .engine import resolve_engine
 from .hash_batch import (
@@ -245,13 +246,16 @@ class SpgemmPlan:
         *,
         semiring: "str | Semiring | None" = None,
         stats: KernelStats | None = None,
+        tracer=None,
     ) -> CSR:
         """Numeric-only ``C = A (x) B`` against the cached structure.
 
         ``semiring`` substitutes the plan's semiring for this execution
         (the cached structure is semiring-independent); ``stats`` overrides
-        the plan options' collector.  Output is bit-for-bit what a fresh
-        ``spgemm`` call with the plan's options would return.
+        the plan options' collector; ``tracer`` (or the plan options' one)
+        opens an ``execute``-phase span around the replay.  Output is
+        bit-for-bit what a fresh ``spgemm`` call with the plan's options
+        would return.
         """
         t0 = time.perf_counter()
         self._validate_operands(a, b)
@@ -260,26 +264,34 @@ class SpgemmPlan:
         )
         if stats is None:
             stats = self.options.stats
-        if self.mode == "batched":
-            c = self._execute_batched(a, b, sr, stats)
-        else:
-            c = self._execute_faithful(a, b, sr, stats)
+        if tracer is None:
+            tracer = self.options.tracer
+        obs = tracer if tracer is not None else NULL_TRACER
+        with obs.span(
+            "plan.execute", phase="execute",
+            algorithm=self.algorithm, engine=self.engine, mode=self.mode,
+        ):
+            if self.mode == "batched":
+                c = self._execute_batched(a, b, sr, stats)
+            else:
+                c = self._execute_faithful(a, b, sr, stats, tracer)
         if stats is not None:
             stats.execute_seconds += time.perf_counter() - t0
         return c
 
     def _execute_faithful(
-        self, a: CSR, b: CSR, sr: Semiring, stats: KernelStats | None
+        self, a: CSR, b: CSR, sr: Semiring, stats: KernelStats | None, tracer=None
     ) -> CSR:
         if self.algorithm == "spa":
             return spa_numeric(
                 a, b, semiring=sr, sort_output=self.options.sort_output,
                 partition=self.partition, indptr=self.indptr, stats=stats,
+                tracer=tracer,
             )
         return hash_numeric(
             a, b, semiring=sr, sort_output=self.options.sort_output,
             partition=self.partition, caps=self._caps, indptr=self.indptr,
-            stats=stats, vector_width=self._vector_width,
+            stats=stats, vector_width=self._vector_width, tracer=tracer,
         )
 
     def _execute_batched(
@@ -353,10 +365,16 @@ def inspect(
             f"plan-capable algorithms: {sorted(PLAN_ALGORITHMS)}"
         )
     engine = resolve_engine(options.engine, algorithm)
-    if engine == "fast" or algorithm == "esc":
-        plan = _inspect_batched(a, b, algorithm, engine, options)
-    else:
-        plan = _inspect_faithful(a, b, algorithm, engine, options)
+    tracer = options.tracer if options.tracer is not None else tracer_from_env()
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span(
+        "plan.inspect", phase="inspect",
+        algorithm=algorithm, engine=engine, nrows=a.nrows,
+    ):
+        if engine == "fast" or algorithm == "esc":
+            plan = _inspect_batched(a, b, algorithm, engine, options)
+        else:
+            plan = _inspect_faithful(a, b, algorithm, engine, options)
     if options.stats is not None:
         options.stats.inspect_seconds += time.perf_counter() - t0
     return plan
@@ -561,7 +579,10 @@ class PlanCache:
                 from .spgemm import _spgemm_resolved
 
                 return _spgemm_resolved(a, b, options.replace(algorithm=entry))
-            return entry.execute(a, b, semiring=options.semiring, stats=stats)
+            return entry.execute(
+                a, b, semiring=options.semiring, stats=stats,
+                tracer=options.tracer,
+            )
         self.misses += 1
         if stats is not None:
             stats.plan_misses += 1
@@ -577,4 +598,6 @@ class PlanCache:
             return _spgemm_resolved(a, b, options.replace(algorithm=algorithm))
         plan = inspect(a, b, options.replace(algorithm=algorithm))
         self._store(key, plan)
-        return plan.execute(a, b, semiring=options.semiring, stats=stats)
+        return plan.execute(
+            a, b, semiring=options.semiring, stats=stats, tracer=options.tracer
+        )

@@ -114,19 +114,46 @@ class ThreadPartition:
             return self.nthreads
         return len(self.chunks)
 
-    def validate(self) -> None:
-        """Check the partition covers every row exactly once."""
-        n = self.nrows
-        covered = np.zeros(n, dtype=np.int32)
+    def validate(self, nrows: "int | None" = None) -> None:
+        """Check the partition covers rows ``[0, nrows)`` exactly once.
+
+        ``nrows`` defaults to the partition's own row count (so an
+        internally consistent partition always validates); pass the
+        matrix's row count to additionally assert full coverage — a
+        contiguous partition whose last offset stops short of ``nrows``
+        silently drops trailing rows, which is exactly the bug this check
+        exists to reject.
+        """
+        n = self.nrows if nrows is None else int(nrows)
         if self.offsets is not None:
+            if len(self.offsets) != self.nthreads + 1:
+                raise ConfigError(
+                    f"partition has {len(self.offsets)} offsets for "
+                    f"{self.nthreads} threads; expected nthreads + 1"
+                )
             if self.offsets[0] != 0:
                 raise ConfigError("partition must start at row 0")
             if (np.diff(self.offsets) < 0).any():
                 raise ConfigError("partition offsets must be non-decreasing")
+            if (self.offsets < 0).any() or (self.offsets > n).any():
+                raise ConfigError(
+                    f"partition offsets must lie in [0, {n}]; got "
+                    f"[{int(self.offsets.min())}, {int(self.offsets.max())}]"
+                )
+            if int(self.offsets[-1]) != n:
+                raise ConfigError(
+                    f"partition covers rows [0, {int(self.offsets[-1])}) of "
+                    f"{n}; trailing rows would be dropped"
+                )
             return
+        covered = np.zeros(n, dtype=np.int32)
         for s, e, t in self.chunks:
             if not (0 <= t < self.nthreads):
                 raise ConfigError(f"chunk assigned to invalid thread {t}")
+            if not (0 <= s <= e <= n):
+                raise ConfigError(
+                    f"chunk [{s}, {e}) out of range for {n} rows"
+                )
             covered[s:e] += 1
         if (covered != 1).any():
             raise ConfigError("chunked partition does not cover rows exactly once")
@@ -153,6 +180,18 @@ def rows_to_threads(
     cost = flop_per_row(a, b) if row_cost is None else np.asarray(row_cost)
     flopps = np.cumsum(cost)
     total = int(flopps[-1]) if len(flopps) else 0
+    if total == 0:
+        # Zero-flop degeneracy (e.g. B has empty rows wherever A is
+        # nonzero): ave == 0 would make every lowbnd return 0 and the last
+        # thread would own *all* rows.  Fall back to an even row split —
+        # with no flop to balance, row count is the only load proxy left.
+        offsets = np.linspace(0, a.nrows, nthreads + 1).astype(np.int64)
+        return ThreadPartition(
+            policy="balanced",
+            nthreads=nthreads,
+            offsets=offsets,
+            row_cost=cost,
+        )
     ave = total / nthreads
     offsets = np.zeros(nthreads + 1, dtype=np.int64)
     for tid in range(1, nthreads):

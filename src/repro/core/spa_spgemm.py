@@ -13,10 +13,13 @@ into the final CSR at the end, like the Heap kernel.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..observability import NULL_TRACER
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from .accumulators import SparseAccumulator
 from .instrument import KernelStats
@@ -56,6 +59,7 @@ def spa_spgemm(
     nthreads: int = 1,
     partition: ThreadPartition | None = None,
     stats: KernelStats | None = None,
+    tracer=None,
 ) -> CSR:
     """Multiply via per-thread dense sparse accumulators.
 
@@ -66,53 +70,67 @@ def spa_spgemm(
     if a.ncols != b.nrows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
     sr = get_semiring(semiring)
-    if partition is None:
-        partition = rows_to_threads(a, b, nthreads)
-    elif partition.nrows != a.nrows:
-        raise ConfigError(
-            f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
-        )
+    obs = tracer if tracer is not None else NULL_TRACER
+    with obs.span("partition", phase="partition"):
+        if partition is None:
+            partition = rows_to_threads(a, b, nthreads)
+        elif partition.nrows != a.nrows:
+            raise ConfigError(
+                f"partition covers {partition.nrows} rows, matrix has {a.nrows}"
+            )
 
     nrows = a.nrows
     row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
     pieces: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
 
     total_flop = 0
-    for tid in range(partition.nthreads):
-        spa = SparseAccumulator(b.ncols)
-        thread_flop = 0
-        for s, e in partition.rows_of(tid):
-            row_cols: list[np.ndarray] = []
-            row_vals: list[np.ndarray] = []
-            for i in range(s, e):
-                thread_flop += _spa_accumulate_row(spa, i, a, b, sr)
-                cols_out, vals_out = spa.harvest(sort=sort_output)
-                row_nnz[i] = len(cols_out)
-                row_cols.append(cols_out)
-                row_vals.append(vals_out)
-            if row_cols:
-                pieces[s] = (
-                    np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
-                    np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),
-                )
-            else:
-                pieces[s] = (
-                    np.empty(0, dtype=INDEX_DTYPE),
-                    np.empty(0, dtype=VALUE_DTYPE),
-                )
-        total_flop += thread_flop
-        if stats is not None:
-            stats.per_thread.append((spa.touches, thread_flop))
-            spa.flush_stats(stats)
+    time_sort = tracer is not None and sort_output
+    sort_seconds = 0.0
+    clock = time.perf_counter
+    with obs.span("numeric", phase="numeric", rows=nrows):
+        for tid in range(partition.nthreads):
+            spa = SparseAccumulator(b.ncols)
+            thread_flop = 0
+            for s, e in partition.rows_of(tid):
+                row_cols: list[np.ndarray] = []
+                row_vals: list[np.ndarray] = []
+                for i in range(s, e):
+                    thread_flop += _spa_accumulate_row(spa, i, a, b, sr)
+                    if time_sort:
+                        t0 = clock()
+                        cols_out, vals_out = spa.harvest(sort=True)
+                        sort_seconds += clock() - t0
+                    else:
+                        cols_out, vals_out = spa.harvest(sort=sort_output)
+                    row_nnz[i] = len(cols_out)
+                    row_cols.append(cols_out)
+                    row_vals.append(vals_out)
+                if row_cols:
+                    pieces[s] = (
+                        np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
+                        np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),
+                    )
+                else:
+                    pieces[s] = (
+                        np.empty(0, dtype=INDEX_DTYPE),
+                        np.empty(0, dtype=VALUE_DTYPE),
+                    )
+            total_flop += thread_flop
+            if stats is not None:
+                stats.per_thread.append((spa.touches, thread_flop))
+                spa.flush_stats(stats)
+        if time_sort:
+            tracer.record("sort", sort_seconds, phase="sort", what="row harvest+sort")
 
-    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
-    np.cumsum(row_nnz, out=indptr[1:])
-    nnz_total = int(indptr[-1])
-    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
-    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
-    for s, (cols, vals) in pieces.items():
-        out_indices[indptr[s] : indptr[s] + len(cols)] = cols
-        out_data[indptr[s] : indptr[s] + len(vals)] = vals
+    with obs.span("stitch", phase="stitch"):
+        indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(row_nnz, out=indptr[1:])
+        nnz_total = int(indptr[-1])
+        out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+        out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+        for s, (cols, vals) in pieces.items():
+            out_indices[indptr[s] : indptr[s] + len(cols)] = cols
+            out_data[indptr[s] : indptr[s] + len(vals)] = vals
 
     if stats is not None:
         stats.flops += total_flop
@@ -135,6 +153,7 @@ def spa_numeric(
     partition: ThreadPartition,
     indptr: np.ndarray,
     stats: KernelStats | None = None,
+    tracer=None,
 ) -> CSR:
     """Numeric-only SPA multiplication against a cached output ``indptr``.
 
@@ -158,19 +177,31 @@ def spa_numeric(
     out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
 
     total_flop = 0
-    for tid in range(partition.nthreads):
-        spa = SparseAccumulator(b.ncols)
-        thread_flop = 0
-        for s, e in partition.rows_of(tid):
-            for i in range(s, e):
-                thread_flop += _spa_accumulate_row(spa, i, a, b, sr)
-                cols_out, vals_out = spa.harvest(sort=sort_output)
-                out_indices[indptr[i] : indptr[i + 1]] = cols_out
-                out_data[indptr[i] : indptr[i + 1]] = vals_out
-        total_flop += thread_flop
-        if stats is not None:
-            stats.per_thread.append((spa.touches, thread_flop))
-            spa.flush_stats(stats)
+    obs = tracer if tracer is not None else NULL_TRACER
+    time_sort = tracer is not None and sort_output
+    sort_seconds = 0.0
+    clock = time.perf_counter
+    with obs.span("numeric", phase="numeric", rows=nrows):
+        for tid in range(partition.nthreads):
+            spa = SparseAccumulator(b.ncols)
+            thread_flop = 0
+            for s, e in partition.rows_of(tid):
+                for i in range(s, e):
+                    thread_flop += _spa_accumulate_row(spa, i, a, b, sr)
+                    if time_sort:
+                        t0 = clock()
+                        cols_out, vals_out = spa.harvest(sort=True)
+                        sort_seconds += clock() - t0
+                    else:
+                        cols_out, vals_out = spa.harvest(sort=sort_output)
+                    out_indices[indptr[i] : indptr[i + 1]] = cols_out
+                    out_data[indptr[i] : indptr[i + 1]] = vals_out
+            total_flop += thread_flop
+            if stats is not None:
+                stats.per_thread.append((spa.touches, thread_flop))
+                spa.flush_stats(stats)
+        if time_sort:
+            tracer.record("sort", sort_seconds, phase="sort", what="row harvest+sort")
 
     if stats is not None:
         stats.flops += total_flop

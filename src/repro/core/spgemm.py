@@ -32,6 +32,7 @@ from .merge_spgemm import merge_spgemm
 from .hash_vector import hash_vector_spgemm
 from .heap_spgemm import heap_spgemm
 from .instrument import KernelStats
+from ..observability import tracer_from_env
 from .kokkos_like import kokkos_proxy_spgemm
 from .mkl_like import mkl_inspector_spgemm, mkl_proxy_spgemm
 from .options import SpgemmOptions
@@ -209,15 +210,23 @@ def spgemm(a: CSR, b: CSR, opts: SpgemmOptions | None = None, **kwargs) -> CSR:
     invariant suite (monotone indptr, index bounds, sorted-flag
     truthfulness, duplicate detection) runs on both operands at entry and
     on the result at exit — off by default so benchmarks are unaffected.
+
+    With a ``tracer`` (explicit or via ``REPRO_TRACE``), the dispatch and
+    every phase seam below it open spans — see ``docs/observability.md``.
     """
     options = SpgemmOptions.from_kwargs(opts, **kwargs)
+    if options.tracer is None:
+        env_tracer = tracer_from_env()
+        if env_tracer is not None:
+            options = options.replace(tracer=env_tracer)
     debug_validate = _debug_validate_enabled()
     if debug_validate:
         a.validate()
         b.validate()
     if options.plan is not None:
         c = options.plan.execute(
-            a, b, semiring=options.semiring, stats=options.stats
+            a, b, semiring=options.semiring, stats=options.stats,
+            tracer=options.tracer,
         )
     elif options.plan_cache is not None:
         c = options.plan_cache.execute(a, b, options)
@@ -240,12 +249,54 @@ def _spgemm_resolved(a: CSR, b: CSR, options: SpgemmOptions) -> CSR:
 
         algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
     engine = resolve_engine(options.engine, algorithm)
-    return _dispatch_kernel(
-        algorithm, a, b, engine=engine, semiring=options.semiring,
-        sort_output=options.sort_output, nthreads=options.nthreads,
-        partition=options.partition, stats=options.stats,
-        vector_bits=options.vector_bits,
-    )
+    tracer = options.tracer
+    if tracer is None:
+        return _dispatch_kernel(
+            algorithm, a, b, engine=engine, semiring=options.semiring,
+            sort_output=options.sort_output, nthreads=options.nthreads,
+            partition=options.partition, stats=options.stats,
+            vector_bits=options.vector_bits, tracer=None,
+        )
+    stats = options.stats
+    with tracer.span(
+        "spgemm", phase="other",
+        algorithm=algorithm, engine=engine,
+        nrows=a.nrows, ncols=b.ncols, nthreads=options.nthreads,
+    ) as root:
+        before = stats.scalar_snapshot() if stats is not None else None
+        c = _dispatch_kernel(
+            algorithm, a, b, engine=engine, semiring=options.semiring,
+            sort_output=options.sort_output, nthreads=options.nthreads,
+            partition=options.partition, stats=stats,
+            vector_bits=options.vector_bits, tracer=tracer,
+        )
+        root.add_counter("nnz", float(c.nnz))
+        if stats is not None:
+            # Counters and spans in one report: the KernelStats delta of
+            # this call lands on the root span, and the traced phase times
+            # flow back into the stats' *_seconds counters.
+            for key, value in stats.scalar_snapshot().items():
+                delta = value - before[key]
+                if delta:
+                    root.add_counter(key, delta)
+            _phase_seconds_into_stats(root, stats)
+    return c
+
+
+#: Traced phases mirrored into KernelStats wall-time counters.
+_PHASE_STAT_FIELDS = {
+    "symbolic": "symbolic_seconds",
+    "numeric": "numeric_seconds",
+    "sort": "sort_seconds",
+}
+
+
+def _phase_seconds_into_stats(root, stats: KernelStats) -> None:
+    """Fold a finished span tree's phase times into the stats collector."""
+    for span in root.walk():
+        attr = _PHASE_STAT_FIELDS.get(span.phase)
+        if attr is not None:
+            setattr(stats, attr, getattr(stats, attr) + span.exclusive_seconds())
 
 
 def _dispatch_kernel(
@@ -260,36 +311,46 @@ def _dispatch_kernel(
     partition: ThreadPartition | None,
     stats: KernelStats | None,
     vector_bits: int,
+    tracer=None,
 ) -> CSR:
     """Route one (algorithm, engine) pair to its kernel (resolved inputs)."""
     if engine == "fast" and algorithm in ("hash", "hashvec", "spa"):
         return batch_hash_spgemm(
             a, b, algorithm=algorithm, semiring=semiring,
             sort_output=sort_output, nthreads=nthreads, partition=partition,
-            stats=stats, vector_bits=vector_bits,
+            stats=stats, vector_bits=vector_bits, tracer=tracer,
         )
 
     if algorithm == "hash":
         return hash_spgemm(
             a, b, semiring=semiring, sort_output=sort_output,
             nthreads=nthreads, partition=partition, stats=stats,
+            tracer=tracer,
         )
     if algorithm == "hashvec":
         return hash_vector_spgemm(
             a, b, semiring=semiring, sort_output=sort_output,
             nthreads=nthreads, partition=partition, stats=stats,
-            vector_bits=vector_bits,
+            vector_bits=vector_bits, tracer=tracer,
         )
     if algorithm == "heap":
-        b_sorted = b if b.sorted_rows else b.sort_rows()
+        if b.sorted_rows:
+            b_sorted = b
+        elif tracer is None:
+            b_sorted = b.sort_rows()
+        else:
+            with tracer.span("sort_b", phase="sort", reason="heap needs sorted B"):
+                b_sorted = b.sort_rows()
         return heap_spgemm(
             a, b_sorted, semiring=semiring, sort_output=True,
             nthreads=nthreads, partition=partition, stats=stats,
+            tracer=tracer,
         )
     if algorithm == "spa":
         return spa_spgemm(
             a, b, semiring=semiring, sort_output=sort_output,
             nthreads=nthreads, partition=partition, stats=stats,
+            tracer=tracer,
         )
     if algorithm == "mkl":
         return mkl_proxy_spgemm(
@@ -307,7 +368,10 @@ def _dispatch_kernel(
             nthreads=nthreads, partition=partition, stats=stats,
         )
     if algorithm == "esc":
-        return esc_spgemm(a, b, semiring=semiring, sort_output=True, stats=stats)
+        return esc_spgemm(
+            a, b, semiring=semiring, sort_output=True, stats=stats,
+            tracer=tracer,
+        )
     if algorithm == "blocked_spa":
         return blocked_spa_spgemm(
             a, b, semiring=semiring, sort_output=True,

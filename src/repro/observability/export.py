@@ -1,0 +1,229 @@
+"""Exporters for the tracing layer: JSON trace, text tree, phase breakdown.
+
+Three consumers, three formats:
+
+* :func:`json_trace` / :func:`write_json_trace` — a machine-readable
+  record (schema below) for CI artifacts and cross-PR comparison;
+* :func:`render_tree` — a human-readable span tree for terminals;
+* :func:`phase_breakdown` / :func:`render_breakdown` — the Fig.-15-style
+  per-phase table (symbolic/numeric/sort/...) aggregated over *exclusive*
+  span times, so each group's phases sum exactly to its roots' wall time.
+  ``repro.profiling`` re-exports the renderer and the bench harness
+  records breakdowns instead of private ad-hoc timing.
+
+JSON trace schema (validated by :func:`validate_trace_schema`)::
+
+    {
+      "schema": "repro-trace/1",
+      "total_seconds": float,
+      "spans": [            # recursive span objects
+        {
+          "name": str,
+          "phase": str,
+          "seconds": float,
+          "meta": {str: scalar},
+          "counters": {str: number},
+          "children": [span, ...]
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import FormatError
+from .tracer import Span, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA_ID",
+    "json_trace",
+    "write_json_trace",
+    "validate_trace_schema",
+    "render_tree",
+    "phase_breakdown",
+    "render_breakdown",
+]
+
+TRACE_SCHEMA_ID = "repro-trace/1"
+
+#: Column order of the breakdown table (extra phases append alphabetically).
+PHASE_ORDER = (
+    "symbolic", "numeric", "sort", "stitch",
+    "partition", "pack", "unpack", "inspect", "execute",
+)
+
+
+def _spans_of(trace: "Tracer | list[Span]") -> "list[Span]":
+    if isinstance(trace, Tracer):
+        return list(trace.spans)
+    return list(trace)
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def json_trace(trace: "Tracer | list[Span]") -> dict:
+    """The trace as a schema-tagged plain dict (see module docstring)."""
+    spans = _spans_of(trace)
+    return {
+        "schema": TRACE_SCHEMA_ID,
+        "total_seconds": sum(s.duration for s in spans),
+        "spans": [s.to_dict() for s in spans],
+    }
+
+
+def write_json_trace(trace: "Tracer | list[Span]", path: str) -> str:
+    """Serialize the trace to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(json_trace(trace), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _validate_span_obj(obj: Any, where: str) -> None:
+    if not isinstance(obj, dict):
+        raise FormatError(f"{where}: span must be an object, got {type(obj).__name__}")
+    for key, types in (
+        ("name", str), ("phase", str), ("seconds", (int, float)),
+        ("meta", dict), ("counters", dict), ("children", list),
+    ):
+        if key not in obj:
+            raise FormatError(f"{where}: span missing key {key!r}")
+        if not isinstance(obj[key], types):
+            raise FormatError(
+                f"{where}.{key}: expected {types}, got {type(obj[key]).__name__}"
+            )
+    if obj["seconds"] < 0:
+        raise FormatError(f"{where}.seconds: negative duration {obj['seconds']}")
+    for cname, cval in obj["counters"].items():
+        if not isinstance(cval, (int, float)):
+            raise FormatError(
+                f"{where}.counters[{cname!r}]: expected number, "
+                f"got {type(cval).__name__}"
+            )
+    for i, child in enumerate(obj["children"]):
+        _validate_span_obj(child, f"{where}.children[{i}]")
+
+
+def validate_trace_schema(payload: "dict | str") -> dict:
+    """Check a JSON trace against the ``repro-trace/1`` schema.
+
+    Accepts the dict or its JSON text; returns the dict on success and
+    raises :class:`~repro.errors.FormatError` naming the offending field
+    otherwise.  The CI smoke step runs a traced product, exports, and
+    feeds the file through here.
+    """
+    obj = json.loads(payload) if isinstance(payload, str) else payload
+    if not isinstance(obj, dict):
+        raise FormatError(f"trace must be an object, got {type(obj).__name__}")
+    if obj.get("schema") != TRACE_SCHEMA_ID:
+        raise FormatError(
+            f"unknown trace schema {obj.get('schema')!r}; expected {TRACE_SCHEMA_ID!r}"
+        )
+    if not isinstance(obj.get("total_seconds"), (int, float)):
+        raise FormatError("total_seconds must be a number")
+    if not isinstance(obj.get("spans"), list):
+        raise FormatError("spans must be a list")
+    for i, span in enumerate(obj["spans"]):
+        _validate_span_obj(span, f"spans[{i}]")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# text tree
+# ---------------------------------------------------------------------------
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}µs"
+
+
+def _render_span(span: Span, depth: int, lines: "list[str]") -> None:
+    meta = ", ".join(f"{k}={v}" for k, v in span.meta.items())
+    counters = ", ".join(
+        f"{k}={int(v) if float(v).is_integer() else v}"
+        for k, v in sorted(span.counters.items())
+    )
+    note = "  [" + "; ".join(x for x in (meta, counters) if x) + "]" if (meta or counters) else ""
+    lines.append(
+        f"{_fmt_seconds(span.duration)}  {'  ' * depth}{span.name}"
+        f" ({span.phase}){note}"
+    )
+    for child in span.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_tree(trace: "Tracer | list[Span]") -> str:
+    """Indented span tree with durations, meta and counters."""
+    spans = _spans_of(trace)
+    if not spans:
+        return "(empty trace)"
+    lines: "list[str]" = []
+    for span in spans:
+        _render_span(span, 0, lines)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig.-15-style phase breakdown
+# ---------------------------------------------------------------------------
+
+def phase_breakdown(
+    trace: "Tracer | list[Span]",
+    group_by: str = "algorithm",
+) -> "dict[str, dict[str, float]]":
+    """Aggregate exclusive span seconds by phase, per group.
+
+    Each *root* span forms (or joins) a group named by its ``meta[group_by]``
+    (falling back to the span name), and every span in its subtree
+    contributes its **exclusive** time to the group's entry for its phase.
+    Because exclusive times partition the root's duration exactly::
+
+        sum(breakdown[g].values()) == sum of g's root durations
+
+    — the invariant that lets the bench harness compare a breakdown
+    directly against an untraced wall-clock measurement (the acceptance
+    bar: within 5%).
+    """
+    out: "dict[str, dict[str, float]]" = {}
+    for root in _spans_of(trace):
+        group = str(root.meta.get(group_by, root.name))
+        phases = out.setdefault(group, {})
+        for span in root.walk():
+            phases[span.phase] = phases.get(span.phase, 0.0) + span.exclusive_seconds()
+    return out
+
+
+def _phase_columns(breakdown: "dict[str, dict[str, float]]") -> "list[str]":
+    seen = {p for phases in breakdown.values() for p in phases}
+    ordered = [p for p in PHASE_ORDER if p in seen]
+    ordered += sorted(seen - set(ordered))
+    return ordered
+
+
+def render_breakdown(title: str, breakdown: "dict[str, dict[str, float]]") -> str:
+    """Fig.-15-style table: one row per group, one column per phase.
+
+    Times are milliseconds; the trailing column is the row total, so the
+    per-phase decomposition and the wall time are read together.
+    """
+    cols = _phase_columns(breakdown)
+    lines = [title, ""]
+    header = f"{'group':<22s}" + "".join(f"{c:>12s}" for c in cols) + f"{'total':>12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for group in sorted(breakdown):
+        phases = breakdown[group]
+        total = sum(phases.values())
+        row = f"{group:<22s}" + "".join(
+            f"{phases.get(c, 0.0) * 1e3:>10.3f}ms" for c in cols
+        )
+        lines.append(row + f"{total * 1e3:>10.3f}ms")
+    return "\n".join(lines)

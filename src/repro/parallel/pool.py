@@ -34,6 +34,7 @@ import numpy as np
 from ..core.scheduler import rows_to_threads
 from ..core.spgemm import spgemm
 from ..errors import ConfigError, ShapeError
+from ..observability import NULL_TRACER, Tracer, tracer_from_env
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 
@@ -97,11 +98,32 @@ def _pack_shm(a: CSR, b: CSR):
     arrays = _csr_arrays(a) + _csr_arrays(b)
     metas, total = _pack_layout(arrays)
     shm = _shm_module.SharedMemory(create=True, size=total)
-    for (off, dtype, size), arr in zip(metas, arrays):
-        view = np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=off)
-        view[:] = arr
+    try:
+        for (off, dtype, size), arr in zip(metas, arrays):
+            view = np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=off)
+            view[:] = arr
+    # Cleanup-and-reraise: the segment exists only in this function so far,
+    # and even a KeyboardInterrupt mid-copy must not leak it in /dev/shm —
+    # hence BaseException, with an unconditional re-raise.
+    except BaseException:  # repro-lint: disable=overbroad-except
+        _release_shm(shm)
+        raise
     header = (a.shape, a.sorted_rows, b.shape, b.sorted_rows, metas)
     return shm, header
+
+
+def _release_shm(shm) -> None:
+    """Close and unlink a segment, tolerating an already-unlinked one.
+
+    ``unlink`` after the resource tracker (or an earlier failure path) got
+    there first raises ``FileNotFoundError``; releasing twice must stay
+    harmless so every error path can call this unconditionally.
+    """
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 #: Worker-side cache of attached segments.  Handles are deliberately never
@@ -178,42 +200,61 @@ def _resolve_share(share: str) -> str:
 # workers (top-level so every start method can pickle them)
 # --------------------------------------------------------------------------
 
+def _trace_payload(wtracer: "Tracer | None"):
+    """Serialized span forest of a worker-local tracer (None when untraced)."""
+    if wtracer is None or not wtracer.spans:
+        return None
+    return [s.to_dict() for s in wtracer.spans]
+
+
 def _compute_block(
     a: CSR, b: CSR, start: int, end: int,
     algorithm: str, semiring_name: str, sort_output: bool, engine: str,
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    trace: bool,
+):
+    wtracer = Tracer() if trace else None
     c = spgemm(
         row_block(a, start, end), b,
         algorithm=algorithm, semiring=semiring_name,
-        sort_output=sort_output, engine=engine,
+        sort_output=sort_output, engine=engine, tracer=wtracer,
     )
-    return c.indptr, c.indices, c.data
+    return c.indptr, c.indices, c.data, _trace_payload(wtracer)
 
 
 def _worker_shm(args):
-    shm_name, header, start, end, algorithm, sr_name, sort_output, engine = args
-    a, b = _unpack_shm(_attach_shm(shm_name), header)
-    return _compute_block(
-        a, b, start, end, algorithm, sr_name, sort_output, engine
+    (shm_name, header, start, end,
+     algorithm, sr_name, sort_output, engine, trace) = args
+    wtracer = Tracer() if trace else None
+    if wtracer is None:
+        a, b = _unpack_shm(_attach_shm(shm_name), header)
+    else:
+        with wtracer.span("unpack", phase="unpack", transport="shm"):
+            a, b = _unpack_shm(_attach_shm(shm_name), header)
+    c = spgemm(
+        row_block(a, start, end), b,
+        algorithm=algorithm, semiring=sr_name,
+        sort_output=sort_output, engine=engine, tracer=wtracer,
     )
+    return c.indptr, c.indices, c.data, _trace_payload(wtracer)
 
 
 def _worker_fork(args):
-    token, start, end, algorithm, sr_name, sort_output, engine = args
+    token, start, end, algorithm, sr_name, sort_output, engine, trace = args
     a, b = _FORK_OPERANDS[token]
     return _compute_block(
-        a, b, start, end, algorithm, sr_name, sort_output, engine
+        a, b, start, end, algorithm, sr_name, sort_output, engine, trace
     )
 
 
 def _worker_pickle(args):
-    a_block, b, algorithm, sr_name, sort_output, engine = args
+    a_block, b, algorithm, sr_name, sort_output, engine, trace = args
+    wtracer = Tracer() if trace else None
     c = spgemm(
         a_block, b,
         algorithm=algorithm, semiring=sr_name,
-        sort_output=sort_output, engine=engine,
+        sort_output=sort_output, engine=engine, tracer=wtracer,
     )
-    return c.indptr, c.indices, c.data
+    return c.indptr, c.indices, c.data, _trace_payload(wtracer)
 
 
 # --------------------------------------------------------------------------
@@ -230,6 +271,7 @@ def parallel_spgemm(
     nworkers: int | None = None,
     engine: str = "faithful",
     share: str = "auto",
+    tracer: "Tracer | None" = None,
 ) -> CSR:
     """Compute ``C = A (x) B`` across ``nworkers`` OS processes.
 
@@ -250,6 +292,14 @@ def parallel_spgemm(
         ``"fork"`` (copy-on-write inheritance), ``"pickle"`` (legacy
         serialized copies), or ``"auto"`` to pick the best available,
         overridable via the ``REPRO_POOL_SHARE`` environment variable.
+    tracer:
+        Optional :class:`repro.observability.Tracer` (also activated by
+        ``REPRO_TRACE``).  The parent traces partition, operand packing and
+        the stitch; each worker traces its own block and ships the span
+        tree back with its result, where it is grafted under the pool span
+        — so one trace shows the per-worker phase decomposition *and* the
+        transport cost around it.  Worker spans run concurrently, so their
+        durations can sum past the pool's wall time.
 
     Notes
     -----
@@ -266,76 +316,107 @@ def parallel_spgemm(
         raise ConfigError(f"nworkers must be >= 1, got {nworkers}")
     mode = _resolve_share(share)
     nworkers = min(nworkers, max(a.nrows, 1))
+    if tracer is None:
+        tracer = tracer_from_env()
     if nworkers == 1 or a.nrows == 0:
         return spgemm(
             a, b, algorithm=algorithm, semiring=sr,
-            sort_output=sort_output, engine=engine,
+            sort_output=sort_output, engine=engine, tracer=tracer,
         )
-    partition = rows_to_threads(a, b, nworkers)
-    blocks = [
-        (int(partition.offsets[t]), int(partition.offsets[t + 1]))
-        for t in range(nworkers)
-    ]
-    work = [(s, e) for s, e in blocks if e > s]
+    # The pool path opens a constant number of spans per call (never one per
+    # row), so tracing unconditionally through NULL_TRACER is free enough.
+    obs = tracer if tracer is not None else NULL_TRACER
+    trace = obs.enabled
+    with obs.span(
+        "parallel_spgemm", phase="other",
+        algorithm=algorithm, engine=engine, share=mode, nworkers=nworkers,
+        nrows=a.nrows,
+    ):
+        with obs.span("partition", phase="partition"):
+            partition = rows_to_threads(a, b, nworkers)
+            partition.validate(a.nrows)
+        blocks = [
+            (int(partition.offsets[t]), int(partition.offsets[t + 1]))
+            for t in range(nworkers)
+        ]
+        work = [(s, e) for s, e in blocks if e > s]
 
-    if mode == "shm":
-        shm, header = _pack_shm(a, b)
-        tasks = [
-            (shm.name, header, s, e, algorithm, sr.name, sort_output, engine)
-            for s, e in work
-        ]
-        try:
-            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-                results = list(pool.map(_worker_shm, tasks))
-        finally:
-            shm.close()
-            shm.unlink()
-    elif mode == "fork":
-        token = next(_FORK_TOKENS)
-        _FORK_OPERANDS[token] = (a, b)
-        tasks = [
-            (token, s, e, algorithm, sr.name, sort_output, engine)
-            for s, e in work
-        ]
-        try:
-            ctx = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=len(tasks), mp_context=ctx
-            ) as pool:
-                results = list(pool.map(_worker_fork, tasks))
-        finally:
-            del _FORK_OPERANDS[token]
-    else:  # pickle
-        tasks = [
-            (row_block(a, s, e), b, algorithm, sr.name, sort_output, engine)
-            for s, e in work
-        ]
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-            results = list(pool.map(_worker_pickle, tasks))
+        if mode == "shm":
+            with obs.span("pack", phase="pack", transport="shm"):
+                shm, header = _pack_shm(a, b)
+            tasks = [
+                (shm.name, header, s, e,
+                 algorithm, sr.name, sort_output, engine, trace)
+                for s, e in work
+            ]
+            try:
+                with obs.span("workers", phase="execute", transport="shm"):
+                    with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                        results = list(pool.map(_worker_shm, tasks))
+            finally:
+                _release_shm(shm)
+        elif mode == "fork":
+            token = next(_FORK_TOKENS)
+            _FORK_OPERANDS[token] = (a, b)
+            tasks = [
+                (token, s, e, algorithm, sr.name, sort_output, engine, trace)
+                for s, e in work
+            ]
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with obs.span("workers", phase="execute", transport="fork"):
+                    with ProcessPoolExecutor(
+                        max_workers=len(tasks), mp_context=ctx
+                    ) as pool:
+                        results = list(pool.map(_worker_fork, tasks))
+            finally:
+                del _FORK_OPERANDS[token]
+        else:  # pickle
+            with obs.span("pack", phase="pack", transport="pickle"):
+                tasks = [
+                    (row_block(a, s, e), b,
+                     algorithm, sr.name, sort_output, engine, trace)
+                    for s, e in work
+                ]
+            with obs.span("workers", phase="execute", transport="pickle"):
+                with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                    results = list(pool.map(_worker_pickle, tasks))
 
-    # Preallocated single-pass stitch: sizes first, then one copy per block.
-    nrows = a.nrows
-    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
-    total = 0
-    it = iter(results)
-    block_results = []
-    for s, e in blocks:
-        if e <= s:
-            block_results.append(None)
-            continue
-        bi, bc, bv = next(it)
-        block_results.append((bi, bc, bv))
-        indptr[s + 1 : e + 1] = total + bi[1:]
-        total += int(bi[-1])
-    out_indices = np.empty(total, dtype=INDEX_DTYPE)
-    out_data = np.empty(total, dtype=VALUE_DTYPE)
-    cursor = 0
-    for blk in block_results:
-        if blk is None:
-            continue
-        _, bc, bv = blk
-        out_indices[cursor : cursor + len(bc)] = bc
-        out_data[cursor : cursor + len(bv)] = bv
-        cursor += len(bc)
+        # Preallocated single-pass stitch: sizes first, then one copy per
+        # block.
+        payloads: "list[tuple[int, list]]" = []
+        with obs.span("stitch", phase="stitch"):
+            nrows = a.nrows
+            indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+            total = 0
+            it = iter(results)
+            block_results = []
+            wid = 0
+            for s, e in blocks:
+                if e <= s:
+                    block_results.append(None)
+                    continue
+                bi, bc, bv, payload = next(it)
+                block_results.append((bi, bc, bv))
+                indptr[s + 1 : e + 1] = total + bi[1:]
+                total += int(bi[-1])
+                if payload:
+                    payloads.append((wid, payload))
+                wid += 1
+            out_indices = np.empty(total, dtype=INDEX_DTYPE)
+            out_data = np.empty(total, dtype=VALUE_DTYPE)
+            cursor = 0
+            for blk in block_results:
+                if blk is None:
+                    continue
+                _, bc, bv = blk
+                out_indices[cursor : cursor + len(bc)] = bc
+                out_data[cursor : cursor + len(bv)] = bv
+                cursor += len(bc)
+        # Graft worker traces under the pool span (not the stitch — their
+        # concurrent wall time would masquerade as stitch time otherwise).
+        for wid, payload in payloads:
+            for sub in payload:
+                obs.graft(sub, name=f"worker[{wid}]:{sub['name']}")
     sortedness = sort_output or algorithm in ("heap", "esc")
     return CSR((nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sortedness)

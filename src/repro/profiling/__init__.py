@@ -8,11 +8,18 @@
   unsorted-over-sorted 1.58×/1.63×/1.68× figures) and related summaries.
 * :mod:`repro.profiling.ascii_chart` — dependency-free line/profile
   rendering so benchmark output is readable in a terminal.
+
+Also re-exported here: the observability layer's per-phase breakdown
+(:func:`repro.observability.phase_breakdown` /
+:func:`~repro.observability.render_breakdown`) — the *measured*
+companion to the modeled Fig.-15 profiles, so the bench harness builds
+both tables from one import surface.
 """
 
 from .perfprofile import PerformanceProfile, performance_profile
 from .speedup import harmonic_mean_speedup, geometric_mean
 from .ascii_chart import render_series, render_profile
+from ..observability import phase_breakdown, render_breakdown
 
 __all__ = [
     "PerformanceProfile",
@@ -21,4 +28,6 @@ __all__ = [
     "geometric_mean",
     "render_series",
     "render_profile",
+    "phase_breakdown",
+    "render_breakdown",
 ]

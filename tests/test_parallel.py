@@ -143,3 +143,67 @@ class TestShareModes:
         for share in ("shm", "fork", "pickle"):
             c = parallel_spgemm(z, z, nworkers=3, share=share)
             assert c.nnz == 0
+
+
+class TestShmLifecycle:
+    def test_pack_failure_unlinks_segment(self, monkeypatch):
+        """Regression: a failed copy into a freshly created shared-memory
+        segment must unlink it before propagating, or the segment leaks in
+        /dev/shm for the life of the machine."""
+        from repro.parallel import pool
+
+        created = []
+        real_shm_cls = pool._shm_module.SharedMemory
+
+        class SpyShm(real_shm_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        monkeypatch.setattr(pool._shm_module, "SharedMemory", SpyShm)
+
+        real_layout = pool._pack_layout
+
+        def sabotaged_layout(arrays):
+            metas, total = real_layout(arrays)
+            # claim more elements than the segment holds: the view
+            # construction/copy for the first array must fail
+            (off, dtype, size) = metas[0]
+            return [(off, dtype, size + total)] + metas[1:], total
+
+        monkeypatch.setattr(pool, "_pack_layout", sabotaged_layout)
+
+        a = er_matrix(5, 4, seed=6)
+        with pytest.raises(Exception):
+            pool._pack_shm(a, a)
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            # attach must fail: the segment was unlinked on the error path
+            real_shm_cls(name=created[0])
+
+    def test_release_shm_tolerates_double_release(self):
+        from repro.parallel import pool
+
+        shm = pool._shm_module.SharedMemory(create=True, size=64)
+        pool._release_shm(shm)
+        pool._release_shm(shm)  # second release must be harmless
+
+
+class TestZeroFlopParallel:
+    def test_zero_flop_product_through_pool(self):
+        """Regression companion to the scheduler's zero-flop fallback: a
+        product with zero flop must still partition, execute and stitch
+        correctly through every transport."""
+        from repro import csr_from_dense
+
+        n = 12
+        a_dense = np.zeros((n, n))
+        a_dense[:, n - 1] = 1.0
+        b_dense = np.ones((n, n))
+        b_dense[n - 1, :] = 0.0
+        a = csr_from_dense(a_dense)
+        b = csr_from_dense(b_dense)
+        for share in ("shm", "fork", "pickle"):
+            c = parallel_spgemm(a, b, nworkers=3, share=share)
+            assert c.shape == (n, n) and c.nnz == 0, share

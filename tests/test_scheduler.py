@@ -143,3 +143,95 @@ class TestPartitionForPolicy:
         all_ranges = [r for t in range(2) for r in p.rows_of(t)]
         covered = sorted((s, e) for s, e in all_ranges)
         assert covered == [(0, 4), (4, 8), (8, 10)]
+
+
+class TestValidateCoverage:
+    """Regression: validate(nrows) must reject partitions that silently
+    drop trailing rows (or mis-cover in any other way)."""
+
+    def test_short_coverage_rejected(self):
+        p = ThreadPartition(
+            policy="static", nthreads=2, offsets=np.array([0, 3, 6])
+        )
+        p.validate()      # internally consistent
+        p.validate(6)     # and covers a 6-row matrix
+        with pytest.raises(ConfigError, match="trailing rows"):
+            p.validate(8)
+
+    def test_bad_start_rejected(self):
+        p = ThreadPartition(
+            policy="static", nthreads=2, offsets=np.array([1, 3, 6])
+        )
+        with pytest.raises(ConfigError, match="start at row 0"):
+            p.validate(6)
+
+    def test_decreasing_offsets_rejected(self):
+        p = ThreadPartition(
+            policy="static", nthreads=2, offsets=np.array([0, 4, 3])
+        )
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            p.validate()
+
+    def test_wrong_offset_count_rejected(self):
+        p = ThreadPartition(
+            policy="static", nthreads=3, offsets=np.array([0, 3, 6])
+        )
+        with pytest.raises(ConfigError, match="offsets"):
+            p.validate(6)
+
+    def test_chunked_gap_rejected(self):
+        p = ThreadPartition(
+            policy="dynamic", nthreads=2,
+            chunks=[(0, 3, 0), (5, 8, 1)],  # rows 3..4 uncovered
+        )
+        with pytest.raises(ConfigError, match="exactly once"):
+            p.validate(8)
+
+    def test_chunked_double_cover_rejected(self):
+        p = ThreadPartition(
+            policy="dynamic", nthreads=2,
+            chunks=[(0, 5, 0), (4, 8, 1)],  # row 4 covered twice
+        )
+        with pytest.raises(ConfigError, match="exactly once"):
+            p.validate(8)
+
+    def test_chunked_bad_thread_rejected(self):
+        p = ThreadPartition(
+            policy="dynamic", nthreads=2, chunks=[(0, 8, 5)]
+        )
+        with pytest.raises(ConfigError, match="invalid thread"):
+            p.validate(8)
+
+
+class TestZeroFlopFallback:
+    """Regression: a zero-flop product must not pile every row onto the
+    last thread (lowbnd over an all-zero prefix sum returns 0 for every
+    boundary)."""
+
+    def _zero_flop_pair(self, n=32):
+        from repro import csr_from_dense
+
+        # every nonzero of A selects the one empty row of B -> flop == 0
+        a_dense = np.zeros((n, n))
+        a_dense[:, n - 1] = 1.0
+        b_dense = np.ones((n, n))
+        b_dense[n - 1, :] = 0.0
+        return csr_from_dense(a_dense), csr_from_dense(b_dense)
+
+    def test_even_split(self):
+        a, b = self._zero_flop_pair()
+        for nt in (2, 4, 7):
+            p = rows_to_threads(a, b, nt)
+            p.validate(a.nrows)
+            sizes = np.diff(p.offsets)
+            assert sizes.max() - sizes.min() <= 1, (
+                f"nt={nt}: zero-flop fallback is not an even split: {sizes}"
+            )
+
+    def test_empty_matrix_even_split(self):
+        from repro import csr_from_dense
+
+        z = csr_from_dense(np.zeros((16, 16)))
+        p = rows_to_threads(z, z, 4)
+        p.validate(16)
+        assert (np.diff(p.offsets) == 4).all()
