@@ -28,6 +28,7 @@ rules and how to add one.
 
 from .baseline import load_baseline, write_baseline
 from .findings import Finding
+from .graph import ProjectGraph, build_project_graph
 from .registry import (
     AnalysisResult,
     CHECKERS,
@@ -36,6 +37,7 @@ from .registry import (
     available_rules,
     register,
 )
+from .sarif import sarif_report, validate_sarif
 
 __all__ = [
     "Finding",
@@ -47,4 +49,8 @@ __all__ = [
     "available_rules",
     "load_baseline",
     "write_baseline",
+    "sarif_report",
+    "validate_sarif",
+    "ProjectGraph",
+    "build_project_graph",
 ]

@@ -12,5 +12,9 @@ from . import (  # noqa: F401  (imports register the checkers)
     determinism,
     dispatch,
     excepts,
+    hot_loop,
+    layering,
+    plan_purity,
     shm_lifecycle,
+    span_discipline,
 )

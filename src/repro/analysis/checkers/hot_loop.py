@@ -1,0 +1,157 @@
+"""hot-loop-alloc: no allocation inside per-row kernel loops.
+
+Section 4.3 of the paper is blunt about why naive SpGEMM implementations
+fall off a cliff: allocating (and deallocating) per-row scratch inside the
+row loop serializes on the allocator exactly where the kernel should be
+embarrassingly parallel — the cure is thread-private buffers sized once
+per thread (KokkosKernels institutionalized the same lesson as a memory
+pool, arXiv:1801.03065).  The Python analogue of that contract: the
+*thread* level of a kernel (the body of a ``partition.rows_of(tid)``
+loop) may allocate, but loops nested inside it — the per-row/per-entry
+hot loops — may not.
+
+This file-scope checker finds every ``for ... in <x>.rows_of(...)`` loop
+(the repo-wide thread-partition idiom) and flags, inside any loop nested
+within it:
+
+* numpy allocation calls — ``np.zeros`` / ``empty`` / ``ones`` / ``full``
+  / ``append`` / ``concatenate`` / ``hstack`` / ``vstack`` / ``tile`` /
+  ``repeat`` (``np.append`` and ``np.concatenate`` additionally copy
+  everything accumulated so far: quadratic, the exact cliff);
+* fresh container creation bound to a name — ``buf = []`` / ``{}`` /
+  ``set()`` / ``list(...)`` / a comprehension — i.e. per-row list growth
+  from empty, which reallocates geometrically in the hottest loop.
+
+Appending to a buffer *created at thread level* is deliberately **not**
+flagged: that is the paper's sanctioned growing-buffer scheme, amortized
+O(1) per element with no per-row churn.  Kernels whose algorithm is
+inherently per-row (the heap's per-row priority queue, the merge kernel's
+run stack) carry explicit ``repro-lint`` suppressions with justifications
+— visible, reviewed decisions rather than silent exemptions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext
+from ..registry import Checker, register
+
+_NP_ALLOC = frozenset(
+    {"zeros", "empty", "ones", "full", "append", "concatenate",
+     "hstack", "vstack", "tile", "repeat"}
+)
+_NP_MODULES = frozenset({"np", "numpy"})
+_CONTAINER_CALLS = frozenset({"list", "dict", "set"})
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _is_rows_of_loop(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.For)
+        and isinstance(node.iter, ast.Call)
+        and isinstance(node.iter.func, ast.Attribute)
+        and node.iter.func.attr == "rows_of"
+    )
+
+
+def _np_alloc_name(call: ast.Call) -> "str | None":
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NP_MODULES
+        and func.attr in _NP_ALLOC
+    ):
+        return f"{func.value.id}.{func.attr}"
+    return None
+
+
+def _fresh_container(value: ast.AST) -> "str | None":
+    """A description of ``value`` when it creates a fresh container."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return "a fresh container literal"
+    if isinstance(value, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return "a comprehension"
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _CONTAINER_CALLS
+    ):
+        return f"{value.func.id}()"
+    return None
+
+
+def _walk_until_loops(stmts: "list[ast.stmt]"):
+    """Yield every node under ``stmts``, not descending into nested loops.
+
+    A nested loop's header ``iter`` expression still belongs to the
+    enclosing body (it runs once per enclosing iteration), so it is
+    walked; the nested body is that loop's own problem.
+    """
+    stack: "list[ast.AST]" = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _LOOPS):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                stack.append(node.iter)
+            else:
+                stack.append(node.test)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class HotLoopAllocChecker(Checker):
+    rule = "hot-loop-alloc"
+    description = (
+        "no numpy allocation or fresh-container growth inside loops nested "
+        "in a rows_of() thread loop (the paper's Section 4.3 contract)"
+    )
+    scope = "file"
+
+    def check(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if _is_rows_of_loop(node):
+                # Direct body (thread level) may allocate; nested loops are
+                # the per-row hot path.
+                for child in ast.walk(node):
+                    if child is not node and isinstance(child, _LOOPS):
+                        yield from self._check_hot_loop(ctx, child)
+
+    def _check_hot_loop(self, ctx, loop):
+        # Walk the loop body but stop at nested loops: each nested loop is
+        # its own hot loop, scanned when the outer walk reaches it (only
+        # its header's iter expression belongs to *this* loop's body).
+        for node in _walk_until_loops(loop.body + loop.orelse):
+            if isinstance(node, ast.Call):
+                name = _np_alloc_name(node)
+                if name is not None:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"{name}(...) inside a per-row hot loop — allocate "
+                        "at thread level and fill in place (paper Section "
+                        "4.3's deallocation cliff)",
+                        col=node.col_offset,
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                desc = _fresh_container(value)
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                if desc is not None and any(
+                    isinstance(t, ast.Name) for t in targets
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"binds {desc} inside a per-row hot loop — per-row "
+                        "container churn is the Python analogue of the "
+                        "per-row malloc the paper forbids",
+                        col=node.col_offset,
+                    )

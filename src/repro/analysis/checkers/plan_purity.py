@@ -1,0 +1,159 @@
+"""plan-purity: the numeric-only replay path never touches CSR structure.
+
+The inspector-executor split (Algorithm 2 of the paper; PR 3's plan layer)
+rests on one promise: once ``inspect`` has built the output structure
+(``indptr``/``indices``), ``SpgemmPlan.execute`` and the numeric kernels
+it dispatches to (``hash_numeric``, ``spa_numeric``) only *fill values*.
+If the numeric path ever rewrites structure arrays or calls back into the
+symbolic machinery, plan reuse silently recomputes what the plan exists to
+amortize — and cached plans can be corrupted for every later execute.
+
+This project-scope checker walks the intra-project call graph (see
+:mod:`repro.analysis.graph`) from those three entry points — including the
+conservative by-name attribute tier, so ``acc.extract()`` pulls in every
+``extract`` definition — and flags, anywhere in the reachable set:
+
+* stores to an ``.indptr`` / ``.indices`` attribute (rebinding structure
+  on a live object);
+* in-place writes into arrays *named* ``indptr`` / ``indices``
+  (``indptr[i] = ...``), including via an ``out=`` keyword;
+* fresh allocation bound to those names (``indptr = np.zeros(...)``);
+* any call into the symbolic/structure builders (everything defined in
+  ``core/symbolic.py``, plus the scheduler's ``rows_to_threads``, the
+  recipe's ``recommend``, and ``flop_per_row``).
+
+``matrix/csr.py`` is exempt — the validating ``CSR`` constructor is the
+one sanctioned place structure is assembled (mirroring ``csr-construct``).
+Reading structure (``plan.indptr[i]`` on the right-hand side) is of course
+fine; replay *should* read the plan.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import ProjectContext
+from ..registry import Checker, register
+
+_ENTRY_SUFFIXES = ("SpgemmPlan.execute", "hash_numeric", "spa_numeric")
+_STRUCTURE_NAMES = frozenset({"indptr", "indices"})
+_EXTRA_BUILDERS = frozenset({"rows_to_threads", "flop_per_row", "recommend"})
+_ALLOC_CALLEES = frozenset(
+    {"zeros", "empty", "ones", "full", "arange", "cumsum", "concatenate",
+     "array", "copy", "empty_like", "zeros_like"}
+)
+_EXEMPT_SUFFIXES = ("matrix/csr.py",)
+
+
+def _is_structure_ref(node: ast.AST) -> bool:
+    """True when ``node`` names a CSR structure array (any access chain)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _STRUCTURE_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _STRUCTURE_NAMES
+    return False
+
+
+def _bare_callee(call: ast.Call) -> "str | None":
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@register
+class PlanPurityChecker(Checker):
+    rule = "plan-purity"
+    description = (
+        "the numeric-only call graph under SpgemmPlan.execute / "
+        "hash_numeric / spa_numeric never mutates or allocates CSR "
+        "structure arrays"
+    )
+    scope = "project"
+
+    def check(self, project: ProjectContext):
+        if project.by_suffix("core/plan.py") is None:
+            return
+        calls = project.graph().calls
+        entries = calls.entries_matching(*_ENTRY_SUFFIXES)
+        if not entries:
+            return
+        builder_names = set(_EXTRA_BUILDERS)
+        for qual, d in calls.defs.items():
+            if d.ctx.relpath.endswith("core/symbolic.py"):
+                builder_names.add(qual.rsplit(".", 1)[-1])
+        reachable = calls.reachable_from(entries, by_name=True)
+        for qual in sorted(reachable):
+            d = calls.defs[qual]
+            if any(d.ctx.relpath.endswith(s) for s in _EXEMPT_SUFFIXES):
+                continue
+            if d.ctx.relpath.endswith("core/symbolic.py"):
+                continue  # builders are flagged at their call sites instead
+            yield from self._check_def(d, qual, builder_names)
+
+    def _check_def(self, d, qual, builder_names):
+        where = f"(reachable from the numeric-only path via {qual})"
+        for node in ast.walk(d.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_store(d, node, target, where)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(d, node, where, builder_names)
+
+    def _check_store(self, d, stmt, target, where):
+        if isinstance(target, ast.Attribute) and target.attr in _STRUCTURE_NAMES:
+            yield self.finding(
+                d.ctx,
+                stmt.lineno,
+                f"store to .{target.attr} mutates CSR structure in the "
+                f"numeric-only path {where}",
+                col=stmt.col_offset,
+            )
+        elif isinstance(target, ast.Subscript) and _is_structure_ref(target.value):
+            yield self.finding(
+                d.ctx,
+                stmt.lineno,
+                f"in-place write into a structure array {where} — numeric "
+                "replay must only fill values",
+                col=stmt.col_offset,
+            )
+        elif (
+            isinstance(target, ast.Name)
+            and target.id in _STRUCTURE_NAMES
+            and isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            and isinstance(getattr(stmt, "value", None), ast.Call)
+            and _bare_callee(stmt.value) in _ALLOC_CALLEES
+        ):
+            yield self.finding(
+                d.ctx,
+                stmt.lineno,
+                f"allocates a fresh {target.id!r} array {where} — structure "
+                "is built once, by inspect()",
+                col=stmt.col_offset,
+            )
+
+    def _check_call(self, d, call, where, builder_names):
+        for kw in call.keywords:
+            if kw.arg == "out" and _is_structure_ref(kw.value):
+                yield self.finding(
+                    d.ctx,
+                    call.lineno,
+                    f"out= writes into a structure array {where}",
+                    col=call.col_offset,
+                )
+        bare = _bare_callee(call)
+        if bare in builder_names:
+            yield self.finding(
+                d.ctx,
+                call.lineno,
+                f"calls symbolic/structure builder {bare}() {where} — the "
+                "numeric path must replay the plan, not rebuild it",
+                col=call.col_offset,
+            )

@@ -1,0 +1,231 @@
+"""span-discipline: every tracer seam conforms to the repro-trace/1 schema.
+
+The observability layer (PR 4) is only trustworthy if the kernels use it
+with discipline — Fig. 15-style phase breakdowns silently lie when a span
+is opened but never closed, when a phase name falls outside the
+``KNOWN_PHASES`` vocabulary (``phase_breakdown`` buckets it as noise), or
+when a counter bumped inside a traced region has no ``KernelStats`` field
+to reconcile against.  This project-scope checker reads the *actual*
+vocabulary out of ``observability/tracer.py`` and ``core/instrument.py``
+(no hard-coded copy to rot) and then audits every ``.span(...)`` /
+``.record(...)`` / ``.counter(...)`` / ``.add_counter(...)`` seam in the
+project:
+
+* a ``.span(...)`` call must be entered — either directly as a ``with``
+  context expression, or assigned to a name that a later ``with`` in the
+  same scope enters (the ``scope = obs.span(...); with scope:`` split the
+  hash kernel uses to keep lines short);
+* a literal ``phase=`` must be a known phase; when ``phase=`` is absent
+  the span/record *name* becomes the phase (``Span.__init__`` defaults
+  ``phase`` to ``name``), so the name itself must then be known;
+* a literal counter key must be a declared ``KernelStats`` field or a
+  member of ``EXTRA_SPAN_COUNTERS`` (trace-only counters, e.g. ``nnz``).
+
+Dynamic names/phases (variables, f-strings) are skipped — this is a
+contract check, not a type system.  The checker activates only when the
+linted set contains both vocabulary files.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..astutil import const_str_set
+from ..context import FileContext, ProjectContext
+from ..registry import Checker, register
+
+_SPAN_METHODS = ("span",)
+_RECORD_METHODS = ("record",)
+_COUNTER_METHODS = ("counter", "add_counter")
+
+
+def _known_phases(tracer_ctx: FileContext) -> "frozenset[str] | None":
+    """The ``KNOWN_PHASES`` literal from the tracer module, if present."""
+    for node in tracer_ctx.tree.body:  # type: ignore[union-attr]
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "KNOWN_PHASES":
+                    pairs = const_str_set(node.value)
+                    if pairs is not None:
+                        return frozenset(v for v, _ in pairs)
+    return None
+
+
+def _declared_counters(instrument_ctx: FileContext) -> "frozenset[str] | None":
+    """KernelStats field names plus the EXTRA_SPAN_COUNTERS literal."""
+    fields: "set[str]" = set()
+    found_stats = False
+    for node in instrument_ctx.tree.body:  # type: ignore[union-attr]
+        if isinstance(node, ast.ClassDef) and node.name == "KernelStats":
+            found_stats = True
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    fields.add(item.target.id)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "EXTRA_SPAN_COUNTERS"
+                ):
+                    pairs = const_str_set(node.value)
+                    if pairs is not None:
+                        fields.update(v for v, _ in pairs)
+    return frozenset(fields) if found_stats else None
+
+
+def _literal_str(node: "ast.expr | None") -> "str | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _kwarg(call: ast.Call, name: str) -> "ast.expr | None":
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _parent_map(tree: ast.AST) -> "dict[int, ast.AST]":
+    parents: "dict[int, ast.AST]" = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _enclosing_scope(node: ast.AST, parents: "dict[int, ast.AST]") -> ast.AST:
+    """Nearest enclosing function (or the module) containing ``node``."""
+    cur = parents.get(id(node))
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            return cur
+        cur = parents.get(id(cur))
+    return node
+
+
+def _entered_names(scope: ast.AST) -> "set[str]":
+    """Names used as a ``with`` context expression anywhere in ``scope``."""
+    names: "set[str]" = set()
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name):
+                    names.add(item.context_expr.id)
+    return names
+
+
+@register
+class SpanDisciplineChecker(Checker):
+    rule = "span-discipline"
+    description = (
+        "tracer spans are balanced, phases/names stay in the repro-trace/1 "
+        "vocabulary, counters map to declared KernelStats fields"
+    )
+    scope = "project"
+
+    def check(self, project: ProjectContext):
+        tracer_ctx = project.by_suffix("observability/tracer.py")
+        instrument_ctx = project.by_suffix("core/instrument.py")
+        if tracer_ctx is None or tracer_ctx.tree is None:
+            return
+        if instrument_ctx is None or instrument_ctx.tree is None:
+            return
+        phases = _known_phases(tracer_ctx)
+        counters = _declared_counters(instrument_ctx)
+        if phases is None:
+            return
+        for ctx in project.files:
+            if ctx.tree is None or ctx is tracer_ctx:
+                continue
+            yield from self._check_file(ctx, phases, counters)
+
+    def _check_file(self, ctx, phases, counters):
+        parents = _parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _SPAN_METHODS:
+                yield from self._check_span(ctx, node, parents, phases)
+            elif func.attr in _RECORD_METHODS:
+                yield from self._check_vocab(ctx, node, phases, kind="record")
+            elif func.attr in _COUNTER_METHODS and counters is not None:
+                yield from self._check_counter(ctx, node, counters)
+
+    def _check_span(self, ctx, call, parents, phases):
+        yield from self._check_vocab(ctx, call, phases, kind="span")
+        parent = parents.get(id(call))
+        if isinstance(parent, (ast.With, ast.AsyncWith)) or isinstance(
+            parent, ast.withitem
+        ):
+            return  # entered directly
+        if isinstance(parent, ast.Assign) and all(
+            isinstance(t, ast.Name) for t in parent.targets
+        ):
+            scope = _enclosing_scope(call, parents)
+            entered = _entered_names(scope)
+            names = [t.id for t in parent.targets]
+            if not any(n in entered for n in names):
+                yield self.finding(
+                    ctx,
+                    call.lineno,
+                    f"span assigned to {names[0]!r} is never entered with "
+                    "a `with` statement in this scope — timings from an "
+                    "unentered span never reach the trace",
+                    col=call.col_offset,
+                )
+            return
+        yield self.finding(
+            ctx,
+            call.lineno,
+            "tracer.span(...) opened outside a `with` statement — the span "
+            "is never closed, so its timing is lost and the trace tree is "
+            "unbalanced",
+            col=call.col_offset,
+        )
+
+    def _check_vocab(self, ctx, call, phases, *, kind):
+        phase_node = _kwarg(call, "phase")
+        phase = _literal_str(phase_node)
+        name = _literal_str(call.args[0]) if call.args else None
+        vocab = ", ".join(sorted(phases))
+        if phase_node is not None:
+            if phase is not None and phase not in phases:
+                yield self.finding(
+                    ctx,
+                    call.lineno,
+                    f"{kind} phase {phase!r} is not in the repro-trace/1 "
+                    f"phase vocabulary ({vocab}) — phase_breakdown() would "
+                    "misbucket it",
+                    col=call.col_offset,
+                )
+            return
+        # No explicit phase: Span defaults phase to the name, so the name
+        # itself must be a known phase.
+        if name is not None and name not in phases:
+            yield self.finding(
+                ctx,
+                call.lineno,
+                f"{kind} name {name!r} has no phase= and is not itself in "
+                f"the repro-trace/1 phase vocabulary ({vocab}); pass an "
+                "explicit phase= from the vocabulary",
+                col=call.col_offset,
+            )
+
+    def _check_counter(self, ctx, call, counters):
+        key = _literal_str(call.args[0]) if call.args else None
+        if key is None or key in counters:
+            return
+        yield self.finding(
+            ctx,
+            call.lineno,
+            f"counter {key!r} is not a declared KernelStats field (nor in "
+            "EXTRA_SPAN_COUNTERS) — trace counters must reconcile with the "
+            "instrumentation schema",
+            col=call.col_offset,
+        )

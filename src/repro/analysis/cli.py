@@ -1,9 +1,15 @@
 """Command-line interface: ``python -m repro.analysis [paths...]``.
 
 Exit codes: 0 = clean (no active findings), 1 = active findings, 2 = usage
-or I/O error.  ``--format json`` emits a machine-readable report for CI;
+or I/O error.  ``--format json`` / ``--format sarif`` emit machine-readable
+reports for CI (SARIF uploads straight to GitHub code scanning);
 ``--write-baseline`` snapshots the current findings so later runs only
-fail on *new* ones.
+fail on *new* ones, and ``--update-baseline`` *ratchets* an existing
+baseline — it can only shrink, so the backlog burns down monotonically.
+
+The baseline flags never swallow the report: the requested format is
+still written to stdout (the write notice goes to stderr), so one CI
+invocation can refresh the ratchet *and* publish the SARIF.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import sys
 
 from .baseline import load_baseline, write_baseline
 from .registry import analyze_paths, available_rules
+from .sarif import sarif_report
 
 __all__ = ["main", "build_parser"]
 
@@ -33,9 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif = SARIF 2.1.0 for "
+        "GitHub code scanning)",
     )
     parser.add_argument(
         "--baseline",
@@ -45,7 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-baseline",
         metavar="FILE",
-        help="write current findings' fingerprints to FILE and exit 0",
+        help="write current active findings' fingerprints to FILE, still "
+        "emit the report, and exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="FILE",
+        help="ratchet FILE: rewrite it keeping only fingerprints that still "
+        "match (the baseline can only shrink); exits 1 if non-baselined "
+        "findings remain",
     )
     parser.add_argument(
         "--rules",
@@ -83,6 +99,7 @@ def _render_json(result, stream) -> None:
         "clean": result.clean,
         "files_scanned": result.files_scanned,
         "rules": result.rules,
+        "warnings": list(result.warnings),
         "counts": {
             "active": len(result.findings),
             "suppressed": len(result.suppressed),
@@ -94,6 +111,20 @@ def _render_json(result, stream) -> None:
     }
     json.dump(payload, stream, indent=2, sort_keys=True)
     stream.write("\n")
+
+
+def _render_sarif(result, stream) -> None:
+    json.dump(sarif_report(result), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def _render(result, fmt, stream) -> None:
+    if fmt == "json":
+        _render_json(result, stream)
+    elif fmt == "sarif":
+        _render_sarif(result, stream)
+    else:
+        _render_text(result, stream)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -120,10 +151,19 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"error: no such path(s): {missing}", file=sys.stderr)
         return 2
 
+    if args.update_baseline and (args.write_baseline or args.baseline):
+        print(
+            "error: --update-baseline already reads and rewrites its FILE; "
+            "it cannot be combined with --baseline or --write-baseline",
+            file=sys.stderr,
+        )
+        return 2
+
     baseline = frozenset()
-    if args.baseline:
+    baseline_path = args.baseline or args.update_baseline
+    if baseline_path:
         try:
-            baseline = load_baseline(args.baseline)
+            baseline = load_baseline(baseline_path)
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -137,13 +177,30 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.write_baseline:
-        count = write_baseline(args.write_baseline, result.findings)
-        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
-        return 0
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
 
-    if args.format == "json":
-        _render_json(result, sys.stdout)
-    else:
-        _render_text(result, sys.stdout)
-    return 0 if result.clean else 1
+    exit_code = 0 if result.clean else 1
+    if args.write_baseline:
+        # The notice goes to stderr so --format json/sarif output on stdout
+        # stays machine-parseable; writing a baseline exits 0 by contract
+        # (the findings just became the accepted backlog).
+        count = write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {count} fingerprint(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        exit_code = 0
+    elif args.update_baseline:
+        # Ratchet: keep exactly the old fingerprints that still match.  New
+        # findings are never added (that would un-ratchet), and they still
+        # fail the run via the normal exit contract.
+        count = write_baseline(args.update_baseline, result.baselined)
+        print(
+            f"ratcheted {args.update_baseline}: {len(baseline)} -> {count} "
+            "fingerprint(s)",
+            file=sys.stderr,
+        )
+
+    _render(result, args.format, sys.stdout)
+    return exit_code

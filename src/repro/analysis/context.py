@@ -126,6 +126,20 @@ class ProjectContext:
 
     root: str
     files: "list[FileContext]"
+    _graph: "object | None" = field(default=None, repr=False, compare=False)
+
+    def graph(self):
+        """The project's import/call graphs, built lazily and memoized.
+
+        Returns a :class:`repro.analysis.graph.ProjectGraph`; every
+        project-scope checker that calls this in the same run shares one
+        build (the graphs are pure functions of the parsed file set).
+        """
+        if self._graph is None:
+            from .graph import build_project_graph
+
+            self._graph = build_project_graph(self)
+        return self._graph
 
     def by_suffix(self, suffix: str) -> "FileContext | None":
         """The unique file whose relpath ends with ``suffix`` (or None)."""

@@ -1,0 +1,372 @@
+"""Project-wide import and call graphs, resolved purely from AST.
+
+The per-file checkers of PR 2 see one module at a time; the cross-cutting
+contracts this package now enforces (layering, numeric-phase purity, span
+discipline) are properties of *edges between* modules.  This module builds
+two graphs over one :class:`~repro.analysis.context.ProjectContext`:
+
+* :class:`ModuleGraph` — module-level **import edges**.  Module names are
+  derived from the file set itself (walking up directories that contain an
+  ``__init__.py``), so the graph is correct whether the tree is linted as
+  ``src/repro`` or as a fixture tree rooted elsewhere.  Relative imports
+  are resolved against the importing module's package; every edge records
+  the names it binds and whether it is *lazy* (inside a function body —
+  the sanctioned way to break an import cycle or keep a dependency
+  optional).
+
+* :class:`CallGraph` — an **intra-project call graph** over top-level
+  functions and methods.  Calls are resolved through four mechanisms, in
+  decreasing precision: module-local definitions, ``from``-import
+  bindings, ``self.method()`` within a class, and module-alias attribute
+  calls (``mod.func()``).  A final *by-name* tier conservatively links
+  ``obj.method()`` to every *method* definition of that name in the
+  project (module-level functions are reached through the precise tiers);
+  it over-approximates, which is the safe direction for the purity checker
+  that consumes it (a false edge can only make *more* code subject to the
+  contract, never hide a violation).
+
+Both graphs are pure functions of the parsed file set — no imports are
+executed.  Checkers obtain them memoized via ``ProjectContext.graph()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .context import FileContext, ProjectContext
+
+__all__ = [
+    "ImportEdge",
+    "ModuleGraph",
+    "CallGraph",
+    "ProjectGraph",
+    "build_project_graph",
+]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to dotted module names."""
+
+    src: str  # importing module
+    dst: str  # imported module (dotted, best-effort resolved)
+    names: "tuple[str, ...]"  # names bound by a from-import (empty for `import X`)
+    lineno: int
+    lazy: bool  # True when the import lives inside a function body
+
+
+def _init_dirs(files: "list[FileContext]") -> "set[str]":
+    """Relative directories that are packages (contain an ``__init__.py``)."""
+    dirs: "set[str]" = set()
+    for f in files:
+        if f.relpath.endswith("__init__.py"):
+            head, _, _ = f.relpath.rpartition("/")
+            dirs.add(head)  # "" for a root-level __init__.py
+    return dirs
+
+
+def _module_name(relpath: str, init_dirs: "set[str]") -> "str | None":
+    """Dotted module name for ``relpath``, derived from the file set.
+
+    Walks up the directory chain for as long as each directory is a
+    package; path components above the outermost package (``src/``) are
+    dropped.  Returns None for a file that is neither a package member nor
+    a root-level module with a meaningful name.
+    """
+    if not relpath.endswith(".py"):
+        return None
+    parts = relpath.split("/")
+    stem = parts[-1][: -len(".py")]
+    dir_parts = parts[:-1]
+    pkg: "list[str]" = []
+    while dir_parts and "/".join(dir_parts) in init_dirs:
+        pkg.insert(0, dir_parts[-1])
+        dir_parts = dir_parts[:-1]
+    if stem == "__init__":
+        return ".".join(pkg) if pkg else None
+    return ".".join(pkg + [stem])
+
+
+@dataclass
+class ModuleGraph:
+    """Module-level import edges over the analyzed file set."""
+
+    #: dotted module name -> its FileContext
+    modules: "dict[str, FileContext]" = field(default_factory=dict)
+    #: relpath -> dotted module name (inverse of ``modules`` plus duplicates)
+    module_names: "dict[str, str]" = field(default_factory=dict)
+    edges: "list[ImportEdge]" = field(default_factory=list)
+
+    def imports_of(self, module: str) -> "list[ImportEdge]":
+        """Every edge whose importer is ``module``."""
+        return [e for e in self.edges if e.src == module]
+
+    def module_of(self, ctx: FileContext) -> "str | None":
+        return self.module_names.get(ctx.relpath)
+
+
+def _resolve_from(module: str, is_pkg: bool, node: ast.ImportFrom) -> "str | None":
+    """Dotted target of a ``from ... import`` statement, or None."""
+    if node.level == 0:
+        return node.module
+    package = module.split(".") if is_pkg else module.split(".")[:-1]
+    if node.level - 1 > len(package):
+        return None  # escapes the analyzed tree
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        return ".".join(base + [node.module])
+    return ".".join(base) or None
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    """Collect import edges, tagging imports inside function bodies lazy."""
+
+    def __init__(self, module: str, is_pkg: bool) -> None:
+        self.module = module
+        self.is_pkg = is_pkg
+        self.depth = 0
+        self.edges: "list[ImportEdge]" = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.edges.append(
+                ImportEdge(
+                    src=self.module,
+                    dst=alias.name,
+                    names=(),
+                    lineno=node.lineno,
+                    lazy=self.depth > 0,
+                )
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        dst = _resolve_from(self.module, self.is_pkg, node)
+        if dst is None:
+            return
+        self.edges.append(
+            ImportEdge(
+                src=self.module,
+                dst=dst,
+                names=tuple(alias.name for alias in node.names),
+                lineno=node.lineno,
+                lazy=self.depth > 0,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class _Def:
+    """One top-level function or method definition."""
+
+    qualname: str  # "module.func" or "module.Class.method"
+    node: ast.AST  # the FunctionDef
+    ctx: FileContext
+    cls: "str | None"  # enclosing class name for methods
+
+
+class CallGraph:
+    """Intra-project call graph over top-level functions and methods.
+
+    ``edges`` holds the precisely-resolved calls (local name, import
+    binding, ``self.``, module alias); ``attr_edges`` holds the
+    conservative by-name tier for attribute calls on unknown receivers.
+    """
+
+    def __init__(self) -> None:
+        self.defs: "dict[str, _Def]" = {}
+        self.edges: "dict[str, set[str]]" = {}
+        self.attr_edges: "dict[str, set[str]]" = {}
+        #: bare method/function name -> every qualname defining it
+        self._by_name: "dict[str, set[str]]" = {}
+
+    def add_def(self, d: _Def) -> None:
+        self.defs[d.qualname] = d
+        bare = d.qualname.rsplit(".", 1)[-1]
+        self._by_name.setdefault(bare, set()).add(d.qualname)
+
+    def defs_named(self, bare: str) -> "set[str]":
+        """Every qualname whose final component is ``bare``."""
+        return set(self._by_name.get(bare, ()))
+
+    def methods_named(self, bare: str) -> "set[str]":
+        """Every *method* qualname whose final component is ``bare``.
+
+        The by-name attribute tier resolves only to methods: a
+        module-level function is called through a name or module alias
+        (both precisely resolved), so linking ``obj.add(...)`` to a
+        module-level ``add`` would mostly manufacture false edges (ufunc
+        ``.add``, dict ``.get``, ...).
+        """
+        return {q for q in self._by_name.get(bare, ()) if self.defs[q].cls is not None}
+
+    def entries_matching(self, *suffixes: str) -> "set[str]":
+        """Qualnames ending in any of ``suffixes`` (dot-boundary aware)."""
+        out: "set[str]" = set()
+        for qual in self.defs:
+            for suffix in suffixes:
+                if qual == suffix or qual.endswith("." + suffix):
+                    out.add(qual)
+        return out
+
+    def reachable_from(
+        self, entries: "set[str]", *, by_name: bool = True
+    ) -> "set[str]":
+        """Transitive closure of call edges from ``entries``.
+
+        With ``by_name`` (the default) the conservative attribute tier is
+        followed too — the over-approximating but sound choice for purity
+        checks.
+        """
+        seen: "set[str]" = set()
+        stack = [q for q in entries if q in self.defs]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            nxt = set(self.edges.get(qual, ()))
+            if by_name:
+                nxt |= self.attr_edges.get(qual, set())
+            stack.extend(n for n in nxt if n in self.defs and n not in seen)
+        return seen
+
+
+def _collect_defs(graph: CallGraph, module: str, ctx: FileContext) -> None:
+    for node in ctx.tree.body:  # type: ignore[union-attr]
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            graph.add_def(_Def(f"{module}.{node.name}", node, ctx, None))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    graph.add_def(
+                        _Def(f"{module}.{node.name}.{item.name}", item, ctx, node.name)
+                    )
+
+
+def _module_bindings(
+    module: str, ctx: FileContext, imports: ModuleGraph
+) -> "tuple[dict[str, str], dict[str, str]]":
+    """(name -> candidate qualname, alias -> module) binding tables.
+
+    Covers both module-level and lazy (function-body) imports: a lazy
+    ``from .x import f`` still creates a call edge when ``f(...)`` appears
+    in the same module.
+    """
+    name_map: "dict[str, str]" = {}
+    alias_map: "dict[str, str]" = {}
+    for node in ast.walk(ctx.tree):  # type: ignore[arg-type]
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                alias_map[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            is_pkg = imports.modules.get(module) is ctx and ctx.relpath.endswith(
+                "__init__.py"
+            )
+            dst = _resolve_from(module, is_pkg, node)
+            if dst is None:
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                target = f"{dst}.{alias.name}"
+                if target in imports.modules:
+                    # ``from . import submodule`` binds a module alias.
+                    alias_map[bound] = target
+                else:
+                    name_map[bound] = target
+    return name_map, alias_map
+
+
+def _collect_edges(
+    graph: CallGraph, module: str, ctx: FileContext, imports: ModuleGraph
+) -> None:
+    name_map, alias_map = _module_bindings(module, ctx, imports)
+    local = {
+        qual.rsplit(".", 1)[-1]: qual
+        for qual, d in graph.defs.items()
+        if d.ctx is ctx and d.cls is None
+    }
+    for qual, d in list(graph.defs.items()):
+        if d.ctx is not ctx:
+            continue
+        resolved: "set[str]" = set()
+        by_name: "set[str]" = set()
+        for node in ast.walk(d.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                target = local.get(func.id) or name_map.get(func.id)
+                if target and target in graph.defs:
+                    resolved.add(target)
+            elif isinstance(func, ast.Attribute):
+                attr = func.attr
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if base.id == "self" and d.cls is not None:
+                        self_target = f"{module}.{d.cls}.{attr}"
+                        if self_target in graph.defs:
+                            resolved.add(self_target)
+                            continue
+                    mod = alias_map.get(base.id)
+                    if mod is not None:
+                        mod_target = f"{mod}.{attr}"
+                        if mod_target in graph.defs:
+                            resolved.add(mod_target)
+                        continue  # a module receiver is never duck-typed
+                by_name |= graph.methods_named(attr)
+        if resolved:
+            graph.edges[qual] = resolved
+        if by_name:
+            graph.attr_edges[qual] = by_name
+
+
+@dataclass
+class ProjectGraph:
+    """The pair of graphs checkers consume, built once per run."""
+
+    imports: ModuleGraph
+    calls: CallGraph
+
+
+def build_project_graph(project: ProjectContext) -> ProjectGraph:
+    """Build both graphs for ``project`` (parse-error files are skipped)."""
+    files = [f for f in project.files if f.tree is not None]
+    init_dirs = _init_dirs(files)
+
+    imports = ModuleGraph()
+    for ctx in files:
+        module = _module_name(ctx.relpath, init_dirs)
+        if module is None:
+            continue
+        imports.module_names[ctx.relpath] = module
+        imports.modules.setdefault(module, ctx)
+
+    for ctx in files:
+        module = imports.module_names.get(ctx.relpath)
+        if module is None:
+            continue
+        visitor = _ImportVisitor(module, ctx.relpath.endswith("__init__.py"))
+        visitor.visit(ctx.tree)  # type: ignore[arg-type]
+        imports.edges.extend(visitor.edges)
+
+    calls = CallGraph()
+    for ctx in files:
+        module = imports.module_names.get(ctx.relpath)
+        if module is None:
+            continue
+        _collect_defs(calls, module, ctx)
+    for ctx in files:
+        module = imports.module_names.get(ctx.relpath)
+        if module is None:
+            continue
+        _collect_edges(calls, module, ctx, imports)
+
+    return ProjectGraph(imports=imports, calls=calls)

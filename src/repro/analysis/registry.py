@@ -18,6 +18,7 @@ fingerprint in the supplied baseline file).
 
 from __future__ import annotations
 
+import fnmatch
 import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -107,6 +108,9 @@ class AnalysisResult:
     baselined: "list[Finding]"
     files_scanned: int
     rules: "list[str]" = field(default_factory=list)
+    #: non-fatal runner notes (skipped unreadable files, ...); reported in
+    #: every output format but never failing the run by themselves
+    warnings: "list[str]" = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -114,8 +118,62 @@ class AnalysisResult:
         return not self.findings
 
 
-def _iter_py_files(paths: "Iterable[str]") -> "Iterator[str]":
-    """Yield every ``.py`` file under ``paths`` (files passed through)."""
+#: Always excluded from the walk, whatever .gitignore says: bytecode caches
+#: can shadow sources with stale, unparseable or generated content.
+_BUILTIN_EXCLUDES = ("__pycache__", "*.pyc", "*.pyo")
+
+
+def _load_gitignore_patterns(root: str) -> "list[str]":
+    """Exclusion patterns from ``<root>/.gitignore`` plus the built-ins.
+
+    Supports the common subset: blank lines and ``#`` comments are
+    skipped, a trailing ``/`` anchors a pattern to directories, and
+    ``fnmatch`` globbing applies.  Negations (``!pattern``) are ignored —
+    for a *linter exclusion* list, re-including a previously ignored file
+    is never load-bearing, and silently mis-handling one would be.
+    """
+    patterns = list(_BUILTIN_EXCLUDES)
+    try:
+        with open(os.path.join(root, ".gitignore"), "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError:
+        return patterns
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#") or line.startswith("!"):
+            continue
+        patterns.append(line)
+    return patterns
+
+
+def _is_excluded(name: str, rel: str, patterns: "list[str]") -> bool:
+    """Whether a file/directory matches any exclusion pattern.
+
+    ``name`` is the bare entry name, ``rel`` the root-relative path with
+    forward slashes (empty when outside the root).
+    """
+    for pat in patterns:
+        pat = pat.rstrip("/")
+        if not pat:
+            continue
+        if "/" in pat:
+            p = pat.lstrip("/")
+            if rel and (fnmatch.fnmatch(rel, p) or fnmatch.fnmatch(rel, p + "/*")):
+                return True
+        elif fnmatch.fnmatch(name, pat):
+            return True
+    return False
+
+
+def _iter_py_files(
+    paths: "Iterable[str]", root: str, patterns: "list[str]"
+) -> "Iterator[str]":
+    """Yield every ``.py`` file under ``paths`` (files passed through).
+
+    Directories and files matching ``patterns`` (the root's ``.gitignore``
+    plus built-ins) are pruned; a path passed *explicitly* is never
+    excluded — the caller asked for it by name.
+    """
     seen = set()
     for path in paths:
         path = os.path.abspath(path)
@@ -125,15 +183,24 @@ def _iter_py_files(paths: "Iterable[str]") -> "Iterator[str]":
                 yield path
             continue
         for dirpath, dirnames, filenames in os.walk(path):
+            def rel_of(name: str) -> str:
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                return "" if rel.startswith("..") else rel.replace(os.sep, "/")
+
             dirnames[:] = sorted(
-                d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+                d
+                for d in dirnames
+                if not d.startswith(".") and not _is_excluded(d, rel_of(d), patterns)
             )
             for name in sorted(filenames):
-                if name.endswith(".py"):
-                    full = os.path.join(dirpath, name)
-                    if full not in seen:
-                        seen.add(full)
-                        yield full
+                if not name.endswith(".py"):
+                    continue
+                if _is_excluded(name, rel_of(name), patterns):
+                    continue
+                full = os.path.join(dirpath, name)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
 
 
 def _sort_key(f: Finding):
@@ -169,11 +236,20 @@ def analyze_paths(
     if unknown:
         raise ValueError(f"unknown rules: {sorted(unknown)}")
 
+    warnings: "list[str]" = []
     files: "list[FileContext]" = []
-    for path in _iter_py_files(paths):
+    patterns = _load_gitignore_patterns(root)
+    for path in _iter_py_files(paths, root, patterns):
         relpath = os.path.relpath(path, root).replace(os.sep, "/")
-        with open(path, "r", encoding="utf-8") as fh:
-            source = fh.read()
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            # Skip-with-warning, never crash: an unreadable file must not
+            # take down the whole CI lint run (parse *errors* still fail —
+            # those are findings on code the interpreter would also reject).
+            warnings.append(f"skipped unreadable file {relpath}: {exc}")
+            continue
         files.append(build_file_context(path, relpath, source))
     project = ProjectContext(root=root, files=files)
 
@@ -217,4 +293,5 @@ def analyze_paths(
         baselined=sorted(baselined, key=_sort_key),
         files_scanned=len(files),
         rules=sorted(selected),
+        warnings=warnings,
     )

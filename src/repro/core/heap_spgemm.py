@@ -90,9 +90,13 @@ def heap_spgemm(
             for s, e in partition.rows_of(tid):
                 for i in range(s, e):
                     # Build the initial heap: first nonzero of every b_k* row.
-                    heap: "list[tuple[int, int, int]]" = []
-                    ends: list[int] = []
-                    avals: list[float] = []
+                    # The per-row heap *is* the Heap algorithm (Table 1: its
+                    # accumulator is a priority queue over the row's runs,
+                    # sized nnz(a_i*), not flop) — the sanctioned exception
+                    # to the Section 4.3 no-per-row-allocation contract.
+                    heap: "list[tuple[int, int, int]]" = []  # repro-lint: disable=hot-loop-alloc
+                    ends: list[int] = []  # repro-lint: disable=hot-loop-alloc
+                    avals: list[float] = []  # repro-lint: disable=hot-loop-alloc
                     src = 0
                     for j in range(a_indptr[i], a_indptr[i + 1]):
                         k = a_indices[j]

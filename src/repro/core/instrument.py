@@ -20,7 +20,16 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
-__all__ = ["KernelStats"]
+__all__ = ["KernelStats", "EXTRA_SPAN_COUNTERS"]
+
+#: Trace-only counter keys sanctioned on spans *in addition to* the
+#: :class:`KernelStats` fields.  The span-discipline contract (see
+#: ``docs/static-analysis.md``) requires every literal counter key at a
+#: tracer seam to be a declared field of the instrumentation schema so
+#: traces and stats ledgers reconcile; ``nnz`` is the one deliberate
+#: extra — the dispatcher stamps the *result's* nonzero count on the root
+#: span, which is a property of the output, not an operation count.
+EXTRA_SPAN_COUNTERS = frozenset({"nnz"})
 
 
 @dataclass

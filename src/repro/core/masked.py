@@ -26,6 +26,12 @@ from .scheduler import ThreadPartition, rows_to_threads
 
 __all__ = ["masked_spgemm"]
 
+#: Shared zero-length placeholders for rows the mask empties out — hoisted
+#: to module level so the per-row hot loop never allocates (they are only
+#: ever read by ``np.concatenate``, never written).
+_EMPTY_COLS = np.empty(0, dtype=INDEX_DTYPE)
+_EMPTY_VALS = np.empty(0, dtype=VALUE_DTYPE)
+
 
 # Deliberately NOT in the spgemm() dispatch: the mask is a third operand, so
 # this is a different surface (GraphBLAS mxm-with-mask), exported directly.
@@ -96,7 +102,11 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
             for i in range(s, e):
                 mask_cols = m_indices[m_indptr[i] : m_indptr[i + 1]]
                 mask_stamp[mask_cols] = i
-                first_touch: "list[np.ndarray]" = []
+                # First-touch runs are discovered per row by the mask/live
+                # stamping; the list holds views (no copies) and is bounded
+                # by the row's mask population, not by flop — the masked
+                # kernel's sanctioned exception to the Section 4.3 contract.
+                first_touch: "list[np.ndarray]" = []  # repro-lint: disable=hot-loop-alloc
                 for j in range(a_indptr[i], a_indptr[i + 1]):
                     k = a_indices[j]
                     lo, hi = b_indptr[k], b_indptr[k + 1]
@@ -121,15 +131,18 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
                     if len(live_cols):
                         vals[live_cols] = sr.add(vals[live_cols], contrib[~fresh])
                 if first_touch:
-                    out_cols = np.concatenate(first_touch)
+                    # One output-sized gather per *emitted* row (<= mask
+                    # population elements), assembling the row's column set —
+                    # not the flop-sized churn the rule targets.
+                    out_cols = np.concatenate(first_touch)  # repro-lint: disable=hot-loop-alloc
                     if sort_output and len(out_cols) > 1:
                         out_cols = np.sort(out_cols)
                     row_cols.append(out_cols)
                     row_vals.append(vals[out_cols].copy())
                     row_nnz[i] = len(out_cols)
                 else:
-                    row_cols.append(np.empty(0, dtype=INDEX_DTYPE))
-                    row_vals.append(np.empty(0, dtype=VALUE_DTYPE))
+                    row_cols.append(_EMPTY_COLS)
+                    row_vals.append(_EMPTY_VALS)
             pieces[s] = (
                 np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
                 np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),

@@ -1,0 +1,35 @@
+"""Seeded hot-loop-alloc violations (and the sanctioned forms next to them)."""
+
+import numpy as np
+
+
+def bad_kernel(a_indptr, partition, nthreads):
+    out = []
+    for tid in range(nthreads):
+        buf = np.zeros(16)  # good: thread-level allocation
+        row_cols = []  # good: thread-level growing buffer
+        for s, e in partition.rows_of(tid):
+            scratch = np.zeros(8)  # good: rows_of body is thread level
+            del scratch
+            for i in range(s, e):
+                tmp = []  # BAD: fresh container per row
+                acc = np.zeros(4)  # BAD: numpy allocation per row
+                row = np.append(buf, i)  # BAD: np.append copies everything
+                for j in range(int(a_indptr[i]), int(a_indptr[i + 1])):
+                    merged = np.concatenate((row, acc))  # BAD: per-entry copy
+                    tmp.append(j)  # good: append to an existing buffer
+                    del merged
+                row_cols.append(row)  # good: grows the thread-level buffer
+        out.append(row_cols)
+    return out
+
+
+def clean_kernel(partition, nthreads, n):
+    pieces = []
+    for tid in range(nthreads):
+        vals = np.zeros(n)  # good: thread-level dense accumulator
+        for s, e in partition.rows_of(tid):
+            for i in range(s, e):
+                vals[i] += 1.0  # good: fills preallocated storage in place
+            pieces.append(vals[s:e])  # good: views, no allocation call
+    return pieces

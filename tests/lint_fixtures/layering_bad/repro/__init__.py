@@ -1,0 +1,1 @@
+"""Fixture root package (the facade itself is exempt from layering)."""

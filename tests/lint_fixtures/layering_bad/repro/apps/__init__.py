@@ -1,0 +1,2 @@
+def pagerank(a):
+    return a

@@ -1,0 +1,1 @@
+"""Fixture core package with seeded layering violations in bad_kernel."""

@@ -1,0 +1,21 @@
+"""Seeded layering violations (and the sanctioned forms next to them)."""
+
+from ..errors import ShapeError  # good: errors is below core
+from ..observability import NULL_TRACER  # good: sanctioned name
+from ..observability import Tracer  # BAD: core must stay import-optional
+from ..apps import pagerank  # BAD: apps is the top of the DAG
+from ..perfmodel import predict  # BAD: not in core's allowed layers
+
+
+def run(a):
+    from ..analysis import analyze_paths  # BAD: analysis even lazily
+
+    return pagerank(a), predict(a), analyze_paths([]), Tracer, NULL_TRACER, ShapeError
+
+
+def lazy_is_sanctioned(a):
+    # A lazy import of an otherwise-disallowed layer (not apps/analysis)
+    # is the sanctioned cycle-breaking escape hatch: no finding.
+    from ..perfmodel import predict as p
+
+    return p(a)

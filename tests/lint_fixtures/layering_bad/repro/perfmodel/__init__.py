@@ -1,0 +1,2 @@
+def predict(a):
+    return 0.0

@@ -1,0 +1,1 @@
+"""Fixture package: a miniature plan layer with seeded purity violations."""

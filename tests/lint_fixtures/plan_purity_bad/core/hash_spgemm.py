@@ -1,0 +1,20 @@
+"""Seeded plan-purity violations in the hash kernel's numeric entry."""
+
+import numpy as np
+
+from .symbolic import symbolic_row_nnz
+
+
+def hash_numeric(a, b, indptr):
+    nnz = symbolic_row_nnz(a, b)  # BAD: symbolic builder in the numeric path
+    c = _assemble(a)
+    c.indices = nnz  # BAD: mutates CSR structure attribute
+    return c
+
+
+def _assemble(a):
+    indptr = np.zeros(3)  # BAD: allocates a fresh structure array
+    del indptr
+    out_data = np.zeros(3)  # good: value arrays may be allocated freely
+    out_data[0] = 1.0
+    return a

@@ -1,0 +1,14 @@
+"""Fixture plan layer: SpgemmPlan.execute reaches every seeded violation."""
+
+import numpy as np
+
+from .hash_spgemm import hash_numeric
+
+
+class SpgemmPlan:
+    def execute(self, a, b):
+        self._refresh(a)
+        return hash_numeric(a, b, self.indptr)
+
+    def _refresh(self, a):
+        np.cumsum(a.row_nnz, out=self.indptr)  # BAD: out= into structure

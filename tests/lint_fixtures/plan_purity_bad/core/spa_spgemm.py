@@ -1,0 +1,14 @@
+"""Seeded plan-purity violations in the SPA kernel's numeric entry."""
+
+from .scheduler import rows_to_threads
+
+
+def spa_numeric(a, b, indptr):
+    indptr[0] = 0  # BAD: in-place write into a structure array
+    part = rows_to_threads(a, b, 2)  # BAD: structure builder in numeric path
+    return _fill(a, part)
+
+
+def _fill(a, part):
+    values = a  # good: touching values is the whole point of replay
+    return values

@@ -1,0 +1,12 @@
+"""Fixture vocabulary source: a miniature KernelStats schema."""
+
+from dataclasses import dataclass
+
+EXTRA_SPAN_COUNTERS = frozenset({"nnz"})
+
+
+@dataclass
+class KernelStats:
+    flops: int = 0
+    rows: int = 0
+    output_nnz: int = 0

@@ -1,0 +1,36 @@
+"""Seeded span-discipline violations (and the good forms next to them)."""
+
+
+def traced_kernel(tracer, root):
+    with tracer.span("numeric", phase="numeric"):  # good: balanced, known
+        pass
+
+    tracer.span("symbolic", phase="symbolic")  # BAD: opened outside `with`
+
+    with tracer.span("numeric", phase="warmup"):  # BAD: unknown phase
+        pass
+
+    with tracer.span("mystery"):  # BAD: no phase=, name not in vocabulary
+        pass
+
+    sc = tracer.span("numeric", phase="numeric")  # BAD: assigned, never entered
+    del sc
+
+    ok = tracer.span("numeric", phase="numeric")  # good: assign-then-with
+    with ok:
+        pass
+
+    tracer.record("sort", 0.5, phase="sort")  # good
+    tracer.record("osort", 0.5, phase="output-sort")  # BAD: unknown phase
+    tracer.record("stitch", 0.1)  # good: name itself is a known phase
+
+    tracer.counter("flops", 1)  # good: declared KernelStats field
+    tracer.counter("bogus_counter", 2)  # BAD: undeclared counter key
+    root.add_counter("nnz", 1.0)  # good: sanctioned via EXTRA_SPAN_COUNTERS
+    root.add_counter("undeclared_thing", 1.0)  # BAD: undeclared counter key
+
+
+def dynamic_sites_are_skipped(tracer, phase_name, key):
+    # Non-literal names/phases are not checkable statically: no findings.
+    with tracer.span(phase_name, phase=phase_name):
+        tracer.counter(key, 1)

@@ -1,0 +1,19 @@
+"""Fixture vocabulary source: a miniature tracer module.
+
+The span-discipline checker reads the phase vocabulary out of the file
+whose relpath ends ``observability/tracer.py`` — this one, when the
+fixture tree is linted on its own.
+"""
+
+KNOWN_PHASES = ("symbolic", "numeric", "sort", "stitch", "other")
+
+
+class Tracer:
+    def span(self, name, *, phase=None, **meta):
+        raise NotImplementedError
+
+    def record(self, name, seconds, *, phase=None, **meta):
+        raise NotImplementedError
+
+    def counter(self, name, value):
+        raise NotImplementedError

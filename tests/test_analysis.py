@@ -183,9 +183,13 @@ def test_all_rules_registered():
         "accum-order",
         "csr-construct",
         "determinism",
+        "hot-loop-alloc",
         "kernel-dispatch",
+        "layering",
         "overbroad-except",
+        "plan-purity",
         "shm-lifecycle",
+        "span-discipline",
     }
 
 

@@ -1,0 +1,401 @@
+"""Tests for the project-wide analysis layer (PR 5).
+
+Covers the import/call graph builder, the four cross-module checkers
+(span-discipline, plan-purity, hot-loop-alloc, layering) against their
+seeded fixture trees, the SARIF 2.1.0 exporter, the ratcheting baseline
+workflow, walker exclusions, and the CLI exit-code contract.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, available_rules, validate_sarif
+from repro.analysis.baseline import load_baseline
+from repro.analysis.cli import main as cli_main
+from repro.analysis.context import ProjectContext, build_file_context
+from repro.analysis.graph import build_project_graph
+from repro.analysis.sarif import FINGERPRINT_KEY, sarif_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+NEW_RULES = {"span-discipline", "plan-purity", "hot-loop-alloc", "layering"}
+
+BAD_EXCEPT = "def f():\n    try:\n        pass\n    except:\n        pass\n"
+
+
+def run_tree(root, rules, paths=None, baseline=frozenset()):
+    paths = [str(root)] if paths is None else [str(p) for p in paths]
+    return analyze_paths(paths, root=str(root), rules=rules, baseline=baseline)
+
+
+def project_of(root: Path) -> ProjectContext:
+    files = []
+    for p in sorted(root.rglob("*.py")):
+        rel = p.relative_to(root).as_posix()
+        files.append(build_file_context(str(p), rel, p.read_text()))
+    return ProjectContext(root=str(root), files=files)
+
+
+# ---------------------------------------------------------------------------
+# graph builder
+# ---------------------------------------------------------------------------
+
+
+def test_import_graph_modules_and_lazy_edges():
+    graph = build_project_graph(project_of(FIXTURES / "layering_bad"))
+    assert "repro.core.bad_kernel" in graph.imports.modules
+    assert "repro.observability" in graph.imports.modules
+    edges = graph.imports.imports_of("repro.core.bad_kernel")
+    by_dst = {e.dst: e for e in edges}
+    assert by_dst["repro.apps"].lazy is False
+    assert by_dst["repro.analysis"].lazy is True
+    assert "Tracer" in by_dst["repro.observability"].names
+
+
+def test_call_graph_reaches_through_methods_and_helpers():
+    graph = build_project_graph(project_of(FIXTURES / "plan_purity_bad"))
+    entries = graph.calls.entries_matching("SpgemmPlan.execute", "hash_numeric")
+    assert "core.plan.SpgemmPlan.execute" in entries
+    assert "core.hash_spgemm.hash_numeric" in entries
+    reach = graph.calls.reachable_from(entries)
+    # execute -> self._refresh (method tier); hash_numeric -> _assemble (name tier)
+    assert "core.plan.SpgemmPlan._refresh" in reach
+    assert "core.hash_spgemm._assemble" in reach
+
+
+def test_project_graph_is_memoized():
+    project = project_of(FIXTURES / "plan_purity_bad")
+    assert project.graph() is project.graph()
+
+
+# ---------------------------------------------------------------------------
+# the four new checkers, against their seeded fixture trees
+# ---------------------------------------------------------------------------
+
+
+def test_span_discipline_fixture():
+    result = run_tree(FIXTURES / "span_bad", ["span-discipline"])
+    assert len(result.findings) == 7
+    assert {f.line for f in result.findings} == {8, 10, 13, 16, 24, 28, 30}
+    messages = " ".join(f.message for f in result.findings)
+    assert "opened outside a `with`" in messages
+    assert "'warmup'" in messages and "'output-sort'" in messages
+    assert "never entered" in messages
+    assert "'bogus_counter'" in messages and "'undeclared_thing'" in messages
+    # the vocabulary quoted in messages comes from the fixture's tracer.py
+    assert "symbolic" in messages and "stitch" in messages
+
+
+def test_plan_purity_fixture():
+    result = run_tree(FIXTURES / "plan_purity_bad", ["plan-purity"])
+    assert len(result.findings) == 6
+    where = {(f.path, f.line) for f in result.findings}
+    assert where == {
+        ("core/hash_spgemm.py", 9),
+        ("core/hash_spgemm.py", 11),
+        ("core/hash_spgemm.py", 16),
+        ("core/plan.py", 14),
+        ("core/spa_spgemm.py", 7),
+        ("core/spa_spgemm.py", 8),
+    }
+    messages = " ".join(f.message for f in result.findings)
+    assert "symbolic_row_nnz" in messages and "rows_to_threads" in messages
+    assert "reachable from the numeric-only path" in messages
+    # every finding names its entry-point witness
+    assert all("via core." in f.message for f in result.findings)
+
+
+def test_hot_loop_alloc_fixture():
+    result = run_tree(FIXTURES, ["hot-loop-alloc"], paths=[FIXTURES / "hotloop_bad.py"])
+    assert len(result.findings) == 4
+    assert {f.line for f in result.findings} == {15, 16, 17, 19}
+    messages = " ".join(f.message for f in result.findings)
+    assert "np.zeros" in messages and "np.append" in messages
+    assert "np.concatenate" in messages
+    assert "fresh container" in messages
+
+
+def test_layering_fixture():
+    result = run_tree(FIXTURES / "layering_bad", ["layering"])
+    assert len(result.findings) == 4
+    assert all(f.path == "repro/core/bad_kernel.py" for f in result.findings)
+    assert {f.line for f in result.findings} == {5, 6, 7, 11}
+    messages = " ".join(f.message for f in result.findings)
+    assert "import-optional" in messages  # non-sanctioned observability name
+    assert "repro.apps" in messages
+    assert "lazily" in messages  # analysis forbidden even inside a function
+
+
+def test_project_checkers_self_gate_on_foreign_trees():
+    # span-discipline needs tracer.py+instrument.py; plan-purity needs
+    # plan.py; layering needs a repro root package.  None of those exist
+    # in the other fixtures, so each checker must stay silent, not crash.
+    assert run_tree(FIXTURES / "layering_bad", ["span-discipline"]).findings == []
+    assert run_tree(FIXTURES / "layering_bad", ["plan-purity"]).findings == []
+    assert run_tree(FIXTURES / "plan_purity_bad", ["layering"]).findings == []
+
+
+def test_new_rules_silent_on_real_tree():
+    result = analyze_paths(
+        [str(REPO_ROOT / "src" / "repro")], root=str(REPO_ROOT), rules=sorted(NEW_RULES)
+    )
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# SARIF export
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_report_validates_and_carries_fingerprints():
+    result = run_tree(FIXTURES / "span_bad", ["span-discipline"])
+    payload = sarif_report(result)
+    validate_sarif(payload)
+    run = payload["runs"][0]
+    assert payload["version"] == "2.1.0"
+    results = run["results"]
+    assert len(results) == 7
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids) and "parse-error" in rule_ids
+    for res in results:
+        assert res["ruleId"] == "span-discipline"
+        assert FINGERPRINT_KEY in res["partialFingerprints"]
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_sarif_suppression_kinds(tmp_path):
+    bad = tmp_path / "sup.py"
+    bad.write_text(
+        "def f():\n"
+        "    try:\n"
+        "        pass\n"
+        "    except:  # repro-lint: disable=overbroad-except\n"
+        "        pass\n"
+    )
+    result = run_tree(tmp_path, ["overbroad-except"])
+    assert result.findings == [] and len(result.suppressed) == 1
+    payload = sarif_report(result)
+    validate_sarif(payload)
+    (res,) = payload["runs"][0]["results"]
+    assert res["suppressions"][0]["kind"] == "inSource"
+
+    # the same finding un-suppressed but baselined -> kind "external"
+    bad.write_text(BAD_EXCEPT)
+    active = run_tree(tmp_path, ["overbroad-except"])
+    baselined = run_tree(
+        tmp_path,
+        ["overbroad-except"],
+        baseline=frozenset(f.fingerprint for f in active.findings),
+    )
+    assert baselined.findings == [] and len(baselined.baselined) == 1
+    payload = sarif_report(baselined)
+    validate_sarif(payload)
+    (res,) = payload["runs"][0]["results"]
+    assert res["suppressions"][0]["kind"] == "external"
+
+
+def test_validate_sarif_rejects_malformed():
+    result = run_tree(FIXTURES / "span_bad", ["span-discipline"])
+    payload = sarif_report(result)
+    payload["runs"][0]["results"][0]["ruleId"] = "not-a-rule"
+    with pytest.raises(ValueError):
+        validate_sarif(payload)
+
+
+def test_cli_sarif_output(capsys):
+    code = cli_main(
+        [
+            str(FIXTURES / "hotloop_bad.py"),
+            "--rules",
+            "hot-loop-alloc",
+            "--format",
+            "sarif",
+            "--root",
+            str(FIXTURES),
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    validate_sarif(payload)
+    assert len(payload["runs"][0]["results"]) == 4
+
+
+# ---------------------------------------------------------------------------
+# baseline ratchet + CLI exit contract (satellites 2 and 3)
+# ---------------------------------------------------------------------------
+
+
+def _tree_with_two_violations(tmp_path):
+    (tmp_path / "one.py").write_text(BAD_EXCEPT)
+    (tmp_path / "two.py").write_text(BAD_EXCEPT.replace("f()", "g()"))
+    return tmp_path
+
+
+def test_update_baseline_only_shrinks(tmp_path, capsys):
+    root = _tree_with_two_violations(tmp_path)
+    base = tmp_path / "baseline.txt"
+    argv = [str(root), "--rules", "overbroad-except", "--root", str(root)]
+
+    assert cli_main(argv + ["--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert len(load_baseline(str(base))) == 2
+
+    # fix one old violation, introduce a brand-new one
+    (root / "one.py").write_text("def f():\n    return 1\n")
+    (root / "three.py").write_text(BAD_EXCEPT.replace("f()", "h()"))
+
+    assert cli_main(argv + ["--update-baseline", str(base)]) == 1
+    err = capsys.readouterr().err
+    assert "ratcheted" in err and "2 -> 1" in err
+    ratcheted = load_baseline(str(base))
+    assert len(ratcheted) == 1  # shrank: the fixed finding is gone ...
+    new = run_tree(root, ["overbroad-except"], paths=[root / "three.py"])
+    assert new.findings[0].fingerprint not in ratcheted  # ... new one NOT added
+
+    # a second ratchet with nothing fixed keeps the same size (idempotent)
+    assert cli_main(argv + ["--update-baseline", str(base)]) == 1
+    capsys.readouterr()
+    assert load_baseline(str(base)) == ratcheted
+
+
+def test_write_baseline_still_emits_json_report(tmp_path, capsys):
+    root = _tree_with_two_violations(tmp_path)
+    base = tmp_path / "baseline.txt"
+    code = cli_main(
+        [
+            str(root),
+            "--rules",
+            "overbroad-except",
+            "--root",
+            str(root),
+            "--write-baseline",
+            str(base),
+            "--format",
+            "json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    payload = json.loads(captured.out)  # stdout is pure JSON ...
+    assert payload["counts"]["active"] == 2
+    assert "wrote 2 fingerprint(s)" in captured.err  # ... notice on stderr
+
+
+def test_cli_exit_code_contract(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_EXCEPT)
+    root = ["--root", str(tmp_path)]
+
+    assert cli_main([str(clean)] + root) == 0
+    assert cli_main([str(bad)] + root) == 1
+    assert cli_main([str(bad), "--rules", "no-such-rule"] + root) == 2
+    assert cli_main([str(tmp_path / "missing.py")] + root) == 2
+    base = tmp_path / "b.txt"
+    base.write_text("")
+    assert (
+        cli_main([str(bad), "--update-baseline", str(base), "--baseline", str(base)] + root)
+        == 2
+    )
+    capsys.readouterr()
+
+
+def test_list_rules_names_all_ten(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule, _ in available_rules():
+        assert rule in out
+    for rule in NEW_RULES:
+        assert rule in out
+
+
+# ---------------------------------------------------------------------------
+# fingerprint stability (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+def fingerprints_at(root: Path) -> "set[str]":
+    result = analyze_paths([str(root)], root=str(root), rules=["hot-loop-alloc"])
+    assert result.findings, "fixture copy produced no findings"
+    return {f.fingerprint for f in result.findings}
+
+
+def test_fingerprints_independent_of_absolute_root(tmp_path):
+    for sub in ("alpha", "deeply/nested/beta"):
+        d = tmp_path / sub
+        d.mkdir(parents=True)
+        shutil.copy(FIXTURES / "hotloop_bad.py", d / "hotloop_bad.py")
+    assert fingerprints_at(tmp_path / "alpha") == fingerprints_at(
+        tmp_path / "deeply/nested/beta"
+    )
+
+
+def test_fingerprints_survive_line_shifts(tmp_path):
+    original = (FIXTURES / "hotloop_bad.py").read_text()
+    (tmp_path / "plain").mkdir()
+    (tmp_path / "shifted").mkdir()
+    (tmp_path / "plain" / "hotloop_bad.py").write_text(original)
+    (tmp_path / "shifted" / "hotloop_bad.py").write_text(
+        "# padding\n" * 25 + original
+    )
+    plain = fingerprints_at(tmp_path / "plain")
+    shifted = fingerprints_at(tmp_path / "shifted")
+    assert plain == shifted  # lines moved 25 down, fingerprints identical
+
+
+def test_fingerprints_do_change_when_path_changes(tmp_path):
+    # renames ARE a new identity (the relpath is part of the hash) -- the
+    # stability contract is about roots and line numbers, not file names.
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    shutil.copy(FIXTURES / "hotloop_bad.py", tmp_path / "a" / "hotloop_bad.py")
+    shutil.copy(FIXTURES / "hotloop_bad.py", tmp_path / "b" / "renamed.py")
+    assert fingerprints_at(tmp_path / "a").isdisjoint(fingerprints_at(tmp_path / "b"))
+
+
+# ---------------------------------------------------------------------------
+# walker exclusions + unreadable files (satellite 1)
+# ---------------------------------------------------------------------------
+
+
+def test_gitignore_patterns_prune_the_walk(tmp_path):
+    (tmp_path / ".gitignore").write_text("generated/\n*_gen.py\n# comment\n\n")
+    (tmp_path / "generated").mkdir()
+    (tmp_path / "generated" / "bad.py").write_text(BAD_EXCEPT)
+    (tmp_path / "foo_gen.py").write_text(BAD_EXCEPT)
+    (tmp_path / "visible.py").write_text(BAD_EXCEPT)
+    result = run_tree(tmp_path, ["overbroad-except"])
+    assert result.files_scanned == 1
+    assert [f.path for f in result.findings] == ["visible.py"]
+
+
+def test_pycache_always_excluded_without_gitignore(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "stale.py").write_text(BAD_EXCEPT)
+    (tmp_path / "real.py").write_text("x = 1\n")
+    result = run_tree(tmp_path, ["overbroad-except"])
+    assert result.files_scanned == 1 and result.findings == []
+
+
+def test_explicit_file_path_beats_exclusion(tmp_path):
+    (tmp_path / ".gitignore").write_text("*_gen.py\n")
+    target = tmp_path / "foo_gen.py"
+    target.write_text(BAD_EXCEPT)
+    result = run_tree(tmp_path, ["overbroad-except"], paths=[target])
+    assert len(result.findings) == 1  # asking for a file by name means it
+
+
+def test_unreadable_file_warns_and_skips(tmp_path):
+    (tmp_path / "binary.py").write_bytes(b"\xff\xfe\x00 not utf-8 \xba\xad")
+    (tmp_path / "fine.py").write_text(BAD_EXCEPT)
+    result = run_tree(tmp_path, ["overbroad-except"])
+    assert result.files_scanned == 1
+    assert len(result.findings) == 1
+    assert len(result.warnings) == 1
+    assert "skipped unreadable file binary.py" in result.warnings[0]
