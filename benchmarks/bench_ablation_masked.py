@@ -17,7 +17,7 @@ from repro.datasets import load_dataset
 from repro.matrix.ops import degree_reorder, triangular_split
 from repro.profiling import render_series
 
-from _util import emit
+from _util import emit, record_json
 
 GRAPHS = ["mc2depi", "scircuit", "patents_main", "webbase-1M"]
 MAX_N = 4000
@@ -45,6 +45,7 @@ def ablation():
             "masked_nnz": closed.nnz,
             "unmasked_sorted": full_stats.sorted_elements,
             "masked_sorted": fused_stats.sorted_elements,
+            "masked_kept": fused_stats.masked_kept,
         })
     series = {
         "materialized (unmasked)": [r["unmasked_nnz"] for r in rows],
@@ -57,6 +58,14 @@ def ablation():
             f"Ablation: fused mask in L·U triangle counting (max_n={MAX_N})",
             "graph", [r["name"] for r in rows], series, log_y=True,
         ),
+    )
+    record_json(
+        "ablation_masked",
+        {
+            "benchmark": "ablation: fused mask in L*U triangle counting",
+            "max_n": MAX_N,
+            "rows": rows,
+        },
     )
     return rows
 

@@ -51,15 +51,19 @@ from .semiring import (
     get_semiring,
 )
 from .core import (
+    ChainPlan,
     KernelStats,
+    MaskedSpgemmPlan,
     PlanCache,
     SpgemmOptions,
     SpgemmPlan,
     available_algorithms,
     available_engines,
     inspect,
+    inspect_masked,
     masked_spgemm,
     multiply_chain,
+    plan_chain,
     recommend,
     rows_to_threads,
     spgemm,
@@ -100,11 +104,15 @@ __all__ = [
     "spgemm",
     "SpgemmOptions",
     "SpgemmPlan",
+    "MaskedSpgemmPlan",
     "PlanCache",
     "PlanError",
     "inspect",
+    "inspect_masked",
     "masked_spgemm",
     "multiply_chain",
+    "plan_chain",
+    "ChainPlan",
     "available_algorithms",
     "available_engines",
     "recommend",

@@ -83,10 +83,17 @@ def _greedy_aggregate(strength: CSR) -> np.ndarray:
 
 
 def amg_setup(
-    a: CSR, *, theta: float = 0.25, algorithm: str = "hash",
-    engine: str = "faithful", plan_cache=None, tracer=None,
+    a: CSR, *, theta: float = 0.25, algorithm: str = "auto",
+    engine: str = "auto", plan_cache=None, tracer=None,
 ) -> AmgHierarchy:
     """Build a two-level hierarchy for a symmetric M-matrix-like operator.
+
+    The Galerkin product runs through the fused chain tier: the triple
+    product is associated flop-optimally, a left-deep order streams the
+    intermediate block-by-block (never materializing all of ``R·A`` or
+    ``A·P``), and the default ``algorithm="auto"``/``engine="auto"`` take
+    each stage's kernel from the :class:`repro.core.chain.ChainPlan`'s
+    symbolic quantities.
 
     Parameters
     ----------
@@ -95,7 +102,7 @@ def amg_setup(
     theta:
         Strength-of-connection threshold in [0, 1).
     algorithm:
-        SpGEMM kernel for the Galerkin product.
+        SpGEMM kernel for the Galerkin product (``"auto"`` = per-stage).
     plan_cache:
         Optional :class:`repro.core.plan.PlanCache` forwarded to the
         Galerkin SpGEMMs — rebuilding hierarchies whose operators keep

@@ -28,17 +28,21 @@ __all__ = ["clustering_coefficients", "label_propagation", "LabelPropagationResu
 
 
 def clustering_coefficients(
-    adjacency: CSR, *, algorithm: str = "hash", engine: str = "faithful"
+    adjacency: CSR, *, algorithm: str = "hash", engine: str = "faithful",
+    masked: bool = True, plan_cache=None,
 ) -> np.ndarray:
     """Local clustering coefficient of every vertex of an undirected graph.
 
     ``cc(v) = 2 * triangles(v) / (deg(v) * (deg(v) - 1))``; vertices with
-    degree < 2 get 0.0 (networkx convention).
+    degree < 2 get 0.0 (networkx convention).  The triangle counts come
+    from the fused ``A²⟨A⟩`` product by default (``masked=True``);
+    ``plan_cache`` makes repeated same-structure calls numeric-only.
     """
     if adjacency.nrows != adjacency.ncols:
         raise ShapeError("adjacency must be square")
     tri = triangle_counts_per_vertex(
-        adjacency, algorithm=algorithm, engine=engine
+        adjacency, algorithm=algorithm, engine=engine, masked=masked,
+        plan_cache=plan_cache,
     )
     deg = adjacency.row_nnz().astype(np.float64)
     wedges = deg * (deg - 1.0)

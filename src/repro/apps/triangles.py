@@ -21,22 +21,16 @@ from ..core.masked import masked_spgemm
 from ..core.spgemm import spgemm
 from ..errors import ShapeError
 from ..matrix.csr import CSR
-from ..matrix.ops import degree_reorder, elementwise_multiply, triangular_split
+from ..matrix.ops import (
+    degree_reorder,
+    elementwise_multiply,
+    pattern,
+    triangular_split,
+)
 from ..observability import NULL_TRACER
 from ..semiring import PLUS_TIMES
 
 __all__ = ["count_triangles", "triangle_counts_per_vertex"]
-
-
-def _pattern(a: CSR) -> CSR:
-    """The 0/1 pattern of ``a`` (values replaced by ones)."""
-    return CSR(
-        a.shape,
-        a.indptr.copy(),
-        a.indices.copy(),
-        np.ones(a.nnz),
-        sorted_rows=a.sorted_rows,
-    )
 
 
 def count_triangles(
@@ -45,7 +39,8 @@ def count_triangles(
     algorithm: str = "hash",
     engine: str = "faithful",
     reorder: bool = True,
-    masked: bool = False,
+    masked: bool = True,
+    plan_cache=None,
     tracer=None,
 ) -> int:
     """Count triangles of an undirected graph given its adjacency matrix.
@@ -56,18 +51,22 @@ def count_triangles(
     ``reorder=False`` skips the degree preprocessing (useful to measure how
     much the reordering buys — the paper applies it always).
 
-    ``masked=True`` fuses the elementwise mask into the multiplication
-    (:func:`repro.core.masked.masked_spgemm`): wedges that do not close
-    into an edge of A are dropped at accumulation time and the full wedge
-    matrix ``L·U`` is never materialized — the GraphBLAS-style refinement
-    of the paper's §5.6 pipeline.
+    The default ``masked=True`` fuses the elementwise mask into the
+    multiplication (:func:`repro.core.masked.masked_spgemm`): wedges that
+    do not close into an edge of A are dropped at accumulation time and the
+    full wedge matrix ``L·U`` is never materialized — the GraphBLAS-style
+    refinement of the paper's §5.6 pipeline.  The fused product is
+    plan-backed: pass a :class:`repro.core.plan.PlanCache` as
+    ``plan_cache`` and repeated counts on graphs with the same structure
+    replay numeric-only.  ``algorithm`` applies only to the unfused
+    (``masked=False``) path; the fused kernel is its own algorithm.
     """
     if adjacency.nrows != adjacency.ncols:
         raise ShapeError("adjacency must be square")
     obs = tracer if tracer is not None else NULL_TRACER
     with obs.span("count_triangles", phase="other", nnz=adjacency.nnz):
         with obs.span("reorder", phase="other"):
-            a = _pattern(adjacency)
+            a = pattern(adjacency)
             if reorder:
                 a, _ = degree_reorder(a, ascending=True)
             if not a.sorted_rows:
@@ -76,11 +75,14 @@ def count_triangles(
             low, up = triangular_split(a)
         with obs.span("wedges", phase="other"):
             if masked:
-                closed = masked_spgemm(low, up, a, semiring=PLUS_TIMES)
+                closed = masked_spgemm(
+                    low, up, a, semiring=PLUS_TIMES, engine=engine,
+                    plan_cache=plan_cache, tracer=tracer,
+                )
             else:
                 wedges = spgemm(
                     low, up, algorithm=algorithm, semiring=PLUS_TIMES,
-                    engine=engine, tracer=tracer,
+                    engine=engine, plan_cache=plan_cache, tracer=tracer,
                 )
         with obs.span("mask", phase="other"):
             if not masked:
@@ -90,19 +92,36 @@ def count_triangles(
 
 
 def triangle_counts_per_vertex(
-    adjacency: CSR, *, algorithm: str = "hash", engine: str = "faithful"
+    adjacency: CSR,
+    *,
+    algorithm: str = "hash",
+    engine: str = "faithful",
+    masked: bool = True,
+    plan_cache=None,
 ) -> np.ndarray:
     """Number of triangles through each vertex.
 
     Uses the unordered formulation ``t(v) = (A .* A²) row-sum / 2``: every
     triangle through v contributes A²-paths to both of v's incident edges.
+    With the default ``masked=True`` the product and the mask are one fused
+    ``A²⟨A⟩`` call — off-pattern paths never reach the output;
+    ``algorithm`` applies only to the unfused path.
     """
     if adjacency.nrows != adjacency.ncols:
         raise ShapeError("adjacency must be square")
-    a = _pattern(adjacency)
-    a2 = spgemm(a, a, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine)
-    masked = elementwise_multiply(a, a2)
+    a = pattern(adjacency)
+    if masked:
+        closed = masked_spgemm(
+            a, a, a, semiring=PLUS_TIMES, engine=engine,
+            plan_cache=plan_cache,
+        )
+    else:
+        a2 = spgemm(
+            a, a, algorithm=algorithm, semiring=PLUS_TIMES, engine=engine,
+            plan_cache=plan_cache,
+        )
+        closed = elementwise_multiply(a, a2)
     out = np.zeros(a.nrows)
-    rows, _, vals = masked.to_coo()
+    rows, _, vals = closed.to_coo()
     np.add.at(out, rows, vals)
     return (out / 2.0).astype(np.int64)

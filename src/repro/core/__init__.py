@@ -42,9 +42,11 @@ from .options import SpgemmOptions
 from .plan import (
     PLAN_ALGORITHMS,
     PLANLESS_ALGORITHMS,
+    MaskedSpgemmPlan,
     PlanCache,
     SpgemmPlan,
     inspect,
+    inspect_masked,
     structure_fingerprint,
 )
 from .scheduler import (
@@ -56,7 +58,7 @@ from .scheduler import (
     lowbnd,
 )
 from .symbolic import symbolic_row_nnz, expand_rows
-from .chain import ChainPlan, multiply_chain, plan_chain
+from .chain import ChainPlan, StagePlan, multiply_chain, plan_chain
 from .masked import masked_spgemm
 from .recipe import recommend, RecipeDecision, heap_cost_model, hash_cost_model
 from .instrument import KernelStats
@@ -74,10 +76,12 @@ __all__ = [
     "spgemm",
     "SpgemmOptions",
     "SpgemmPlan",
+    "MaskedSpgemmPlan",
     "PlanCache",
     "PLAN_ALGORITHMS",
     "PLANLESS_ALGORITHMS",
     "inspect",
+    "inspect_masked",
     "structure_fingerprint",
     "ThreadPartition",
     "rows_to_threads",
@@ -88,6 +92,7 @@ __all__ = [
     "symbolic_row_nnz",
     "expand_rows",
     "ChainPlan",
+    "StagePlan",
     "multiply_chain",
     "plan_chain",
     "masked_spgemm",

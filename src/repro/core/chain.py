@@ -11,6 +11,22 @@ matrix-chain dynamic program, then evaluates it with any registered kernel.
 Flop counts of products that involve intermediate results are themselves
 exact: the DP materializes intermediate *patterns* bottom-up (cheap relative
 to the numeric multiplies it saves).
+
+On top of the association order, the planner recognizes two **fusable
+shapes** (see ``docs/fusion.md``):
+
+* **trailing elementwise mask** — ``(A · B) .* M``: pass ``mask=`` and the
+  final product runs through the fused :func:`repro.core.masked.masked_spgemm`
+  instead of materializing the full product and filtering it;
+* **sandwich triple products** — ``R · A · P`` evaluated left-deep with
+  sorted output streams the narrow intermediate block-by-block
+  (:meth:`CSR.row_block` views + :func:`repro.matrix.ops.vstack_rows`), so
+  the full ``R · A`` is never resident at once.
+
+Each :class:`ChainPlan` node carries a :class:`StagePlan` with per-stage
+algorithm/engine choices derived from the symbolic quantities (stage flop
+and compression ratio), used when the caller asks for ``algorithm="auto"``
+/ ``engine="auto"``.
 """
 
 from __future__ import annotations
@@ -19,11 +35,49 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR
+from ..matrix.ops import pattern, pattern_filter, vstack_rows
 from ..matrix.stats import total_flop
 from ..semiring import PLUS_TIMES, Semiring
+from .masked import masked_spgemm
 from .spgemm import spgemm
+from .symbolic import iter_row_blocks
 
-__all__ = ["ChainPlan", "multiply_chain", "plan_chain", "matrix_power"]
+__all__ = [
+    "ChainPlan",
+    "StagePlan",
+    "multiply_chain",
+    "plan_chain",
+    "matrix_power",
+]
+
+#: Stage flop above which the planner picks the batched engine: below this
+#: the per-call numpy overhead of the vectorized pipeline rivals the scalar
+#: kernel's row loop, above it the ~16x engine win applies.
+FAST_FLOP_THRESHOLD = 4096
+
+#: Stage compression ratio (flop / nnz) at which collisions dominate and
+#: the planner prefers the vector-probing hash (the Table-4 boundary).
+HIGH_CR_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Per-stage execution choice of one chain node, from symbolic facts."""
+
+    #: the nested order node this stage evaluates, e.g. ``(0, 1)``
+    node: tuple
+    #: multiplications of this stage alone
+    flop: int
+    #: output pattern nonzeros of this stage (unmasked)
+    nnz: int
+    #: algorithm picked from the stage's compression ratio
+    algorithm: str
+    #: engine picked from the stage's flop volume
+    engine: str
+    #: True on the final stage when the chain carries a fused mask
+    masked: bool = False
+    #: output nonzeros after the mask (None when ``masked`` is False)
+    masked_nnz: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -36,6 +90,11 @@ class ChainPlan:
     flop: int
     #: flop of the worst order, for reporting the saving
     worst_flop: int
+    #: per-stage choices, bottom-up (the root stage is last)
+    stages: "tuple[StagePlan, ...]" = ()
+    #: recognized fusable shape: None, "masked", "sandwich" or
+    #: "masked-sandwich"
+    fusable: "str | None" = None
 
     @property
     def saving(self) -> float:
@@ -50,23 +109,25 @@ class ChainPlan:
                 return names[node] if names else f"M{node}"
             return f"({rec(node[0])} x {rec(node[1])})"
 
-        return rec(self.order)
+        out = rec(self.order)
+        if self.fusable in ("masked", "masked-sandwich"):
+            out += " .* M"
+        return out
 
 
-def _pattern(m: CSR) -> CSR:
-    import numpy as np
-
-    return CSR(
-        m.shape, m.indptr, m.indices, np.ones(m.nnz), sorted_rows=m.sorted_rows
-    )
-
-
-def plan_chain(matrices: "list[CSR]") -> ChainPlan:
+def plan_chain(
+    matrices: "list[CSR]",
+    *,
+    mask: CSR | None = None,
+    complement: bool = False,
+) -> ChainPlan:
     """Matrix-chain DP over **exact** flop counts.
 
     For up to a handful of operands (the practical case: RAP is three) the
     DP evaluates every split of every interval, computing each candidate
-    intermediate's pattern once via the boolean product.
+    intermediate's pattern once via the boolean product.  With ``mask=``,
+    the final stage is planned as a fused masked product and its
+    ``masked_nnz`` records what fusion keeps off the output path.
     """
     n = len(matrices)
     if n == 0:
@@ -81,7 +142,17 @@ def plan_chain(matrices: "list[CSR]") -> ChainPlan:
             f"chain of {n} operands: the exact-flop DP materializes "
             "O(n^2) intermediate patterns; split the chain manually"
         )
-    patterns = [_pattern(m) for m in matrices]
+    if mask is not None:
+        if n < 2:
+            raise ConfigError(
+                "a chain mask gates a product; it needs at least two operands"
+            )
+        if mask.shape != (matrices[0].nrows, matrices[-1].ncols):
+            raise ShapeError(
+                f"mask shape {mask.shape} != chain output shape "
+                f"{(matrices[0].nrows, matrices[-1].ncols)}"
+            )
+    patterns = [pattern(m) for m in matrices]
 
     # best[(i, j)] = (flop, order, pattern) for the product of i..j inclusive
     best: "dict[tuple[int, int], tuple[int, tuple, CSR]]" = {}
@@ -104,10 +175,54 @@ def plan_chain(matrices: "list[CSR]") -> ChainPlan:
                 )
             flop, order, lp, rp = min(candidates, key=lambda t: t[0])
             product = spgemm(lp, rp, algorithm="esc", semiring="or_and")
-            best[(i, j)] = (flop, order, _pattern(product))
+            best[(i, j)] = (flop, order, pattern(product))
             worst[(i, j)] = worst_here
     flop, order, _ = best[(0, n - 1)]
-    return ChainPlan(order=order, flop=flop, worst_flop=worst[(0, n - 1)])
+
+    # Walk the chosen tree bottom-up, pricing each stage from the patterns
+    # the DP already materialized.
+    stages: "list[StagePlan]" = []
+
+    def walk(node) -> "tuple[int, int, CSR]":
+        if isinstance(node, int):
+            return node, node, patterns[node]
+        li, _, lp = walk(node[0])
+        _, rj, rp = walk(node[1])
+        step = total_flop(lp, rp)
+        pat = best[(li, rj)][2]
+        cr = step / max(pat.nnz, 1)
+        stages.append(
+            StagePlan(
+                node=node,
+                flop=step,
+                nnz=pat.nnz,
+                algorithm="hashvec" if cr >= HIGH_CR_THRESHOLD else "hash",
+                engine="fast" if step >= FAST_FLOP_THRESHOLD else "faithful",
+            )
+        )
+        return li, rj, pat
+
+    root_pat = walk(order)[2] if not isinstance(order, int) else patterns[order]
+    sandwich = n == 3 and order == ((0, 1), 2)
+    fusable = None
+    if mask is not None:
+        fusable = "masked-sandwich" if sandwich else "masked"
+        root = stages[-1]
+        masked_nnz = pattern_filter(root_pat, mask, complement=complement).nnz
+        stages[-1] = StagePlan(
+            node=root.node, flop=root.flop, nnz=root.nnz,
+            algorithm=root.algorithm, engine=root.engine,
+            masked=True, masked_nnz=masked_nnz,
+        )
+    elif sandwich:
+        fusable = "sandwich"
+    return ChainPlan(
+        order=order,
+        flop=flop,
+        worst_flop=worst[(0, n - 1)],
+        stages=tuple(stages),
+        fusable=fusable,
+    )
 
 
 def multiply_chain(
@@ -118,35 +233,149 @@ def multiply_chain(
     sort_output: bool = True,
     nthreads: int = 1,
     engine: str = "faithful",
+    mask: CSR | None = None,
+    complement: bool = False,
+    fuse: str = "auto",
     plan: ChainPlan | None = None,
     plan_cache=None,
     tracer=None,
 ) -> CSR:
     """Multiply a chain of matrices in the flop-optimal association order.
 
-    ``plan_cache`` (a :class:`repro.core.plan.PlanCache`) is forwarded to
-    every product, so re-evaluating a chain whose operands keep their
-    sparsity patterns — AMG's Galerkin triple product per cycle, Markov
-    iterations — pays structure discovery only on the first evaluation.
-    ``tracer`` is forwarded to every product, so each association step shows
-    up as its own ``spgemm`` root span.
-    """
-    if plan is None:
-        plan = plan_chain(matrices)
+    ``mask`` gates the chain's *final* product through the fused
+    :func:`repro.core.masked.masked_spgemm` (``complement`` as there) — the
+    unmasked result is never materialized.  ``algorithm="auto"`` /
+    ``engine="auto"`` take each stage's choice from the
+    :class:`ChainPlan`'s symbolic quantities instead of one global setting.
 
-    def evaluate(node) -> CSR:
+    ``fuse`` controls the sandwich streaming tier: ``"auto"``/``"on"``
+    stream a left-deep sorted triple product block-by-block through
+    row-block views (the full intermediate is never resident), ``"off"``
+    materializes every intermediate as before.  Streaming applies only when
+    it is exact: a left-deep order (every per-row result is independent of
+    the surrounding rows, so blocks stack to the unfused product verbatim)
+    with sorted output (unsorted orderings depend on block boundaries).
+
+    ``plan_cache`` (a :class:`repro.core.plan.PlanCache`) is forwarded to
+    every product — including masked and streamed ones — so re-evaluating a
+    chain whose operands keep their sparsity patterns (AMG's Galerkin
+    triple product per cycle, Markov iterations) pays structure discovery
+    only on the first evaluation.  ``tracer`` is forwarded to every
+    product, so each association step shows up as its own root span.
+    """
+    if fuse not in ("auto", "on", "off"):
+        raise ConfigError(
+            f"fuse must be 'auto', 'on' or 'off', got {fuse!r}"
+        )
+    n = len(matrices)
+    if mask is not None:
+        if n < 2:
+            raise ConfigError(
+                "a chain mask gates a product; it needs at least two operands"
+            )
+        if mask.shape != (matrices[0].nrows, matrices[-1].ncols):
+            raise ShapeError(
+                f"mask shape {mask.shape} != chain output shape "
+                f"{(matrices[0].nrows, matrices[-1].ncols)}"
+            )
+    if plan is None:
+        plan = plan_chain(matrices, mask=mask, complement=complement)
+    stage_map = {s.node: s for s in plan.stages}
+
+    def choose(node) -> "tuple[str, str]":
+        st = stage_map.get(node)
+        alg = algorithm if algorithm != "auto" else (
+            st.algorithm if st is not None else "hash"
+        )
+        eng = engine if engine != "auto" else (
+            st.engine if st is not None else "faithful"
+        )
+        return alg, eng
+
+    if (
+        fuse != "off"
+        and sort_output
+        and n == 3
+        and plan.order == ((0, 1), 2)
+    ):
+        return _stream_sandwich(
+            matrices, choose=choose, mask=mask, complement=complement,
+            semiring=semiring, nthreads=nthreads,
+            plan_cache=plan_cache, tracer=tracer,
+        )
+
+    def evaluate(node, *, apply_mask: bool = False) -> CSR:
         if isinstance(node, int):
             return matrices[node]
         left = evaluate(node[0])
         right = evaluate(node[1])
+        alg, eng = choose(node)
+        if apply_mask:
+            return masked_spgemm(
+                left, right, mask,
+                semiring=semiring, complement=complement,
+                sort_output=sort_output, engine=eng, nthreads=nthreads,
+                plan_cache=plan_cache, tracer=tracer,
+            )
         return spgemm(
             left, right,
-            algorithm=algorithm, semiring=semiring,
-            sort_output=sort_output, nthreads=nthreads, engine=engine,
+            algorithm=alg, semiring=semiring,
+            sort_output=sort_output, nthreads=nthreads, engine=eng,
             plan_cache=plan_cache, tracer=tracer,
         )
 
-    return evaluate(plan.order)
+    return evaluate(plan.order, apply_mask=mask is not None)
+
+
+def _stream_sandwich(
+    matrices: "list[CSR]",
+    *,
+    choose,
+    mask: CSR | None,
+    complement: bool,
+    semiring: "str | Semiring",
+    nthreads: int,
+    plan_cache,
+    tracer,
+) -> CSR:
+    """Evaluate a left-deep triple product in flop-bounded row blocks.
+
+    Every SpGEMM algorithm here is row-local (output row ``i`` depends only
+    on row ``i`` of the left operand), so evaluating ``(M0 · M1) · M2`` on
+    row-block views of ``M0`` and stacking yields the unfused sorted result
+    bit-for-bit — while only one block of the intermediate is ever alive.
+    """
+    m0, m1, m2 = matrices
+    alg1, eng1 = choose((0, 1))
+    alg2, eng2 = choose(((0, 1), 2))
+    blocks: "list[CSR]" = []
+    for r0, r1 in iter_row_blocks(m0, m1):
+        left = m0.row_block(r0, r1)
+        t = spgemm(
+            left, m1,
+            algorithm=alg1, semiring=semiring, sort_output=True,
+            nthreads=nthreads, engine=eng1,
+            plan_cache=plan_cache, tracer=tracer,
+        )
+        if mask is not None:
+            blocks.append(
+                masked_spgemm(
+                    t, m2, mask.row_block(r0, r1),
+                    semiring=semiring, complement=complement,
+                    sort_output=True, engine=eng2, nthreads=nthreads,
+                    plan_cache=plan_cache, tracer=tracer,
+                )
+            )
+        else:
+            blocks.append(
+                spgemm(
+                    t, m2,
+                    algorithm=alg2, semiring=semiring, sort_output=True,
+                    nthreads=nthreads, engine=eng2,
+                    plan_cache=plan_cache, tracer=tracer,
+                )
+            )
+    return vstack_rows(blocks)
 
 
 def matrix_power(

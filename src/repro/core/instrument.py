@@ -61,6 +61,9 @@ class KernelStats:
     output_nnz: int = 0
     #: dense-accumulator (SPA) touches
     spa_touches: int = 0
+    #: intermediate products that survived a fused mask (``masked_spgemm``);
+    #: ``flops - masked_kept`` is the work fusion kept off the output path
+    masked_kept: int = 0
     #: rows processed
     rows: int = 0
     #: inspector–executor plan-cache hits (``spgemm(..., plan_cache=...)``)

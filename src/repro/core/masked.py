@@ -9,20 +9,50 @@ time, so the accumulator only ever holds maskable entries and the full
 wedge matrix is never materialized.  This is the fused primitive of the
 GraphBLAS ecosystem (the paper's CombBLAS lineage).
 
-The accumulator here is a mask-gated SPA: the mask row is splatted into a
-stamp array once per row (O(nnz(mask_i*))), and scatters are filtered
-against it — an ``O(1)`` membership test per product.
+Two executable engines, bit-for-bit identical:
+
+* ``engine="faithful"`` — a mask-gated SPA: the mask row is splatted into a
+  stamp array once per row (O(nnz(mask_i*))), and scatters are filtered
+  against it — an ``O(1)`` membership test per product;
+* ``engine="fast"`` — the batched expansion pipeline of
+  :mod:`repro.core.hash_batch` with the mask filter applied to the product
+  stream *before* the stable coordinate sort.  Filtering a stream preserves
+  relative order, so every surviving output entry receives its products in
+  exactly the faithful kernel's arrival sequence — same folds, same bits —
+  while the sort/accumulate volume collapses from ``flop`` to the kept
+  count.
+
+The mask gates by *output coordinate*: a kept entry accumulates **all** of
+its intermediate products, so its value equals the unmasked product's entry
+exactly (not approximately) under every registered semiring.
+
+Repeated-structure traffic can skip the symbolic work entirely: pass
+``plan=`` (a :class:`repro.core.plan.MaskedSpgemmPlan` from
+:func:`repro.core.plan.inspect_masked`) or ``plan_cache=`` (a
+:class:`repro.core.plan.PlanCache`) and the call replays numeric-only.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from ..observability import tracer_from_env
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .engine import ENGINES, ScratchArena, get_thread_arena
+from .hash_batch import _stable_coordinate_order
 from .instrument import KernelStats
 from .scheduler import ThreadPartition, rows_to_threads
+from .symbolic import (
+    DEFAULT_MAX_BLOCK_FLOP,
+    expand_rows,
+    iter_row_blocks,
+    mask_membership,
+    segment_mask,
+)
 
 __all__ = ["masked_spgemm"]
 
@@ -31,6 +61,15 @@ __all__ = ["masked_spgemm"]
 #: ever read by ``np.concatenate``, never written).
 _EMPTY_COLS = np.empty(0, dtype=INDEX_DTYPE)
 _EMPTY_VALS = np.empty(0, dtype=VALUE_DTYPE)
+
+
+def _check_shapes(a: CSR, b: CSR, mask: CSR) -> None:
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if mask.shape != (a.nrows, b.ncols):
+        raise ShapeError(
+            f"mask shape {mask.shape} != output shape {(a.nrows, b.ncols)}"
+        )
 
 
 # Deliberately NOT in the spgemm() dispatch: the mask is a third operand, so
@@ -43,9 +82,14 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
     semiring: "str | Semiring" = PLUS_TIMES,
     complement: bool = False,
     sort_output: bool = True,
+    engine: str = "faithful",
     nthreads: int = 1,
     partition: ThreadPartition | None = None,
     stats: KernelStats | None = None,
+    plan=None,
+    plan_cache=None,
+    tracer=None,
+    max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP,
 ) -> CSR:
     """Compute ``(A (x) B) .* pattern(mask)`` without materializing the rest.
 
@@ -57,11 +101,20 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
         Must have the output shape ``(a.nrows, b.ncols)``.
     complement:
         Keep entries *not* in the mask instead (GraphBLAS ``!M`` semantics).
+    engine:
+        ``"faithful"`` runs the scalar mask-gated SPA; ``"fast"`` runs the
+        batched mask-gated scatter — identical output at the float64 bit
+        level.
+    plan, plan_cache:
+        Inspector–executor replay: ``plan`` must be a
+        :class:`~repro.core.plan.MaskedSpgemmPlan` (its options win);
+        ``plan_cache`` a :class:`~repro.core.plan.PlanCache`, keyed on the
+        three structure fingerprints.
     stats:
-        ``stats.spa_touches`` counts products evaluated; the difference
-        from an unmasked run measures what fusion saves downstream (the
-        products themselves must still be formed — masking saves
-        accumulator growth, sorting and materialization, not flops).
+        ``stats.flops``/``spa_touches`` count products *evaluated* (masking
+        saves accumulator growth, sorting and materialization, not flops);
+        ``stats.masked_kept`` counts the products that survived the mask —
+        the gap between the two is the fused saving.
 
     Returns
     -------
@@ -69,13 +122,216 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
         The masked product; pattern is a subset of ``mask``'s pattern
         (or its complement).
     """
-    if a.ncols != b.nrows:
-        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
-    if mask.shape != (a.nrows, b.ncols):
-        raise ShapeError(
-            f"mask shape {mask.shape} != output shape {(a.nrows, b.ncols)}"
-        )
+    _check_shapes(a, b, mask)
     sr = get_semiring(semiring)
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r}; available: {list(ENGINES)}"
+        )
+    if tracer is None:
+        tracer = tracer_from_env()
+    if plan is not None:
+        return plan.execute(a, b, mask, semiring=sr, stats=stats, tracer=tracer)
+    if plan_cache is not None:
+        return plan_cache.execute_masked(
+            a, b, mask, semiring=sr, complement=complement,
+            sort_output=sort_output, engine=engine, nthreads=nthreads,
+            stats=stats, tracer=tracer,
+        )
+    if tracer is None:
+        return _dispatch_masked(
+            a, b, mask, sr=sr, complement=complement, sort_output=sort_output,
+            engine=engine, nthreads=nthreads, partition=partition,
+            stats=stats, tracer=None, max_block_flop=max_block_flop,
+        )
+    with tracer.span(
+        "masked_spgemm", phase="other",
+        engine=engine, complement=complement,
+        nrows=a.nrows, ncols=b.ncols, mask_nnz=mask.nnz, nthreads=nthreads,
+    ) as root:
+        before = stats.scalar_snapshot() if stats is not None else None
+        c = _dispatch_masked(
+            a, b, mask, sr=sr, complement=complement, sort_output=sort_output,
+            engine=engine, nthreads=nthreads, partition=partition,
+            stats=stats, tracer=tracer, max_block_flop=max_block_flop,
+        )
+        root.add_counter("nnz", float(c.nnz))
+        if stats is not None:
+            for key, value in stats.scalar_snapshot().items():
+                delta = value - before[key]
+                if delta:
+                    root.add_counter(key, delta)
+            from .spgemm import _phase_seconds_into_stats
+
+            _phase_seconds_into_stats(root, stats)
+    return c
+
+
+def _dispatch_masked(
+    a, b, mask, *, sr, complement, sort_output, engine, nthreads,
+    partition, stats, tracer, max_block_flop,
+):
+    if engine == "fast":
+        return _batch_masked(
+            a, b, mask, sr=sr, complement=complement, sort_output=sort_output,
+            stats=stats, tracer=tracer, max_block_flop=max_block_flop,
+        )
+    return _faithful_masked(
+        a, b, mask, sr=sr, complement=complement, sort_output=sort_output,
+        nthreads=nthreads, partition=partition, stats=stats, tracer=tracer,
+    )
+
+
+def _batch_masked(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    sr: Semiring,
+    complement: bool,
+    sort_output: bool,
+    stats: KernelStats | None,
+    tracer,
+    max_block_flop: int,
+    arena: ScratchArena | None = None,
+) -> CSR:
+    """Batched mask-gated scatter — the ``engine="fast"`` implementation.
+
+    The product stream is filtered by mask membership *before* the stable
+    coordinate sort.  Filtering preserves relative arrival order, so each
+    surviving segment folds exactly the faithful kernel's value sequence
+    through :meth:`~repro.semiring.Semiring.accumulate_segments` — the fast
+    masked path is bit-identical to the faithful one while sorting only the
+    kept products.
+    """
+    if arena is None:
+        arena = get_thread_arena()
+    nrows, ncols = a.nrows, b.ncols
+    row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
+    block_cols: "list[np.ndarray]" = []
+    block_vals: "list[np.ndarray]" = []
+    total_flop = 0
+    kept_total = 0
+
+    traced = tracer is not None
+    numeric_seconds = mask_seconds = sort_seconds = 0.0
+    clock = time.perf_counter
+    t0 = clock() if traced else 0.0
+
+    for r0, r1 in iter_row_blocks(a, b, max_block_flop):
+        rows, cols, factors = expand_rows(a, b, r0, r1, with_values=True)
+        n = len(rows)
+        if n == 0:
+            continue
+        total_flop += n
+        vals = np.asarray(sr.mul(factors[0], factors[1]), dtype=VALUE_DTYPE)
+        if traced:
+            t1 = clock()
+            numeric_seconds += t1 - t0
+
+        # Mask gate: drop disallowed products from the stream before any
+        # sorting — the fused saving happens here.
+        allowed = mask_membership(rows, cols, mask, r0, r1)
+        if complement:
+            np.logical_not(allowed, out=allowed)
+        rows = rows[allowed]
+        cols = cols[allowed]
+        vals = vals[allowed]
+        k = len(rows)
+        kept_total += k
+        if traced:
+            t2 = clock()
+            mask_seconds += t2 - t1
+            t0 = t2
+        if k == 0:
+            continue
+
+        span = r1 - r0
+        order = _stable_coordinate_order(rows, cols, r0, span, ncols, arena)
+        r_s = np.take(rows, order, out=arena.take("rows_s", k, rows.dtype))
+        c_s = np.take(cols, order, out=arena.take("cols_s", k, cols.dtype))
+        v_s = np.take(vals, order, out=arena.take("vals_s", k, VALUE_DTYPE))
+        if traced:
+            t3 = clock()
+            sort_seconds += t3 - t2
+
+        new_run = segment_mask(r_s, c_s, out=arena.take("new_run", k, bool))
+        starts = np.flatnonzero(new_run)
+        seg_vals = sr.accumulate_segments(v_s, new_run, starts)
+        seg_cols = c_s[starts]
+        seg_rows = r_s[starts]
+        first_idx = order[starts]
+        row_nnz[r0:r1] += np.bincount(seg_rows - r0, minlength=span)
+        if traced:
+            t4 = clock()
+            numeric_seconds += t4 - t3
+
+        if not sort_output:
+            # First-occurrence order over the *kept* stream — the same order
+            # the faithful kernel's first-touch list records.
+            reorder = np.argsort(first_idx)
+            seg_cols = seg_cols[reorder]
+            seg_vals = seg_vals[reorder]
+
+        block_cols.append(np.ascontiguousarray(seg_cols, dtype=INDEX_DTYPE))
+        block_vals.append(np.ascontiguousarray(seg_vals, dtype=VALUE_DTYPE))
+        if traced:
+            t0 = clock()
+            sort_seconds += t0 - t4
+
+    if traced:
+        t5 = clock()
+    indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(row_nnz, out=indptr[1:])
+    nnz_total = int(indptr[-1])
+    out_indices = np.empty(nnz_total, dtype=INDEX_DTYPE)
+    out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+    cursor = 0
+    for bc, bv in zip(block_cols, block_vals):
+        out_indices[cursor : cursor + len(bc)] = bc
+        out_data[cursor : cursor + len(bv)] = bv
+        cursor += len(bc)
+    if traced:
+        tracer.record(
+            "expand+reduce", numeric_seconds, phase="numeric",
+            what="expand/mul/reduce",
+        )
+        tracer.record(
+            "mask-gate", mask_seconds, phase="mask", what="mask membership filter"
+        )
+        tracer.record(
+            "bucket", sort_seconds, phase="sort", what="stable coordinate order"
+        )
+        tracer.record("assemble", clock() - t5, phase="stitch", what="block assembly")
+
+    if stats is not None:
+        stats.flops += total_flop
+        stats.spa_touches += total_flop
+        stats.masked_kept += kept_total
+        stats.output_nnz += nnz_total
+        stats.rows += nrows
+        if sort_output:
+            stats.sorted_elements += nnz_total
+
+    return CSR(
+        (nrows, ncols), indptr, out_indices, out_data, sorted_rows=sort_output
+    )
+
+
+def _faithful_masked(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    sr: Semiring,
+    complement: bool,
+    sort_output: bool,
+    nthreads: int,
+    partition: ThreadPartition | None,
+    stats: KernelStats | None,
+    tracer,
+) -> CSR:
+    """The scalar mask-gated SPA — the paper-faithful operation stream."""
     if partition is None:
         partition = rows_to_threads(a, b, nthreads)
     elif partition.nrows != a.nrows:
@@ -91,6 +347,11 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
     row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
     pieces: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
     touches = 0
+    kept = 0
+
+    traced = tracer is not None
+    numeric_seconds = mask_seconds = sort_seconds = 0.0
+    clock = time.perf_counter
 
     for tid in range(partition.nthreads):
         vals = np.zeros(ncols, dtype=VALUE_DTYPE)
@@ -100,8 +361,13 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
             row_cols: "list[np.ndarray]" = []
             row_vals: "list[np.ndarray]" = []
             for i in range(s, e):
+                if traced:
+                    t0 = clock()
                 mask_cols = m_indices[m_indptr[i] : m_indptr[i + 1]]
                 mask_stamp[mask_cols] = i
+                if traced:
+                    t1 = clock()
+                    mask_seconds += t1 - t0
                 # First-touch runs are discovered per row by the mask/live
                 # stamping; the list holds views (no copies) and is bounded
                 # by the row's mask population, not by flop — the masked
@@ -115,7 +381,9 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
                     cols = b_indices[lo:hi]
                     allowed = (mask_stamp[cols] == i) != complement
                     touches += hi - lo
-                    if not allowed.any():
+                    nkept = int(allowed.sum())
+                    kept += nkept
+                    if not nkept:
                         continue
                     cols = cols[allowed]
                     contrib = np.atleast_1d(
@@ -130,6 +398,9 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
                     live_cols = cols[~fresh]
                     if len(live_cols):
                         vals[live_cols] = sr.add(vals[live_cols], contrib[~fresh])
+                if traced:
+                    t2 = clock()
+                    numeric_seconds += t2 - t1
                 if first_touch:
                     # One output-sized gather per *emitted* row (<= mask
                     # population elements), assembling the row's column set —
@@ -143,6 +414,8 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
                 else:
                     row_cols.append(_EMPTY_COLS)
                     row_vals.append(_EMPTY_VALS)
+                if traced:
+                    sort_seconds += clock() - t2
             pieces[s] = (
                 np.concatenate(row_cols) if row_cols else np.empty(0, INDEX_DTYPE),
                 np.concatenate(row_vals) if row_vals else np.empty(0, VALUE_DTYPE),
@@ -156,9 +429,22 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
         out_indices[indptr[s] : indptr[s] + len(ccols)] = ccols
         out_data[indptr[s] : indptr[s] + len(cvals)] = cvals
 
+    if traced:
+        tracer.record(
+            "spa-accumulate", numeric_seconds, phase="numeric",
+            what="mask-gated scatter",
+        )
+        tracer.record(
+            "mask-stamp", mask_seconds, phase="mask", what="mask row stamping"
+        )
+        tracer.record(
+            "extract+sort", sort_seconds, phase="sort", what="row harvest"
+        )
+
     if stats is not None:
         stats.flops += touches
         stats.spa_touches += touches
+        stats.masked_kept += kept
         stats.output_nnz += int(indptr[-1])
         stats.rows += nrows
         if sort_output:

@@ -71,6 +71,7 @@ from .spa_spgemm import spa_numeric
 from .symbolic import (
     expand_structure,
     iter_row_blocks,
+    mask_membership,
     segment_mask,
     symbolic_row_nnz,
 )
@@ -78,9 +79,11 @@ from .symbolic import (
 __all__ = [
     "PLAN_ALGORITHMS",
     "PLANLESS_ALGORITHMS",
+    "MaskedSpgemmPlan",
     "SpgemmPlan",
     "PlanCache",
     "inspect",
+    "inspect_masked",
     "structure_fingerprint",
 ]
 
@@ -333,6 +336,162 @@ class SpgemmPlan:
         )
 
 
+class MaskedSpgemmPlan:
+    """Reusable symbolic structure for ``(A (x) B) .* pattern(mask)``.
+
+    The fusion tier's plan node: build with :func:`inspect_masked`, replay
+    with :meth:`execute` against any operand triple sharing the three
+    inspected sparsity patterns.  The cached gather sources are already
+    mask-filtered, so execution touches only the *kept* products — the
+    replay does strictly less numeric work than a fresh masked call, and no
+    membership testing or sorting at all.
+
+    There is a single replay mode (batched): the masked faithful and fast
+    engines are bit-identical by construction (the mask gates whole output
+    coordinates, so every kept entry folds its full product sequence in
+    arrival order), so one cached structure serves both.
+    """
+
+    __slots__ = (
+        "engine", "complement", "sort_output", "semiring",
+        "_fp_a", "_fp_b", "_fp_mask", "_shape_c",
+        "indptr", "indices", "_blocks", "_sorted_rows",
+    )
+
+    #: reported as the plan's algorithm in spans and reprs
+    algorithm = "masked"
+    mode = "batched"
+
+    def __init__(
+        self,
+        *,
+        engine: str,
+        complement: bool,
+        sort_output: bool,
+        semiring: "str | Semiring",
+        fp_a: tuple,
+        fp_b: tuple,
+        fp_mask: tuple,
+        shape_c: "tuple[int, int]",
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        blocks: "list[_BlockRecipe]",
+    ) -> None:
+        self.engine = engine
+        self.complement = complement
+        self.sort_output = sort_output
+        self.semiring = semiring
+        self._fp_a = fp_a
+        self._fp_b = fp_b
+        self._fp_mask = fp_mask
+        self._shape_c = shape_c
+        self.indptr = indptr
+        self.indices = indices
+        self._blocks = blocks
+        self._sorted_rows = sort_output
+
+    @property
+    def nnz(self) -> int:
+        """Output nonzeros the plan will produce."""
+        return int(self.indptr[-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskedSpgemmPlan(complement={self.complement}, "
+            f"sort_output={self.sort_output}, shape={self._shape_c}, "
+            f"nnz={self.nnz})"
+        )
+
+    def _validate_masked(self, a: CSR, b: CSR, mask: CSR | None) -> None:
+        """Raise :class:`PlanError` on any structure mismatch — always
+        before numeric work touches the cached arrays."""
+        fa = structure_fingerprint(a)
+        fb = structure_fingerprint(b)
+        if fa != self._fp_a:
+            raise PlanError(
+                f"operand A structure {fa} does not match the inspected "
+                f"structure {self._fp_a}; re-run inspect_masked()"
+            )
+        if fb != self._fp_b:
+            raise PlanError(
+                f"operand B structure {fb} does not match the inspected "
+                f"structure {self._fp_b}; re-run inspect_masked()"
+            )
+        if mask is not None:
+            fm = structure_fingerprint(mask)
+            if fm != self._fp_mask:
+                raise PlanError(
+                    f"mask structure {fm} does not match the inspected "
+                    f"structure {self._fp_mask}; re-run inspect_masked()"
+                )
+
+    def execute(
+        self,
+        a: CSR,
+        b: CSR,
+        mask: CSR | None = None,
+        *,
+        semiring: "str | Semiring | None" = None,
+        stats: KernelStats | None = None,
+        tracer=None,
+    ) -> CSR:
+        """Numeric-only masked product against the cached structure.
+
+        ``mask`` may be omitted — its membership outcome is baked into the
+        cached gathers; when given, its structure fingerprint is validated
+        like the operands'.  ``semiring`` substitutes the plan's per call.
+        Output is bit-for-bit what a fresh :func:`repro.core.masked.masked_spgemm`
+        call (either engine) would return.
+        """
+        t0 = time.perf_counter()
+        self._validate_masked(a, b, mask)
+        sr = get_semiring(semiring if semiring is not None else self.semiring)
+        obs = tracer if tracer is not None else NULL_TRACER
+        with obs.span(
+            "plan.execute", phase="execute",
+            algorithm=self.algorithm, engine=self.engine, mode=self.mode,
+        ):
+            c = self._replay(a, b, sr, stats)
+        if stats is not None:
+            stats.execute_seconds += time.perf_counter() - t0
+        return c
+
+    def _replay(
+        self, a: CSR, b: CSR, sr: Semiring, stats: KernelStats | None
+    ) -> CSR:
+        nnz_total = self.nnz
+        out_data = np.empty(nnz_total, dtype=VALUE_DTYPE)
+        cursor = 0
+        kept_total = 0
+        for rec in self._blocks:
+            vals = np.asarray(
+                sr.mul(a.data[rec.a_src], b.data[rec.b_src]), dtype=VALUE_DTYPE
+            )
+            kept_total += len(vals)
+            # Strict arrival-order fold over the mask-filtered stream —
+            # exactly the fresh masked kernels' sequence.
+            seg_vals = sr.accumulate_segments(vals, rec.new_run, rec.starts)
+            if rec.reorder is not None:
+                seg_vals = seg_vals[rec.reorder]
+            out_data[cursor : cursor + len(seg_vals)] = seg_vals
+            cursor += len(seg_vals)
+        if stats is not None:
+            # The replay multiplies only the kept products: flops here is
+            # the work actually done, masked_kept mirrors it so the ledger
+            # stays comparable with fresh masked calls.
+            stats.flops += kept_total
+            stats.masked_kept += kept_total
+            stats.output_nnz += nnz_total
+            stats.rows += self._shape_c[0]
+        return CSR(
+            self._shape_c,
+            self.indptr,
+            self.indices,
+            out_data,
+            sorted_rows=self._sorted_rows,
+        )
+
+
 def inspect(
     a: CSR,
     b: CSR,
@@ -494,6 +653,107 @@ def _inspect_faithful(
     )
 
 
+def inspect_masked(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    semiring: "str | Semiring" = "plus_times",
+    complement: bool = False,
+    sort_output: bool = True,
+    engine: str = "fast",
+    stats: KernelStats | None = None,
+    tracer=None,
+) -> MaskedSpgemmPlan:
+    """Run the symbolic phase of a masked product once; return the plan.
+
+    Mirrors the batched masked kernel's structure pass step for step —
+    expansion, mask-membership filter, stable coordinate sort, segment
+    boundaries, output-order emulation — minus the value arithmetic, so
+    the cached ``indices`` and per-block recipes reproduce the fresh
+    masked output exactly (either engine; they are bit-identical).
+
+    ``engine`` is advisory metadata: replay is always batched.  If
+    ``stats`` is supplied, the inspection wall time is added to its
+    ``inspect_seconds`` counter.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
+    if mask.shape != (a.nrows, b.ncols):
+        raise ShapeError(
+            f"mask shape {mask.shape} != output shape {(a.nrows, b.ncols)}"
+        )
+    t0 = time.perf_counter()
+    if tracer is None:
+        tracer = tracer_from_env()
+    obs = tracer if tracer is not None else NULL_TRACER
+    nrows, ncols = a.nrows, b.ncols
+    with obs.span(
+        "plan.inspect", phase="inspect",
+        algorithm="masked", engine=engine, nrows=nrows,
+    ):
+        row_nnz = np.zeros(nrows, dtype=INDPTR_DTYPE)
+        blocks: "list[_BlockRecipe]" = []
+        block_cols: "list[np.ndarray]" = []
+        for r0, r1 in iter_row_blocks(a, b):
+            rows, cols, a_src, b_src = expand_structure(a, b, r0, r1)
+            if len(rows) == 0:
+                continue
+            allowed = mask_membership(rows, cols, mask, r0, r1)
+            if complement:
+                np.logical_not(allowed, out=allowed)
+            rows = rows[allowed]
+            cols = cols[allowed]
+            a_src = a_src[allowed]
+            b_src = b_src[allowed]
+            if len(rows) == 0:
+                continue
+            order = _stable_coordinate_order(rows, cols, r0, r1 - r0, ncols)
+            r_s = rows[order]
+            c_s = cols[order]
+            new_run = segment_mask(r_s, c_s)
+            starts = np.flatnonzero(new_run)
+            seg_rows = r_s[starts]
+            seg_cols = c_s[starts]
+            first_idx = order[starts]
+            row_nnz[r0:r1] += np.bincount(seg_rows - r0, minlength=r1 - r0)
+
+            reorder = None
+            if not sort_output:
+                # First-occurrence order over the kept stream (the masked
+                # kernels' unsorted convention on both engines).
+                reorder = np.argsort(first_idx)
+                seg_cols = seg_cols[reorder]
+            blocks.append(
+                _BlockRecipe(a_src[order], b_src[order], new_run, starts, reorder)
+            )
+            block_cols.append(np.ascontiguousarray(seg_cols, dtype=INDEX_DTYPE))
+
+        indptr = np.zeros(nrows + 1, dtype=INDPTR_DTYPE)
+        np.cumsum(row_nnz, out=indptr[1:])
+        indices = (
+            np.concatenate(block_cols)
+            if block_cols
+            else np.empty(0, dtype=INDEX_DTYPE)
+        )
+        plan = MaskedSpgemmPlan(
+            engine=engine,
+            complement=complement,
+            sort_output=sort_output,
+            semiring=semiring,
+            fp_a=structure_fingerprint(a),
+            fp_b=structure_fingerprint(b),
+            fp_mask=structure_fingerprint(mask),
+            shape_c=(nrows, ncols),
+            indptr=indptr,
+            indices=indices,
+            blocks=blocks,
+        )
+    if stats is not None:
+        stats.inspect_seconds += time.perf_counter() - t0
+    return plan
+
+
 def _partition_key(partition: ThreadPartition | None):
     """Hashable content fingerprint of a partition (ndarrays aren't)."""
     if partition is None:
@@ -600,4 +860,58 @@ class PlanCache:
         self._store(key, plan)
         return plan.execute(
             a, b, semiring=options.semiring, stats=stats, tracer=options.tracer
+        )
+
+    def execute_masked(
+        self,
+        a: CSR,
+        b: CSR,
+        mask: CSR,
+        *,
+        semiring: "str | Semiring" = "plus_times",
+        complement: bool = False,
+        sort_output: bool = True,
+        engine: str = "fast",
+        nthreads: int = 1,
+        stats: KernelStats | None = None,
+        tracer=None,
+    ) -> CSR:
+        """Masked product through the cache (inspect on miss, replay on hit).
+
+        The key is the three structure fingerprints plus the options that
+        shape the cached structure (``complement``, ``sort_output``).  The
+        engine and thread count are deliberately absent — the masked
+        engines are bit-identical and the batched replay is engine- and
+        partition-independent, so one plan serves every configuration that
+        can reuse it.  ``nthreads`` is accepted for signature symmetry with
+        :func:`repro.core.masked.masked_spgemm`.
+        """
+        del nthreads  # replay is partition-independent; see docstring
+        key = (
+            "masked",
+            structure_fingerprint(a),
+            structure_fingerprint(b),
+            structure_fingerprint(mask),
+            complement,
+            sort_output,
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if stats is not None:
+                stats.plan_hits += 1
+            return entry.execute(
+                a, b, mask, semiring=semiring, stats=stats, tracer=tracer
+            )
+        self.misses += 1
+        if stats is not None:
+            stats.plan_misses += 1
+        plan = inspect_masked(
+            a, b, mask, semiring=semiring, complement=complement,
+            sort_output=sort_output, engine=engine, stats=stats, tracer=tracer,
+        )
+        self._store(key, plan)
+        return plan.execute(
+            a, b, mask, semiring=semiring, stats=stats, tracer=tracer
         )

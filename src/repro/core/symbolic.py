@@ -28,6 +28,8 @@ __all__ = [
     "expand_rows",
     "expand_structure",
     "iter_row_blocks",
+    "mask_membership",
+    "masked_row_nnz",
     "segment_mask",
     "symbolic_row_nnz",
 ]
@@ -131,6 +133,98 @@ def segment_mask(
     out[0] = True
     np.not_equal(rows[1:], rows[:-1], out=out[1:])
     np.logical_or(out[1:], cols[1:] != cols[:-1], out=out[1:])
+    return out
+
+
+def mask_membership(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    mask: CSR,
+    row_start: int,
+    row_end: int,
+) -> np.ndarray:
+    """Which coordinates ``(rows[p], cols[p])`` are stored entries of ``mask``.
+
+    ``rows`` holds absolute row indices inside ``[row_start, row_end)``.
+    The test is order-independent, so an unsorted mask works: the mask
+    block's entries are flattened to fused ``(row - row_start) * ncols +
+    col`` keys and sorted once, then every query key is located with one
+    ``searchsorted``.  This is a *symbolic builder* like everything else in
+    this module — the fused masked kernel and the plan inspector call it;
+    numeric-only ``execute`` replays never do (the membership outcome is
+    baked into the cached gather order).
+    """
+    n = len(rows)
+    out = np.empty(n, dtype=bool)
+    if n == 0:
+        return out
+    lo = int(mask.indptr[row_start])
+    hi = int(mask.indptr[row_end])
+    if lo == hi:
+        out[:] = False
+        return out
+    ncols = mask.ncols
+    span = row_end - row_start
+    if ncols and span <= (2**62) // max(ncols, 1):
+        m_rows = np.repeat(
+            np.arange(row_start, row_end, dtype=INDPTR_DTYPE),
+            np.diff(mask.indptr[row_start : row_end + 1]),
+        )
+        mkeys = np.sort((m_rows - row_start) * ncols + mask.indices[lo:hi])
+        pkeys = (rows.astype(INDPTR_DTYPE) - row_start) * ncols + cols
+        pos = np.searchsorted(mkeys, pkeys)
+        valid = pos < len(mkeys)
+        out[:] = False
+        out[valid] = mkeys[pos[valid]] == pkeys[valid]
+        return out
+    # Fused keys would overflow int64 (astronomical ncols): fall back to a
+    # per-row membership test against each mask row's sorted columns.
+    out[:] = False
+    for i in range(row_start, row_end):
+        sel = rows == i
+        if not sel.any():
+            continue
+        mc = np.sort(mask.indices[mask.indptr[i] : mask.indptr[i + 1]])
+        qc = cols[sel]
+        pos = np.searchsorted(mc, qc)
+        ok = pos < len(mc)
+        hit = np.zeros(len(qc), dtype=bool)
+        hit[ok] = mc[pos[ok]] == qc[ok]
+        out[sel] = hit
+    return out
+
+
+def masked_row_nnz(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    complement: bool = False,
+    max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP,
+) -> np.ndarray:
+    """Exact per-row ``nnz`` of the masked product ``(A B) .* M``.
+
+    The mask gates by *output coordinate*, so the count is the number of
+    distinct expanded coordinates that are stored (resp. absent, with
+    ``complement``) in the mask.  Drives the perfmodel's fusion accounting
+    (saved materialization and sort volume).
+    """
+    out = np.zeros(a.nrows, dtype=INDPTR_DTYPE)
+    for r0, r1 in iter_row_blocks(a, b, max_block_flop):
+        rows, cols, _ = expand_rows(a, b, r0, r1, with_values=False)
+        if len(rows) == 0:
+            continue
+        allowed = mask_membership(rows, cols, mask, r0, r1) != complement
+        rows = rows[allowed]
+        cols = cols[allowed]
+        if len(rows) == 0:
+            continue
+        order = np.lexsort((cols, rows))
+        r = rows[order]
+        c = cols[order]
+        new_run = segment_mask(r, c)
+        distinct_rows = r[new_run]
+        out[r0:r1] += np.bincount(distinct_rows - r0, minlength=r1 - r0)
     return out
 
 

@@ -225,6 +225,30 @@ class CSR:
             sorted_rows=self.sorted_rows,
         )
 
+    def row_block(self, row_start: int, row_end: int) -> "CSR":
+        """Rows ``[row_start, row_end)`` as a CSR of shape
+        ``(row_end - row_start, ncols)``.
+
+        ``indices``/``data`` are *views* into the receiver (zero copy; only
+        the rebased ``indptr`` is allocated), which is what lets the fused
+        chain executor stream a product block-by-block without duplicating
+        the operand.  The usual immutability contract covers the views.
+        """
+        if not (0 <= row_start <= row_end <= self.nrows):
+            raise ShapeError(
+                f"row block [{row_start}, {row_end}) out of range for "
+                f"{self.nrows} rows"
+            )
+        lo = int(self.indptr[row_start])
+        hi = int(self.indptr[row_end])
+        return CSR(
+            (row_end - row_start, self.ncols),
+            self.indptr[row_start : row_end + 1] - lo,
+            self.indices[lo:hi],
+            self.data[lo:hi],
+            sorted_rows=self.sorted_rows,
+        )
+
     # ------------------------------------------------------------------
     # Sortedness management
     # ------------------------------------------------------------------

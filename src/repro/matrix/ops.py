@@ -39,6 +39,9 @@ __all__ = [
     "degree_reorder",
     "add",
     "elementwise_multiply",
+    "pattern",
+    "pattern_filter",
+    "vstack_rows",
     "spmv",
     "prune",
     "scale_rows",
@@ -283,6 +286,80 @@ def elementwise_multiply(a: CSR, b: CSR, semiring: Semiring = PLUS_TIMES) -> CSR
     indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
     np.cumsum(counts, out=indptr[1:])
     return CSR(a.shape, indptr, ca[ia], np.asarray(vals), sorted_rows=True)
+
+
+def pattern(a: CSR) -> CSR:
+    """The sparsity *pattern* of ``a``: same coordinates, all values 1.0.
+
+    Shares ``indptr``/``indices`` with the receiver (zero copy — covered by
+    the CSR immutability contract); only the all-ones ``data`` is fresh.
+    The chain planner multiplies patterns over the boolean semiring to price
+    candidate associations, and triangle counting masks with one.
+    """
+    return CSR(
+        a.shape,
+        a.indptr,
+        a.indices,
+        np.ones(a.nnz, dtype=VALUE_DTYPE),
+        sorted_rows=a.sorted_rows,
+    )
+
+
+def pattern_filter(a: CSR, mask: CSR, *, complement: bool = False) -> CSR:
+    """Keep the entries of ``a`` whose coordinates are stored in ``mask``.
+
+    Unlike :func:`elementwise_multiply`, the surviving values are ``a``'s
+    **verbatim** (no semiring combine with the mask's values) and the entry
+    order within each row is preserved — which makes this the exact unfused
+    comparator for the fused ``masked_spgemm``: ``pattern_filter(spgemm(a, b),
+    mask)`` is bit-identical to ``masked_spgemm(a, b, mask)``.  With
+    ``complement=True`` entries *not* in the mask survive instead.
+    """
+    if a.shape != mask.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {mask.shape}")
+    rows = np.repeat(np.arange(a.nrows, dtype=INDEX_DTYPE), a.row_nnz())
+    mrows = np.repeat(np.arange(mask.nrows, dtype=INDEX_DTYPE), mask.row_nnz())
+    ka = rows * a.ncols + a.indices
+    km = np.sort(mrows * mask.ncols + mask.indices)
+    pos = np.searchsorted(km, ka)
+    valid = pos < len(km)
+    keep = np.zeros(len(ka), dtype=bool)
+    keep[valid] = km[pos[valid]] == ka[valid]
+    if complement:
+        np.logical_not(keep, out=keep)
+    counts = np.bincount(rows[keep], minlength=a.nrows)
+    indptr = np.zeros(a.nrows + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSR(
+        a.shape, indptr, a.indices[keep], a.data[keep], sorted_rows=a.sorted_rows
+    )
+
+
+def vstack_rows(mats: "list[CSR]") -> CSR:
+    """Concatenate matrices vertically (same ncols, summed nrows).
+
+    The fused chain executor evaluates a sandwich product in row blocks and
+    stacks the results; each block's arrays are concatenated verbatim, so
+    stacking the row blocks of one product reproduces that product exactly.
+    """
+    if not mats:
+        raise ShapeError("vstack_rows needs at least one matrix")
+    ncols = mats[0].ncols
+    if any(m.ncols != ncols for m in mats):
+        raise ShapeError("all matrices must have the same number of columns")
+    nrows = sum(m.nrows for m in mats)
+    indptr_parts = [np.zeros(1, dtype=INDPTR_DTYPE)]
+    nnz_off = 0
+    for m in mats:
+        indptr_parts.append(m.indptr[1:] + nnz_off)
+        nnz_off += m.nnz
+    return CSR(
+        (nrows, ncols),
+        np.concatenate(indptr_parts),
+        np.concatenate([m.indices for m in mats]) if mats else np.empty(0),
+        np.concatenate([m.data for m in mats]) if mats else np.empty(0),
+        sorted_rows=all(m.sorted_rows for m in mats),
+    )
 
 
 def spmv(a: CSR, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:

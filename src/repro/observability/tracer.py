@@ -52,7 +52,7 @@ __all__ = [
 #: Phase names with first-class meaning to the breakdown exporter.  Spans
 #: may use other phases freely; these are the paper's vocabulary.
 KNOWN_PHASES = (
-    "symbolic", "numeric", "sort", "stitch",
+    "symbolic", "numeric", "sort", "stitch", "mask",
     "partition", "pack", "unpack", "inspect", "execute", "other",
 )
 

@@ -22,15 +22,17 @@ executable kernels in ``tests/test_perfmodel.py``.
 """
 
 from .quantities import ProblemQuantities
-from .cost import CostParts, TrafficItem, build_cost
+from .cost import CostParts, FusionGain, TrafficItem, build_cost, fusion_gain
 from .simulate import SimConfig, SimReport, simulate_spgemm, mflops_series
 from .validate import CountCheck, ValidationReport, validate_counts
 
 __all__ = [
     "ProblemQuantities",
     "CostParts",
+    "FusionGain",
     "TrafficItem",
     "build_cost",
+    "fusion_gain",
     "SimConfig",
     "SimReport",
     "simulate_spgemm",

@@ -34,7 +34,14 @@ from ..core.scheduler import (
 from ..machine.spec import MachineSpec
 from .quantities import ENTRY_BYTES, INDEX_BYTES, ProblemQuantities
 
-__all__ = ["TrafficItem", "CostParts", "build_cost", "MODELED_ALGORITHMS"]
+__all__ = [
+    "TrafficItem",
+    "CostParts",
+    "FusionGain",
+    "build_cost",
+    "fusion_gain",
+    "MODELED_ALGORITHMS",
+]
 
 #: streaming accesses (input row pointers, packed output) use long runs
 STREAM_STANZA = 4096.0
@@ -497,6 +504,64 @@ def _merge_cost(
     temp = q.total_flop * ENTRY_BYTES
     return _finalize(
         "merge", q, machine, partition, cycles_row, 0.0, traffic, temp, phases=1
+    )
+
+
+@dataclass(frozen=True)
+class FusionGain:
+    """Predicted traffic benefit of fusing a trailing elementwise mask.
+
+    Compares ``masked_spgemm(a, b, mask)`` against the unfused pipeline
+    ``C = a @ b; C .* mask``: the product flop is identical (the mask gates
+    by output coordinate, so every surviving entry still receives all its
+    products), but the unfused pipeline writes the full product, then
+    re-reads it and the mask to filter, while the fused kernel only ever
+    writes the survivors.
+    """
+
+    #: bytes the unfused pipeline moves on the output path: write full C,
+    #: re-read C and the mask for the filter, write the masked result
+    unfused_bytes: float
+    #: bytes the fused kernel moves: read the mask structure once while
+    #: gating, write only the survivors
+    fused_bytes: float
+    #: output entries that never exist under fusion (dropped pre-sort)
+    saved_output_elements: float
+    #: comparison elements the output sort never sees under fusion
+    saved_sort_elements: float
+
+    @property
+    def saved_bytes(self) -> float:
+        return self.unfused_bytes - self.fused_bytes
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Unfused over fused output-path bytes (>= 1 when fusion helps)."""
+        return self.unfused_bytes / self.fused_bytes if self.fused_bytes else 1.0
+
+
+def fusion_gain(q: ProblemQuantities, mask_nnz: int) -> FusionGain:
+    """Price the mask-fusion saving from exact symbolic quantities.
+
+    ``q`` must have been computed with ``mask=`` (so the exact masked
+    output size is known).  Only the *output-path* traffic is compared —
+    operand reads and the expansion itself are common to both pipelines.
+    """
+    full = q.output_bytes()
+    kept = q.masked_output_bytes()
+    unfused = (
+        full                         # write the full product
+        + full                       # re-read it for the filter step
+        + mask_nnz * INDEX_BYTES     # read the mask structure
+        + kept                       # write the filtered result
+    )
+    fused = mask_nnz * INDEX_BYTES + kept
+    saved_elems = q.masked_saved_output_elements
+    return FusionGain(
+        unfused_bytes=float(unfused),
+        fused_bytes=float(fused),
+        saved_output_elements=float(saved_elems),
+        saved_sort_elements=float(saved_elems),
     )
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..matrix.csr import CSR
 from ..matrix.stats import flop_per_row
-from ..core.symbolic import symbolic_row_nnz
+from ..core.symbolic import masked_row_nnz, symbolic_row_nnz
 
 __all__ = ["ProblemQuantities", "ENTRY_BYTES", "INDEX_BYTES"]
 
@@ -64,18 +64,39 @@ class ProblemQuantities:
     nnz_a_row: np.ndarray
     #: mean nnz of the B rows actually referenced (stanza length driver)
     mean_b_row: float
+    #: per-row exact output sizes under a fused mask (None when unmasked)
+    nnz_c_masked: np.ndarray | None = None
 
     # Derived, computed lazily -------------------------------------------------
     _table_size: np.ndarray | None = field(default=None, repr=False)
     _collision: np.ndarray | None = field(default=None, repr=False)
 
     @classmethod
-    def compute(cls, a: CSR, b: CSR) -> "ProblemQuantities":
-        """Analyze ``a @ b`` (exact; cost ~ one ESC symbolic pass)."""
+    def compute(
+        cls,
+        a: CSR,
+        b: CSR,
+        *,
+        mask: CSR | None = None,
+        complement: bool = False,
+    ) -> "ProblemQuantities":
+        """Analyze ``a @ b`` (exact; cost ~ one ESC symbolic pass).
+
+        With ``mask=``, also computes the exact per-row output sizes of the
+        fused masked product ``(a b)⟨mask⟩`` — the flop stays that of the
+        full product (the mask gates by output coordinate, every surviving
+        entry still receives all its products), but the output and sort
+        volumes shrink to ``nnz_c_masked``.
+        """
         flop = flop_per_row(a, b).astype(np.float64)
         nnz_c = symbolic_row_nnz(a, b).astype(np.float64)
         total_flop = float(flop.sum())
         mean_b_row = total_flop / a.nnz if a.nnz else 0.0
+        nnz_c_masked = None
+        if mask is not None:
+            nnz_c_masked = masked_row_nnz(
+                a, b, mask, complement=complement
+            ).astype(np.float64)
         return cls(
             nrows=a.nrows,
             ncols=b.ncols,
@@ -85,6 +106,7 @@ class ProblemQuantities:
             nnz_c=nnz_c,
             nnz_a_row=a.row_nnz().astype(np.float64),
             mean_b_row=mean_b_row,
+            nnz_c_masked=nnz_c_masked,
         )
 
     # ------------------------------------------------------------------
@@ -158,3 +180,24 @@ class ProblemQuantities:
     def output_bytes(self) -> float:
         """Resident size of the output."""
         return self.total_nnz_c * ENTRY_BYTES + (self.nrows + 1) * 8
+
+    # Masked-product accounting ----------------------------------------------
+    @property
+    def total_nnz_c_masked(self) -> float:
+        """Exact output size of the fused masked product (requires mask)."""
+        if self.nnz_c_masked is None:
+            raise ValueError("quantities were computed without a mask")
+        return float(self.nnz_c_masked.sum())
+
+    def masked_output_bytes(self) -> float:
+        """Resident size of the masked output."""
+        return self.total_nnz_c_masked * ENTRY_BYTES + (self.nrows + 1) * 8
+
+    @property
+    def masked_saved_output_elements(self) -> float:
+        """Entries fusion keeps off the output (and sort) path."""
+        return self.total_nnz_c - self.total_nnz_c_masked
+
+    def masked_saved_output_bytes(self) -> float:
+        """Output bytes fusion never writes (the dropped entries)."""
+        return self.masked_saved_output_elements * ENTRY_BYTES
