@@ -27,6 +27,7 @@ rules and how to add one.
 """
 
 from .baseline import load_baseline, write_baseline
+from .dynamic import load_dynamic_findings, sanitizer_rules
 from .findings import Finding
 from .graph import ProjectGraph, build_project_graph
 from .registry import (
@@ -53,4 +54,6 @@ __all__ = [
     "validate_sarif",
     "ProjectGraph",
     "build_project_graph",
+    "load_dynamic_findings",
+    "sanitizer_rules",
 ]

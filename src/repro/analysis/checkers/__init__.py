@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (imports register the checkers)
     hot_loop,
     layering,
     plan_purity,
+    race,
     shm_lifecycle,
     span_discipline,
 )

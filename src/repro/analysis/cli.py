@@ -20,6 +20,7 @@ import os
 import sys
 
 from .baseline import load_baseline, write_baseline
+from .dynamic import load_dynamic_findings, sanitizer_rules
 from .registry import analyze_paths, available_rules
 from .sarif import sarif_report
 
@@ -67,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         metavar="RULE[,RULE...]",
         help="run only these rules (default: all)",
+    )
+    parser.add_argument(
+        "--dynamic",
+        metavar="FILE",
+        help="merge runtime findings from a sanitizer report (JSON lines "
+        "written under REPRO_SANITIZE=shm / REPRO_SANITIZE_REPORT) into "
+        "the result as active findings",
     )
     parser.add_argument(
         "--root",
@@ -134,6 +142,10 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.list_rules:
         for rule, description in available_rules():
             print(f"{rule:<18s} {description}")
+        # The dynamic half shares the reporting pipeline, so its rules are
+        # part of the vocabulary even though no checker implements them.
+        for rule, description in sanitizer_rules():
+            print(f"{rule:<18s} [dynamic] {description}")
         return 0
 
     paths = args.paths
@@ -179,6 +191,13 @@ def main(argv: "list[str] | None" = None) -> int:
 
     for warning in result.warnings:
         print(f"warning: {warning}", file=sys.stderr)
+
+    if args.dynamic:
+        try:
+            result.findings.extend(load_dynamic_findings(args.dynamic))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     exit_code = 0 if result.clean else 1
     if args.write_baseline:

@@ -1,0 +1,98 @@
+"""Bridge from the dynamic shm sanitizer into the static reporting pipeline.
+
+The concurrency-safety tier has two halves: the ``race-*`` checkers prove
+the pool's write-ownership model over the AST, and the runtime sanitizer
+(:mod:`repro.parallel.sanitizer`, ``REPRO_SANITIZE=shm``) enforces it over
+actual executions, appending any violations as JSON lines to
+``REPRO_SANITIZE_REPORT``.  This module is the seam that merges the second
+half into the first: :func:`load_dynamic_findings` converts each recorded
+violation into the same :class:`~repro.analysis.findings.Finding` value
+object the checkers yield, so ``python -m repro.analysis --dynamic
+report.jsonl`` produces one report — and one SARIF run — covering both.
+
+Layering: ``parallel`` must never depend on this dev-tool layer, so the
+rule table lives with the sanitizer and is imported *from here*, lazily
+(the sanctioned direction and mechanism; see the layering rule).  A test
+asserts the SARIF metadata and the sanitizer's table stay in lockstep.
+
+Runtime findings have no source location.  They are anchored at the
+synthetic artifact :data:`DYNAMIC_URI` with the violating pool call's
+share mode as the snippet, which keeps SARIF structurally valid and —
+since fingerprints hash rule, path, snippet and message but not line
+numbers — gives repeated identical violations a stable identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+
+__all__ = ["DYNAMIC_URI", "load_dynamic_findings", "sanitizer_rules"]
+
+#: Synthetic artifact URI carried by runtime findings (there is no file to
+#: point at; the event happened inside a ``parallel_spgemm`` call).
+DYNAMIC_URI = "runtime/parallel-pool"
+
+#: ``kind`` tag each report line must carry (versioned with the format).
+_REPORT_KIND = "repro-sanitize/1"
+
+
+def sanitizer_rules() -> "list[tuple[str, str]]":
+    """``(rule id, description)`` pairs for the dynamic half, sorted.
+
+    Same shape as :func:`repro.analysis.registry.available_rules`, so the
+    CLI listing and the SARIF metadata can chain the two.
+    """
+    # Lazy on purpose: analysis is a dev tool nothing may depend on, so the
+    # shared rule table lives with the sanitizer and is pulled from here.
+    from ..parallel.sanitizer import SANITIZER_RULES
+
+    return sorted(SANITIZER_RULES.items())
+
+
+def load_dynamic_findings(path: str) -> "list[Finding]":
+    """Parse a sanitizer report (JSON lines) into :class:`Finding` objects.
+
+    Raises :class:`ValueError` on malformed lines, unknown ``kind`` tags or
+    rule ids outside the sanitizer's table — a report that cannot be
+    trusted end to end should fail the merge loudly, not half-load.
+    An empty or all-clean report yields an empty list.
+    """
+    known = dict(sanitizer_rules())
+    findings: "list[Finding]" = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{n}: not JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{n}: record must be an object")
+            if record.get("kind") != _REPORT_KIND:
+                raise ValueError(
+                    f"{path}:{n}: kind {record.get('kind')!r} is not "
+                    f"{_REPORT_KIND!r}"
+                )
+            mode = str(record.get("mode", "?"))
+            for event in record.get("findings", ()):
+                rule = event.get("rule")
+                if rule not in known:
+                    raise ValueError(
+                        f"{path}:{n}: unknown sanitizer rule {rule!r} "
+                        f"(known: {sorted(known)})"
+                    )
+                findings.append(
+                    Finding(
+                        rule=rule,
+                        path=DYNAMIC_URI,
+                        line=n,
+                        col=0,
+                        message=str(event.get("message", known[rule])),
+                        snippet=f"share={mode}",
+                    )
+                )
+    return findings

@@ -25,6 +25,26 @@ two graphs over one :class:`~repro.analysis.context.ProjectContext`:
   that consumes it (a false edge can only make *more* code subject to the
   contract, never hide a violation).
 
+The concurrency tier (PR 7) adds two further views over the same parse:
+
+* **write events** — :meth:`CallGraph.writes_of` lazily extracts every
+  mutation a function performs (subscript stores, attribute stores,
+  ``global``-declared rebinds, mutating method calls, ``del``,
+  ``inplace=True`` calls), each annotated with the dotted receiver, the
+  kind of subscript index (slice vs. key), the names appearing in the
+  index expression, and the ``with``-statement context managers enclosing
+  the site.  The ``race`` checker family does interprocedural write-set
+  inference by combining these per-def events with
+  :meth:`CallGraph.reachable_from`.
+
+* **dispatch points** — call sites that hand a function to another
+  process (``pool.map(f, ...)``, ``executor.submit(f, ...)``,
+  ``Process(target=f)``): :attr:`CallGraph.dispatches` records the caller,
+  the resolved target (when it is a project def) and whether the callable
+  is a lambda or nested function (which cannot survive spawn pickling).
+  Worker *entry points* for the race checkers are exactly the resolved
+  dispatch targets.
+
 Both graphs are pure functions of the parsed file set — no imports are
 executed.  Checkers obtain them memoized via ``ProjectContext.graph()``.
 """
@@ -32,7 +52,7 @@ executed.  Checkers obtain them memoized via ``ProjectContext.graph()``.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .context import FileContext, ProjectContext
 
@@ -41,7 +61,10 @@ __all__ = [
     "ModuleGraph",
     "CallGraph",
     "ProjectGraph",
+    "WriteEvent",
+    "Dispatch",
     "build_project_graph",
+    "module_bindings",
 ]
 
 
@@ -172,6 +195,229 @@ class _Def:
     cls: "str | None"  # enclosing class name for methods
 
 
+# --------------------------------------------------------------------------
+# write events (per-def mutation summaries for the race checkers)
+# --------------------------------------------------------------------------
+
+#: Method names that mutate their receiver in place (dict/list/set/ndarray).
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault", "add", "discard", "sort", "reverse", "fill",
+    }
+)
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One mutation site inside one function.
+
+    ``kind`` is one of ``"subscript-store"`` (``base[i] = ...``, including
+    augmented stores), ``"attr-store"`` (``base.attr = ...``),
+    ``"global-rebind"`` (a store to a ``global``-declared name),
+    ``"mutating-call"`` (``base.append(...)`` and friends),
+    ``"del-subscript"`` (``del base[i]``) or ``"inplace-call"`` (any call
+    carrying ``inplace=True``).  ``base`` is the dotted receiver as written
+    (``"a.data"``, ``"_SHM_HANDLES"``); ``root`` its leftmost name.  For
+    subscript events ``index_kind`` distinguishes ``"slice"`` writes (array
+    ranges) from ``"index"`` writes (dict keys / single elements) and
+    ``index_names`` lists the plain names referenced by the index
+    expression.  ``locks`` holds the dotted context-manager expressions of
+    every enclosing ``with`` statement — how the unlocked-shared checker
+    recognises a sanctioned, lock-guarded mutation.
+    """
+
+    kind: str
+    base: str
+    root: str
+    lineno: int
+    col: int
+    index_kind: str = ""
+    index_names: "tuple[str, ...]" = ()
+    value_is_true: bool = False
+    locks: "tuple[str, ...]" = ()
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _strip_subscripts(node: ast.AST) -> ast.AST:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _index_info(sl: ast.AST) -> "tuple[str, tuple[str, ...]]":
+    """(index kind, names referenced) for a subscript's slice expression."""
+    is_slice = isinstance(sl, ast.Slice) or (
+        isinstance(sl, ast.Tuple) and any(isinstance(e, ast.Slice) for e in sl.elts)
+    )
+    names = tuple(
+        sorted({n.id for n in ast.walk(sl) if isinstance(n, ast.Name)})
+    )
+    return ("slice" if is_slice else "index"), names
+
+
+class _WriteVisitor(ast.NodeVisitor):
+    """Collect :class:`WriteEvent` for one function body.
+
+    Tracks the enclosing ``with``-statement stack (for lock detection) and
+    the function's ``global`` declarations.  Nested function definitions
+    are descended into — a closure's writes happen when the enclosing
+    function runs it, which is the conservative direction.
+    """
+
+    def __init__(self) -> None:
+        self.events: "list[WriteEvent]" = []
+        self.globals: "set[str]" = set()
+        self._locks: "list[str]" = []
+
+    def _emit(self, **kw) -> None:
+        kw.setdefault("locks", tuple(self._locks))
+        self.events.append(WriteEvent(**kw))
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals.update(node.names)
+
+    def visit_With(self, node: ast.With) -> None:
+        added = 0
+        for item in node.items:
+            dotted = _dotted(item.context_expr)
+            if dotted is None and isinstance(item.context_expr, ast.Call):
+                dotted = _dotted(item.context_expr.func)
+            if dotted is not None:
+                self._locks.append(dotted)
+                added += 1
+        self.generic_visit(node)
+        if added:
+            del self._locks[-added:]
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def _store_target(self, target: ast.AST, lineno: int, col: int) -> None:
+        if isinstance(target, ast.Subscript):
+            base = _dotted(_strip_subscripts(target.value))
+            if base is not None:
+                index_kind, index_names = _index_info(target.slice)
+                self._emit(
+                    kind="subscript-store", base=base, root=base.split(".")[0],
+                    lineno=lineno, col=col,
+                    index_kind=index_kind, index_names=index_names,
+                )
+        elif isinstance(target, ast.Attribute):
+            dotted = _dotted(target)
+            if dotted is not None:
+                self._emit(
+                    kind="attr-store", base=dotted, root=dotted.split(".")[0],
+                    lineno=lineno, col=col,
+                )
+        elif isinstance(target, ast.Name) and target.id in self.globals:
+            self._emit(
+                kind="global-rebind", base=target.id, root=target.id,
+                lineno=lineno, col=col,
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt, lineno, col)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        truthy = isinstance(node.value, ast.Constant) and node.value.value is True
+        for target in node.targets:
+            before = len(self.events)
+            self._store_target(target, node.lineno, node.col_offset)
+            if truthy:
+                for i in range(before, len(self.events)):
+                    self.events[i] = _replace_event(self.events[i], value_is_true=True)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._store_target(node.target, node.lineno, node.col_offset)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._store_target(node.target, node.lineno, node.col_offset)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                base = _dotted(_strip_subscripts(target.value))
+                if base is not None:
+                    index_kind, index_names = _index_info(target.slice)
+                    self._emit(
+                        kind="del-subscript", base=base, root=base.split(".")[0],
+                        lineno=node.lineno, col=node.col_offset,
+                        index_kind=index_kind, index_names=index_names,
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            base = _dotted(_strip_subscripts(func.value))
+            if base is not None:
+                self._emit(
+                    kind="mutating-call", base=base, root=base.split(".")[0],
+                    lineno=node.lineno, col=node.col_offset,
+                )
+        for kw in node.keywords:
+            if (
+                kw.arg == "inplace"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                and isinstance(func, ast.Attribute)
+            ):
+                base = _dotted(_strip_subscripts(func.value))
+                if base is not None:
+                    self._emit(
+                        kind="inplace-call", base=base, root=base.split(".")[0],
+                        lineno=node.lineno, col=node.col_offset,
+                        value_is_true=True,
+                    )
+        self.generic_visit(node)
+
+
+def _replace_event(event: WriteEvent, **changes) -> WriteEvent:
+    return replace(event, **changes)
+
+
+# --------------------------------------------------------------------------
+# dispatch points (function handed to another process)
+# --------------------------------------------------------------------------
+
+#: ``receiver.<method>(fn, ...)`` forms that run ``fn`` in another process
+#: (or thread — the write-ownership contract is the same either way).
+DISPATCH_METHODS = frozenset({"map", "submit", "apply_async", "map_async", "starmap"})
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One call site that hands a callable to a pool/process.
+
+    ``target`` is the resolved project qualname when the callable is a
+    module-level def (the precise case); ``callable_kind`` is ``"def"``
+    then, ``"lambda"`` / ``"nested"`` for captures that cannot survive
+    spawn pickling, and ``"unknown"`` for anything unresolvable.
+    """
+
+    caller: str  # qualname of the def containing the call
+    target: "str | None"
+    callable_kind: str  # "def" | "lambda" | "nested" | "unknown"
+    method: str  # "map", "submit", ... or "target="
+    lineno: int
+    col: int
+
+
 class CallGraph:
     """Intra-project call graph over top-level functions and methods.
 
@@ -184,8 +430,31 @@ class CallGraph:
         self.defs: "dict[str, _Def]" = {}
         self.edges: "dict[str, set[str]]" = {}
         self.attr_edges: "dict[str, set[str]]" = {}
+        #: call sites that hand a callable to a pool/process (PR 7)
+        self.dispatches: "list[Dispatch]" = []
         #: bare method/function name -> every qualname defining it
         self._by_name: "dict[str, set[str]]" = {}
+        #: qualname -> lazily computed write events (see :meth:`writes_of`)
+        self._writes: "dict[str, tuple[WriteEvent, ...]]" = {}
+
+    def writes_of(self, qual: str) -> "tuple[WriteEvent, ...]":
+        """Every mutation site inside ``qual``'s body (memoized)."""
+        cached = self._writes.get(qual)
+        if cached is None:
+            d = self.defs.get(qual)
+            if d is None:
+                cached = ()
+            else:
+                visitor = _WriteVisitor()
+                for stmt in d.node.body:  # skip the def line itself
+                    visitor.visit(stmt)
+                cached = tuple(visitor.events)
+            self._writes[qual] = cached
+        return cached
+
+    def worker_entries(self) -> "set[str]":
+        """Resolved targets of every dispatch point — the worker entry set."""
+        return {d.target for d in self.dispatches if d.target is not None}
 
     def add_def(self, d: _Def) -> None:
         self.defs[d.qualname] = d
@@ -251,14 +520,15 @@ def _collect_defs(graph: CallGraph, module: str, ctx: FileContext) -> None:
                     )
 
 
-def _module_bindings(
+def module_bindings(
     module: str, ctx: FileContext, imports: ModuleGraph
 ) -> "tuple[dict[str, str], dict[str, str]]":
     """(name -> candidate qualname, alias -> module) binding tables.
 
     Covers both module-level and lazy (function-body) imports: a lazy
     ``from .x import f`` still creates a call edge when ``f(...)`` appears
-    in the same module.
+    in the same module.  Public because the race checkers re-use the same
+    resolution to map tainted arguments onto callee parameters.
     """
     name_map: "dict[str, str]" = {}
     alias_map: "dict[str, str]" = {}
@@ -284,10 +554,83 @@ def _module_bindings(
     return name_map, alias_map
 
 
+def _callable_ref(
+    node: "ast.expr | None",
+    d: _Def,
+    local: "dict[str, str]",
+    name_map: "dict[str, str]",
+    graph: CallGraph,
+) -> "tuple[str | None, str]":
+    """Resolve a callable expression handed to a dispatch point.
+
+    Returns ``(target qualname or None, kind)`` where kind is ``"def"``,
+    ``"lambda"``, ``"nested"`` or ``"unknown"``; ``functools.partial`` is
+    unwrapped to its first argument first.
+    """
+    if node is None:
+        return None, "unknown"
+    if (
+        isinstance(node, ast.Call)
+        and (_dotted(node.func) or "").rsplit(".", 1)[-1] == "partial"
+        and node.args
+    ):
+        return _callable_ref(node.args[0], d, local, name_map, graph)
+    if isinstance(node, ast.Lambda):
+        return None, "lambda"
+    if isinstance(node, ast.Name):
+        target = local.get(node.id) or name_map.get(node.id)
+        if target and target in graph.defs:
+            return target, "def"
+        # a def nested inside the dispatching function cannot be imported
+        # by a spawned child; detect it by scanning the enclosing body
+        for sub in ast.walk(d.node):
+            if (
+                isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and sub is not d.node
+                and sub.name == node.id
+            ):
+                return None, "nested"
+    return None, "unknown"
+
+
+def _collect_dispatches(
+    graph: CallGraph,
+    qual: str,
+    d: _Def,
+    node: ast.Call,
+    local: "dict[str, str]",
+    name_map: "dict[str, str]",
+) -> None:
+    """Record ``pool.map(f, ...)`` / ``Process(target=f)`` dispatch points."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in DISPATCH_METHODS:
+        target, kind = _callable_ref(
+            node.args[0] if node.args else None, d, local, name_map, graph
+        )
+        if target is not None or kind in ("lambda", "nested"):
+            graph.dispatches.append(
+                Dispatch(
+                    caller=qual, target=target, callable_kind=kind,
+                    method=func.attr, lineno=node.lineno, col=node.col_offset,
+                )
+            )
+        return
+    for kw in node.keywords:
+        if kw.arg == "target":
+            target, kind = _callable_ref(kw.value, d, local, name_map, graph)
+            if target is not None or kind in ("lambda", "nested"):
+                graph.dispatches.append(
+                    Dispatch(
+                        caller=qual, target=target, callable_kind=kind,
+                        method="target=", lineno=node.lineno, col=node.col_offset,
+                    )
+                )
+
+
 def _collect_edges(
     graph: CallGraph, module: str, ctx: FileContext, imports: ModuleGraph
 ) -> None:
-    name_map, alias_map = _module_bindings(module, ctx, imports)
+    name_map, alias_map = module_bindings(module, ctx, imports)
     local = {
         qual.rsplit(".", 1)[-1]: qual
         for qual, d in graph.defs.items()
@@ -301,6 +644,7 @@ def _collect_edges(
         for node in ast.walk(d.node):
             if not isinstance(node, ast.Call):
                 continue
+            _collect_dispatches(graph, qual, d, node, local, name_map)
             func = node.func
             if isinstance(func, ast.Name):
                 target = local.get(func.id) or name_map.get(func.id)

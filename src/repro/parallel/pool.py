@@ -27,10 +27,12 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from . import sanitizer as _sanitizer
 from ..core.scheduler import rows_to_threads
 from ..core.spgemm import spgemm
 from ..errors import ConfigError, ShapeError
@@ -126,14 +128,55 @@ def _release_shm(shm) -> None:
         pass
 
 
-#: Worker-side cache of attached segments.  Handles are deliberately never
-#: closed while the worker lives: numpy views borrow the mapped buffer, and
-#: closing underneath them raises ``BufferError``.  The mapping dies with
-#: the worker process.
+#: Worker-side cache of attached segments.  A handle must not be closed
+#: while numpy views borrow its mapped buffer: current numpy keeps only an
+#: object reference to the mmap (no buffer-protocol export), so ``close()``
+#: would *succeed* and the next view access would fault on the dangling
+#: pointer.  Eviction is therefore deferred and refcount-guarded: when a
+#: *new* segment arrives — meaning the previous request's views are dead,
+#: their results already shipped back — every other cached handle whose
+#: mapping has no remaining borrowers is swept.  A long-lived worker (the
+#: serving-layer shape) thus holds at most the mapping it is actively
+#: computing on, instead of one mapping per request it ever served.
 _SHM_HANDLES: "dict[str, object]" = {}
+
+#: ``sys.getrefcount`` of each cached handle's mmap at attach time, before
+#: any view was built over it.  Every live top-level ndarray view adds one
+#: reference (slices chain through ``base``, adding none), so a count back
+#: at its baseline proves the mapping has no borrowers left.
+_SHM_MMAP_BASELINES: "dict[str, int]" = {}
+
+
+def _evict_stale_handles(current: str) -> None:
+    """Close and drop every cached handle except ``current``.
+
+    A handle whose mmap refcount still exceeds its attach-time baseline has
+    live views borrowing the mapping (e.g. an operand kept alive across
+    requests); it is kept and retried on the next sweep rather than pulling
+    the mapping out from under them.  ``BufferError`` covers runtimes where
+    ``close()`` does take a buffer-protocol export on the mmap.
+    """
+    for name in [n for n in _SHM_HANDLES if n != current]:
+        shm = _SHM_HANDLES[name]
+        mm = getattr(shm, "_mmap", None)
+        if mm is not None and sys.getrefcount(mm) > _SHM_MMAP_BASELINES.get(
+            name, 0
+        ):
+            continue
+        try:
+            shm.close()
+        except BufferError:
+            continue
+        # Sanctioned: worker-private cache, same ownership as the attach
+        # below; the entry's views are provably dead (refcount baseline).
+        # repro-lint: disable-next-line=race-global-mutation
+        del _SHM_HANDLES[name]
+        # repro-lint: disable-next-line=race-global-mutation
+        _SHM_MMAP_BASELINES.pop(name, None)
 
 
 def _attach_shm(name: str):
+    _evict_stale_handles(name)
     shm = _SHM_HANDLES.get(name)
     if shm is None:
         # The parent owns the segment's lifetime (it unlinks after the pool
@@ -145,6 +188,9 @@ def _attach_shm(name: str):
 
         original_register = resource_tracker.register
         try:
+            # Sanctioned monkeypatch: scoped to this attach, restored in the
+            # finally below, and only ever runs on the worker's own tracker.
+            # repro-lint: disable-next-line=race-global-mutation
             resource_tracker.register = (
                 lambda n, rtype: None
                 if rtype == "shared_memory"
@@ -152,8 +198,16 @@ def _attach_shm(name: str):
             )
             shm = _shm_module.SharedMemory(name=name)
         finally:
+            # repro-lint: disable-next-line=race-global-mutation
             resource_tracker.register = original_register
+        # Sanctioned setup path: the cache is worker-private (each process
+        # fills its own copy after fork/spawn) and reads are idempotent.
+        # repro-lint: disable-next-line=race-global-mutation
         _SHM_HANDLES[name] = shm
+        mm = getattr(shm, "_mmap", None)
+        if mm is not None:
+            # repro-lint: disable-next-line=race-global-mutation
+            _SHM_MMAP_BASELINES[name] = sys.getrefcount(mm)
     return shm
 
 
@@ -163,6 +217,12 @@ def _unpack_shm(shm, header) -> "tuple[CSR, CSR]":
         np.ndarray(size, dtype=dtype, buffer=shm.buf, offset=off)
         for off, dtype, size in metas
     ]
+    # Operands travel read-only, unconditionally: every worker maps the same
+    # segment, so one stray in-place write would corrupt its siblings'
+    # inputs.  (The CSR constructor's ascontiguousarray is a no-copy
+    # passthrough for these canonical-dtype views, preserving the flag.)
+    for view in views:
+        view.flags.writeable = False
     a = CSR(a_shape, views[0], views[1], views[2], sorted_rows=a_sorted)
     b = CSR(b_shape, views[3], views[4], views[5], sorted_rows=b_sorted)
     return a, b
@@ -327,11 +387,12 @@ def parallel_spgemm(
     # row), so tracing unconditionally through NULL_TRACER is free enough.
     obs = tracer if tracer is not None else NULL_TRACER
     trace = obs.enabled
+    san = _sanitizer.begin(mode)
     with obs.span(
         "parallel_spgemm", phase="other",
         algorithm=algorithm, engine=engine, share=mode, nworkers=nworkers,
         nrows=a.nrows,
-    ):
+    ) as pool_span:
         with obs.span("partition", phase="partition"):
             partition = rows_to_threads(a, b, nworkers)
             partition.validate(a.nrows)
@@ -340,10 +401,15 @@ def parallel_spgemm(
             for t in range(nworkers)
         ]
         work = [(s, e) for s, e in blocks if e > s]
+        if san is not None:
+            for wid, (s, e) in enumerate(work):
+                san.claim(wid, s, e)
 
         if mode == "shm":
             with obs.span("pack", phase="pack", transport="shm"):
                 shm, header = _pack_shm(a, b)
+            if san is not None:
+                san.register_segment(shm)
             tasks = [
                 (shm.name, header, s, e,
                  algorithm, sr.name, sort_output, engine, trace)
@@ -354,9 +420,19 @@ def parallel_spgemm(
                     with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
                         results = list(pool.map(_worker_shm, tasks))
             finally:
+                if san is not None:
+                    # Digest check precedes release: the mapping must still
+                    # be alive to compare bytes against the packed digest.
+                    san.verify_segment(shm)
                 _release_shm(shm)
+                if san is not None:
+                    san.release_segment(shm.name)
         elif mode == "fork":
             token = next(_FORK_TOKENS)
+            # Sanctioned setup path: published before the fork so children
+            # inherit it copy-on-write; only the parent ever mutates, under
+            # a fresh token, and the finally below removes it.
+            # repro-lint: disable-next-line=race-global-mutation
             _FORK_OPERANDS[token] = (a, b)
             tasks = [
                 (token, s, e, algorithm, sr.name, sort_output, engine, trace)
@@ -370,6 +446,8 @@ def parallel_spgemm(
                     ) as pool:
                         results = list(pool.map(_worker_fork, tasks))
             finally:
+                # Parent-only cleanup of the parent-only mailbox entry.
+                # repro-lint: disable-next-line=race-global-mutation
                 del _FORK_OPERANDS[token]
         else:  # pickle
             with obs.span("pack", phase="pack", transport="pickle"):
@@ -397,6 +475,8 @@ def parallel_spgemm(
                     block_results.append(None)
                     continue
                 bi, bc, bv, payload = next(it)
+                if san is not None:
+                    san.check_block(wid, bi)
                 block_results.append((bi, bc, bv))
                 indptr[s + 1 : e + 1] = total + bi[1:]
                 total += int(bi[-1])
@@ -418,5 +498,8 @@ def parallel_spgemm(
         for wid, payload in payloads:
             for sub in payload:
                 obs.graft(sub, name=f"worker[{wid}]:{sub['name']}")
+        if san is not None:
+            # Leak check + counters + report, then raise on any violation.
+            san.finish(pool_span)
     sortedness = sort_output or algorithm in ("heap", "esc")
     return CSR((nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sortedness)

@@ -1,0 +1,246 @@
+"""Dynamic shm sanitizer: runtime enforcement of the write-ownership model.
+
+The static ``race`` checker family proves the pool's discipline over the
+code that exists; this module enforces it over the code that *runs* —
+including extension kernels, monkeypatched workers and anything else the
+AST cannot see.  Activated by ``REPRO_SANITIZE=shm``, it audits one
+:func:`repro.parallel.pool.parallel_spgemm` call end to end:
+
+* **operand integrity** — the packed shared-memory segment is digested
+  (SHA-256) right after packing and re-digested after the pool drains; any
+  byte difference means a worker wrote operand memory, even if it flipped
+  ``flags.writeable`` back on first (``sanitize-operand-write``);
+* **claim tracking** — each dispatched block registers its output row
+  interval; overlapping claims (``sanitize-claim-overlap``) and result
+  blocks whose row count disagrees with their claim
+  (``sanitize-out-of-claim``) are violations;
+* **segment lifecycle** — segments registered but never released by
+  teardown are leaks (``sanitize-segment-leak``).
+
+Violations are appended as JSON lines to ``REPRO_SANITIZE_REPORT`` (when
+set) and then raised as :class:`repro.errors.SanitizerError`.  The report
+is the bridge to the static half: ``repro.analysis.dynamic`` converts each
+line into the same :class:`~repro.analysis.findings.Finding` objects the
+checkers yield, so ``python -m repro.analysis --dynamic report.jsonl``
+merges both halves into one SARIF run.  Layering note: the bridge imports
+*this* module (lazily), never the reverse — ``parallel`` must not depend
+on the dev-tool layer.
+
+The sanitizer is observational by construction: it never mutates operands
+or results, so a sanitized run is bit-identical to an unsanitized one
+(property-tested in ``tests/test_sanitizer.py``).  Its cost is two digests
+of the packed segment per pool call plus O(workers) bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from ..errors import SanitizerError
+
+__all__ = [
+    "SANITIZER_RULES",
+    "SanitizeSession",
+    "begin",
+    "enabled",
+]
+
+#: Environment flag; the only recognized value today is ``"shm"``.
+ENV_FLAG = "REPRO_SANITIZE"
+
+#: Optional path; violations (and a per-call summary) append as JSON lines.
+ENV_REPORT = "REPRO_SANITIZE_REPORT"
+
+RULE_OPERAND_WRITE = "sanitize-operand-write"
+RULE_CLAIM_OVERLAP = "sanitize-claim-overlap"
+RULE_OUT_OF_CLAIM = "sanitize-out-of-claim"
+RULE_SEGMENT_LEAK = "sanitize-segment-leak"
+
+#: Rule id -> description.  This table is the dynamic half's contribution
+#: to the shared reporting pipeline: ``repro.analysis.dynamic`` re-exports
+#: it into the SARIF rule metadata (a test asserts the two stay equal).
+SANITIZER_RULES: "dict[str, str]" = {
+    RULE_OPERAND_WRITE: (
+        "a packed operand segment's bytes changed while workers ran — some "
+        "worker wrote shared operand memory"
+    ),
+    RULE_CLAIM_OVERLAP: (
+        "two workers claimed overlapping output row intervals — block "
+        "ownership is not disjoint"
+    ),
+    RULE_OUT_OF_CLAIM: (
+        "a worker's result block does not match its claimed row interval — "
+        "it wrote rows it does not own"
+    ),
+    RULE_SEGMENT_LEAK: (
+        "a shared-memory segment registered during the call was never "
+        "released by pool teardown"
+    ),
+}
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests the shm sanitizer."""
+    tokens = {
+        t.strip() for t in os.environ.get(ENV_FLAG, "").split(",") if t.strip()
+    }
+    return "shm" in tokens
+
+
+def begin(mode: str) -> "SanitizeSession | None":
+    """A fresh session when the sanitizer is enabled, else ``None``.
+
+    The single call site in ``parallel_spgemm`` guards every hook with
+    ``if san is not None`` — the disabled path costs one env lookup.
+    """
+    return SanitizeSession(mode) if enabled() else None
+
+
+class SanitizeSession:
+    """Audit state for one ``parallel_spgemm`` call.
+
+    The session lives entirely in the parent process.  Workers need no
+    cooperation: operand integrity is verified by digest comparison and
+    claim conformance by inspecting the result blocks they ship back.
+    """
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self.checks = 0
+        self.findings: "list[dict]" = []
+        #: segment name -> {"digest", "nbytes", "released", "verified"}
+        self._segments: "dict[str, dict]" = {}
+        #: worker id -> (start, end) claimed output rows
+        self._claims: "dict[int, tuple[int, int]]" = {}
+
+    # -- violations ------------------------------------------------------
+
+    def _violate(self, rule: str, message: str, **detail) -> None:
+        self.findings.append({"rule": rule, "message": message, "detail": detail})
+
+    # -- operand integrity -----------------------------------------------
+
+    def register_segment(self, shm) -> None:
+        """Digest a freshly packed segment (call before workers start)."""
+        self.checks += 1
+        self._segments[shm.name] = {
+            "digest": hashlib.sha256(bytes(shm.buf)).hexdigest(),
+            "nbytes": len(shm.buf),
+            "released": False,
+            "verified": False,
+        }
+
+    def verify_segment(self, shm) -> None:
+        """Re-digest after the pool drains; any difference is a violation."""
+        entry = self._segments.get(shm.name)
+        if entry is None or entry["verified"]:
+            return
+        self.checks += 1
+        entry["verified"] = True
+        digest = hashlib.sha256(bytes(shm.buf)).hexdigest()
+        if digest != entry["digest"]:
+            self._violate(
+                RULE_OPERAND_WRITE,
+                "operand segment bytes changed while workers ran — a worker "
+                "wrote shared operand memory (read-only views can be "
+                "circumvented; the digest cannot)",
+                segment=shm.name,
+                nbytes=entry["nbytes"],
+            )
+
+    def release_segment(self, name: str) -> None:
+        entry = self._segments.get(name)
+        if entry is not None:
+            entry["released"] = True
+
+    # -- claim tracking --------------------------------------------------
+
+    def claim(self, worker_id: int, start: int, end: int) -> None:
+        """Record that ``worker_id`` owns output rows ``[start, end)``."""
+        self.checks += 1
+        for other, (s, e) in self._claims.items():
+            if start < e and s < end:
+                self._violate(
+                    RULE_CLAIM_OVERLAP,
+                    f"worker {worker_id} claimed rows [{start}, {end}) "
+                    f"overlapping worker {other}'s claim [{s}, {e})",
+                    workers=[other, worker_id],
+                    intervals=[[s, e], [start, end]],
+                )
+        self._claims[worker_id] = (start, end)
+
+    def check_block(self, worker_id: int, block_indptr) -> None:
+        """Verify a result block's row count against the worker's claim."""
+        self.checks += 1
+        claim = self._claims.get(worker_id)
+        rows = len(block_indptr) - 1
+        if claim is None:
+            self._violate(
+                RULE_OUT_OF_CLAIM,
+                f"worker {worker_id} produced a {rows}-row block without "
+                "any claimed interval",
+                worker=worker_id,
+                rows=rows,
+            )
+            return
+        start, end = claim
+        if rows != end - start:
+            self._violate(
+                RULE_OUT_OF_CLAIM,
+                f"worker {worker_id} produced {rows} rows for claim "
+                f"[{start}, {end}) ({end - start} rows) — it wrote rows it "
+                "does not own",
+                worker=worker_id,
+                rows=rows,
+                claim=[start, end],
+            )
+
+    # -- teardown --------------------------------------------------------
+
+    def finish(self, span=None) -> None:
+        """Close the audit: leak check, counters, report, raise on findings.
+
+        ``span`` is the pool's open observability span (or ``None`` /
+        a null span); check and violation totals are stamped as counters so
+        sanitized traces show the audit ran.  The JSON-lines report is
+        written *before* raising, so a failing CI run still uploads the
+        findings it died on.
+        """
+        for name, entry in sorted(self._segments.items()):
+            self.checks += 1
+            if not entry["released"]:
+                self._violate(
+                    RULE_SEGMENT_LEAK,
+                    "shared-memory segment was never released by pool "
+                    "teardown — a long-lived process accumulates mappings",
+                    segment=name,
+                    nbytes=entry["nbytes"],
+                )
+        if span is not None:
+            span.add_counter("sanitize_checks", float(self.checks))
+            span.add_counter("sanitize_violations", float(len(self.findings)))
+        self._write_report()
+        if self.findings:
+            lines = "; ".join(
+                f"[{f['rule']}] {f['message']}" for f in self.findings
+            )
+            raise SanitizerError(
+                f"shm sanitizer: {len(self.findings)} violation(s) under "
+                f"share={self.mode!r}: {lines}"
+            )
+
+    def _write_report(self) -> None:
+        path = os.environ.get(ENV_REPORT, "").strip()
+        if not path:
+            return
+        record = {
+            "version": 1,
+            "kind": "repro-sanitize/1",
+            "mode": self.mode,
+            "checks": self.checks,
+            "findings": self.findings,
+        }
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")

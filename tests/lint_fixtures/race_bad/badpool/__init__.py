@@ -1,0 +1,1 @@
+"""Deliberately racy pool package: every ``race-*`` rule fires here."""

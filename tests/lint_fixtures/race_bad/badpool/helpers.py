@@ -1,0 +1,6 @@
+"""Helper a worker passes a shared operand into (one-hop taint target)."""
+
+
+def scale_rows(block, start):
+    block[start] = 0.0  # BAD: mutates the caller's shared operand view
+    return start

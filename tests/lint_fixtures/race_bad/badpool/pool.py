@@ -1,0 +1,56 @@
+"""Fixture pool: seeded violations for each of the five race rules."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from .helpers import scale_rows
+
+OUT = np.zeros(16)
+ACC = np.zeros(4)
+_CACHE = {}
+_MODE = "idle"
+_REG_LOCK = threading.Lock()
+
+
+def _unpack_operands(token):
+    return _CACHE[token]
+
+
+def _worker_a(task):
+    token, start, end = task
+    a = _unpack_operands(token)
+    a[0] = 1.0  # BAD: writes a shared operand view
+    a.flags.writeable = True  # BAD: re-enables writability of a view
+    scale_rows(a, start)  # BAD: helper mutates the operand (one hop)
+    OUT[start:end] = 2.0  # BAD: OUT is also sliced by _worker_b
+    ACC[:] = 0.0  # BAD: constant range — every worker writes it
+    return start
+
+
+def _worker_b(task):
+    start, end = task
+    OUT[start:end] = 3.0  # BAD: second entry point slicing OUT
+    OUT[0:4] = 4.0  # BAD: same shared array again
+    _CACHE[start] = end  # BAD: mutates fork-inherited global, no lock
+    return end
+
+
+def run(tasks):
+    global _MODE
+    _MODE = "running"  # BAD: rebinds a module global per process
+    _CACHE.clear()  # BAD: unlocked shared mutation from the parent
+    with _REG_LOCK:
+        _CACHE["epoch"] = 0  # lock held: only global-mutation fires
+    with ProcessPoolExecutor() as pool:
+        one = list(pool.map(_worker_a, tasks))
+        two = list(pool.map(_worker_b, tasks))
+        three = list(pool.map(lambda t: t, tasks))  # BAD: lambda dispatch
+
+    def _inline(t):
+        return t
+
+    with ProcessPoolExecutor() as pool:
+        four = list(pool.map(_inline, tasks))  # BAD: nested-def dispatch
+    return one, two, three, four

@@ -188,6 +188,11 @@ def test_all_rules_registered():
         "layering",
         "overbroad-except",
         "plan-purity",
+        "race-block-overlap",
+        "race-global-mutation",
+        "race-operand-write",
+        "race-spawn-capture",
+        "race-unlocked-shared",
         "shm-lifecycle",
         "span-discipline",
     }

@@ -1,5 +1,8 @@
 """Process-pool SpGEMM tests (real wall-clock parallel path)."""
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -143,6 +146,197 @@ class TestShareModes:
         for share in ("shm", "fork", "pickle"):
             c = parallel_spgemm(z, z, nworkers=3, share=share)
             assert c.nnz == 0
+
+
+class TestResolveShare:
+    """The auto-resolution ladder: shm -> fork -> pickle.
+
+    The ladder tests clear ``REPRO_POOL_SHARE`` first — CI's sanitize
+    matrix exports it, and an ambient override is exactly what these
+    tests must not be measuring.
+    """
+
+    def test_auto_prefers_shm(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.delenv("REPRO_POOL_SHARE", raising=False)
+        assert pool._resolve_share("auto") == "shm"
+
+    def test_auto_falls_back_to_fork_without_shm(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.delenv("REPRO_POOL_SHARE", raising=False)
+        monkeypatch.setattr(pool, "_shm_module", None)
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert pool._resolve_share("auto") == "fork"
+        else:  # pragma: no cover - non-fork platform
+            assert pool._resolve_share("auto") == "pickle"
+
+    def test_auto_falls_back_to_pickle_without_shm_or_fork(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.delenv("REPRO_POOL_SHARE", raising=False)
+        monkeypatch.setattr(pool, "_shm_module", None)
+        monkeypatch.setattr(
+            pool.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        assert pool._resolve_share("auto") == "pickle"
+
+    def test_explicit_shm_without_shm_rejected(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.setattr(pool, "_shm_module", None)
+        with pytest.raises(ConfigError, match="shared_memory is unavailable"):
+            pool._resolve_share("shm")
+
+    def test_explicit_fork_without_fork_rejected(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.setattr(
+            pool.multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.raises(ConfigError, match="fork start method"):
+            pool._resolve_share("fork")
+
+    def test_env_override_resolves_transport(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.setenv("REPRO_POOL_SHARE", "pickle")
+        assert pool._resolve_share("auto") == "pickle"
+        # an explicit argument is not overridden by the environment
+        assert pool._resolve_share("shm") == "shm"
+
+
+class TestSpawnAndErrors:
+    def test_pickle_transport_under_spawn(self, monkeypatch):
+        """The pickle transport must work when workers are *spawned*: the
+        worker functions live at module level (no fork-inherited state),
+        and every task payload round-trips through pickle."""
+        from repro.parallel import pool
+
+        spawn_ctx = multiprocessing.get_context("spawn")
+        monkeypatch.setattr(
+            pool,
+            "ProcessPoolExecutor",
+            lambda max_workers: ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=spawn_ctx
+            ),
+        )
+        g = g500_matrix(6, 8, seed=7)
+        serial = parallel_spgemm(g, g, nworkers=1)
+        c = parallel_spgemm(g, g, nworkers=2, share="pickle")
+        np.testing.assert_array_equal(c.indptr, serial.indptr)
+        np.testing.assert_array_equal(
+            c.data.view(np.uint64), serial.data.view(np.uint64)
+        )
+
+    def test_worker_exception_propagates(self):
+        """A failure inside a worker (unknown algorithm is only validated
+        at kernel dispatch, which happens in the worker) must surface in
+        the parent as the original error type, on every transport."""
+        g = er_matrix(6, 6, seed=8)
+        for share in ("shm", "fork", "pickle"):
+            with pytest.raises(ConfigError, match="algorithm"):
+                parallel_spgemm(g, g, nworkers=2, share=share, algorithm="nope")
+
+    def test_worker_failure_still_releases_segment(self, monkeypatch):
+        """The shm segment must be unlinked even when the pool dies."""
+        from repro.parallel import pool
+
+        created = []
+        real_shm_cls = pool._shm_module.SharedMemory
+
+        class SpyShm(real_shm_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                if kwargs.get("create"):
+                    created.append(self.name)
+
+        monkeypatch.setattr(pool._shm_module, "SharedMemory", SpyShm)
+        g = er_matrix(6, 6, seed=8)
+        with pytest.raises(ConfigError):
+            parallel_spgemm(g, g, nworkers=2, share="shm", algorithm="nope")
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real_shm_cls(name=created[0])
+
+
+class TestReadOnlyOperands:
+    def test_unpacked_views_are_read_only(self):
+        from repro.parallel import pool
+
+        m = er_matrix(5, 4, seed=9)
+        shm, header = pool._pack_shm(m, m)
+        try:
+            a, b = pool._unpack_shm(shm, header)
+            for csr in (a, b):
+                assert not csr.indptr.flags.writeable
+                assert not csr.indices.flags.writeable
+                assert not csr.data.flags.writeable
+            with pytest.raises(ValueError):
+                a.data[0] = 99.0
+            # the paper's row-block cut still works on read-only operands
+            # (indptr is rebased into a fresh array; indices/data stay views)
+            blk = row_block(a, 1, 3)
+            np.testing.assert_allclose(blk.to_dense(), m.to_dense()[1:3])
+        finally:
+            del a, b, blk  # views must die before the segment is released
+            pool._release_shm(shm)
+
+
+class TestHandleEviction:
+    def test_attach_caches_and_evicts_previous_segment(self):
+        """A long-lived worker must not accumulate one mapping per request:
+        attaching a new segment sweeps the previously cached handles."""
+        from repro.parallel import pool
+
+        seg1 = pool._shm_module.SharedMemory(create=True, size=64)
+        seg2 = pool._shm_module.SharedMemory(create=True, size=64)
+        saved = dict(pool._SHM_HANDLES)
+        pool._SHM_HANDLES.clear()
+        try:
+            h1 = pool._attach_shm(seg1.name)
+            assert pool._attach_shm(seg1.name) is h1  # cached
+            pool._attach_shm(seg2.name)
+            assert seg1.name not in pool._SHM_HANDLES  # evicted and closed
+            assert seg2.name in pool._SHM_HANDLES
+        finally:
+            for shm in pool._SHM_HANDLES.values():
+                shm.close()
+            pool._SHM_HANDLES.clear()
+            pool._SHM_MMAP_BASELINES.clear()
+            pool._SHM_HANDLES.update(saved)
+            pool._release_shm(seg1)
+            pool._release_shm(seg2)
+
+    def test_eviction_defers_while_views_are_alive(self):
+        """Closing a mapping under a live numpy view would leave the view
+        with a dangling pointer (current numpy holds no buffer-protocol
+        export, so close() would not even fail).  The sweep must detect
+        live borrowers via the mmap refcount baseline, keep the handle, and
+        retry on a later attach."""
+        from repro.parallel import pool
+
+        seg1 = pool._shm_module.SharedMemory(create=True, size=64)
+        seg2 = pool._shm_module.SharedMemory(create=True, size=64)
+        saved = dict(pool._SHM_HANDLES)
+        pool._SHM_HANDLES.clear()
+        try:
+            h1 = pool._attach_shm(seg1.name)
+            view = np.ndarray(8, dtype=np.float64, buffer=h1.buf)
+            pool._attach_shm(seg2.name)
+            assert seg1.name in pool._SHM_HANDLES  # kept: view still alive
+            del view
+            pool._attach_shm(seg2.name)
+            assert seg1.name not in pool._SHM_HANDLES  # swept on retry
+        finally:
+            for shm in pool._SHM_HANDLES.values():
+                shm.close()
+            pool._SHM_HANDLES.clear()
+            pool._SHM_MMAP_BASELINES.clear()
+            pool._SHM_HANDLES.update(saved)
+            pool._release_shm(seg1)
+            pool._release_shm(seg2)
 
 
 class TestShmLifecycle:

@@ -1,0 +1,337 @@
+"""Dynamic shm sanitizer (``REPRO_SANITIZE=shm``) tests.
+
+Unit-level: the :class:`SanitizeSession` ledger (claims, digests, leaks,
+counters, report file) and the analysis-side bridge that turns report
+lines into :class:`Finding` objects.  End-to-end: a sanitized pool run is
+bit-identical to an unsanitized one on every transport, and a deliberately
+injected operand write — a worker scribbling into the shared segment — is
+detected and raised at teardown.
+"""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import spgemm
+from repro.errors import SanitizerError
+from repro.observability import Tracer
+from repro.parallel import parallel_spgemm
+from repro.parallel.pool import _worker_shm as _REAL_WORKER_SHM
+from repro.parallel.sanitizer import (
+    SANITIZER_RULES,
+    SanitizeSession,
+    begin,
+    enabled,
+)
+from repro.rmat import g500_matrix
+
+
+class FakeShm:
+    """Just enough of SharedMemory for digest tests: a name and a buffer."""
+
+    def __init__(self, name, payload):
+        self.name = name
+        self.buf = memoryview(bytearray(payload))
+
+
+# ---------------------------------------------------------------------------
+# activation
+# ---------------------------------------------------------------------------
+
+
+class TestActivation:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not enabled() and begin("shm") is None
+
+    def test_enabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "shm")
+        assert enabled() and isinstance(begin("shm"), SanitizeSession)
+
+    def test_token_list_form(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "asan, shm")
+        assert enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "asan")
+        assert not enabled()
+
+
+# ---------------------------------------------------------------------------
+# the session ledger
+# ---------------------------------------------------------------------------
+
+
+class TestClaims:
+    def test_disjoint_claims_clean(self):
+        san = SanitizeSession("shm")
+        san.claim(0, 0, 5)
+        san.claim(1, 5, 9)
+        san.finish()  # no raise
+        assert san.findings == []
+
+    def test_overlapping_claims_detected(self):
+        san = SanitizeSession("shm")
+        san.claim(0, 0, 10)
+        san.claim(1, 5, 15)
+        with pytest.raises(SanitizerError, match="sanitize-claim-overlap"):
+            san.finish()
+        (f,) = san.findings
+        assert f["rule"] == "sanitize-claim-overlap"
+        assert f["detail"]["intervals"] == [[0, 10], [5, 15]]
+
+    def test_block_matching_claim_clean(self):
+        san = SanitizeSession("shm")
+        san.claim(0, 3, 7)
+        san.check_block(0, np.zeros(5))  # 4 rows for a 4-row claim
+        san.finish()
+
+    def test_out_of_claim_block_detected(self):
+        san = SanitizeSession("shm")
+        san.claim(0, 3, 7)
+        san.check_block(0, np.zeros(7))  # 6 rows produced, 4 claimed
+        with pytest.raises(SanitizerError, match="sanitize-out-of-claim"):
+            san.finish()
+
+    def test_unclaimed_block_detected(self):
+        san = SanitizeSession("shm")
+        san.check_block(5, np.zeros(3))
+        with pytest.raises(SanitizerError, match="without any claimed"):
+            san.finish()
+
+
+class TestSegments:
+    def test_untouched_segment_clean(self):
+        san = SanitizeSession("shm")
+        shm = FakeShm("seg", b"\x01" * 64)
+        san.register_segment(shm)
+        san.verify_segment(shm)
+        san.release_segment("seg")
+        san.finish()
+
+    def test_mutated_segment_detected(self):
+        san = SanitizeSession("shm")
+        shm = FakeShm("seg", b"\x01" * 64)
+        san.register_segment(shm)
+        shm.buf[17] = 0xFF  # a worker scribbled on operand memory
+        san.verify_segment(shm)
+        san.release_segment("seg")
+        with pytest.raises(SanitizerError, match="sanitize-operand-write"):
+            san.finish()
+
+    def test_unreleased_segment_is_a_leak(self):
+        san = SanitizeSession("shm")
+        shm = FakeShm("seg", b"\x01" * 16)
+        san.register_segment(shm)
+        san.verify_segment(shm)
+        with pytest.raises(SanitizerError, match="sanitize-segment-leak"):
+            san.finish()
+
+
+class TestCountersAndReport:
+    def test_counters_stamped_on_span(self):
+        tracer = Tracer()
+        san = SanitizeSession("shm")
+        san.claim(0, 0, 4)
+        san.check_block(0, np.zeros(5))
+        with tracer.span("parallel_spgemm", phase="other") as span:
+            san.finish(span)
+        assert span.counters["sanitize_checks"] == 2.0
+        assert span.counters["sanitize_violations"] == 0.0
+
+    def test_counters_stamped_before_raise(self):
+        tracer = Tracer()
+        san = SanitizeSession("shm")
+        san.claim(0, 0, 10)
+        san.claim(1, 0, 10)
+        with tracer.span("parallel_spgemm", phase="other") as span:
+            with pytest.raises(SanitizerError):
+                san.finish(span)
+        assert span.counters["sanitize_violations"] == 1.0
+
+    def test_report_written_before_raise(self, tmp_path, monkeypatch):
+        report = tmp_path / "san.jsonl"
+        monkeypatch.setenv("REPRO_SANITIZE_REPORT", str(report))
+        san = SanitizeSession("fork")
+        san.claim(0, 0, 10)
+        san.claim(1, 5, 15)
+        with pytest.raises(SanitizerError):
+            san.finish()
+        (line,) = report.read_text().splitlines()
+        record = json.loads(line)
+        assert record["kind"] == "repro-sanitize/1"
+        assert record["mode"] == "fork"
+        assert [f["rule"] for f in record["findings"]] == ["sanitize-claim-overlap"]
+
+    def test_reports_append_across_sessions(self, tmp_path, monkeypatch):
+        report = tmp_path / "san.jsonl"
+        monkeypatch.setenv("REPRO_SANITIZE_REPORT", str(report))
+        for mode in ("shm", "pickle"):
+            SanitizeSession(mode).finish()
+        modes = [json.loads(l)["mode"] for l in report.read_text().splitlines()]
+        assert modes == ["shm", "pickle"]
+
+
+# ---------------------------------------------------------------------------
+# the analysis-side bridge (one reporting pipeline for both halves)
+# ---------------------------------------------------------------------------
+
+
+class TestDynamicBridge:
+    def _violating_report(self, tmp_path, monkeypatch):
+        report = tmp_path / "san.jsonl"
+        monkeypatch.setenv("REPRO_SANITIZE_REPORT", str(report))
+        san = SanitizeSession("shm")
+        san.claim(0, 0, 10)
+        san.claim(1, 5, 15)
+        with pytest.raises(SanitizerError):
+            san.finish()
+        return report
+
+    def test_report_loads_as_findings(self, tmp_path, monkeypatch):
+        from repro.analysis import load_dynamic_findings
+
+        report = self._violating_report(tmp_path, monkeypatch)
+        (finding,) = load_dynamic_findings(str(report))
+        assert finding.rule == "sanitize-claim-overlap"
+        assert finding.path == "runtime/parallel-pool"
+        assert finding.snippet == "share=shm"
+        # identical violations from identical runs keep a stable identity
+        (again,) = load_dynamic_findings(str(report))
+        assert finding.fingerprint == again.fingerprint
+
+    def test_merged_sarif_validates(self, tmp_path, monkeypatch):
+        from repro.analysis import (
+            analyze_paths,
+            load_dynamic_findings,
+            sarif_report,
+            validate_sarif,
+        )
+
+        report = self._violating_report(tmp_path, monkeypatch)
+        result = analyze_paths([str(tmp_path)], root=str(tmp_path))
+        result.findings.extend(load_dynamic_findings(str(report)))
+        payload = sarif_report(result)
+        validate_sarif(payload)
+        assert any(
+            r["ruleId"] == "sanitize-claim-overlap"
+            for r in payload["runs"][0]["results"]
+        )
+
+    def test_sarif_metadata_matches_sanitizer_table(self):
+        from repro.analysis.sarif import _rules_metadata
+
+        declared = {r["id"]: r["shortDescription"]["text"] for r in _rules_metadata()}
+        for rule, description in SANITIZER_RULES.items():
+            assert declared[rule] == description
+
+    def test_list_rules_shows_dynamic_section(self, capsys):
+        from repro.analysis.cli import main as cli_main
+
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in SANITIZER_RULES:
+            assert rule in out
+        assert "[dynamic]" in out
+
+    def test_malformed_reports_rejected(self, tmp_path):
+        from repro.analysis import load_dynamic_findings
+
+        bad = tmp_path / "bad.jsonl"
+        for content, why in (
+            ("not json\n", "not JSON"),
+            ('{"kind": "something-else"}\n', "kind"),
+            (
+                '{"kind": "repro-sanitize/1", "mode": "shm", '
+                '"findings": [{"rule": "sanitize-nonsense"}]}\n',
+                "unknown sanitizer rule",
+            ),
+        ):
+            bad.write_text(content)
+            with pytest.raises(ValueError, match=why):
+                load_dynamic_findings(str(bad))
+
+
+# ---------------------------------------------------------------------------
+# end to end through the pool
+# ---------------------------------------------------------------------------
+
+
+def _transports():
+    modes = ["shm", "pickle"]
+    if "fork" in multiprocessing.get_all_start_methods():
+        modes.insert(1, "fork")
+    return modes
+
+
+class TestSanitizedPool:
+    def test_bit_identical_under_sanitizer(self, monkeypatch):
+        g = g500_matrix(7, 8, seed=9)
+        for share in _transports():
+            monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+            plain = parallel_spgemm(g, g, nworkers=3, share=share)
+            monkeypatch.setenv("REPRO_SANITIZE", "shm")
+            sanitized = parallel_spgemm(g, g, nworkers=3, share=share)
+            np.testing.assert_array_equal(plain.indptr, sanitized.indptr)
+            np.testing.assert_array_equal(plain.indices, sanitized.indices)
+            np.testing.assert_array_equal(
+                plain.data.view(np.uint64), sanitized.data.view(np.uint64)
+            )
+
+    def test_clean_run_writes_clean_report(self, tmp_path, monkeypatch):
+        report = tmp_path / "san.jsonl"
+        monkeypatch.setenv("REPRO_SANITIZE", "shm")
+        monkeypatch.setenv("REPRO_SANITIZE_REPORT", str(report))
+        g = g500_matrix(6, 8, seed=4)
+        parallel_spgemm(g, g, nworkers=3, share="shm")
+        (line,) = report.read_text().splitlines()
+        record = json.loads(line)
+        assert record["findings"] == [] and record["checks"] > 0
+
+    def test_sanitized_traced_run_stamps_counters(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "shm")
+        tracer = Tracer()
+        g = g500_matrix(6, 8, seed=4)
+        parallel_spgemm(g, g, nworkers=3, share="shm", tracer=tracer)
+        (root,) = [s for s in tracer.spans if s.name == "parallel_spgemm"]
+        assert root.counters["sanitize_checks"] >= 3.0
+        assert root.counters["sanitize_violations"] == 0.0
+
+    def test_sanitizer_result_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "shm")
+        g = g500_matrix(7, 8, seed=2)
+        serial = spgemm(g, g, algorithm="esc")
+        c = parallel_spgemm(g, g, nworkers=4, share="shm")
+        np.testing.assert_array_equal(c.indptr, serial.indptr)
+        np.testing.assert_array_equal(
+            c.data.view(np.uint64), serial.data.view(np.uint64)
+        )
+
+
+def _evil_worker_shm(args):
+    """A worker that scribbles one byte into the shared operand segment.
+
+    Runs the real worker afterwards so the pool still gets a structurally
+    valid result — the *only* thing wrong with this run is the write, which
+    exactly isolates the digest check.
+    """
+    from repro.parallel import pool
+
+    shm = pool._attach_shm(args[0])
+    shm.buf[-1] = (shm.buf[-1] + 1) % 256
+    return _REAL_WORKER_SHM(args)
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker injection via monkeypatch needs fork inheritance",
+)
+def test_injected_operand_write_detected(monkeypatch):
+    """Acceptance: a deliberately-injected overlapping/operand write is
+    caught.  Read-only views alone cannot stop a worker that maps the
+    segment directly — the parent-side digest comparison can."""
+    monkeypatch.setenv("REPRO_SANITIZE", "shm")
+    monkeypatch.setattr("repro.parallel.pool._worker_shm", _evil_worker_shm)
+    g = g500_matrix(7, 8, seed=11)
+    with pytest.raises(SanitizerError, match="sanitize-operand-write"):
+        parallel_spgemm(g, g, nworkers=3, share="shm")
