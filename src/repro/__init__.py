@@ -10,7 +10,22 @@ Public surface (see README for a tour):
 
 * :func:`repro.spgemm` — one-call SpGEMM with selectable algorithm
   (hash / hashvec / heap / spa / mkl / mkl_inspector / kokkos / esc) and
-  semiring, over :class:`repro.CSR` matrices;
+  semiring, over :class:`repro.CSR` matrices; configuration canonicalizes
+  into frozen :class:`repro.SpgemmOptions` / :class:`repro.ChainOptions`
+  values shared by every entry point (``multiply_chain``,
+  ``masked_spgemm``, ``parallel_spgemm`` accept the same shape);
+* :class:`repro.SpgemmPlan` / :class:`repro.PlanCache` — the
+  inspector–executor plan layer: pay structure discovery once, replay it
+  numeric-only on every same-structure product (``docs/plans.md``);
+* :func:`repro.multiply_chain` / :func:`repro.masked_spgemm` — chain and
+  masked products with streamed sandwich fusion, so R·A·P never
+  materializes an intermediate (``docs/fusion.md``);
+* :mod:`repro.parallel` — real process-parallel SpGEMM over zero-copy
+  shared-memory operand transport, plus the warm
+  :class:`repro.parallel.WorkerPool`;
+* :mod:`repro.serve` — SpGEMM-as-a-service: a multi-tenant asyncio server
+  on the ``repro-job/1`` wire schema, with admission control, shared plan
+  cache and a metrics endpoint (``docs/serving.md``);
 * :mod:`repro.rmat` — ER / G500 synthetic matrix generation;
 * :mod:`repro.machine` + :mod:`repro.perfmodel` — the KNL/Haswell machine
   model and the operation-level performance simulator that regenerates the
@@ -22,7 +37,10 @@ Public surface (see README for a tour):
   statistics;
 * :mod:`repro.observability` — phase-level span tracing across every
   kernel (enable with ``tracer=`` or ``REPRO_TRACE=1``; see
-  ``docs/observability.md``).
+  ``docs/observability.md``);
+* :mod:`repro.analysis` — the project's own static analyzers (layering,
+  race, span-discipline, hot-loop allocation and dataflow checkers) with
+  SARIF output: ``python -m repro.analysis src/repro``.
 """
 
 from .errors import (
@@ -31,6 +49,7 @@ from .errors import (
     FormatError,
     PlanError,
     ReproError,
+    ServeError,
     ShapeError,
 )
 from .matrix import CSR, COO
@@ -51,12 +70,14 @@ from .semiring import (
     get_semiring,
 )
 from .core import (
+    ChainOptions,
     ChainPlan,
     KernelStats,
     MaskedSpgemmPlan,
     PlanCache,
     SpgemmOptions,
     SpgemmPlan,
+    options_from_wire,
     available_algorithms,
     available_engines,
     inspect,
@@ -77,6 +98,8 @@ from .observability import (
     render_tree,
     tracer_from_env,
 )
+from .parallel import WorkerPool, parallel_spgemm
+from .serve import Client, ServeOptions, Server, serve_in_thread, submit_job
 
 __version__ = "1.0.0"
 
@@ -103,6 +126,8 @@ __all__ = [
     "MAX_TIMES",
     "spgemm",
     "SpgemmOptions",
+    "ChainOptions",
+    "options_from_wire",
     "SpgemmPlan",
     "MaskedSpgemmPlan",
     "PlanCache",
@@ -125,5 +150,13 @@ __all__ = [
     "render_tree",
     "render_breakdown",
     "phase_breakdown",
+    "parallel_spgemm",
+    "WorkerPool",
+    "Server",
+    "Client",
+    "submit_job",
+    "ServeOptions",
+    "serve_in_thread",
+    "ServeError",
     "__version__",
 ]

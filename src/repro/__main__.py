@@ -9,6 +9,8 @@ Commands
 ``recipe``    ask Table 4 which algorithm to use for an input
 ``validate``  cross-check the performance model against the real kernels
 ``summa``     run the distributed 2-D Sparse SUMMA simulation
+``serve``     run the multi-tenant SpGEMM server (repro-job/1 protocol)
+``submit``    submit one job to a running server and print the outcome
 
 Examples
 --------
@@ -18,6 +20,13 @@ Examples
     python -m repro simulate --pattern er --scale 14 --machine knl --threads 272
     python -m repro recipe --matrix path/to/matrix.mtx
     python -m repro datasets
+    python -m repro serve --port 7070 --http-port 7071 --concurrency 4
+    python -m repro submit --port 7070 --pattern er --scale 10 --algorithm hash
+
+``multiply`` and ``submit`` build their kernel configuration through the
+same ``repro-job/1`` wire parser the server uses
+(:func:`repro.core.options.options_from_wire`), so a flag accepted here is
+by construction a request the server accepts too.
 """
 
 from __future__ import annotations
@@ -101,21 +110,26 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def _wire_options(args) -> "dict":
+    """CLI flags as a ``repro-job/1`` options payload (shared parser)."""
+    return {
+        "type": "spgemm",
+        "algorithm": args.algorithm,
+        "semiring": args.semiring,
+        "sort_output": not args.unsorted,
+        "nthreads": args.threads,
+    }
+
+
 def cmd_multiply(args) -> int:
-    from .core import KernelStats, spgemm
+    from .core import KernelStats, options_from_wire, spgemm
 
     a, desc = _load_input(args)
     print(f"input: {desc}: {a}")
     stats = KernelStats()
+    options = options_from_wire(_wire_options(args)).replace(stats=stats)
     t0 = time.perf_counter()
-    c = spgemm(
-        a, a,
-        algorithm=args.algorithm,
-        semiring=args.semiring,
-        sort_output=not args.unsorted,
-        nthreads=args.threads,
-        stats=stats,
-    )
+    c = spgemm(a, a, options)
     dt = time.perf_counter() - t0
     print(f"C = A (x) A via {args.algorithm!r}: {c}")
     print(
@@ -203,6 +217,55 @@ def cmd_recipe(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServeOptions, serve_in_thread
+
+    opts = ServeOptions(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        concurrency=args.concurrency,
+        nworkers=args.nworkers,
+        max_queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        plan_cache_size=args.plan_cache_size,
+    )
+    handle = serve_in_thread(opts)
+    endpoint = f"{handle.host}:{handle.port}"
+    print(f"repro-serve listening on {endpoint} (repro-job/1)")
+    if handle.http_port is not None:
+        print(f"metrics: http://{handle.host}:{handle.http_port}/metrics")
+    print("press Ctrl-C to drain and stop")
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\ndraining...")
+        clean = handle.stop()
+        print("clean drain" if clean else "drain timed out; queued jobs failed")
+        return 0 if clean else 1
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .core import options_from_wire
+    from .serve import Client
+
+    a, desc = _load_input(args)
+    options = options_from_wire(_wire_options(args))
+    print(f"input: {desc}: {a}")
+    with Client(args.host, args.port, tenant=args.tenant) as cli:
+        t0 = time.perf_counter()
+        c = cli.spgemm(a, a, options, deadline_ms=args.deadline_ms)
+        dt = time.perf_counter() - t0
+        print(f"C = A (x) A served by {args.host}:{args.port}: {c}")
+        print(f"round-trip {dt:.3f} s")
+        if args.stats:
+            print(json.dumps(cli.stats(), indent=2, default=str))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -251,6 +314,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process grid dimension p (p*p ranks)")
     p_sum.add_argument("--algorithm", default="esc",
                        help="node-local kernel")
+
+    p_srv = sub.add_parser(
+        "serve", help="run the multi-tenant SpGEMM server"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7070)
+    p_srv.add_argument("--http-port", type=int, default=None, dest="http_port",
+                       help="metrics/health HTTP shim port (off by default)")
+    p_srv.add_argument("--concurrency", type=int, default=2,
+                       help="jobs computed simultaneously (default 2)")
+    p_srv.add_argument("--nworkers", type=int, default=1,
+                       help="worker processes; 1 = inline plan-cache path")
+    p_srv.add_argument("--queue-depth", type=int, default=32,
+                       dest="queue_depth",
+                       help="admitted-but-unstarted jobs allowed (default 32)")
+    p_srv.add_argument("--deadline-ms", type=int, default=30_000,
+                       dest="deadline_ms",
+                       help="default per-job deadline (default 30000)")
+    p_srv.add_argument("--plan-cache-size", type=int, default=64,
+                       dest="plan_cache_size")
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one A-squared job to a running server"
+    )
+    _add_input_args(p_sub)
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=7070)
+    p_sub.add_argument("--tenant", default="cli")
+    p_sub.add_argument("--algorithm", default="hash")
+    p_sub.add_argument("--semiring", default="plus_times")
+    p_sub.add_argument("--unsorted", action="store_true")
+    p_sub.add_argument("--threads", type=int, default=1)
+    p_sub.add_argument("--deadline-ms", type=int, default=None,
+                       dest="deadline_ms")
+    p_sub.add_argument("--stats", action="store_true",
+                       help="also print the server's metrics snapshot")
     return parser
 
 
@@ -265,6 +364,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "recipe": cmd_recipe,
         "validate": cmd_validate,
         "summa": cmd_summa,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }
     try:
         return handlers[args.command](args)

@@ -18,8 +18,10 @@ This project-scope checker consumes the module-level import edges from
   exempt from the DAG (the sanctioned way to break a cycle, e.g.
   ``matrix/stats.py`` lazily borrowing ``core.symbolic``) — *except* when
   the target is ``apps`` or ``analysis``, which nothing else may import
-  even lazily (``apps`` is the top of the DAG; ``analysis`` is a dev tool,
-  not a library);
+  even lazily (``apps`` is the top of the *library* DAG; ``analysis`` is
+  a dev tool, not a library).  The one sanctioned exception is ``serve``:
+  the serving tier sits *above* apps — it dispatches app jobs — so it may
+  import ``apps`` like any other layer below it;
 * **import-optional observability** — ``core`` modules may bind only
   ``NULL_TRACER`` and ``tracer_from_env`` from ``repro.observability`` at
   module level: kernels accept any tracer object duck-typed, and the
@@ -49,6 +51,10 @@ ALLOWED_IMPORTS: "dict[str, frozenset[str]]" = {
     "parallel": frozenset({"errors", "semiring", "matrix", "core", "observability"}),
     "distributed": frozenset({"errors", "matrix", "core", "semiring"}),
     "apps": frozenset({"errors", "matrix", "core", "semiring", "observability"}),
+    "serve": frozenset({
+        "errors", "semiring", "matrix", "core", "parallel", "observability",
+        "apps",
+    }),
     "perfmodel": frozenset({"errors", "machine", "matrix", "core"}),
     "profiling": frozenset({"errors", "observability"}),
     "analysis": frozenset(),
@@ -56,6 +62,11 @@ ALLOWED_IMPORTS: "dict[str, frozenset[str]]" = {
 
 #: Layers nothing else may import, even lazily.
 _FORBIDDEN_TARGETS = frozenset({"apps", "analysis"})
+
+#: Layers sitting *above* apps that may import it: the serving tier is the
+#: process-level facade dispatching app jobs, so it consumes apps the way
+#: apps consume core.
+_APP_CONSUMERS = frozenset({"serve"})
 
 #: The only observability names kernels may bind at module level.
 _SANCTIONED_TRACER_NAMES = frozenset({"NULL_TRACER", "tracer_from_env"})
@@ -102,6 +113,8 @@ class LayeringChecker(Checker):
             yield from self._check_edge(ctx, edge, src_layer, dst_layer)
 
     def _check_edge(self, ctx, edge, src_layer, dst_layer):
+        if dst_layer == "apps" and src_layer in _APP_CONSUMERS:
+            return  # the serving tier legitimately sits above apps
         if dst_layer in _FORBIDDEN_TARGETS and src_layer != dst_layer:
             how = "lazily (inside a function)" if edge.lazy else "at module level"
             yield self.finding(

@@ -38,7 +38,7 @@ from .spgemm import (
 )
 from .engine import ENGINES, EngineInfo, ScratchArena, get_thread_arena
 from .hash_batch import batch_hash_spgemm
-from .options import SpgemmOptions
+from .options import ChainOptions, SpgemmOptions, options_from_wire
 from .plan import (
     PLAN_ALGORITHMS,
     PLANLESS_ALGORITHMS,
@@ -75,6 +75,8 @@ __all__ = [
     "batch_hash_spgemm",
     "spgemm",
     "SpgemmOptions",
+    "ChainOptions",
+    "options_from_wire",
     "SpgemmPlan",
     "MaskedSpgemmPlan",
     "PlanCache",

@@ -39,6 +39,7 @@ from ..matrix.ops import pattern, pattern_filter, vstack_rows
 from ..matrix.stats import total_flop
 from ..semiring import PLUS_TIMES, Semiring
 from .masked import masked_spgemm
+from .options import ChainOptions
 from .spgemm import spgemm
 from .symbolic import iter_row_blocks
 
@@ -227,22 +228,24 @@ def plan_chain(
 
 def multiply_chain(
     matrices: "list[CSR]",
+    opts: ChainOptions | None = None,
     *,
-    algorithm: str = "hash",
-    semiring: "str | Semiring" = PLUS_TIMES,
-    sort_output: bool = True,
-    nthreads: int = 1,
-    engine: str = "faithful",
     mask: CSR | None = None,
-    complement: bool = False,
-    fuse: str = "auto",
-    plan: ChainPlan | None = None,
-    plan_cache=None,
-    tracer=None,
+    **kwargs,
 ) -> CSR:
     """Multiply a chain of matrices in the flop-optimal association order.
 
-    ``mask`` gates the chain's *final* product through the fused
+    Configuration arrives the same way as :func:`repro.spgemm`'s: a frozen
+    :class:`~repro.core.options.ChainOptions` (``multiply_chain(mats,
+    opts)``), loose keywords (``multiply_chain(mats, algorithm="hash",
+    fuse="off")``), or both — keywords override the options object's
+    fields, and a plain :class:`~repro.core.options.SpgemmOptions` is
+    promoted field-by-field.  Everything is validated in one place
+    (:meth:`ChainOptions.from_kwargs`); unknown keywords raise
+    :class:`~repro.errors.ConfigError` listing the valid names.
+
+    ``mask`` (an operand, so not part of the options) gates the chain's
+    *final* product through the fused
     :func:`repro.core.masked.masked_spgemm` (``complement`` as there) — the
     unmasked result is never materialized.  ``algorithm="auto"`` /
     ``engine="auto"`` take each stage's choice from the
@@ -256,16 +259,29 @@ def multiply_chain(
     the surrounding rows, so blocks stack to the unfused product verbatim)
     with sorted output (unsorted orderings depend on block boundaries).
 
-    ``plan_cache`` (a :class:`repro.core.plan.PlanCache`) is forwarded to
-    every product — including masked and streamed ones — so re-evaluating a
-    chain whose operands keep their sparsity patterns (AMG's Galerkin
-    triple product per cycle, Markov iterations) pays structure discovery
-    only on the first evaluation.  ``tracer`` is forwarded to every
-    product, so each association step shows up as its own root span.
+    ``plan`` carries a pre-built :class:`ChainPlan`; ``plan_cache`` (a
+    :class:`repro.core.plan.PlanCache`) is forwarded to every product —
+    including masked and streamed ones — so re-evaluating a chain whose
+    operands keep their sparsity patterns (AMG's Galerkin triple product
+    per cycle, Markov iterations) pays structure discovery only on the
+    first evaluation.  ``tracer`` is forwarded to every product, so each
+    association step shows up as its own root span.
     """
-    if fuse not in ("auto", "on", "off"):
+    options = ChainOptions.from_kwargs(opts, **kwargs)
+    algorithm = options.algorithm
+    semiring = options.semiring
+    sort_output = options.sort_output
+    nthreads = options.nthreads
+    engine = options.engine
+    complement = options.complement
+    fuse = options.fuse
+    plan = options.plan
+    plan_cache = options.plan_cache
+    tracer = options.tracer
+    if plan is not None and not isinstance(plan, ChainPlan):
         raise ConfigError(
-            f"fuse must be 'auto', 'on' or 'off', got {fuse!r}"
+            f"multiply_chain's plan must be a ChainPlan (from plan_chain), "
+            f"got {type(plan).__name__}"
         )
     n = len(matrices)
     if mask is not None:

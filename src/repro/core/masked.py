@@ -41,10 +41,11 @@ import numpy as np
 from ..errors import ConfigError, ShapeError
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..observability import tracer_from_env
-from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from ..semiring import Semiring
 from .engine import ENGINES, ScratchArena, get_thread_arena
 from .hash_batch import _stable_coordinate_order
 from .instrument import KernelStats
+from .options import ChainOptions
 from .scheduler import ThreadPartition, rows_to_threads
 from .symbolic import (
     DEFAULT_MAX_BLOCK_FLOP,
@@ -78,20 +79,23 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
     a: CSR,
     b: CSR,
     mask: CSR,
+    opts: ChainOptions | None = None,
     *,
-    semiring: "str | Semiring" = PLUS_TIMES,
-    complement: bool = False,
-    sort_output: bool = True,
-    engine: str = "faithful",
-    nthreads: int = 1,
-    partition: ThreadPartition | None = None,
-    stats: KernelStats | None = None,
-    plan=None,
-    plan_cache=None,
-    tracer=None,
     max_block_flop: int = DEFAULT_MAX_BLOCK_FLOP,
+    **kwargs,
 ) -> CSR:
     """Compute ``(A (x) B) .* pattern(mask)`` without materializing the rest.
+
+    Configuration arrives the same way as :func:`repro.spgemm`'s: a frozen
+    :class:`~repro.core.options.ChainOptions` (a plain
+    :class:`~repro.core.options.SpgemmOptions` is promoted), loose keywords
+    (``semiring``, ``complement``, ``sort_output``, ``engine``,
+    ``nthreads``, ``partition``, ``stats``, ``plan``, ``plan_cache``,
+    ``tracer``), or both — keywords override the options object's fields,
+    validated in one place by :meth:`ChainOptions.from_kwargs`.  The
+    ``algorithm`` and ``fuse`` fields are ignored here (the masked kernel
+    is its own algorithm and nothing streams); ``max_block_flop`` is a
+    kernel tuning knob, not configuration, and stays a direct keyword.
 
     Parameters
     ----------
@@ -104,7 +108,8 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
     engine:
         ``"faithful"`` runs the scalar mask-gated SPA; ``"fast"`` runs the
         batched mask-gated scatter — identical output at the float64 bit
-        level.
+        level.  ``"auto"`` resolves to ``"fast"`` (the engines are
+        bit-identical; the batched one wins on volume).
     plan, plan_cache:
         Inspector–executor replay: ``plan`` must be a
         :class:`~repro.core.plan.MaskedSpgemmPlan` (its options win);
@@ -122,11 +127,26 @@ def masked_spgemm(  # repro-lint: disable=kernel-dispatch
         The masked product; pattern is a subset of ``mask``'s pattern
         (or its complement).
     """
+    options = ChainOptions.from_kwargs(opts, **kwargs)
+    complement = options.complement
+    sort_output = options.sort_output
+    nthreads = options.nthreads
+    partition = options.partition
+    stats = options.stats
+    plan = options.plan
+    plan_cache = options.plan_cache
+    tracer = options.tracer
+    engine = "fast" if options.engine == "auto" else options.engine
     _check_shapes(a, b, mask)
-    sr = get_semiring(semiring)
+    sr = options.semiring
     if engine not in ENGINES:
         raise ConfigError(
             f"unknown engine {engine!r}; available: {list(ENGINES)}"
+        )
+    if plan is not None and not hasattr(plan, "execute"):
+        raise ConfigError(
+            f"masked_spgemm's plan must provide .execute(a, b, mask), "
+            f"got {type(plan).__name__}"
         )
     if tracer is None:
         tracer = tracer_from_env()

@@ -43,6 +43,7 @@ replays the same value sequence.
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from collections import OrderedDict
@@ -779,6 +780,13 @@ class PlanCache:
     Hit/miss totals live on :attr:`hits`/:attr:`misses` and are also pushed
     into each call's :class:`~repro.core.instrument.KernelStats` (as
     ``plan_hits``/``plan_misses``) when one is supplied.
+
+    The cache is thread-safe: lookup, counters and store run under an
+    internal lock, while inspection (the expensive part of a miss) runs
+    outside it.  Two threads missing on the same key may therefore both
+    inspect — wasted work, never wrong results, since the later store just
+    overwrites the identical plan.  This is the sharing model the serving
+    layer relies on (one process-wide cache, many request threads).
     """
 
     def __init__(self, maxsize: int = 32) -> None:
@@ -788,13 +796,16 @@ class PlanCache:
         self._entries: "OrderedDict[tuple, SpgemmPlan | str]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every cached plan (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _key(self, a: CSR, b: CSR, options: SpgemmOptions) -> tuple:
         # The semiring is deliberately absent: a plan is semiring-agnostic
@@ -811,9 +822,26 @@ class PlanCache:
         )
 
     def _store(self, key: tuple, entry) -> None:
-        self._entries[key] = entry
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = entry
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def _lookup(self, key: tuple, stats: "KernelStats | None"):
+        """LRU-touch + counter bump under the lock; None on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if stats is not None:
+            if entry is not None:
+                stats.plan_hits += 1
+            else:
+                stats.plan_misses += 1
+        return entry
 
     def execute(
         self,
@@ -829,12 +857,8 @@ class PlanCache:
             options = options.replace(plan=None, plan_cache=None)
         key = self._key(a, b, options)
         stats = options.stats
-        entry = self._entries.get(key)
+        entry = self._lookup(key, stats)
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            if stats is not None:
-                stats.plan_hits += 1
             if isinstance(entry, str):  # plan-less algorithm marker
                 from .spgemm import _spgemm_resolved
 
@@ -843,9 +867,6 @@ class PlanCache:
                 a, b, semiring=options.semiring, stats=stats,
                 tracer=options.tracer,
             )
-        self.misses += 1
-        if stats is not None:
-            stats.plan_misses += 1
         algorithm = options.algorithm
         if algorithm == "auto":
             from .recipe import recommend
@@ -895,18 +916,11 @@ class PlanCache:
             complement,
             sort_output,
         )
-        entry = self._entries.get(key)
+        entry = self._lookup(key, stats)
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            if stats is not None:
-                stats.plan_hits += 1
             return entry.execute(
                 a, b, mask, semiring=semiring, stats=stats, tracer=tracer
             )
-        self.misses += 1
-        if stats is not None:
-            stats.plan_misses += 1
         plan = inspect_masked(
             a, b, mask, semiring=semiring, complement=complement,
             sort_output=sort_output, engine=engine, stats=stats, tracer=tracer,

@@ -16,6 +16,7 @@ __all__ = [
     "DatasetError",
     "PlanError",
     "SanitizerError",
+    "ServeError",
     "invalid_choice",
 ]
 
@@ -62,6 +63,20 @@ class SanitizerError(ReproError, RuntimeError):
     workers, overlapping or out-of-claim output writes, or a leaked
     segment.  Raised at pool teardown, after the violation report has been
     written (see :mod:`repro.parallel.sanitizer`)."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """A request to the :mod:`repro.serve` server failed server-side.
+
+    Carries the wire-level error ``code`` (``"bad-request"``,
+    ``"queue-full"``, ``"deadline-exceeded"``, ``"draining"``,
+    ``"internal"``) so clients can branch on the failure class without
+    parsing the message text.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def invalid_choice(kind: str, got: object, choices) -> ConfigError:

@@ -7,6 +7,6 @@ the paper's flop-balanced scheduler and each block is computed in a worker
 process (CPython threads cannot run the kernels concurrently).
 """
 
-from .pool import parallel_spgemm
+from .pool import WorkerPool, parallel_spgemm
 
-__all__ = ["parallel_spgemm"]
+__all__ = ["parallel_spgemm", "WorkerPool"]

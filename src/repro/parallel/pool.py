@@ -33,14 +33,14 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from . import sanitizer as _sanitizer
+from ..core.options import SpgemmOptions
 from ..core.scheduler import rows_to_threads
 from ..core.spgemm import spgemm
 from ..errors import ConfigError, ShapeError
 from ..observability import NULL_TRACER, Tracer, tracer_from_env
 from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
-from ..semiring import PLUS_TIMES, Semiring, get_semiring
 
-__all__ = ["parallel_spgemm", "row_block", "SHARE_MODES"]
+__all__ = ["parallel_spgemm", "row_block", "WorkerPool", "SHARE_MODES"]
 
 try:  # pragma: no cover - import guard exercised implicitly
     from multiprocessing import shared_memory as _shm_module
@@ -324,14 +324,12 @@ def _worker_pickle(args):
 def parallel_spgemm(
     a: CSR,
     b: CSR,
+    opts: SpgemmOptions | None = None,
     *,
-    algorithm: str = "esc",
-    semiring: "str | Semiring" = PLUS_TIMES,
-    sort_output: bool = True,
     nworkers: int | None = None,
-    engine: str = "faithful",
     share: str = "auto",
-    tracer: "Tracer | None" = None,
+    executor=None,
+    **kwargs,
 ) -> CSR:
     """Compute ``C = A (x) B`` across ``nworkers`` OS processes.
 
@@ -340,18 +338,34 @@ def parallel_spgemm(
     the fastest executable one under the faithful engine; pair the hash
     family with ``engine="fast"`` for the batched implementation.
 
+    Kernel configuration arrives the same way as :func:`repro.spgemm`'s: a
+    frozen :class:`~repro.core.options.SpgemmOptions`, loose keywords
+    (``algorithm``, ``semiring``, ``sort_output``, ``engine``, ``tracer``),
+    or both — keywords override the options object's fields, validated by
+    :meth:`SpgemmOptions.from_kwargs`.  ``algorithm`` defaults to ``"esc"``
+    here (not ``"auto"``); an explicit ``"auto"`` resolves through the
+    Table-4 recipe once, on the full operands, before dispatch.  The
+    process-local fields ``partition``, ``stats``, ``plan`` and
+    ``plan_cache`` are not supported across the process boundary and raise
+    :class:`~repro.errors.ConfigError`; ``nthreads`` is ignored (``nworkers``
+    is this function's parallelism knob).
+
     Parameters
     ----------
     nworkers:
         Process count (default: min(cores, 8)).  Must be >= 1; counts
         beyond the row count are clamped — no silent empty blocks.
-    engine:
-        Execution engine each worker runs (see :func:`repro.spgemm`).
     share:
         Operand transport: ``"shm"`` (zero-copy shared memory),
         ``"fork"`` (copy-on-write inheritance), ``"pickle"`` (legacy
         serialized copies), or ``"auto"`` to pick the best available,
         overridable via the ``REPRO_POOL_SHARE`` environment variable.
+    executor:
+        Optional already-running :class:`concurrent.futures.ProcessPoolExecutor`
+        (usually a :class:`WorkerPool`'s) to dispatch on instead of forking
+        a fresh pool per call — the long-lived serving shape.  Not valid
+        with the ``"fork"`` transport, whose operand mailbox must be
+        published *before* the workers fork.
     tracer:
         Optional :class:`repro.observability.Tracer` (also activated by
         ``REPRO_TRACE``).  The parent traces partition, operand packing and
@@ -367,14 +381,39 @@ def parallel_spgemm(
     ``"fork"`` the operands are never serialized, so the setup cost is one
     memcpy (or none) instead of ``nworkers`` pickled copies of B.
     """
+    options = SpgemmOptions.from_kwargs(opts, **kwargs)
+    if opts is None and "algorithm" not in kwargs:
+        options = options.replace(algorithm="esc")
+    for name in ("partition", "stats", "plan", "plan_cache"):
+        if getattr(options, name) is not None:
+            raise ConfigError(
+                f"parallel_spgemm does not support {name!r}: it is "
+                "process-local and cannot follow the operands to the workers"
+            )
     if a.ncols != b.nrows:
         raise ShapeError(f"inner dimensions differ: {a.shape} x {b.shape}")
-    sr = get_semiring(semiring)
+    if options.algorithm == "auto":
+        from ..core.recipe import recommend
+
+        options = options.replace(
+            algorithm=recommend(a, b, sort_output=options.sort_output).algorithm
+        )
+    algorithm = options.algorithm
+    sr = options.semiring
+    sort_output = options.sort_output
+    engine = options.engine
+    tracer = options.tracer
     if nworkers is None:
         nworkers = min(os.cpu_count() or 1, 8)
     if nworkers < 1:
         raise ConfigError(f"nworkers must be >= 1, got {nworkers}")
     mode = _resolve_share(share)
+    if executor is not None and mode == "fork":
+        raise ConfigError(
+            "a persistent executor cannot use the fork transport: its "
+            "workers forked before the operands were published; use shm "
+            "or pickle"
+        )
     nworkers = min(nworkers, max(a.nrows, 1))
     if tracer is None:
         tracer = tracer_from_env()
@@ -417,8 +456,11 @@ def parallel_spgemm(
             ]
             try:
                 with obs.span("workers", phase="execute", transport="shm"):
-                    with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-                        results = list(pool.map(_worker_shm, tasks))
+                    if executor is not None:
+                        results = list(executor.map(_worker_shm, tasks))
+                    else:
+                        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                            results = list(pool.map(_worker_shm, tasks))
             finally:
                 if san is not None:
                     # Digest check precedes release: the mapping must still
@@ -457,8 +499,11 @@ def parallel_spgemm(
                     for s, e in work
                 ]
             with obs.span("workers", phase="execute", transport="pickle"):
-                with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-                    results = list(pool.map(_worker_pickle, tasks))
+                if executor is not None:
+                    results = list(executor.map(_worker_pickle, tasks))
+                else:
+                    with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                        results = list(pool.map(_worker_pickle, tasks))
 
         # Preallocated single-pass stitch: sizes first, then one copy per
         # block.
@@ -503,3 +548,100 @@ def parallel_spgemm(
             san.finish(pool_span)
     sortedness = sort_output or algorithm in ("heap", "esc")
     return CSR((nrows, b.ncols), indptr, out_indices, out_data, sorted_rows=sortedness)
+
+
+# --------------------------------------------------------------------------
+# persistent worker set
+# --------------------------------------------------------------------------
+
+def _warm_worker() -> int:
+    """No-op task that forces a worker process to exist and import numpy."""
+    return os.getpid()
+
+
+class WorkerPool:
+    """A warm, long-lived process pool for repeated :func:`parallel_spgemm`.
+
+    ``parallel_spgemm`` alone forks a fresh pool per call — fine for one
+    big product, ruinous for a server answering thousands of small ones.
+    ``WorkerPool`` keeps ``nworkers`` processes alive across calls and
+    hands its executor to ``parallel_spgemm``, so each request pays only
+    the operand memcpy (shm) or pickle, never process startup.
+
+    The ``"fork"`` transport is rejected at construction: its operand
+    mailbox is inherited at fork time, which a persistent pool's workers
+    predate.  ``"auto"`` therefore resolves to shm or pickle only.
+
+    Use as a context manager or call :meth:`shutdown` explicitly; a pool
+    abandoned without shutdown leaks its worker processes until GC.
+    """
+
+    def __init__(
+        self,
+        nworkers: int | None = None,
+        *,
+        share: str = "auto",
+        warm: bool = True,
+    ):
+        if nworkers is None:
+            nworkers = min(os.cpu_count() or 1, 8)
+        if nworkers < 1:
+            raise ConfigError(f"nworkers must be >= 1, got {nworkers}")
+        mode = _resolve_share(share)
+        if mode == "fork":
+            raise ConfigError(
+                "WorkerPool cannot use the fork transport: operands are "
+                "published after its workers fork; use shm or pickle"
+            )
+        self.nworkers = nworkers
+        self.share = mode
+        self._executor = ProcessPoolExecutor(max_workers=nworkers)
+        self._closed = False
+        if warm:
+            # One round of no-ops: the pool is forked/spawned and has
+            # imported this module before the first real request.  (A fast
+            # worker may absorb several no-ops, so this warms the *pool*,
+            # not necessarily every individual worker.)
+            futures = [self._executor.submit(_warm_worker) for _ in range(nworkers)]
+            self.worker_pids = tuple(sorted({f.result(timeout=120) for f in futures}))
+        else:
+            self.worker_pids = ()
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ConfigError("WorkerPool is shut down")
+        return self._executor
+
+    def spgemm(
+        self,
+        a: CSR,
+        b: CSR,
+        opts: SpgemmOptions | None = None,
+        **kwargs,
+    ) -> CSR:
+        """``parallel_spgemm`` on this pool's warm workers."""
+        return parallel_spgemm(
+            a, b, opts,
+            nworkers=self.nworkers, share=self.share,
+            executor=self.executor, **kwargs,
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "warm"
+        return (
+            f"WorkerPool(nworkers={self.nworkers}, share={self.share!r}, "
+            f"{state})"
+        )

@@ -1,0 +1,198 @@
+"""Blocking client for the ``repro-job/1`` protocol.
+
+A thin socket wrapper: build a job with :func:`repro.serve.protocol.build_job`,
+send one line, read one line.  Convenience methods mirror the library's
+local entry points — ``client.spgemm(a, b, opts)`` accepts the same
+frozen options / loose keywords as :func:`repro.spgemm` and returns a
+:class:`~repro.matrix.csr.CSR` — so swapping local compute for remote
+compute is a one-line change at the call site.
+
+Error responses raise :class:`~repro.errors.ServeError` carrying the wire
+error code (``queue-full``, ``deadline-exceeded``, ...), so callers can
+implement backpressure without parsing message text.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from ..core.options import ChainOptions, SpgemmOptions
+from ..errors import ConfigError, ServeError
+from ..matrix.csr import CSR
+from .protocol import (
+    WIRE_SCHEMA,
+    build_job,
+    csr_from_wire,
+    csr_to_wire,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["Client", "submit_job"]
+
+_JOB_IDS = itertools.count(1)
+
+
+class Client:
+    """One connection to a :class:`repro.serve.Server`.
+
+    Requests on a single client are sequential (send, then wait for the
+    response); open several clients for concurrency.  Usable as a context
+    manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        tenant: str = "default",
+        timeout: "float | None" = 120.0,
+    ):
+        if not isinstance(tenant, str) or not tenant:
+            raise ConfigError(f"tenant must be a non-empty string, got {tenant!r}")
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._closed = False
+
+    # -- transport ---------------------------------------------------------
+
+    def submit(self, job: dict) -> dict:
+        """Send one job envelope, return the raw response body.
+
+        Raises :class:`ServeError` when the server answered ``ok: false``,
+        and :class:`ConfigError` on transport-level protocol violations.
+        """
+        if self._closed:
+            raise ConfigError("client is closed")
+        self._file.write(encode_message(job))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("internal", "server closed the connection")
+        response = decode_message(line)
+        if response.get("schema") != WIRE_SCHEMA:
+            raise ConfigError(
+                f"unexpected response schema {response.get('schema')!r}"
+            )
+        if response.get("id") != job.get("id"):
+            raise ConfigError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {job.get('id')!r}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", "internal"),
+                error.get("message", "unspecified server error"),
+            )
+        return response
+
+    def _job_id(self) -> str:
+        return f"{self.tenant}-{next(_JOB_IDS)}"
+
+    # -- convenience mirrors of the local API ------------------------------
+
+    def spgemm(
+        self,
+        a: CSR,
+        b: CSR,
+        opts: "SpgemmOptions | None" = None,
+        *,
+        deadline_ms: "int | None" = None,
+        **kwargs,
+    ) -> CSR:
+        """``C = A (x) B`` computed by the server."""
+        options = SpgemmOptions.from_kwargs(opts, **kwargs)
+        job = build_job(
+            "spgemm", job_id=self._job_id(), tenant=self.tenant,
+            options=options, deadline_ms=deadline_ms, a=a, b=b,
+        )
+        return csr_from_wire(self.submit(job)["result"]["c"])
+
+    def chain(
+        self,
+        matrices: "list[CSR]",
+        opts: "ChainOptions | None" = None,
+        *,
+        mask: "CSR | None" = None,
+        deadline_ms: "int | None" = None,
+        **kwargs,
+    ) -> CSR:
+        """A chain product (optionally masked) computed by the server."""
+        options = ChainOptions.from_kwargs(opts, **kwargs)
+        job = build_job(
+            "chain", job_id=self._job_id(), tenant=self.tenant,
+            options=options, deadline_ms=deadline_ms,
+            matrices=matrices, mask=mask,
+        )
+        return csr_from_wire(self.submit(job)["result"]["c"])
+
+    def masked(
+        self,
+        a: CSR,
+        b: CSR,
+        mask: CSR,
+        opts: "ChainOptions | None" = None,
+        *,
+        deadline_ms: "int | None" = None,
+        **kwargs,
+    ) -> CSR:
+        """``C<M> = A (x) B`` computed by the server."""
+        options = ChainOptions.from_kwargs(opts, **kwargs)
+        job = build_job(
+            "masked", job_id=self._job_id(), tenant=self.tenant,
+            options=options, deadline_ms=deadline_ms, a=a, b=b, mask=mask,
+        )
+        return csr_from_wire(self.submit(job)["result"]["c"])
+
+    def app(
+        self,
+        name: str,
+        adjacency: CSR,
+        *,
+        deadline_ms: "int | None" = None,
+        **args,
+    ) -> dict:
+        """Run a registered app job; returns its JSON result dict."""
+        job = build_job(
+            "app", job_id=self._job_id(), tenant=self.tenant,
+            deadline_ms=deadline_ms, app=name, args=args,
+        )
+        job["adjacency"] = csr_to_wire(adjacency)
+        return self.submit(job)["result"]
+
+    def stats(self) -> dict:
+        """The server's ``repro-metrics/1`` snapshot."""
+        job = build_job("stats", job_id=self._job_id(), tenant=self.tenant)
+        return self.submit(job)["result"]
+
+    def ping(self) -> bool:
+        job = build_job("ping", job_id=self._job_id(), tenant=self.tenant)
+        return self.submit(job)["result"] == "pong"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def submit_job(host: str, port: int, job: dict, **client_kwargs) -> dict:
+    """One-shot convenience: connect, submit one envelope, disconnect."""
+    with Client(host, port, **client_kwargs) as client:
+        if "id" not in job:
+            job = {**job, "id": client._job_id()}
+        return client.submit(job)

@@ -1,0 +1,208 @@
+"""Server-side counters, latency percentiles and the metrics schema.
+
+Everything here is updated from multiple threads (the asyncio loop admits
+and rejects; compute threads complete), so :class:`ServerMetrics` guards
+its state with one lock and exposes a single consistent
+:meth:`~ServerMetrics.snapshot` — the payload behind both the ``stats``
+job kind and the HTTP shim's ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.instrument import KernelStats
+from ..errors import ConfigError
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "LatencyReservoir",
+    "ServerMetrics",
+    "validate_metrics_schema",
+]
+
+#: Version tag of the metrics snapshot payload.
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Top-level keys every snapshot must carry (schema contract for CI).
+_REQUIRED_KEYS = (
+    "schema", "counters", "latency_ms", "plan_cache", "kernel_totals",
+    "queue", "tenants",
+)
+
+_REQUIRED_COUNTERS = (
+    "received", "completed", "failed", "rejected_queue_full",
+    "rejected_draining", "deadline_exceeded",
+)
+
+_REQUIRED_LATENCY = ("count", "p50", "p90", "p99", "max")
+
+
+class LatencyReservoir:
+    """Bounded ring of latency samples with percentile readout.
+
+    A fixed-size ring keeps memory constant under unbounded traffic while
+    still answering p50/p99 over the most recent ``size`` requests — the
+    window an operator actually wants when watching a live server.  Not
+    thread-safe on its own; :class:`ServerMetrics` serializes access.
+    """
+
+    def __init__(self, size: int = 2048) -> None:
+        if size < 1:
+            raise ConfigError(f"reservoir size must be >= 1, got {size}")
+        self._ring: "list[float]" = [0.0] * size
+        self._count = 0
+
+    def add(self, latency_ms: float) -> None:
+        self._ring[self._count % len(self._ring)] = float(latency_ms)
+        self._count += 1
+
+    def _window(self) -> "list[float]":
+        n = min(self._count, len(self._ring))
+        return sorted(self._ring[:n])
+
+    def percentile(self, p: float) -> "float | None":
+        """Nearest-rank percentile over the window (None while empty)."""
+        window = self._window()
+        if not window:
+            return None
+        rank = max(0, min(len(window) - 1, round(p / 100.0 * len(window)) - 1))
+        return window[rank]
+
+    def summary(self) -> dict:
+        window = self._window()
+        if not window:
+            return {"count": 0, "p50": None, "p90": None, "p99": None,
+                    "max": None}
+
+        def rank(p: float) -> float:
+            idx = max(0, min(len(window) - 1,
+                             round(p / 100.0 * len(window)) - 1))
+            return window[idx]
+
+        return {
+            "count": self._count,
+            "p50": rank(50), "p90": rank(90), "p99": rank(99),
+            "max": window[-1],
+        }
+
+
+class ServerMetrics:
+    """All mutable serving-tier telemetry, behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.received = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected_queue_full = 0
+        self.rejected_draining = 0
+        self.deadline_exceeded = 0
+        self.by_kind: "dict[str, int]" = {}
+        self.by_tenant: "dict[str, int]" = {}
+        self.latency = LatencyReservoir()
+        #: Process-wide kernel counter totals, merged from each request's
+        #: per-call :class:`KernelStats` collector.
+        self.kernel_totals = KernelStats()
+
+    def admitted(self, kind: str, tenant: str) -> None:
+        with self._lock:
+            self.received += 1
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+            self.by_tenant[tenant] = self.by_tenant.get(tenant, 0) + 1
+
+    def rejected(self, code: str) -> None:
+        with self._lock:
+            if code == "queue-full":
+                self.rejected_queue_full += 1
+            elif code == "draining":
+                self.rejected_draining += 1
+            else:
+                self.failed += 1
+
+    def finished(
+        self,
+        *,
+        ok: bool,
+        latency_ms: float,
+        code: "str | None" = None,
+        stats: "KernelStats | None" = None,
+    ) -> None:
+        with self._lock:
+            if ok:
+                self.completed += 1
+            elif code == "deadline-exceeded":
+                self.deadline_exceeded += 1
+            else:
+                self.failed += 1
+            self.latency.add(latency_ms)
+            if stats is not None:
+                self.kernel_totals.merge(stats)
+
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        in_flight: int,
+        draining: bool,
+        plan_cache,
+    ) -> dict:
+        """One consistent ``repro-metrics/1`` payload."""
+        with self._lock:
+            hits, misses = plan_cache.hits, plan_cache.misses
+            lookups = hits + misses
+            return {
+                "schema": METRICS_SCHEMA,
+                "counters": {
+                    "received": self.received,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "rejected_queue_full": self.rejected_queue_full,
+                    "rejected_draining": self.rejected_draining,
+                    "deadline_exceeded": self.deadline_exceeded,
+                },
+                "by_kind": dict(self.by_kind),
+                "latency_ms": self.latency.summary(),
+                "plan_cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": (hits / lookups) if lookups else None,
+                    "entries": len(plan_cache),
+                },
+                "kernel_totals": self.kernel_totals.scalar_snapshot(),
+                "queue": {
+                    "depth": queue_depth,
+                    "in_flight": in_flight,
+                    "draining": draining,
+                },
+                "tenants": dict(self.by_tenant),
+            }
+
+
+def validate_metrics_schema(payload: dict) -> None:
+    """Raise :class:`ConfigError` unless ``payload`` is a valid snapshot.
+
+    Used by the CI smoke job to pin the exported shape: top-level keys,
+    counter names and latency fields must all be present, and the schema
+    tag must be exactly :data:`METRICS_SCHEMA`.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"metrics payload must be a dict, got {type(payload).__name__}"
+        )
+    if payload.get("schema") != METRICS_SCHEMA:
+        raise ConfigError(
+            f"metrics schema must be {METRICS_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    missing = [k for k in _REQUIRED_KEYS if k not in payload]
+    if missing:
+        raise ConfigError(f"metrics payload is missing keys {missing}")
+    counters = payload["counters"]
+    missing = [k for k in _REQUIRED_COUNTERS if k not in counters]
+    if missing:
+        raise ConfigError(f"metrics counters are missing {missing}")
+    latency = payload["latency_ms"]
+    missing = [k for k in _REQUIRED_LATENCY if k not in latency]
+    if missing:
+        raise ConfigError(f"metrics latency summary is missing {missing}")

@@ -1,0 +1,282 @@
+"""The ``repro-job/1`` wire protocol: framing, matrices, jobs, responses.
+
+One request or response is **one line of JSON** (newline-delimited, UTF-8).
+CSR operands travel as base64 of their three raw arrays plus shape and
+dtype tags — lossless for the canonical int64/float64 arrays, and any
+other dtype a client sends is cast by the :class:`~repro.matrix.csr.CSR`
+constructor's normal canonicalization.
+
+A job envelope::
+
+    {"schema": "repro-job/1", "id": "...", "tenant": "...",
+     "kind": "spgemm" | "chain" | "masked" | "app" | "stats" | "ping",
+     "deadline_ms": 2000,                 # optional; server default applies
+     "options": {"type": "spgemm", ...},  # SpgemmOptions/ChainOptions wire
+     ... kind-specific operands ...}
+
+Kind-specific operand fields:
+
+* ``spgemm`` — ``a``, ``b`` (wire CSRs)
+* ``chain``  — ``matrices`` (list of wire CSRs), optional ``mask``
+* ``masked`` — ``a``, ``b``, ``mask``
+* ``app``    — ``app`` (registry name), ``adjacency``, optional ``args``
+* ``stats`` / ``ping`` — no operands
+
+A response echoes ``schema`` and ``id`` and carries either ``"ok": true``
+with ``result``/``stats``/``elapsed_ms``, or ``"ok": false`` with
+``error: {"code", "message"}`` (codes: ``bad-request``, ``queue-full``,
+``deadline-exceeded``, ``draining``, ``internal``).
+
+The options sub-dict is parsed by
+:func:`repro.core.options.options_from_wire` — the same validated entry
+path ``python -m repro`` uses — so a wire request cannot reach a kernel
+less checked than a local call.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import numpy as np
+
+from ..core.options import ChainOptions, SpgemmOptions, options_from_wire
+from ..errors import ConfigError, invalid_choice
+from ..matrix.csr import CSR
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "JOB_KINDS",
+    "ERROR_CODES",
+    "csr_to_wire",
+    "csr_from_wire",
+    "encode_message",
+    "decode_message",
+    "build_job",
+    "parse_job",
+]
+
+#: Version tag every request and response carries.
+WIRE_SCHEMA = "repro-job/1"
+
+#: Request kinds the server understands.
+JOB_KINDS = ("spgemm", "chain", "masked", "app", "stats", "ping")
+
+#: Error codes a failed response may carry.
+ERROR_CODES = (
+    "bad-request", "queue-full", "deadline-exceeded", "draining", "internal",
+)
+
+#: Which options class each compute kind parses (stats/ping carry none).
+_KIND_OPTIONS = {
+    "spgemm": SpgemmOptions,
+    "chain": ChainOptions,
+    "masked": ChainOptions,
+    "app": None,
+    "stats": None,
+    "ping": None,
+}
+
+
+# --------------------------------------------------------------------------
+# matrices
+# --------------------------------------------------------------------------
+
+def _array_to_wire(arr: np.ndarray) -> dict:
+    return {
+        "dtype": arr.dtype.str,
+        "b64": base64.b64encode(np.ascontiguousarray(arr).tobytes()).decode(
+            "ascii"
+        ),
+    }
+
+
+def _array_from_wire(payload: dict, what: str) -> np.ndarray:
+    if not isinstance(payload, dict) or "b64" not in payload:
+        raise ConfigError(f"wire CSR field {what!r} must be a dict with 'b64'")
+    try:
+        raw = base64.b64decode(payload["b64"], validate=True)
+        return np.frombuffer(raw, dtype=np.dtype(payload.get("dtype", "<i8")))
+    except (ValueError, TypeError) as exc:
+        raise ConfigError(f"wire CSR field {what!r} is malformed: {exc}") from exc
+
+
+def csr_to_wire(m: CSR) -> dict:
+    """Lossless JSON-able form of a CSR matrix (raw arrays, base64)."""
+    return {
+        "shape": [int(m.nrows), int(m.ncols)],
+        "sorted": m.sorted_rows,
+        "indptr": _array_to_wire(m.indptr),
+        "indices": _array_to_wire(m.indices),
+        "data": _array_to_wire(m.data),
+    }
+
+
+def csr_from_wire(payload: dict) -> CSR:
+    """Rebuild a CSR from :func:`csr_to_wire` output.
+
+    The arrays pass through the CSR constructor's full structural
+    validation — a malformed wire matrix fails here, before any kernel
+    sees it — and ``sorted_rows`` is re-detected when absent.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"wire CSR must be a dict, got {type(payload).__name__}"
+        )
+    for key in ("shape", "indptr", "indices", "data"):
+        if key not in payload:
+            raise ConfigError(f"wire CSR is missing field {key!r}")
+    shape = payload["shape"]
+    if (
+        not isinstance(shape, (list, tuple)) or len(shape) != 2
+        or not all(isinstance(d, int) and d >= 0 for d in shape)
+    ):
+        raise ConfigError(f"wire CSR shape must be [nrows, ncols], got {shape!r}")
+    return CSR(
+        (shape[0], shape[1]),
+        _array_from_wire(payload["indptr"], "indptr"),
+        _array_from_wire(payload["indices"], "indices"),
+        _array_from_wire(payload["data"], "data"),
+        sorted_rows=payload.get("sorted"),
+    )
+
+
+# --------------------------------------------------------------------------
+# framing
+# --------------------------------------------------------------------------
+
+def encode_message(obj: dict) -> bytes:
+    """One protocol frame: compact JSON, UTF-8, newline-terminated."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one frame; malformed JSON raises :class:`ConfigError`."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ConfigError(f"malformed JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ConfigError(
+            f"protocol frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# --------------------------------------------------------------------------
+# jobs
+# --------------------------------------------------------------------------
+
+def build_job(
+    kind: str,
+    *,
+    job_id: str,
+    tenant: str = "default",
+    options: "SpgemmOptions | None" = None,
+    deadline_ms: "int | None" = None,
+    a: "CSR | None" = None,
+    b: "CSR | None" = None,
+    mask: "CSR | None" = None,
+    matrices: "list[CSR] | None" = None,
+    app: "str | None" = None,
+    args: "dict | None" = None,
+) -> dict:
+    """Assemble a job envelope (client side of :func:`parse_job`)."""
+    if kind not in JOB_KINDS:
+        raise invalid_choice("job kind", kind, list(JOB_KINDS))
+    job: dict = {
+        "schema": WIRE_SCHEMA, "id": job_id, "tenant": tenant, "kind": kind,
+    }
+    if deadline_ms is not None:
+        job["deadline_ms"] = deadline_ms
+    if options is not None:
+        job["options"] = options.to_wire()
+    if a is not None:
+        job["a"] = csr_to_wire(a)
+    if b is not None:
+        job["b"] = csr_to_wire(b)
+    if mask is not None:
+        job["mask"] = csr_to_wire(mask)
+    if matrices is not None:
+        job["matrices"] = [csr_to_wire(m) for m in matrices]
+    if app is not None:
+        job["app"] = app
+    if args is not None:
+        job["args"] = args
+    return job
+
+
+def parse_job(payload: dict) -> dict:
+    """Validate a job envelope and decode its operands and options.
+
+    Returns a plain dict with the decoded ``options`` object and CSR
+    operands under the same keys the envelope used.  Every failure is a
+    :class:`~repro.errors.ConfigError` (mapped to a ``bad-request``
+    response by the server) naming the offending field.
+    """
+    schema = payload.get("schema", WIRE_SCHEMA)
+    if schema != WIRE_SCHEMA:
+        raise invalid_choice("schema", schema, [WIRE_SCHEMA])
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise invalid_choice("job kind", kind, list(JOB_KINDS))
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ConfigError(f"tenant must be a non-empty string, got {tenant!r}")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, int) or deadline_ms < 1
+    ):
+        raise ConfigError(
+            f"deadline_ms must be a positive integer, got {deadline_ms!r}"
+        )
+    job: dict = {
+        "id": payload.get("id"),
+        "tenant": tenant,
+        "kind": kind,
+        "deadline_ms": deadline_ms,
+    }
+    opts_cls = _KIND_OPTIONS[kind]
+    if opts_cls is not None:
+        wire_opts = payload.get("options")
+        if wire_opts is None:
+            job["options"] = opts_cls()
+        else:
+            options = options_from_wire(wire_opts)
+            # A chain/masked job may send plain spgemm-typed options;
+            # promote them so the chain-tier knobs get their defaults.
+            job["options"] = opts_cls.from_kwargs(options)
+    if kind == "spgemm":
+        job["a"] = _required_csr(payload, "a")
+        job["b"] = _required_csr(payload, "b")
+    elif kind == "chain":
+        mats = payload.get("matrices")
+        if not isinstance(mats, list) or len(mats) < 2:
+            raise ConfigError(
+                "chain jobs need a 'matrices' list of at least 2 wire CSRs"
+            )
+        job["matrices"] = [csr_from_wire(m) for m in mats]
+        job["mask"] = (
+            csr_from_wire(payload["mask"]) if payload.get("mask") else None
+        )
+    elif kind == "masked":
+        job["a"] = _required_csr(payload, "a")
+        job["b"] = _required_csr(payload, "b")
+        job["mask"] = _required_csr(payload, "mask")
+    elif kind == "app":
+        app = payload.get("app")
+        if not isinstance(app, str) or not app:
+            raise ConfigError("app jobs need an 'app' registry name")
+        args = payload.get("args", {})
+        if not isinstance(args, dict):
+            raise ConfigError(f"app args must be an object, got {args!r}")
+        job["app"] = app
+        job["args"] = args
+        job["adjacency"] = _required_csr(payload, "adjacency")
+    return job
+
+
+def _required_csr(payload: dict, key: str) -> CSR:
+    if key not in payload:
+        raise ConfigError(f"{payload.get('kind')} jobs need operand {key!r}")
+    return csr_from_wire(payload[key])

@@ -230,10 +230,10 @@ class TestSpawnAndErrors:
             c.data.view(np.uint64), serial.data.view(np.uint64)
         )
 
-    def test_worker_exception_propagates(self):
-        """A failure inside a worker (unknown algorithm is only validated
-        at kernel dispatch, which happens in the worker) must surface in
-        the parent as the original error type, on every transport."""
+    def test_bad_algorithm_rejected_before_any_worker_starts(self):
+        """An unknown algorithm is caught by options validation in the
+        parent — before packing, before any process forks — with the same
+        error type on every transport."""
         g = er_matrix(6, 6, seed=8)
         for share in ("shm", "fork", "pickle"):
             with pytest.raises(ConfigError, match="algorithm"):
@@ -252,10 +252,24 @@ class TestSpawnAndErrors:
                 if kwargs.get("create"):
                     created.append(self.name)
 
+        class BoomPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, tasks):
+                raise RuntimeError("pool died before any task ran")
+
         monkeypatch.setattr(pool._shm_module, "SharedMemory", SpyShm)
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", BoomPool)
         g = er_matrix(6, 6, seed=8)
-        with pytest.raises(ConfigError):
-            parallel_spgemm(g, g, nworkers=2, share="shm", algorithm="nope")
+        with pytest.raises(RuntimeError, match="pool died"):
+            parallel_spgemm(g, g, nworkers=2, share="shm")
         assert len(created) == 1
         with pytest.raises(FileNotFoundError):
             real_shm_cls(name=created[0])

@@ -139,13 +139,20 @@ def test_race_rules_clean_on_real_tree():
         [str(REPO_ROOT / "src" / "repro")], root=str(REPO_ROOT), rules=RACE_RULES
     )
     assert result.findings == [], "\n".join(f.render() for f in result.findings)
-    # The sanctioned sites in parallel/pool.py are suppressed, not absent:
+    # The sanctioned sites are suppressed, not absent.  In parallel/pool.py:
     # the resource-tracker monkeypatch pair, the _SHM_HANDLES cache fill and
     # eviction, the _SHM_MMAP_BASELINES record/drop pair, and the
-    # _FORK_OPERANDS publish/cleanup pair.
+    # _FORK_OPERANDS publish/cleanup pair.  In serve/server.py: the
+    # serve_in_thread closure-capturing *thread* target (spawn-capture is a
+    # process-pickling hazard; thread targets never pickle).
     suppressed = [f for f in result.suppressed if f.rule.startswith("race-")]
-    assert len(suppressed) == 8
-    assert all(f.path == "src/repro/parallel/pool.py" for f in suppressed)
+    assert len(suppressed) == 9
+    by_path = {f.path for f in suppressed}
+    assert by_path == {
+        "src/repro/parallel/pool.py", "src/repro/serve/server.py",
+    }
+    serve_sup = [f for f in suppressed if f.path.endswith("serve/server.py")]
+    assert [f.rule for f in serve_sup] == ["race-spawn-capture"]
 
 
 def test_race_finding_suppressible(tmp_path):
