@@ -98,6 +98,14 @@ from .observability import (
     render_tree,
     tracer_from_env,
 )
+from .autotune import (
+    CalibrationProfile,
+    active_profile,
+    load_profile,
+    recommend_calibrated,
+    run_calibration,
+    set_active_profile,
+)
 from .parallel import WorkerPool, parallel_spgemm
 from .serve import Client, ServeOptions, Server, serve_in_thread, submit_job
 
@@ -141,6 +149,12 @@ __all__ = [
     "available_algorithms",
     "available_engines",
     "recommend",
+    "recommend_calibrated",
+    "CalibrationProfile",
+    "run_calibration",
+    "load_profile",
+    "active_profile",
+    "set_active_profile",
     "rows_to_threads",
     "KernelStats",
     "Tracer",

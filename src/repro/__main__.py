@@ -7,6 +7,7 @@ Commands
 ``multiply``  run a real SpGEMM on a generated or Matrix-Market input
 ``simulate``  price the same multiplication on the KNL/Haswell model
 ``recipe``    ask Table 4 which algorithm to use for an input
+``calibrate`` measure this machine, write a repro-calibration/1 profile
 ``validate``  cross-check the performance model against the real kernels
 ``summa``     run the distributed 2-D Sparse SUMMA simulation
 ``serve``     run the multi-tenant SpGEMM server (repro-job/1 protocol)
@@ -217,6 +218,44 @@ def cmd_recipe(args) -> int:
     return 0
 
 
+def cmd_calibrate(args) -> int:
+    from .autotune import PROFILE_ENV_VAR, run_calibration
+    from .perfmodel.cost import CALIBRATION_TERMS
+
+    algorithms = None
+    if args.algorithms:
+        algorithms = tuple(
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        )
+    machine = {"knl": "KNL", "haswell": "Haswell"}[args.machine]
+    t0 = time.perf_counter()
+    profile = run_calibration(
+        scale=args.grid_scale,
+        algorithms=algorithms,
+        engine=args.engine,
+        nthreads=args.threads,
+        repeats=args.repeats,
+        machine=machine,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - t0
+    profile.save(args.out)
+    print(
+        f"calibrated {len(profile.curves)} algorithm(s) on a "
+        f"scale-{args.grid_scale} grid in {elapsed:.1f}s "
+        f"(engine={args.engine}, threads={args.threads})"
+    )
+    header = "  ".join(f"{t:>13s}" for t in CALIBRATION_TERMS)
+    print(f"{'algorithm':14s}{header}  {'rmse[ms]':>9s}")
+    for name in sorted(profile.curves):
+        curve = profile.curves[name]
+        coefs = "  ".join(f"{c:13.3e}" for c in curve.coefficients)
+        print(f"{name:14s}{coefs}  {curve.rmse_seconds * 1e3:9.3f}")
+    print(f"profile written to {args.out}")
+    print(f"activate with: export {PROFILE_ENV_VAR}={args.out}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .serve import ServeOptions, serve_in_thread
 
@@ -300,6 +339,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--table", action="store_true",
                        help="also print the full Table 4")
 
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure this machine and write a repro-calibration/1 profile",
+    )
+    p_cal.add_argument("--out", required=True,
+                       help="profile JSON path to write")
+    p_cal.add_argument("--grid-scale", type=int, default=10,
+                       dest="grid_scale",
+                       help="calibration problems are ~2^scale rows "
+                            "(default 10)")
+    p_cal.add_argument("--engine", choices=("fast", "faithful"),
+                       default="fast",
+                       help="engine the profile is calibrated for "
+                            "(default fast)")
+    p_cal.add_argument("--threads", type=int, default=1)
+    p_cal.add_argument("--repeats", type=int, default=2,
+                       help="timed repetitions per grid point (default 2)")
+    p_cal.add_argument("--machine", choices=("knl", "haswell"),
+                       default="knl",
+                       help="machine model the curves are expressed over")
+    p_cal.add_argument("--algorithms", default=None,
+                       help="comma-separated subset (default: all "
+                            "candidates)")
+    p_cal.add_argument("--seed", type=int, default=7)
+
     p_val = sub.add_parser(
         "validate", help="model-vs-kernel operation-count validation"
     )
@@ -362,6 +426,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "multiply": cmd_multiply,
         "simulate": cmd_simulate,
         "recipe": cmd_recipe,
+        "calibrate": cmd_calibrate,
         "validate": cmd_validate,
         "summa": cmd_summa,
         "serve": cmd_serve,

@@ -9,8 +9,9 @@ exactly how multi-kernel SpGEMM codebases decay — cf. KokkosKernels):
 * ``core/spgemm.py`` — the Table-1 registry ``ALGORITHMS`` and the
   ``spgemm()`` dispatch branches;
 * ``core/recipe.py`` — the Table-4 recipe: every registered algorithm must
-  either be recommendable by some rule or listed in ``RECIPE_EXCLUDED``
-  with a justification;
+  be recommendable by some rule, listed in ``RECIPE_EXCLUDED`` with a
+  justification, or listed in ``AUTOTUNE_ONLY`` (pickable only by the
+  calibrated selector in ``repro.autotune``);
 * ``core/engine.py`` — the engine coverage partition: every registered
   algorithm must appear in exactly one of ``FAST_ALGORITHMS``,
   ``VECTORIZED_ALGORITHMS``, ``FAITHFUL_ONLY_ALGORITHMS``;
@@ -210,7 +211,7 @@ class KernelDispatchChecker(Checker):
                         "separate surface",
                     )
 
-    # -- recipe.py: Table-4 coverage -------------------------------------
+    # -- recipe.py: Table-4 / autotune coverage --------------------------
     def _check_recipe(self, ctx, registered):
         recommended = _recipe_recommendations(ctx.tree)
         excluded_info = _named_str_set(ctx.tree, "RECIPE_EXCLUDED")
@@ -218,13 +219,20 @@ class KernelDispatchChecker(Checker):
             excluded, excluded_line = {}, 1
         else:
             excluded, excluded_line = excluded_info
-        for alg in sorted(set(registered) - recommended - set(excluded)):
+        autotune_info = _named_str_set(ctx.tree, "AUTOTUNE_ONLY")
+        if autotune_info is None:
+            autotune, autotune_line = {}, excluded_line
+        else:
+            autotune, autotune_line = autotune_info
+        covered = recommended | set(excluded) | set(autotune)
+        for alg in sorted(set(registered) - covered):
             yield self.finding(
                 ctx,
                 excluded_line,
                 f"registered algorithm {alg!r} is neither recommendable by "
-                "any Table-4 rule nor listed in RECIPE_EXCLUDED — add a "
-                "recipe rule or an explicit exclusion with justification",
+                "any Table-4 rule, nor listed in RECIPE_EXCLUDED, nor in "
+                "AUTOTUNE_ONLY — add a recipe rule or an explicit "
+                "exclusion/autotune entry with justification",
             )
         for alg in sorted(recommended & set(excluded)):
             yield self.finding(
@@ -233,12 +241,34 @@ class KernelDispatchChecker(Checker):
                 f"algorithm {alg!r} is listed in RECIPE_EXCLUDED but a "
                 "Table-4 rule can still recommend it — the exclusion lies",
             )
+        for alg in sorted(recommended & set(autotune)):
+            yield self.finding(
+                ctx,
+                autotune[alg],
+                f"algorithm {alg!r} is listed in AUTOTUNE_ONLY but a "
+                "Table-4 rule can still recommend it — it is not "
+                "autotune-only",
+            )
+        for alg in sorted(set(excluded) & set(autotune)):
+            yield self.finding(
+                ctx,
+                autotune[alg],
+                f"algorithm {alg!r} appears in both RECIPE_EXCLUDED and "
+                "AUTOTUNE_ONLY — the partition must be disjoint",
+            )
         for alg in sorted(set(excluded) - set(registered)):
             yield self.finding(
                 ctx,
                 excluded[alg],
                 f"RECIPE_EXCLUDED entry {alg!r} is not a registered "
                 "algorithm — stale exclusion",
+            )
+        for alg in sorted(set(autotune) - set(registered)):
+            yield self.finding(
+                ctx,
+                autotune[alg],
+                f"AUTOTUNE_ONLY entry {alg!r} is not a registered "
+                "algorithm — stale autotune claim",
             )
         for alg in sorted(recommended - set(registered)):
             yield self.finding(

@@ -53,9 +53,12 @@ ALLOWED_IMPORTS: "dict[str, frozenset[str]]" = {
     "apps": frozenset({"errors", "matrix", "core", "semiring", "observability"}),
     "serve": frozenset({
         "errors", "semiring", "matrix", "core", "parallel", "observability",
-        "apps",
+        "apps", "autotune",
     }),
     "perfmodel": frozenset({"errors", "machine", "matrix", "core"}),
+    "autotune": frozenset({
+        "errors", "machine", "matrix", "core", "perfmodel", "datasets",
+    }),
     "profiling": frozenset({"errors", "observability"}),
     "analysis": frozenset(),
 }

@@ -1,0 +1,55 @@
+"""Calibrated algorithm selection: measure once, predict everywhere.
+
+The paper's Table-4 recipe is a decision table distilled from two
+machines; this package re-derives the same knowledge on *your* machine:
+
+* :mod:`~repro.autotune.calibrate` — a short microbenchmark sweep over a
+  flop/CR/skew grid that fits the free per-machine coefficients of the
+  :mod:`repro.perfmodel.cost` curves;
+* :mod:`~repro.autotune.profile` — the versioned, schema-validated
+  ``repro-calibration/1`` JSON artifact the sweep emits, activated via
+  the ``REPRO_CALIBRATION`` environment variable, an explicit
+  :func:`set_active_profile`, or ``SpgemmOptions(calibration=...)``;
+* :mod:`~repro.autotune.selector` — :func:`recommend_calibrated`, the
+  predictive replacement for the static recipe that prices every
+  non-excluded Table-1 algorithm through the calibrated curves, and
+  :func:`resolve_auto`, the ``algorithm="auto"`` hook;
+* :mod:`~repro.autotune.online` — the exponentially-weighted refinement
+  loop that folds measured production runs back into the predictions.
+
+See ``docs/autotuning.md`` for the workflow.
+"""
+
+from .calibrate import calibration_grid, run_calibration
+from .online import OnlineRefiner, regime_key
+from .profile import (
+    PROFILE_ENV_VAR,
+    PROFILE_SCHEMA,
+    AlgorithmCurve,
+    CalibrationProfile,
+    active_profile,
+    clear_active_profile,
+    load_profile,
+    set_active_profile,
+    validate_profile_schema,
+)
+from .selector import candidate_algorithms, recommend_calibrated, resolve_auto
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "PROFILE_SCHEMA",
+    "AlgorithmCurve",
+    "CalibrationProfile",
+    "OnlineRefiner",
+    "active_profile",
+    "calibration_grid",
+    "candidate_algorithms",
+    "clear_active_profile",
+    "load_profile",
+    "recommend_calibrated",
+    "regime_key",
+    "resolve_auto",
+    "run_calibration",
+    "set_active_profile",
+    "validate_profile_schema",
+]

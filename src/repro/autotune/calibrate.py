@@ -1,0 +1,207 @@
+"""The calibration pass: measure a small grid, fit the cost curves.
+
+One :func:`run_calibration` call:
+
+1. builds a small problem grid from :mod:`repro.datasets.generators`
+   spanning the axes the Table-4 recipe keys on — compression ratio
+   (banded FEM high, meshes low), edge factor and row skew (power-law
+   vs. uniform) — each multiplied as A x A, sorted and unsorted;
+2. for every candidate algorithm, measures the wall time of the real
+   :func:`repro.spgemm` kernel on every grid point (best of ``repeats``,
+   after one warmup) and computes the exact
+   :func:`~repro.perfmodel.cost.cost_features` decomposition;
+3. fits, per algorithm, the non-negative least-squares coefficients
+   mapping features to measured seconds — the free per-machine constants
+   of the :mod:`repro.perfmodel.cost` curves;
+4. returns a :class:`~repro.autotune.profile.CalibrationProfile` ready to
+   save and activate.
+
+The grid is deliberately tiny (seconds, not minutes, at the default
+scale): the curves only need the *relative* ranking of algorithms to be
+right, and the online refiner corrects residual error in production.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+
+import numpy as np
+
+from ..core.options import SpgemmOptions
+from ..core.spgemm import spgemm
+from ..datasets import generators
+from ..errors import ConfigError
+from ..matrix.csr import CSR
+from ..perfmodel.cost import CALIBRATION_TERMS, cost_features
+from ..perfmodel.quantities import ProblemQuantities
+from .profile import PROFILE_SCHEMA, AlgorithmCurve, CalibrationProfile
+from .selector import candidate_algorithms
+
+__all__ = ["calibration_grid", "run_calibration"]
+
+#: Default problem scale: matrices of ~2^scale rows.
+DEFAULT_SCALE = 10
+
+
+def calibration_grid(
+    scale: int = DEFAULT_SCALE, *, seed: int = 7
+) -> "list[tuple[str, CSR]]":
+    """Named problems spanning the flop / CR / skew axes.
+
+    ``scale`` sets the problem size (~``2**scale`` rows); the structures
+    are fixed so two calibrations on one host measure the same work.
+    """
+    if scale < 4:
+        raise ConfigError(f"calibration scale must be >= 4, got {scale}")
+    n = 1 << scale
+    side = max(2, int(round(n ** 0.5)))
+    return [
+        # high compression ratio, banded, uniform rows (FEM-like)
+        ("banded_fem", generators.banded_fem(n, 14, seed=seed)),
+        # dense FEM (edge factor ~60, like consph/cant/pwtk): the regime
+        # where replay-style kernels overtake the hash family, which the
+        # sparser points cannot teach the fit
+        ("banded_fem_dense", generators.banded_fem(n, 60, seed=seed + 1)),
+        # low CR, very sparse, uniform (2D mesh)
+        ("mesh2d", generators.mesh2d(side)),
+        # skewed power-law rows (G500-like)
+        ("powerlaw", generators.powerlaw_graph(scale, 8, seed=seed)),
+        # uniform random scatter (ER-like)
+        ("quasi_random", generators.quasi_random(n, 8, seed=seed)),
+        # moderate density with mild skew (economics-like)
+        ("econ_like", generators.econ_like(n, 12.0, skew=2.0, seed=seed)),
+    ]
+
+
+def _measure_seconds(
+    a: CSR,
+    algorithm: str,
+    *,
+    engine: str,
+    nthreads: int,
+    sort_output: bool,
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` wall seconds of one A x A multiply."""
+    opts = SpgemmOptions(
+        algorithm=algorithm, engine=engine, nthreads=nthreads,
+        sort_output=sort_output,
+    )
+    best = float("inf")
+    for _ in range(repeats + 1):  # first iteration is the warmup
+        t0 = time.perf_counter()
+        spgemm(a, a, opts)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fit_nonnegative(features: np.ndarray, seconds: np.ndarray) -> np.ndarray:
+    """Non-negative least squares via active-set elimination.
+
+    Columns are normalized before solving (the terms span ~9 orders of
+    magnitude); any coefficient the unconstrained solve drives negative
+    is eliminated and the remaining support refit, which converges in at
+    most ``n_terms`` rounds.
+    """
+    norms = np.linalg.norm(features, axis=0)
+    norms[norms == 0] = 1.0
+    scaled = features / norms
+    active = list(range(features.shape[1]))
+    coef = np.zeros(features.shape[1])
+    while active:
+        sol, *_ = np.linalg.lstsq(scaled[:, active], seconds, rcond=None)
+        if (sol >= 0).all():
+            coef = np.zeros(features.shape[1])
+            coef[active] = sol
+            break
+        del active[int(np.argmin(sol))]
+    return coef / norms
+
+
+def run_calibration(
+    *,
+    scale: int = DEFAULT_SCALE,
+    algorithms: "tuple[str, ...] | None" = None,
+    engine: str = "fast",
+    nthreads: int = 1,
+    repeats: int = 2,
+    machine: str = "KNL",
+    seed: int = 7,
+) -> CalibrationProfile:
+    """Measure the grid and fit a :class:`CalibrationProfile`.
+
+    ``machine`` names the :mod:`repro.machine` model whose feature
+    decomposition the curves are expressed over (the fitted coefficients
+    absorb the mapping to this host, so any model works; KNL is the
+    paper's primary machine).  ``engine`` is the engine calibrated for —
+    profiles should be generated with the engine production traffic uses.
+    """
+    if repeats < 1:
+        raise ConfigError(f"calibration repeats must be >= 1, got {repeats}")
+    if algorithms is None:
+        algorithms = candidate_algorithms()
+    else:
+        unknown = set(algorithms) - set(candidate_algorithms())
+        if unknown:
+            raise ConfigError(
+                f"cannot calibrate non-candidate algorithm(s) "
+                f"{sorted(unknown)}; candidates: {list(candidate_algorithms())}"
+            )
+    from .profile import _MACHINES
+
+    if machine not in _MACHINES:
+        from ..errors import invalid_choice
+
+        raise invalid_choice("calibration machine", machine, sorted(_MACHINES))
+    machine_spec = _MACHINES[machine]
+    grid = calibration_grid(scale, seed=seed)
+
+    quantities = {
+        name: ProblemQuantities.compute(a, a) for name, a in grid
+    }
+    curves: "dict[str, AlgorithmCurve]" = {}
+    for algorithm in algorithms:
+        rows: "list[list[float]]" = []
+        measured: "list[float]" = []
+        for name, a in grid:
+            for sort_output in (True, False):
+                feats = cost_features(
+                    algorithm, quantities[name], machine_spec, nthreads,
+                    sort_output=sort_output,
+                )
+                rows.append([feats[t] for t in CALIBRATION_TERMS])
+                measured.append(_measure_seconds(
+                    a, algorithm,
+                    engine=engine, nthreads=nthreads,
+                    sort_output=sort_output, repeats=repeats,
+                ))
+        features = np.asarray(rows, dtype=np.float64)
+        seconds = np.asarray(measured, dtype=np.float64)
+        coef = _fit_nonnegative(features, seconds)
+        residual = features @ coef - seconds
+        curves[algorithm] = AlgorithmCurve(
+            algorithm=algorithm,
+            coefficients=tuple(float(c) for c in coef),
+            samples=len(measured),
+            rmse_seconds=float(np.sqrt(np.mean(residual ** 2))),
+        )
+    return CalibrationProfile(
+        machine=machine,
+        engine=engine,
+        nthreads=nthreads,
+        grid={
+            "scale": scale,
+            "seed": seed,
+            "repeats": repeats,
+            "problems": [name for name, _ in grid],
+        },
+        curves=curves,
+        host={
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "processor": platform.processor() or "unknown",
+        },
+        created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        schema=PROFILE_SCHEMA,
+    )

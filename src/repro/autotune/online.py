@@ -1,0 +1,145 @@
+"""Online refinement: measured runs correct the calibrated curves.
+
+Calibration fits curves on a synthetic grid; production traffic is the
+ground truth.  Every full (non-replayed) ``algorithm="auto"`` multiply
+that went through the calibrated selector reports its measured wall time
+back here, and the refiner keeps an exponentially-weighted correction —
+``measured / predicted``, smoothed in log space — per **(algorithm,
+regime)** bucket.  The selector multiplies predictions by the bucket's
+correction, so a systematically under-priced algorithm loses its unfair
+advantage after a handful of observations and repeated-structure traffic
+(the AMG/Markov serve workload) converges on the true winner.
+
+Observations are keyed by the operands' structure fingerprints: the first
+report from a fingerprint carries full weight, repeats of the *same*
+structure are damped so one hot loop cannot flood a bucket that other
+problems share.  Regimes are coarse on purpose — compression-ratio band,
+skew class, sortedness — matching the axes the Table-4 recipe keys on.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["OnlineRefiner", "regime_key"]
+
+#: Smoothing factor of the EW correction (weight of the newest sample).
+EWMA_ALPHA = 0.25
+#: Dampened weight applied to repeat observations of one fingerprint.
+REPEAT_ALPHA = 0.05
+#: Corrections are clamped to this factor either way — a single wild
+#: measurement (GC pause, cold cache) must not blacklist an algorithm.
+MAX_CORRECTION = 64.0
+#: Bound on remembered fingerprints (oldest forgotten first).
+MAX_FINGERPRINTS = 4096
+
+
+def regime_key(
+    compression_ratio: float, skew: float, sort_output: bool
+) -> "tuple[int, bool, bool]":
+    """Coarse regime bucket: (CR octave, skewed?, sorted?).
+
+    Uses the same skew threshold as the Table-4 recipe; the compression
+    ratio is bucketed by octave so "CR ~ 1" and "CR ~ 16" traffic refine
+    independently (they favour different algorithms, per Table 4(a)).
+    """
+    from ..core.recipe import SKEW_THRESHOLD  # deferred: recipe imports core
+
+    octave = int(math.log2(max(compression_ratio, 1.0)))
+    return (octave, skew > SKEW_THRESHOLD, bool(sort_output))
+
+
+class OnlineRefiner:
+    """Thread-safe EW corrections per (algorithm, regime) bucket."""
+
+    def __init__(
+        self,
+        alpha: float = EWMA_ALPHA,
+        repeat_alpha: float = REPEAT_ALPHA,
+    ) -> None:
+        self._alpha = alpha
+        self._repeat_alpha = repeat_alpha
+        self._lock = threading.Lock()
+        #: (algorithm, regime) -> EW mean of log(measured / predicted)
+        self._log_ratio: "dict[tuple, float]" = {}
+        #: (algorithm, regime) -> observation count
+        self._counts: "dict[tuple, int]" = {}
+        #: fingerprint keys already seen (insertion-ordered for eviction)
+        self._seen: "dict[object, None]" = {}
+
+    def observe(
+        self,
+        algorithm: str,
+        regime: tuple,
+        *,
+        predicted_seconds: float,
+        measured_seconds: float,
+        fingerprint: "object | None" = None,
+    ) -> None:
+        """Fold one measured run into the (algorithm, regime) bucket."""
+        if predicted_seconds <= 0 or measured_seconds <= 0:
+            return
+        ratio = measured_seconds / predicted_seconds
+        ratio = min(max(ratio, 1.0 / MAX_CORRECTION), MAX_CORRECTION)
+        log_ratio = math.log(ratio)
+        key = (algorithm, regime)
+        with self._lock:
+            alpha = self._alpha
+            if fingerprint is not None:
+                fp_key = (algorithm, fingerprint)
+                if fp_key in self._seen:
+                    alpha = self._repeat_alpha
+                else:
+                    self._seen[fp_key] = None
+                    while len(self._seen) > MAX_FINGERPRINTS:
+                        self._seen.pop(next(iter(self._seen)))
+            if key in self._log_ratio:
+                self._log_ratio[key] += alpha * (log_ratio - self._log_ratio[key])
+            else:
+                self._log_ratio[key] = log_ratio
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def correction(self, algorithm: str, regime: tuple) -> float:
+        """Multiplier for predictions of ``algorithm`` in ``regime``.
+
+        1.0 until the bucket has evidence; falls back to the algorithm's
+        regime-averaged correction when this exact regime is unseen but
+        others are — a kernel that is uniformly 3x the model's price on
+        this host should pay that everywhere, not only where it was
+        first observed.
+        """
+        with self._lock:
+            value = self._log_ratio.get((algorithm, regime))
+            if value is not None:
+                return math.exp(value)
+            others = [
+                v for (alg, _), v in self._log_ratio.items() if alg == algorithm
+            ]
+        if not others:
+            return 1.0
+        return math.exp(sum(others) / len(others))
+
+    def observations(self, algorithm: "str | None" = None) -> int:
+        with self._lock:
+            if algorithm is None:
+                return sum(self._counts.values())
+            return sum(
+                n for (alg, _), n in self._counts.items() if alg == algorithm
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-able view of the refinement state (for observability)."""
+        with self._lock:
+            return {
+                "buckets": [
+                    {
+                        "algorithm": alg,
+                        "regime": list(regime),
+                        "correction": math.exp(value),
+                        "observations": self._counts.get((alg, regime), 0),
+                    }
+                    for (alg, regime), value in sorted(self._log_ratio.items())
+                ],
+                "fingerprints": len(self._seen),
+            }

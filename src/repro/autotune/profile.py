@@ -1,0 +1,325 @@
+"""The ``repro-calibration/1`` per-machine profile: schema, IO, activation.
+
+A profile is the artifact of one calibration run
+(:func:`repro.autotune.calibrate.run_calibration`): for every candidate
+algorithm, the fitted non-negative coefficients mapping the
+:func:`repro.perfmodel.cost.cost_features` decomposition of a problem to
+predicted wall seconds *on this host*.  The static Table-4 recipe ships
+the paper's machines; a profile is the same knowledge re-measured where
+the code actually runs.
+
+Profiles are JSON, versioned by the ``schema`` tag, and validated on
+every load — a corrupt, partial or version-skewed profile raises
+:class:`~repro.errors.ConfigError` rather than silently steering the
+selector.  Activation is either explicit (``SpgemmOptions(calibration=
+profile)``, or :func:`set_active_profile`) or ambient via the
+``REPRO_CALIBRATION`` environment variable naming a profile path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, invalid_choice
+from ..machine.spec import HASWELL, KNL, MachineSpec
+from ..perfmodel.cost import CALIBRATION_TERMS
+from .online import OnlineRefiner
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "PROFILE_ENV_VAR",
+    "AlgorithmCurve",
+    "CalibrationProfile",
+    "validate_profile_schema",
+    "load_profile",
+    "active_profile",
+    "set_active_profile",
+    "clear_active_profile",
+]
+
+#: Version tag of the calibration profile payload.
+PROFILE_SCHEMA = "repro-calibration/1"
+
+#: Environment variable naming a profile JSON to activate process-wide.
+PROFILE_ENV_VAR = "REPRO_CALIBRATION"
+
+#: Machine models whose feature decompositions a profile may reference.
+_MACHINES: "dict[str, MachineSpec]" = {KNL.name: KNL, HASWELL.name: HASWELL}
+
+#: Top-level keys every profile payload must carry.
+_REQUIRED_KEYS = ("schema", "machine", "engine", "nthreads", "grid", "curves")
+
+
+@dataclass(frozen=True)
+class AlgorithmCurve:
+    """Fitted cost curve of one algorithm: coefficients over the terms."""
+
+    algorithm: str
+    #: non-negative coefficients aligned with
+    #: :data:`repro.perfmodel.cost.CALIBRATION_TERMS`
+    coefficients: "tuple[float, ...]"
+    #: calibration sample count behind the fit
+    samples: int
+    #: root-mean-square residual of the fit, in seconds
+    rmse_seconds: float
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) != len(CALIBRATION_TERMS):
+            raise ConfigError(
+                f"curve for {self.algorithm!r} has "
+                f"{len(self.coefficients)} coefficients; expected "
+                f"{len(CALIBRATION_TERMS)} ({', '.join(CALIBRATION_TERMS)})"
+            )
+        for term, coef in zip(CALIBRATION_TERMS, self.coefficients):
+            if not isinstance(coef, (int, float)) or coef != coef or coef < 0:
+                raise ConfigError(
+                    f"curve for {self.algorithm!r} has invalid "
+                    f"{term} coefficient {coef!r} (must be finite and >= 0)"
+                )
+
+    def predict_seconds(self, features: "dict[str, float]") -> float:
+        """Price a :func:`~repro.perfmodel.cost.cost_features` vector."""
+        return sum(
+            coef * features[term]
+            for term, coef in zip(CALIBRATION_TERMS, self.coefficients)
+        )
+
+
+@dataclass
+class CalibrationProfile:
+    """One machine's calibrated cost curves plus their provenance."""
+
+    machine: str
+    engine: str
+    nthreads: int
+    grid: "dict[str, object]"
+    curves: "dict[str, AlgorithmCurve]"
+    host: "dict[str, str]" = field(default_factory=dict)
+    created: str = ""
+    schema: str = PROFILE_SCHEMA
+    #: online refinement state — process-local, never serialized
+    refiner: OnlineRefiner = field(
+        default_factory=OnlineRefiner, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.schema != PROFILE_SCHEMA:
+            raise ConfigError(
+                f"calibration profile schema must be {PROFILE_SCHEMA!r}, "
+                f"got {self.schema!r}"
+            )
+        if self.machine not in _MACHINES:
+            raise invalid_choice(
+                "calibration machine", self.machine, sorted(_MACHINES)
+            )
+        if not isinstance(self.nthreads, int) or self.nthreads < 1:
+            raise ConfigError(
+                f"calibration nthreads must be a positive integer, "
+                f"got {self.nthreads!r}"
+            )
+        if not self.curves:
+            raise ConfigError(
+                "calibration profile has no fitted curves — refusing an "
+                "empty profile that would make every prediction undefined"
+            )
+        for name, curve in self.curves.items():
+            if not isinstance(curve, AlgorithmCurve):
+                raise ConfigError(
+                    f"curve for {name!r} must be an AlgorithmCurve, "
+                    f"got {type(curve).__name__}"
+                )
+            if curve.algorithm != name:
+                raise ConfigError(
+                    f"curve keyed {name!r} claims algorithm "
+                    f"{curve.algorithm!r} — corrupt profile"
+                )
+
+    @property
+    def machine_spec(self) -> MachineSpec:
+        return _MACHINES[self.machine]
+
+    def predict_seconds(
+        self, algorithm: str, features: "dict[str, float]"
+    ) -> "float | None":
+        """Predicted wall seconds, or None when no curve was calibrated."""
+        curve = self.curves.get(algorithm)
+        if curve is None:
+            return None
+        return curve.predict_seconds(features)
+
+    # -- wire form (repro-calibration/1) --------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-able profile payload (refiner state never travels)."""
+        return {
+            "schema": self.schema,
+            "machine": self.machine,
+            "engine": self.engine,
+            "nthreads": self.nthreads,
+            "grid": self.grid,
+            "host": self.host,
+            "created": self.created,
+            "curves": {
+                name: {
+                    "algorithm": curve.algorithm,
+                    "coefficients": list(curve.coefficients),
+                    "samples": curve.samples,
+                    "rmse_seconds": curve.rmse_seconds,
+                }
+                for name, curve in self.curves.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CalibrationProfile":
+        """Rebuild a profile from :meth:`to_payload` output, fully checked."""
+        validate_profile_schema(payload)
+        curves: "dict[str, AlgorithmCurve]" = {}
+        for name, raw in payload["curves"].items():
+            try:
+                curves[name] = AlgorithmCurve(
+                    algorithm=raw["algorithm"],
+                    coefficients=tuple(float(c) for c in raw["coefficients"]),
+                    samples=int(raw["samples"]),
+                    rmse_seconds=float(raw["rmse_seconds"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"calibration curve {name!r} is corrupt: {exc!r}"
+                ) from exc
+        return cls(
+            machine=payload["machine"],
+            engine=payload["engine"],
+            nthreads=payload["nthreads"],
+            grid=payload["grid"],
+            curves=curves,
+            host=payload.get("host", {}),
+            created=payload.get("created", ""),
+            schema=payload["schema"],
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def validate_profile_schema(payload: dict) -> None:
+    """Raise :class:`ConfigError` unless ``payload`` is a valid profile.
+
+    Checks the schema tag, the required top-level keys, and that every
+    curve entry is structurally complete — the CI ``calibrate-smoke`` job
+    pins the emitted shape with this.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"calibration profile must be a dict, got {type(payload).__name__}"
+        )
+    if payload.get("schema") != PROFILE_SCHEMA:
+        raise ConfigError(
+            f"calibration profile schema must be {PROFILE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r} — regenerate the profile with "
+            "`python -m repro calibrate`"
+        )
+    missing = [k for k in _REQUIRED_KEYS if k not in payload]
+    if missing:
+        raise ConfigError(
+            f"calibration profile is missing keys {missing}"
+        )
+    curves = payload["curves"]
+    if not isinstance(curves, dict) or not curves:
+        raise ConfigError(
+            "calibration profile must carry a non-empty 'curves' mapping"
+        )
+    for name, raw in curves.items():
+        if not isinstance(raw, dict):
+            raise ConfigError(
+                f"calibration curve {name!r} must be a dict, "
+                f"got {type(raw).__name__}"
+            )
+        missing = [
+            k for k in ("algorithm", "coefficients", "samples", "rmse_seconds")
+            if k not in raw
+        ]
+        if missing:
+            raise ConfigError(
+                f"calibration curve {name!r} is missing keys {missing}"
+            )
+
+
+def load_profile(path: str) -> CalibrationProfile:
+    """Load + validate a profile JSON; :class:`ConfigError` on any defect."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(
+            f"cannot read calibration profile {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"calibration profile {path!r} is not valid JSON: {exc}"
+        ) from exc
+    return CalibrationProfile.from_payload(payload)
+
+
+# -- ambient activation ----------------------------------------------------
+
+_UNSET = object()
+_lock = threading.Lock()
+#: explicit override installed by :func:`set_active_profile`
+_explicit: "object" = _UNSET
+#: profiles loaded from the environment, keyed by path
+_env_cache: "dict[str, CalibrationProfile]" = {}
+
+
+def set_active_profile(
+    profile: "CalibrationProfile | None",
+) -> "CalibrationProfile | None":
+    """Install (or clear, with None) the process-wide active profile.
+
+    An explicit profile takes precedence over ``REPRO_CALIBRATION``.
+    Returns the previous explicit profile (None when there was none), so
+    tests can restore it.
+    """
+    global _explicit
+    with _lock:
+        previous = None if _explicit is _UNSET else _explicit
+        _explicit = profile
+        return previous
+
+
+def clear_active_profile() -> None:
+    """Drop the explicit profile *and* the env-path cache (test hook)."""
+    global _explicit
+    with _lock:
+        _explicit = _UNSET
+        _env_cache.clear()
+
+
+def active_profile() -> "CalibrationProfile | None":
+    """The profile `algorithm="auto"` routes through, or None.
+
+    Resolution order: an explicit :func:`set_active_profile` value, then
+    the ``REPRO_CALIBRATION`` environment variable (loaded once per path
+    and cached — a broken profile raises :class:`ConfigError` on every
+    call rather than being silently ignored), else None (static Table-4
+    fallback).
+    """
+    with _lock:
+        if _explicit is not _UNSET:
+            return _explicit  # type: ignore[return-value]
+    path = os.environ.get(PROFILE_ENV_VAR)
+    if not path:
+        return None
+    with _lock:
+        cached = _env_cache.get(path)
+    if cached is not None:
+        return cached
+    profile = load_profile(path)
+    with _lock:
+        _env_cache[path] = profile
+    return profile

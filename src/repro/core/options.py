@@ -24,8 +24,8 @@ Wire form (the ``repro-job/1`` request schema)
 the *portable* configuration — the enumerated knobs that mean the same
 thing in another process — as a plain JSON-able dict tagged with the
 options type.  Process-local fields (``stats`` collectors, ``plan`` /
-``plan_cache`` objects, ``tracer``) are deliberately absent from the wire:
-the receiving process supplies its own.  An explicit ``partition`` refuses
+``plan_cache`` objects, ``tracer``, ``calibration``) are deliberately
+absent from the wire: the receiving process supplies its own.  An explicit ``partition`` refuses
 to serialize — it encodes row offsets of one concrete operand, and a server
 computes its own flop-balanced one.  ``python -m repro`` and the
 :mod:`repro.serve` request parser both build their options through
@@ -103,6 +103,13 @@ class SpgemmOptions:
         default) is the zero-overhead path — kernels skip all tracing
         work — unless the ``REPRO_TRACE`` environment variable activates
         the process-wide tracer at dispatch time.
+    calibration:
+        Optional :class:`repro.autotune.CalibrationProfile`; when set,
+        ``algorithm="auto"`` resolves through the calibrated selector
+        against *this* profile instead of the process-wide active one
+        (``REPRO_CALIBRATION`` / ``set_active_profile``).  Process-local:
+        never serialized to the wire — the executing side activates its
+        own machine's profile.
     """
 
     algorithm: str = "auto"
@@ -116,6 +123,7 @@ class SpgemmOptions:
     plan: Any = field(default=None, compare=False)
     plan_cache: Any = field(default=None, compare=False)
     tracer: Any = field(default=None, compare=False)
+    calibration: Any = field(default=None, compare=False)
 
     #: wire-schema type tag (`to_wire`'s ``"type"`` field)
     _WIRE_TYPE = "spgemm"
@@ -168,6 +176,13 @@ class SpgemmOptions:
             raise ConfigError(
                 f"tracer must provide .span(name, phase=...), "
                 f"got {type(self.tracer).__name__}"
+            )
+        if self.calibration is not None and not hasattr(
+            self.calibration, "predict_seconds"
+        ):
+            raise ConfigError(
+                f"calibration must be a CalibrationProfile (or None), "
+                f"got {type(self.calibration).__name__}"
             )
 
     def _check_plan(self) -> None:
@@ -228,7 +243,8 @@ class SpgemmOptions:
 
         Only the enumerated knobs travel (see the module docstring);
         process-local fields — ``stats``, ``plan``, ``plan_cache``,
-        ``tracer`` — are dropped, and an explicit ``partition`` raises
+        ``tracer``, ``calibration`` — are dropped, and an explicit
+        ``partition`` raises
         :class:`~repro.errors.ConfigError` because its row offsets are
         meaningless against another process's operands.
         """

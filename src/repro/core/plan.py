@@ -106,6 +106,12 @@ PLANLESS_ALGORITHMS = frozenset({
     "kokkos",
 })
 
+#: Hits between calibrated re-evaluations of a cached ``"auto"`` entry
+#: (see :meth:`PlanCache._maybe_revisit`); low enough that serve-style
+#: repeated-structure traffic converges within a few hundred requests,
+#: high enough that the selector re-run is amortized noise.
+AUTO_REVISIT_PERIOD = 32
+
 
 def _check_plan_coverage() -> None:
     """Fail import when the plan coverage sets drift from the registry.
@@ -516,9 +522,12 @@ def inspect(
     t0 = time.perf_counter()
     algorithm = options.algorithm
     if algorithm == "auto":
-        from .recipe import recommend
+        from ..autotune import resolve_auto  # deferred: autotune imports core
 
-        algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
+        algorithm, _ = resolve_auto(
+            a, b, sort_output=options.sort_output,
+            profile=options.calibration,
+        )
     if algorithm not in PLAN_ALGORITHMS:
         raise ConfigError(
             f"algorithm {algorithm!r} has no inspector–executor split; "
@@ -797,6 +806,9 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._lock = threading.RLock()
+        #: hits per ``"auto"``-resolved key since its last (re)resolution —
+        #: the online-refinement revisit counter (see :meth:`execute`)
+        self._auto_hits: "dict[tuple, int]" = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -826,6 +838,12 @@ class PlanCache:
             self._entries[key] = entry
             if len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+            if len(self._auto_hits) > 4 * self.maxsize:
+                # drop revisit counters whose entries were evicted
+                self._auto_hits = {
+                    k: v for k, v in self._auto_hits.items()
+                    if k in self._entries
+                }
 
     def _lookup(self, key: tuple, stats: "KernelStats | None"):
         """LRU-touch + counter bump under the lock; None on a miss."""
@@ -858,6 +876,8 @@ class PlanCache:
         key = self._key(a, b, options)
         stats = options.stats
         entry = self._lookup(key, stats)
+        if entry is not None and options.algorithm == "auto":
+            entry = self._maybe_revisit(key, entry, a, b, options)
         if entry is not None:
             if isinstance(entry, str):  # plan-less algorithm marker
                 from .spgemm import _spgemm_resolved
@@ -868,20 +888,72 @@ class PlanCache:
                 tracer=options.tracer,
             )
         algorithm = options.algorithm
+        observe = None
         if algorithm == "auto":
-            from .recipe import recommend
+            from ..autotune import resolve_auto  # deferred: autotune imports core
 
-            algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
+            algorithm, observe = resolve_auto(
+                a, b, sort_output=options.sort_output,
+                profile=options.calibration,
+            )
+            with self._lock:
+                self._auto_hits[key] = 0
+        t0 = time.perf_counter() if observe is not None else 0.0
         if algorithm in PLANLESS_ALGORITHMS:
             from .spgemm import _spgemm_resolved
 
             self._store(key, algorithm)
-            return _spgemm_resolved(a, b, options.replace(algorithm=algorithm))
-        plan = inspect(a, b, options.replace(algorithm=algorithm))
-        self._store(key, plan)
-        return plan.execute(
-            a, b, semiring=options.semiring, stats=stats, tracer=options.tracer
+            c = _spgemm_resolved(a, b, options.replace(algorithm=algorithm))
+        else:
+            plan = inspect(a, b, options.replace(algorithm=algorithm))
+            self._store(key, plan)
+            c = plan.execute(
+                a, b, semiring=options.semiring, stats=stats,
+                tracer=options.tracer,
+            )
+        if observe is not None:
+            # full inspect+execute seconds: the quantity the calibrated
+            # curves predict, fed back into the online refiner
+            observe(time.perf_counter() - t0)
+        return c
+
+    def _maybe_revisit(
+        self, key: tuple, entry, a: CSR, b: CSR, options: SpgemmOptions
+    ):
+        """Re-run the calibrated selector on long-lived ``"auto"`` entries.
+
+        A cached ``"auto"`` resolution freezes the selector's verdict at
+        first sight, which would lock out everything the online refiner
+        learns afterwards.  Every :data:`AUTO_REVISIT_PERIOD` hits on such
+        a key (and only while a calibration profile is active), the
+        selector runs again with the current corrections; if the winner
+        changed, the stale entry is dropped and the call proceeds as a
+        miss — re-inspecting under the new algorithm.  Static (profile-
+        absent) resolutions are deterministic, so they are never revisited.
+        """
+        from ..autotune import active_profile  # deferred: autotune imports core
+
+        profile = options.calibration
+        if profile is None:
+            profile = active_profile()
+        if profile is None:
+            return entry
+        with self._lock:
+            count = self._auto_hits.get(key, 0) + 1
+            self._auto_hits[key] = count
+            if count % AUTO_REVISIT_PERIOD:
+                return entry
+        from ..autotune import resolve_auto
+
+        algorithm, _ = resolve_auto(
+            a, b, sort_output=options.sort_output, profile=options.calibration
         )
+        current = entry if isinstance(entry, str) else entry.algorithm
+        if algorithm == current:
+            return entry
+        with self._lock:
+            self._entries.pop(key, None)
+        return None  # counted as a hit already; rebuilt as a silent miss
 
     def execute_masked(
         self,

@@ -39,33 +39,41 @@ __all__ = [
     "hash_cost_model",
     "RecipeDecision",
     "RECIPE_EXCLUDED",
+    "AUTOTUNE_ONLY",
     "recommend",
     "recipe_table",
 ]
 
-#: Registered algorithms Table 4 can never recommend, with why.  The paper's
+#: Registered algorithms no selector may ever pick, with why.  The paper's
 #: recipe only names the per-scenario *winners* of its evaluation (hash,
-#: hashvec, heap, mkl_inspector); everything else in the Table-1 registry is
-#: either a measured-but-never-winning comparator or a post-paper extension:
+#: hashvec, heap, mkl_inspector); ``mkl``/``kokkos`` are behavioural proxies
+#: evaluated as comparators — selecting a proxy in production makes no sense
+#: when native kernels exist (``mkl_inspector`` is the single exception
+#: Table 4(a) names, because unsorted inspector-executor output is a mode
+#: the native kernels expose directly).
+#:
+#: The contract linter (rule ``kernel-dispatch``) enforces that every
+#: registered algorithm is recommendable by :func:`recommend`, listed here,
+#: or listed in :data:`AUTOTUNE_ONLY` — adding a kernel forces this decision
+#: explicitly.
+RECIPE_EXCLUDED = frozenset({
+    "mkl",
+    "kokkos",
+})
+
+#: Algorithms the static Table-4 recipe never names but the *calibrated*
+#: selector (``repro.autotune``) may pick when measured curves favour them:
 #:
 #: * ``spa``/``blocked_spa`` — dense-accumulator baselines; dominated by the
-#:   hash family on every Table-4 scenario (cache-residency cliff, Fig. 12);
-#: * ``mkl``/``kokkos`` — behavioural proxies evaluated as comparators; the
-#:   recipe never selects a proxy when a native kernel wins the scenario
-#:   (``mkl_inspector`` is the single exception Table 4(a) names);
+#:   hash family on the paper's machines (cache-residency cliff, Fig. 12)
+#:   but competitive on small/dense problems other hosts may see;
 #: * ``esc`` — distributed/GPU-lineage kernel studied for SUMMA node-local
 #:   use (§5.7), outside Table 4's shared-memory scope;
 #: * ``merge`` — related-work extension (Gremse et al.), not in the paper's
 #:   evaluation at all.
-#:
-#: The contract linter (rule ``kernel-dispatch``) enforces that every
-#: registered algorithm is either recommendable by :func:`recommend` or
-#: listed here, so adding a kernel forces this decision explicitly.
-RECIPE_EXCLUDED = frozenset({
+AUTOTUNE_ONLY = frozenset({
     "spa",
     "blocked_spa",
-    "mkl",
-    "kokkos",
     "esc",
     "merge",
 })
@@ -85,7 +93,15 @@ def _safe_log2(x: np.ndarray) -> np.ndarray:
 
 
 def heap_cost_model(a: CSR, b: CSR) -> float:
-    """Eq. (1): ``T_heap = sum_i flop(c_i*) * log2 nnz(a_i*)`` (abstract ops)."""
+    """Eq. (1): ``T_heap = sum_i flop(c_i*) * log2 nnz(a_i*)`` (abstract ops).
+
+    A degenerate product (either operand empty, or no ``a``-column ever
+    hitting a populated ``b`` row) performs zero multiplications, so its
+    abstract cost is exactly 0.0 — guarded explicitly rather than relying
+    on empty-array reductions.
+    """
+    if a.nnz == 0 or b.nnz == 0:
+        return 0.0
     flop = flop_per_row(a, b).astype(np.float64)
     return float((flop * _safe_log2(a.row_nnz().astype(np.float64))).sum())
 
@@ -104,7 +120,11 @@ def hash_cost_model(
     headline observation is how much skipping it saves.  ``collision_factor``
     is the paper's ``c`` (average probes per table access; 1.0 = no
     collisions).  ``nnz_c_rows`` may be supplied when already computed.
+
+    Degenerate products cost exactly 0.0 (see :func:`heap_cost_model`).
     """
+    if a.nnz == 0 or b.nnz == 0:
+        return 0.0
     flop = flop_per_row(a, b).astype(np.float64)
     cost = float(flop.sum()) * collision_factor
     if sort_output:
@@ -165,6 +185,16 @@ def recommend(
             skew=skew,
             sorted_output=sort_output,
         )
+
+    # Degenerate product: zero multiplications means the compression ratio
+    # flop/nnz(C) is 0/0 and every cost model prices every algorithm at 0.
+    # Rather than let a vacuous "low CR" classification steer the table
+    # (e.g. LxU would claim Heap on an empty product), name the case: Hash
+    # handles every shape — including 0-row/0-column operands — and is what
+    # every branch of Table 4(a) falls back to anyway.  The calibrated
+    # selector (repro.autotune) delegates degenerate inputs here untouched.
+    if flop == 0:
+        return decision("hash", "degenerate: zero-flop product (empty C)")
 
     if operation == "lxu":
         # Table 4(a), L x U row: Heap for low CR, Hash for high CR.

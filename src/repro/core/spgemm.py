@@ -11,6 +11,7 @@ Table 1 ("Summary of SpGEMM codes studied in this paper").
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -244,20 +245,32 @@ def _spgemm_resolved(a: CSR, b: CSR, options: SpgemmOptions) -> CSR:
     plan-less algorithms, which is why it is factored out of :func:`spgemm`.
     """
     algorithm = options.algorithm
+    observe = None
     if algorithm == "auto":
-        from .recipe import recommend
+        # Calibrated selection when a profile is active (explicit on the
+        # options, or ambient); the static Table-4 recommend otherwise —
+        # resolve_auto's profile-absent path is exactly that call.
+        from ..autotune import resolve_auto  # deferred: autotune imports core
 
-        algorithm = recommend(a, b, sort_output=options.sort_output).algorithm
+        algorithm, observe = resolve_auto(
+            a, b, sort_output=options.sort_output,
+            profile=options.calibration,
+        )
     engine = resolve_engine(options.engine, algorithm)
     tracer = options.tracer
     if tracer is None:
-        return _dispatch_kernel(
+        t0 = time.perf_counter() if observe is not None else 0.0
+        c = _dispatch_kernel(
             algorithm, a, b, engine=engine, semiring=options.semiring,
             sort_output=options.sort_output, nthreads=options.nthreads,
             partition=options.partition, stats=options.stats,
             vector_bits=options.vector_bits, tracer=None,
         )
+        if observe is not None:
+            observe(time.perf_counter() - t0)
+        return c
     stats = options.stats
+    t0 = time.perf_counter() if observe is not None else 0.0
     with tracer.span(
         "spgemm", phase="other",
         algorithm=algorithm, engine=engine,
@@ -280,6 +293,8 @@ def _spgemm_resolved(a: CSR, b: CSR, options: SpgemmOptions) -> CSR:
                 if delta:
                     root.add_counter(key, delta)
             _phase_seconds_into_stats(root, stats)
+    if observe is not None:
+        observe(time.perf_counter() - t0)
     return c
 
 

@@ -39,7 +39,9 @@ __all__ = [
     "CostParts",
     "FusionGain",
     "build_cost",
+    "cost_features",
     "fusion_gain",
+    "CALIBRATION_TERMS",
     "MODELED_ALGORITHMS",
 ]
 
@@ -563,6 +565,49 @@ def fusion_gain(q: ProblemQuantities, mask_nnz: int) -> FusionGain:
         saved_output_elements=float(saved_elems),
         saved_sort_elements=float(saved_elems),
     )
+
+
+#: Feature names of the calibration decomposition, in coefficient order.
+#: Each cost curve is priced as a non-negative linear combination of these
+#: terms; :mod:`repro.autotune` fits the per-machine coefficients.
+CALIBRATION_TERMS = ("cycles", "traffic_bytes", "rows", "base")
+
+
+def cost_features(
+    algorithm: str,
+    q: ProblemQuantities,
+    machine: MachineSpec,
+    nthreads: int = 1,
+    *,
+    sort_output: bool = True,
+) -> "dict[str, float]":
+    """Calibration feature vector of one algorithm execution.
+
+    Collapses :func:`build_cost`'s exact decomposition into the terms whose
+    free per-machine coefficients the :mod:`repro.autotune` calibration pass
+    fits against measured wall time:
+
+    * ``cycles`` — critical-path compute cycles (slowest thread + serial);
+    * ``traffic_bytes`` — total modeled DRAM traffic;
+    * ``rows`` — scheduler iterations (per-row dispatch overhead, the term
+      that dominates interpreted faithful kernels);
+    * ``base`` — constant 1.0 (per-call overhead).
+
+    The absolute scale of each term is machine-model units; calibration
+    owns the mapping to seconds, so only the *relative* shape across
+    problems matters here.
+    """
+    parts = build_cost(
+        algorithm, q, machine, nthreads, sort_output=sort_output
+    )
+    per_thread = parts.per_thread_cycles
+    critical = float(per_thread.max()) if per_thread.size else 0.0
+    return {
+        "cycles": critical + float(parts.serial_cycles),
+        "traffic_bytes": float(parts.total_traffic_bytes),
+        "rows": float(parts.sched_iterations),
+        "base": 1.0,
+    }
 
 
 def build_cost(

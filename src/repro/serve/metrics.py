@@ -9,6 +9,7 @@ job kind and the HTTP shim's ``GET /metrics``.
 
 from __future__ import annotations
 
+import math
 import threading
 
 from ..core.instrument import KernelStats
@@ -62,27 +63,32 @@ class LatencyReservoir:
         return sorted(self._ring[:n])
 
     def percentile(self, p: float) -> "float | None":
-        """Nearest-rank percentile over the window (None while empty)."""
+        """Nearest-rank percentile over the window (None while empty).
+
+        Nearest-rank: the smallest sample such that at least ``p`` percent
+        of the window is <= it — ``window[ceil(p/100 * n)]`` one-indexed.
+        The rank is clamped to [1, n], so p=0 reads the minimum, p=100 the
+        maximum, and a single-sample window answers every p with that
+        sample.  ``round()`` would bank-round half-ranks down (n=10, p=45
+        lands on the 4th sample instead of the 5th), so ``ceil`` it is.
+        """
         window = self._window()
         if not window:
             return None
-        rank = max(0, min(len(window) - 1, round(p / 100.0 * len(window)) - 1))
-        return window[rank]
+        n = len(window)
+        rank = min(n, max(1, math.ceil(p / 100.0 * n)))
+        return window[rank - 1]
 
     def summary(self) -> dict:
         window = self._window()
         if not window:
             return {"count": 0, "p50": None, "p90": None, "p99": None,
                     "max": None}
-
-        def rank(p: float) -> float:
-            idx = max(0, min(len(window) - 1,
-                             round(p / 100.0 * len(window)) - 1))
-            return window[idx]
-
         return {
             "count": self._count,
-            "p50": rank(50), "p90": rank(90), "p99": rank(99),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
             "max": window[-1],
         }
 

@@ -41,6 +41,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from ..apps.triangles import count_triangles, triangle_counts_per_vertex
+from ..autotune import active_profile
 from ..core.chain import multiply_chain
 from ..core.instrument import KernelStats
 from ..core.plan import PlanCache
@@ -318,6 +319,23 @@ class Server:
                 self._rr.remove(tenant)
         return None
 
+    def _expired_in_queue(self, entry: dict) -> bool:
+        """True when ``entry``'s deadline elapsed before dispatch."""
+        if entry["deadline_ms"] is None:
+            return False
+        waited = self._loop.time() - entry["admitted_at"]
+        return waited >= entry["deadline_ms"] / 1000.0
+
+    def _fail_expired(self, entry: dict) -> None:
+        latency_ms = (self._loop.time() - entry["admitted_at"]) * 1000.0
+        self._metrics.finished(
+            ok=False, latency_ms=latency_ms, code="deadline-exceeded"
+        )
+        if not entry["future"].done():
+            entry["future"].set_result(_error_body(
+                "deadline-exceeded", "deadline expired while queued"
+            ))
+
     async def _dispatch_loop(self) -> None:
         while not self._closed:
             await self._work.wait()
@@ -328,6 +346,13 @@ class Server:
             if entry is None:
                 self._sem.release()
                 self._work.clear()
+                continue
+            # Fail jobs whose deadline elapsed while queued *before* they
+            # consume the concurrency slot we just acquired — dispatching
+            # them would burn executor time on a response nobody can use.
+            if self._expired_in_queue(entry):
+                self._fail_expired(entry)
+                self._sem.release()
                 continue
             self._in_flight += 1
             task = asyncio.create_task(self._run_entry(entry))
@@ -395,10 +420,21 @@ class Server:
     # -- protocol front-end ------------------------------------------------
 
     def _snapshot(self) -> dict:
-        return self._metrics.snapshot(
+        snapshot = self._metrics.snapshot(
             queue_depth=self._queued, in_flight=self._in_flight,
             draining=self._draining, plan_cache=self._plan_cache,
         )
+        # Optional section: calibrated-selector state, present only while a
+        # calibration profile is active (the "auto" jobs route through it).
+        profile = active_profile()
+        if profile is not None:
+            snapshot["autotune"] = {
+                "machine": profile.machine,
+                "engine": profile.engine,
+                "curves": sorted(profile.curves),
+                "refiner": profile.refiner.snapshot(),
+            }
+        return snapshot
 
     async def _send(self, writer, wlock: asyncio.Lock, obj: dict) -> None:
         data = encode_message(obj)

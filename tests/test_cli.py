@@ -153,3 +153,28 @@ class TestSummaCommand:
         assert code == 0
         assert "SUMMA on 2x2" in out
         assert "per-rank received" in out
+
+
+class TestCalibrateCommand:
+    def test_writes_valid_profile(self, capsys, tmp_path):
+        out_path = str(tmp_path / "profile.json")
+        code, out, _ = run_cli(
+            capsys, "calibrate", "--out", out_path, "--grid-scale", "5",
+            "--repeats", "1", "--algorithms", "hash,heap",
+        )
+        assert code == 0
+        assert "REPRO_CALIBRATION" in out
+        assert "hash" in out and "heap" in out
+
+        from repro.autotune import load_profile
+
+        profile = load_profile(out_path)
+        assert set(profile.curves) == {"hash", "heap"}
+
+    def test_rejects_bad_algorithm(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "calibrate", "--out", str(tmp_path / "p.json"),
+            "--grid-scale", "5", "--algorithms", "mkl",
+        )
+        assert code != 0
+        assert "candidate" in err

@@ -105,3 +105,52 @@ class TestRecommend:
         text = recipe_table()
         assert "Table 4(a)" in text and "Table 4(b)" in text
         assert "MKL-inspector" in text
+
+
+class TestDegenerateInputs:
+    """Empty and zero-flop products get a well-defined, named decision."""
+
+    def _empty(self, n=4):
+        from repro import csr_from_dense
+
+        return csr_from_dense(np.zeros((n, n)))
+
+    def _zero_flop_pair(self):
+        """Both operands have entries, but A's columns hit only empty
+        B rows — flop is exactly zero without either matrix being empty."""
+        from repro import csr_from_dense
+
+        a = csr_from_dense(np.array([[0.0, 1.0, 0.0],
+                                     [0.0, 0.0, 0.0],
+                                     [0.0, 1.0, 0.0]]))
+        b = csr_from_dense(np.array([[1.0, 0.0, 0.0],
+                                     [0.0, 0.0, 0.0],
+                                     [1.0, 0.0, 0.0]]))
+        return a, b
+
+    def test_cost_models_zero_for_empty_operands(self):
+        empty = self._empty()
+        assert heap_cost_model(empty, empty) == 0.0
+        assert hash_cost_model(empty, empty) == 0.0
+        assert hash_cost_model(empty, empty, sort_output=False) == 0.0
+
+    def test_recommend_empty_matrix(self):
+        d = recommend(self._empty())
+        assert d.algorithm == "hash"
+        assert "degenerate" in d.reason
+        assert np.isfinite(d.compression_ratio)
+        assert np.isfinite(d.skew)
+
+    def test_recommend_zero_flop_nonempty(self):
+        a, b = self._zero_flop_pair()
+        for sort_output in (True, False):
+            d = recommend(a, b, sort_output=sort_output)
+            assert d.algorithm == "hash"
+            assert "degenerate" in d.reason
+
+    def test_degenerate_covers_every_operation(self):
+        a, b = self._zero_flop_pair()
+        for operation in ("square", "lxu", "tallskinny"):
+            d = recommend(a, b, operation=operation)
+            assert d.algorithm == "hash", operation
+            assert "degenerate" in d.reason

@@ -41,6 +41,7 @@ from repro.serve import (
     validate_metrics_schema,
 )
 from repro.serve import server as server_mod
+from repro.serve.metrics import LatencyReservoir
 
 COMMON = dict(
     deadline=None,
@@ -298,6 +299,70 @@ class TestServedBitIdentity:
         with urllib.request.urlopen(health, timeout=30) as resp:
             assert json.loads(resp.read())["ok"] is True
 
+    def test_stats_autotune_section_tracks_active_profile(self, server):
+        from repro.autotune import (
+            AlgorithmCurve,
+            CalibrationProfile,
+            clear_active_profile,
+            set_active_profile,
+        )
+
+        with Client(server.host, server.port) as cli:
+            assert "autotune" not in cli.stats()
+            curve = AlgorithmCurve(
+                algorithm="hash", coefficients=(0.0, 0.0, 0.0, 1.0),
+                samples=1, rmse_seconds=0.0,
+            )
+            profile = CalibrationProfile(
+                machine="KNL", engine="fast", nthreads=1, grid={},
+                curves={"hash": curve},
+            )
+            set_active_profile(profile)
+            try:
+                section = cli.stats()["autotune"]
+            finally:
+                clear_active_profile()
+            assert section["machine"] == "KNL"
+            assert section["curves"] == ["hash"]
+            assert "autotune" not in cli.stats()
+
+
+class TestLatencyReservoir:
+    def test_empty_window(self):
+        r = LatencyReservoir(size=8)
+        assert r.percentile(50) is None
+        assert r.summary() == {
+            "count": 0, "p50": None, "p90": None, "p99": None, "max": None,
+        }
+
+    def test_p0_is_min_p100_is_max(self):
+        r = LatencyReservoir(size=64)
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            r.add(v)
+        assert r.percentile(0) == 1.0
+        assert r.percentile(100) == 5.0
+        assert r.percentile(50) == 3.0
+
+    def test_single_sample_answers_every_p(self):
+        r = LatencyReservoir(size=8)
+        r.add(7.5)
+        for p in (0, 1, 50, 90, 99, 100):
+            assert r.percentile(p) == 7.5
+        assert r.summary() == {
+            "count": 1, "p50": 7.5, "p90": 7.5, "p99": 7.5, "max": 7.5,
+        }
+
+    def test_nearest_rank_uses_ceil_not_round(self):
+        # n=10, p=45: rank = ceil(4.5) = 5 — the 5th smallest sample.
+        # round() banker-rounds 4.5 down to rank 4, off by one sample.
+        r = LatencyReservoir(size=16)
+        for v in range(1, 11):
+            r.add(float(v))
+        assert r.percentile(45) == 5.0
+        assert r.percentile(90) == 9.0
+        assert r.percentile(91) == 10.0
+        assert r.percentile(99) == 10.0
+
 
 def _slow_execute(delay_s: float):
     """A deterministic stand-in for the job body (see _execute_job)."""
@@ -353,6 +418,54 @@ class TestAdmissionControl:
             with pytest.raises(ServeError) as exc_info:
                 submit_job(handle.host, handle.port, job)
             assert exc_info.value.code == "deadline-exceeded"
+
+    def test_expired_while_queued_never_reaches_executor(self, monkeypatch):
+        """A job whose deadline lapses in the queue fails at dispatch.
+
+        Regression: expired entries used to consume the concurrency slot
+        and spin up a compute task before the deadline check ran.  Now the
+        dispatch loop fails them before dispatch, so the job body must
+        never execute for the doomed job.
+        """
+        executed = []
+        exec_lock = threading.Lock()
+
+        def body(server, payload):
+            with exec_lock:
+                executed.append(payload["id"])
+            time.sleep(0.5)
+            return {"ok": True, "result": {}}, None, None
+
+        monkeypatch.setattr(server_mod, "_execute_job", body)
+        with serve_in_thread(concurrency=1, max_queue_depth=4) as handle:
+            g = er_matrix(3, 3, seed=35)
+            codes = {}
+            code_lock = threading.Lock()
+
+            def fire(name, deadline_ms):
+                job = build_job(
+                    "spgemm", job_id=name, a=g, b=g,
+                    deadline_ms=deadline_ms,
+                    options=SpgemmOptions(algorithm="hash"),
+                )
+                try:
+                    submit_job(handle.host, handle.port, job)
+                    with code_lock:
+                        codes[name] = "ok"
+                except ServeError as exc:
+                    with code_lock:
+                        codes[name] = exc.code
+
+            first = threading.Thread(target=fire, args=("long", None))
+            first.start()
+            time.sleep(0.1)  # "long" occupies the only slot
+            second = threading.Thread(target=fire, args=("doomed", 100))
+            second.start()  # queued; its 100 ms expire while waiting
+            first.join()
+            second.join()
+        assert codes == {"long": "ok", "doomed": "deadline-exceeded"}
+        # Fail-fast contract: the expired job's body never ran.
+        assert executed == ["long"]
 
     def test_draining_rejects_new_jobs_and_finishes_backlog(self, monkeypatch):
         monkeypatch.setattr(server_mod, "_execute_job", _slow_execute(0.4))
