@@ -14,6 +14,7 @@ from . import (  # noqa: F401  (imports register the checkers)
     excepts,
     hot_loop,
     layering,
+    numerics,
     plan_purity,
     race,
     shm_lifecycle,

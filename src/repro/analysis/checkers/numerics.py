@@ -1,0 +1,244 @@
+"""The ``numeric-*`` checker family: enforce the canonical numeric contract.
+
+Four project-scope rules built on the dtype abstract interpreter
+(:class:`repro.analysis.numerics.NumericsModel`):
+
+* ``numeric-index-narrowing`` — an index/indptr-role array (role inferred
+  from CSR field names in the assigned target or astype receiver) reaches
+  an allocation or ``astype`` whose resolved dtype is narrower than, or
+  incompatible with, the canonical 64-bit signed index.  This is the
+  2^31-nnz overflow class the bit-identity tests cannot see.
+* ``numeric-dtype-literal`` — a hard-coded dtype literal (``np.int64``,
+  ``np.float32``, ``"float64"``...) at an allocation site inside a kernel
+  (``core``) directory.  Kernels must allocate from the sanctioned
+  constants (``INDPTR_DTYPE``/``INDEX_DTYPE``/``VALUE_DTYPE`` in
+  ``matrix/csr.py``, the accumulator dtype in ``semiring.py``) or from the
+  operand's own dtype (``x.dtype``, ``np.result_type``) so a contract
+  change propagates instead of silently diverging.
+* ``numeric-unsafe-cast`` — ``astype`` on a value-role array (``data``,
+  ``vals``, ``values``) without ``casting="safe"``.  Unchecked value casts
+  silently truncate; a provably-safe boundary carries an explicit
+  suppression with its justification.
+* ``numeric-bytes-model`` — perfmodel/distributed traffic code computing
+  byte volumes from integer literals (``ENTRY_BYTES = 12``,
+  ``(nrows + 1) * 8``) instead of ``dtype.itemsize``-derived constants.
+  A literal byte model goes quietly wrong the day the contract changes
+  width — exactly what the derived constants in
+  ``perfmodel/quantities.py`` exist to prevent.
+
+The family self-gates on the model's **armed** state: a tree that does not
+declare the contract (no ``matrix/csr.py`` with the three ``*_DTYPE``
+constants) produces no findings, so every other fixture tree stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext, ProjectContext
+from ..numerics import (
+    DtypeSite,
+    NumericsModel,
+    index_narrow_reason,
+)
+from ..registry import Checker, register
+
+#: Final name components that mark an array as index/indptr-role.
+_INDEX_TOKENS = ("indptr", "indices")
+
+#: Final name components that mark an array as value-role.
+_VALUE_NAMES = frozenset({"data", "vals", "values"})
+
+#: Integer literals a byte-volume expression multiplies by when someone
+#: hand-expanded a dtype width (i32/i64/f32/f64 sizes and the packed
+#: index+value entry sizes of both the paper's and the canonical layout).
+_WIDTH_LITERALS = frozenset({4, 8, 12, 16})
+
+
+def _index_role_name(site: DtypeSite) -> "str | None":
+    """The index-role name a site binds or casts, or None."""
+    candidates = list(site.targets)
+    if site.receiver:
+        candidates.append(site.receiver)
+    for name in candidates:
+        last = name.split(".")[-1]
+        if any(tok in last for tok in _INDEX_TOKENS):
+            return name
+    return None
+
+
+class _NumericsChecker(Checker):
+    """Shared gate: build/fetch the model, bail when the tree is unarmed."""
+
+    scope = "project"
+
+    def check(self, project: ProjectContext):
+        model = NumericsModel.of(project)
+        if not model.armed:
+            return
+        yield from self._check_model(model, project)
+
+    def _check_model(self, model: NumericsModel, project: ProjectContext):
+        raise NotImplementedError
+
+    def _site_finding(self, model: NumericsModel, site: DtypeSite, message: str):
+        ctx = model.file(site.relpath)
+        if ctx is not None:
+            yield self.finding(ctx, site.lineno, message, col=site.col)
+
+
+@register
+class IndexNarrowingChecker(_NumericsChecker):
+    rule = "numeric-index-narrowing"
+    description = (
+        "index/indptr-role array allocated or cast narrower than the "
+        "canonical 64-bit index dtype"
+    )
+
+    def _check_model(self, model: NumericsModel, project: ProjectContext):
+        for site in model.sites:
+            name = _index_role_name(site)
+            if name is None:
+                continue
+            reason = index_narrow_reason(site.value)
+            if reason is None:
+                continue
+            verb = "cast to" if site.kind == "astype" else "allocated as"
+            yield from self._site_finding(
+                model,
+                site,
+                f"index-role array {name!r} {verb} {site.value}: {reason}; "
+                "use INDEX_DTYPE/INDPTR_DTYPE from matrix/csr.py",
+            )
+
+
+@register
+class DtypeLiteralChecker(_NumericsChecker):
+    rule = "numeric-dtype-literal"
+    description = (
+        "hard-coded dtype literal at a kernel allocation site; use the "
+        "canonical matrix/csr.py constants or the operand dtype"
+    )
+
+    def _check_model(self, model: NumericsModel, project: ProjectContext):
+        core = {f.relpath for f in project.in_dir("core")}
+        for site in model.sites:
+            if site.kind != "alloc" or site.relpath not in core:
+                continue
+            if site.relpath in model.sanctioned_relpaths:
+                continue
+            if site.source not in ("np-literal", "string"):
+                continue
+            if site.value == "bool":
+                # Boolean masks are not numeric-contract arrays; a literal
+                # ``dtype=bool`` flag array is idiomatic and layout-free.
+                continue
+            shown = site.const_name or site.value
+            yield from self._site_finding(
+                model,
+                site,
+                f"np.{site.func} allocation hard-codes dtype {shown!r}; kernels "
+                "must use INDPTR_DTYPE/INDEX_DTYPE/VALUE_DTYPE (matrix/csr.py) "
+                "or the operand's dtype/np.result_type",
+            )
+
+
+@register
+class UnsafeCastChecker(_NumericsChecker):
+    rule = "numeric-unsafe-cast"
+    description = (
+        'astype on a value array without casting="safe" (or a justified '
+        "suppression at a sanctioned boundary)"
+    )
+
+    def _check_model(self, model: NumericsModel, project: ProjectContext):
+        for site in model.sites:
+            if site.kind != "astype" or site.has_casting:
+                continue
+            if not site.receiver:
+                continue
+            if site.receiver.split(".")[-1] not in _VALUE_NAMES:
+                continue
+            yield from self._site_finding(
+                model,
+                site,
+                f"value array {site.receiver!r} cast via astype without "
+                'casting="safe"; an unchecked cast silently truncates '
+                "out-of-range values",
+            )
+
+
+@register
+class BytesModelChecker(_NumericsChecker):
+    rule = "numeric-bytes-model"
+    description = (
+        "byte-volume arithmetic from integer literals instead of "
+        "dtype.itemsize-derived constants"
+    )
+
+    #: Directories housing traffic/communication-volume models.
+    _DIRS = ("perfmodel", "distributed")
+
+    def _check_model(self, model: NumericsModel, project: ProjectContext):
+        files: "list[FileContext]" = []
+        seen: "set[str]" = set()
+        for dirname in self._DIRS:
+            for ctx in project.in_dir(dirname):
+                if ctx.relpath not in seen:
+                    seen.add(ctx.relpath)
+                    files.append(ctx)
+        for ctx in files:
+            if ctx.tree is None:
+                continue
+            yield from self._check_file(ctx)
+
+    def _check_file(self, ctx: FileContext):
+        for node in ctx.tree.body:  # type: ignore[union-attr]
+            if isinstance(node, ast.Assign):
+                yield from self._check_const_assign(ctx, node)
+        for node in ast.walk(ctx.tree):  # type: ignore[arg-type]
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if "bytes" not in node.name:
+                continue
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mult)):
+                    continue
+                width = self._width_literal(sub)
+                if width is not None:
+                    yield self.finding(
+                        ctx,
+                        sub.lineno,
+                        f"byte volume in {node.name!r} multiplies by the bare "
+                        f"width literal {width}; derive from the canonical "
+                        "dtypes' itemsize (INDPTR_BYTES/INDEX_BYTES/VALUE_BYTES)",
+                        col=sub.col_offset,
+                    )
+
+    def _check_const_assign(self, ctx: FileContext, node: ast.Assign):
+        for target in node.targets:
+            if not (isinstance(target, ast.Name) and target.id.endswith("_BYTES")):
+                continue
+            if (
+                isinstance(node.value, ast.Constant)
+                and type(node.value.value) is int
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{target.id} hard-codes {node.value.value} bytes; derive "
+                    "it from np.dtype(...).itemsize of the canonical contract "
+                    "dtypes so the traffic model tracks matrix/csr.py",
+                    col=node.col_offset,
+                )
+
+    @staticmethod
+    def _width_literal(node: ast.BinOp) -> "int | None":
+        for side in (node.left, node.right):
+            if (
+                isinstance(side, ast.Constant)
+                and type(side.value) is int
+                and side.value in _WIDTH_LITERALS
+            ):
+                return side.value
+        return None

@@ -15,6 +15,7 @@ invocation can refresh the ratchet *and* publish the SARIF.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         metavar="RULE[,RULE...]",
         help="run only these rules (default: all)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="PATTERN[,PATTERN...]",
+        help="run only rules matching these glob patterns (e.g. "
+        "'numeric-*,race-*'); lets CI split one lint run into parallel "
+        "per-family jobs",
     )
     parser.add_argument(
         "--dynamic",
@@ -180,9 +188,33 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    if args.select and args.rules:
+        print(
+            "error: --select (glob patterns) and --rules (exact ids) are "
+            "two spellings of the same restriction; pass one",
+            file=sys.stderr,
+        )
+        return 2
+
     rules = None
     if args.rules:
         rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    elif args.select:
+        known = [rule for rule, _ in available_rules()]
+        selected: "set[str]" = set()
+        for pattern in (p.strip() for p in args.select.split(",")):
+            if not pattern:
+                continue
+            matched = fnmatch.filter(known, pattern)
+            if not matched:
+                print(
+                    f"error: --select pattern {pattern!r} matches no "
+                    f"registered rule (see --list-rules)",
+                    file=sys.stderr,
+                )
+                return 2
+            selected.update(matched)
+        rules = sorted(selected)
     try:
         result = analyze_paths(paths, root=args.root, rules=rules, baseline=baseline)
     except ValueError as exc:  # unknown rule names

@@ -1,0 +1,728 @@
+"""Dtype/width abstract interpretation over the project's numpy sites.
+
+The canonical numeric contract lives in ``matrix/csr.py`` — three
+module-level constants (``INDPTR_DTYPE``, ``INDEX_DTYPE``, ``VALUE_DTYPE``)
+that every kernel, wire decoder and traffic model is supposed to inherit.
+The contract is enforced at :class:`~repro.matrix.csr.CSR` construction
+and nowhere else: a kernel that allocates an ``np.int32`` scratch index
+array, or a helper that ``astype``-narrows a value array, is invisible to
+the bit-identity tests until a matrix crosses 2^31 nnz.
+
+This module makes the contract statically checkable.  It interprets each
+analyzed file over a small dtype lattice::
+
+    BOTTOM < {i8 .. i64, u8 .. u64, f16 f32 f64, bool, operand} < TOP
+
+``operand`` is the sanctioned "whatever dtype the operand already has"
+value (``x.dtype``, ``np.result_type(...)``); it is *concrete* for
+coverage purposes — the interpreter knows exactly what the code meant.
+``TOP`` is genuine ignorance.  Atoms name bit widths (``i32`` is a 32-bit
+signed integer), not numpy character codes.
+
+For every numpy allocation (``np.empty/zeros/ones/full/arange/asarray/
+array/ascontiguousarray/frombuffer/fromiter/*_like``) and every
+``.astype`` call the interpreter records a :class:`DtypeSite` carrying the
+resolved lattice value, how it was resolved (literal, canonical constant,
+environment, numpy default...), the assigned target names and the astype
+receiver.  Resolution sources, in decreasing precision:
+
+* ``dtype=np.int64`` / ``dtype="int64"`` — literal tables;
+* ``dtype=INDEX_DTYPE`` — sanctioned constants, resolved through the
+  module's import bindings back to the contract module (``matrix/csr.py``)
+  or to ``semiring.py``'s declared accumulator dtype;
+* ``dtype=x.dtype`` — the per-function environment if ``x`` is a tracked
+  allocation, else ``operand``;
+* numpy defaults — ``zeros()`` with no dtype is ``f64``, ``arange`` over
+  integer bounds is ``i64``, ``full`` infers from its fill value,
+  ``asarray`` propagates its argument;
+* one-hop positional flow — a dtype literal or canonical constant passed
+  positionally to a local helper seeds that helper's parameter
+  environment, the same tier structure as the race model's taint
+  propagation (``_alloc(n, INDEX_DTYPE)`` resolves inside ``_alloc``).
+
+The model **arms** only when the analyzed tree declares the contract: a
+unique file whose relpath ends with ``matrix/csr.py`` assigning all three
+``*_DTYPE`` constants from numpy dtype literals.  Fixture trees without a
+contract produce no model and the ``numeric-*`` checker family built on
+top (:mod:`repro.analysis.checkers.numerics`) stays silent on them.
+
+Like every module in this package, no numpy import and no execution: the
+lattice knows numpy's defaulting rules as tables, not by calling numpy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .context import FileContext, ProjectContext
+
+__all__ = [
+    "BOTTOM",
+    "TOP",
+    "OPERAND",
+    "join",
+    "is_concrete",
+    "DtypeSite",
+    "NumericsModel",
+]
+
+# --------------------------------------------------------------------------
+# the lattice
+# --------------------------------------------------------------------------
+
+BOTTOM = "bottom"
+TOP = "top"
+#: "the operand's own dtype" — sanctioned and concrete, but not a width.
+OPERAND = "operand"
+
+#: numpy attribute name -> lattice atom (``np.<attr>`` dtype literals).
+NP_ATTR_ATOMS = {
+    "int8": "i8", "int16": "i16", "int32": "i32", "int64": "i64",
+    "intc": "i32", "intp": "i64", "int_": "i64", "longlong": "i64",
+    "uint8": "u8", "uint16": "u16", "uint32": "u32", "uint64": "u64",
+    "float16": "f16", "float32": "f32", "float64": "f64",
+    "half": "f16", "single": "f32", "double": "f64",
+    "bool_": "bool",
+}
+
+#: dtype *string* spellings (numpy character codes size in bytes: "i8" is
+#: a 64-bit integer) -> lattice atom.
+STRING_ATOMS = {
+    "int8": "i8", "i1": "i8",
+    "int16": "i16", "i2": "i16", "<i2": "i16",
+    "int32": "i32", "i4": "i32", "<i4": "i32",
+    "int64": "i64", "i8": "i64", "<i8": "i64", "long": "i64",
+    "uint32": "u32", "u4": "u32", "<u4": "u32",
+    "uint64": "u64", "u8": "u64", "<u8": "u64",
+    "float16": "f16", "f2": "f16", "<f2": "f16",
+    "float32": "f32", "f4": "f32", "<f4": "f32",
+    "float64": "f64", "f8": "f64", "<f8": "f64", "d": "f64",
+    "bool": "bool", "?": "bool",
+}
+
+#: integer atoms narrower than (or incompatible with) the 64-bit signed
+#: canonical index, keyed by why they are unsafe in an index role.
+_INT_ATOMS = frozenset({"i8", "i16", "i32", "i64"})
+_UINT_ATOMS = frozenset({"u8", "u16", "u32", "u64"})
+_FLOAT_ATOMS = frozenset({"f16", "f32", "f64"})
+
+
+def is_concrete(value: str) -> bool:
+    """Whether the interpreter resolved an actual lattice atom (not ⊤/⊥)."""
+    return value not in (TOP, BOTTOM)
+
+
+def join(a: str, b: str) -> str:
+    """Least upper bound of two lattice values."""
+    if a == BOTTOM:
+        return b
+    if b == BOTTOM:
+        return a
+    if a == b:
+        return a
+    return TOP
+
+
+# --------------------------------------------------------------------------
+# numpy allocation knowledge (tables, not execution)
+# --------------------------------------------------------------------------
+
+#: allocation function name -> positional index of its dtype argument
+#: (None: keyword-only for our purposes).
+_ALLOC_DTYPE_POS = {
+    "empty": 1, "zeros": 1, "ones": 1,
+    "full": 2,
+    "frombuffer": 1, "fromiter": 1,
+    "arange": None, "asarray": None, "array": None,
+    "ascontiguousarray": None, "asfortranarray": None,
+    "empty_like": 1, "zeros_like": 1, "ones_like": 1, "full_like": 2,
+}
+
+#: allocations whose no-dtype default is float64.
+_F64_DEFAULT = frozenset({"empty", "zeros", "ones", "frombuffer"})
+
+#: allocations that propagate their first argument's dtype.
+_PROPAGATING = frozenset(
+    {"asarray", "array", "ascontiguousarray", "asfortranarray",
+     "empty_like", "zeros_like", "ones_like", "full_like"}
+)
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    parts: "list[str]" = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _const_atom(value) -> "str | None":
+    """Lattice atom for a python constant used as a fill value."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "i64"
+    if isinstance(value, float):
+        return "f64"
+    return None
+
+
+# --------------------------------------------------------------------------
+# sites
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DtypeSite:
+    """One numpy allocation or ``astype`` call, abstractly interpreted.
+
+    ``kind`` is ``"alloc"`` or ``"astype"``; ``value`` the lattice value of
+    the produced array's dtype; ``source`` how it was resolved —
+    ``"np-literal"`` (``np.int32``), ``"string"`` (``"float64"``),
+    ``"constant"`` (a sanctioned ``*_DTYPE`` constant), ``"env"`` (tracked
+    local), ``"operand"`` (``x.dtype`` / ``result_type``), ``"default"``
+    (numpy's defaulting rules) or ``"unknown"`` (⊤).  ``targets`` are the
+    dotted names the result is assigned to (empty for expression-position
+    calls); ``receiver`` is the astype receiver's dotted name.
+    """
+
+    relpath: str
+    lineno: int
+    col: int
+    func: str
+    kind: str
+    value: str
+    source: str
+    const_name: str = ""
+    targets: "tuple[str, ...]" = ()
+    receiver: str = ""
+    has_casting: bool = False
+    scope: str = "<module>"
+
+
+# --------------------------------------------------------------------------
+# the model
+# --------------------------------------------------------------------------
+
+#: The three names whose module-level assignment in ``matrix/csr.py``
+#: constitutes the contract.
+CONTRACT_NAMES = ("INDPTR_DTYPE", "INDEX_DTYPE", "VALUE_DTYPE")
+
+
+@dataclass
+class _FileBindings:
+    """Per-file resolution state shared by both interpreter passes."""
+
+    ctx: FileContext
+    module: "str | None"
+    np_aliases: "frozenset[str]"
+    #: local name -> lattice atom, for sanctioned constants visible here
+    #: (defined in this file, or imported from a sanctioned module).
+    const_atoms: "dict[str, str]" = field(default_factory=dict)
+    #: bare local-def / imported-def name -> project qualname.
+    def_targets: "dict[str, str]" = field(default_factory=dict)
+
+
+class NumericsModel:
+    """Abstractly interpreted dtype sites for one analyzed project."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.armed = False
+        #: constant name -> atom, from the contract module.
+        self.canonical: "dict[str, str]" = {}
+        self.contract_relpath = ""
+        #: relpaths allowed to *define* dtype constants (csr + semiring).
+        self.sanctioned_relpaths: "set[str]" = set()
+        self.sites: "list[DtypeSite]" = []
+        self._by_relpath: "dict[str, FileContext]" = {
+            f.relpath: f for f in project.files
+        }
+        self._find_contract()
+        if self.armed:
+            self._interpret()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def of(cls, project: ProjectContext) -> "NumericsModel":
+        """The project's model, built once per run and cached."""
+        model = getattr(project, "_numerics_model", None)
+        if model is None:
+            model = cls(project)
+            project._numerics_model = model  # type: ignore[attr-defined]
+        return model
+
+    def file(self, relpath: str) -> "FileContext | None":
+        return self._by_relpath.get(relpath)
+
+    # -- contract detection ------------------------------------------------
+
+    @staticmethod
+    def _module_dtype_consts(ctx: FileContext) -> "dict[str, str]":
+        """``NAME -> atom`` for module-level ``NAME = np.<dtype>`` assigns."""
+        out: "dict[str, str]" = {}
+        if ctx.tree is None:
+            return out
+        np_aliases = _np_aliases(ctx.tree)
+        for node in ctx.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            dotted = _dotted(node.value)
+            if dotted is None or "." not in dotted:
+                continue
+            head, _, attr = dotted.rpartition(".")
+            if head in np_aliases and attr in NP_ATTR_ATOMS:
+                out[target.id] = NP_ATTR_ATOMS[attr]
+        return out
+
+    def _find_contract(self) -> None:
+        contract = self.project.by_suffix("matrix/csr.py")
+        if contract is None:
+            return
+        consts = self._module_dtype_consts(contract)
+        if not all(name in consts for name in CONTRACT_NAMES):
+            return
+        self.armed = True
+        self.contract_relpath = contract.relpath
+        self.canonical = {n: consts[n] for n in consts if n.endswith("_DTYPE")}
+        self.sanctioned_relpaths.add(contract.relpath)
+        for f in self.project.files:
+            if f.relpath.endswith("semiring.py"):
+                extra = self._module_dtype_consts(f)
+                if extra:
+                    self.sanctioned_relpaths.add(f.relpath)
+                    for name, atom in extra.items():
+                        if name.endswith("_DTYPE"):
+                            self.canonical.setdefault(name, atom)
+
+    # -- interpretation ----------------------------------------------------
+
+    def _interpret(self) -> None:
+        graph = self.project.graph()
+        calls = graph.calls
+        bindings: "list[_FileBindings]" = []
+        for ctx in self.project.files:
+            if ctx.tree is None:
+                continue
+            bindings.append(self._bind_file(ctx, graph))
+
+        # Pass 1: one-hop positional flow — dtype literals / sanctioned
+        # constants passed to project defs seed the callee's parameters.
+        param_atoms: "dict[str, dict[str, str]]" = {}
+        for fb in bindings:
+            for node in ast.walk(fb.ctx.tree):  # type: ignore[arg-type]
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                    continue
+                qual = fb.def_targets.get(node.func.id)
+                d = calls.defs.get(qual) if qual else None
+                if d is None:
+                    continue
+                params = [a.arg for a in d.node.args.args]
+                for i, arg in enumerate(node.args):
+                    if i >= len(params):
+                        break
+                    value, _, _ = self._resolve_static(arg, fb)
+                    if is_concrete(value):
+                        slot = param_atoms.setdefault(qual, {})
+                        slot[params[i]] = join(slot.get(params[i], BOTTOM), value)
+
+        # Pass 2: interpret every scope with parameter environments seeded.
+        for fb in bindings:
+            module = fb.module or fb.ctx.relpath
+            self._scan_body(
+                fb, fb.ctx.tree.body, "<module>", {}, module, param_atoms
+            )
+
+    def _bind_file(self, ctx: FileContext, graph) -> _FileBindings:
+        from .graph import module_bindings
+
+        module = graph.imports.module_names.get(ctx.relpath)
+        np_aliases = _np_aliases(ctx.tree)
+        fb = _FileBindings(ctx=ctx, module=module, np_aliases=np_aliases)
+
+        # Sanctioned constants defined in this very file.
+        if ctx.relpath in self.sanctioned_relpaths:
+            for name, atom in self._module_dtype_consts(ctx).items():
+                fb.const_atoms[name] = atom
+
+        name_map: "dict[str, str]" = {}
+        if module is not None:
+            name_map, _ = module_bindings(module, ctx, graph.imports)
+            sanctioned_modules = {
+                graph.imports.module_names.get(rel)
+                for rel in self.sanctioned_relpaths
+            }
+            for bound, target in name_map.items():
+                mod, _, attr = target.rpartition(".")
+                if mod in sanctioned_modules and attr in self.canonical:
+                    fb.const_atoms.setdefault(bound, self.canonical[attr])
+            # Call-target table: module-local defs shadow import bindings.
+            for bound, target in name_map.items():
+                if target in graph.calls.defs:
+                    fb.def_targets[bound] = target
+            for qual, d in graph.calls.defs.items():
+                if d.ctx is ctx and d.cls is None:
+                    fb.def_targets[qual.rsplit(".", 1)[-1]] = qual
+        return fb
+
+    # -- dtype-expression resolution ---------------------------------------
+
+    def _resolve_static(
+        self, node: "ast.expr | None", fb: _FileBindings
+    ) -> "tuple[str, str, str]":
+        """Environment-free resolution (used for call-argument seeding)."""
+        return self._resolve(node, fb, {})
+
+    def _resolve(
+        self, node: "ast.expr | None", fb: _FileBindings, env: "dict[str, str]"
+    ) -> "tuple[str, str, str]":
+        """(lattice value, source, constant name) for a dtype expression."""
+        if node is None:
+            return TOP, "unknown", ""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                atom = STRING_ATOMS.get(node.value)
+                return (atom or TOP), "string", node.value
+            return TOP, "unknown", ""
+        if isinstance(node, ast.Name):
+            if node.id in fb.const_atoms:
+                return fb.const_atoms[node.id], "constant", node.id
+            if node.id == "float":
+                return "f64", "np-literal", "float"
+            if node.id == "int":
+                return "i64", "np-literal", "int"
+            if node.id == "bool":
+                return "bool", "np-literal", "bool"
+            if node.id in env:
+                return env[node.id], "env", node.id
+            return TOP, "unknown", ""
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is not None:
+                head, _, attr = dotted.rpartition(".")
+                if head in fb.np_aliases and attr in NP_ATTR_ATOMS:
+                    return NP_ATTR_ATOMS[attr], "np-literal", dotted
+                if attr == "dtype":
+                    if head in env:
+                        return env[head], "env", head
+                    return OPERAND, "operand", dotted
+            return TOP, "unknown", ""
+        if isinstance(node, ast.Call):
+            func = _dotted(node.func) or ""
+            head, _, attr = func.rpartition(".")
+            if attr == "result_type":
+                return OPERAND, "operand", func
+            if attr == "dtype" and head in fb.np_aliases and node.args:
+                # np.dtype(X) wraps without changing the abstract value.
+                return self._resolve(node.args[0], fb, env)
+        return TOP, "unknown", ""
+
+    # -- scope interpretation ----------------------------------------------
+
+    def _scan_body(
+        self,
+        fb: _FileBindings,
+        body: "list[ast.stmt]",
+        scope: str,
+        env: "dict[str, str]",
+        module: str,
+        param_atoms: "dict[str, dict[str, str]]",
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{module}.{stmt.name}" if scope == "<module>" else scope + "." + stmt.name
+                fn_env = dict(param_atoms.get(qual, {}))
+                self._scan_body(fb, stmt.body, qual, fn_env, module, param_atoms)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = f"{module}.{stmt.name}.{item.name}"
+                        fn_env = dict(param_atoms.get(qual, {}))
+                        self._scan_body(
+                            fb, item.body, qual, fn_env, module, param_atoms
+                        )
+                    else:
+                        self._scan_stmt(fb, item, scope, env)
+            else:
+                self._scan_stmt(fb, stmt, scope, env)
+
+    def _scan_stmt(
+        self, fb: _FileBindings, stmt: ast.stmt, scope: str, env: "dict[str, str]"
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._scan_assign(fb, stmt.targets, stmt.value, scope, env)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._scan_assign(fb, [stmt.target], stmt.value, scope, env)
+            return
+        # Compound statements: interpret nested bodies in order with the
+        # same (flow-insensitive at joins, which is fine for a linter) env.
+        for attr in ("value", "test", "iter", "exc"):
+            sub = getattr(stmt, attr, None)
+            if isinstance(sub, ast.expr):
+                self._scan_expr(fb, sub, scope, env)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_expr(fb, item.context_expr, scope, env)
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(fb, stmt.value, scope, env)
+        for attr in ("body", "orelse", "finalbody"):
+            sub_body = getattr(stmt, attr, None)
+            if isinstance(sub_body, list) and sub_body and isinstance(sub_body[0], ast.stmt):
+                self._scan_body(fb, sub_body, scope, env, "", {})
+        for handler in getattr(stmt, "handlers", []):
+            self._scan_body(fb, handler.body, scope, env, "", {})
+
+    def _scan_assign(
+        self,
+        fb: _FileBindings,
+        targets: "list[ast.expr]",
+        value: ast.expr,
+        scope: str,
+        env: "dict[str, str]",
+    ) -> None:
+        dotted_targets = tuple(
+            t for t in (_dotted(target) for target in targets) if t is not None
+        )
+        top_site = self._maybe_site(fb, value, scope, env, dotted_targets)
+        for sub in ast.walk(value):
+            if sub is not value and isinstance(sub, ast.Call):
+                self._maybe_site(fb, sub, scope, env, ())
+
+        # Environment update for the bound names.
+        bound: "str | None" = None
+        if top_site is not None:
+            bound = top_site.value
+        else:
+            v, source, _ = self._resolve(value, fb, env)
+            if source != "unknown":
+                bound = v
+            elif isinstance(value, ast.Name) and value.id in env:
+                bound = env[value.id]
+            elif isinstance(value, ast.Subscript):
+                base = _dotted(value.value)
+                if base in env:
+                    bound = env[base]
+            elif isinstance(value, ast.Call):
+                func = _dotted(value.func) or ""
+                head, _, attr = func.rpartition(".")
+                if attr == "copy" and head in env:
+                    bound = env[head]
+        for name in dotted_targets:
+            if bound is not None:
+                env[name] = bound
+            else:
+                env.pop(name, None)
+
+    def _scan_expr(
+        self, fb: _FileBindings, expr: ast.expr, scope: str, env: "dict[str, str]"
+    ) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._maybe_site(fb, sub, scope, env, ())
+
+    def _maybe_site(
+        self,
+        fb: _FileBindings,
+        node: ast.expr,
+        scope: str,
+        env: "dict[str, str]",
+        targets: "tuple[str, ...]",
+    ) -> "DtypeSite | None":
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        site: "DtypeSite | None" = None
+        if func.attr == "astype":
+            site = self._astype_site(fb, node, func, scope, env, targets)
+        elif isinstance(func.value, ast.Name) and func.value.id in fb.np_aliases:
+            if func.attr in _ALLOC_DTYPE_POS:
+                site = self._alloc_site(fb, node, func.attr, scope, env, targets)
+        if site is not None:
+            self.sites.append(site)
+        return site
+
+    def _dtype_arg(
+        self, node: ast.Call, fname: str
+    ) -> "ast.expr | None":
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return kw.value
+        pos = _ALLOC_DTYPE_POS.get(fname)
+        if pos is not None and len(node.args) > pos:
+            return node.args[pos]
+        return None
+
+    def _alloc_site(
+        self,
+        fb: _FileBindings,
+        node: ast.Call,
+        fname: str,
+        scope: str,
+        env: "dict[str, str]",
+        targets: "tuple[str, ...]",
+    ) -> DtypeSite:
+        arg = self._dtype_arg(node, fname)
+        if arg is not None:
+            value, source, const_name = self._resolve(arg, fb, env)
+        else:
+            value, source, const_name = self._default_dtype(fb, node, fname, env)
+        return DtypeSite(
+            relpath=fb.ctx.relpath,
+            lineno=node.lineno,
+            col=node.col_offset,
+            func=fname,
+            kind="alloc",
+            value=value,
+            source=source,
+            const_name=const_name,
+            targets=targets,
+            scope=scope,
+        )
+
+    def _default_dtype(
+        self, fb: _FileBindings, node: ast.Call, fname: str, env: "dict[str, str]"
+    ) -> "tuple[str, str, str]":
+        if fname in _F64_DEFAULT:
+            return "f64", "default", ""
+        if fname == "full" and len(node.args) >= 2:
+            fill = node.args[1]
+            if isinstance(fill, ast.Constant):
+                atom = _const_atom(fill.value)
+                if atom is not None:
+                    return atom, "default", ""
+            if isinstance(fill, ast.UnaryOp) and isinstance(fill.operand, ast.Constant):
+                atom = _const_atom(fill.operand.value)
+                if atom is not None:
+                    return atom, "default", ""
+            dotted = _dotted(fill)
+            if dotted in env:
+                return env[dotted], "env", dotted
+            return TOP, "unknown", ""
+        if fname == "arange":
+            atoms = [
+                _const_atom(a.value)
+                for a in node.args
+                if isinstance(a, ast.Constant)
+            ]
+            if any(a == "f64" for a in atoms):
+                return "f64", "default", ""
+            return "i64", "default", ""
+        if fname in _PROPAGATING and node.args:
+            first = node.args[0]
+            dotted = _dotted(first)
+            if dotted is not None and dotted in env:
+                return env[dotted], "env", dotted
+            if isinstance(first, (ast.List, ast.Tuple)):
+                atoms = {
+                    _const_atom(e.value)
+                    for e in first.elts
+                    if isinstance(e, ast.Constant)
+                }
+                atoms.discard(None)
+                if atoms == {"i64"}:
+                    return "i64", "default", ""
+                if atoms and atoms <= {"i64", "f64"}:
+                    return "f64", "default", ""
+            return OPERAND, "operand", ""
+        return TOP, "unknown", ""
+
+    def _astype_site(
+        self,
+        fb: _FileBindings,
+        node: ast.Call,
+        func: ast.Attribute,
+        scope: str,
+        env: "dict[str, str]",
+        targets: "tuple[str, ...]",
+    ) -> "DtypeSite | None":
+        receiver = _dotted(func.value) or ""
+        arg = None
+        if node.args:
+            arg = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    arg = kw.value
+        if arg is None:
+            return None
+        value, source, const_name = self._resolve(arg, fb, env)
+        has_casting = any(kw.arg == "casting" for kw in node.keywords)
+        return DtypeSite(
+            relpath=fb.ctx.relpath,
+            lineno=node.lineno,
+            col=node.col_offset,
+            func="astype",
+            kind="astype",
+            value=value,
+            source=source,
+            const_name=const_name,
+            targets=targets,
+            receiver=receiver,
+            has_casting=has_casting,
+            scope=scope,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def sites_in_dir(self, dirname: str) -> "list[DtypeSite]":
+        """Sites in files that have ``dirname`` as a path component."""
+        rels = {f.relpath for f in self.project.in_dir(dirname)}
+        return [s for s in self.sites if s.relpath in rels]
+
+    def alloc_stats(self, dirname: "str | None" = None) -> "dict[str, int]":
+        """Coverage stats: how many allocation sites resolved concretely.
+
+        The acceptance bar for the engine — ≥ 90% of kernel allocation
+        sites must resolve to a non-⊤ lattice value — is asserted against
+        exactly this dictionary by the coverage test.
+        """
+        sites = self.sites if dirname is None else self.sites_in_dir(dirname)
+        allocs = [s for s in sites if s.kind == "alloc"]
+        resolved = [s for s in allocs if is_concrete(s.value)]
+        return {"alloc_sites": len(allocs), "resolved": len(resolved)}
+
+
+def _np_aliases(tree: "ast.Module | None") -> "frozenset[str]":
+    """Every local name bound to the numpy module (``np``, ``numpy``...)."""
+    out: "set[str]" = set()
+    if tree is None:
+        return frozenset()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    out.add(alias.asname or "numpy")
+    return frozenset(out)
+
+
+def index_narrow_reason(value: str) -> "str | None":
+    """Why ``value`` is unsafe for an index/indptr role, or None if safe.
+
+    The canonical index is a 64-bit signed integer; anything concretely
+    narrower, unsigned (no -1 sentinel), floating or boolean is flagged.
+    ``operand``/⊤ are not flagged — the interpreter does not know enough.
+    """
+    if value in (TOP, BOTTOM, OPERAND):
+        return None
+    if value == "i64":
+        return None
+    if value in _INT_ATOMS:
+        return f"{value} narrows the 64-bit canonical index"
+    if value in _UINT_ATOMS:
+        return f"unsigned {value} cannot hold the -1 sentinel"
+    if value in _FLOAT_ATOMS:
+        return f"floating {value} cannot index exactly at scale"
+    if value == "bool":
+        return "bool cannot serve as an index dtype"
+    return f"{value} is not the canonical 64-bit index"

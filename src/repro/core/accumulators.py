@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigError
+from ..matrix.csr import INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..semiring import Semiring
 from .instrument import KernelStats
 
@@ -66,8 +67,8 @@ class HashAccumulator:
         bound = min(capacity, max(ncols, 1))
         self.size = lowest_p2(bound + 1)
         self.mask = self.size - 1
-        self.keys = np.full(self.size, EMPTY, dtype=np.int64)
-        self.vals = np.zeros(self.size, dtype=np.float64)
+        self.keys = np.full(self.size, EMPTY, dtype=INDEX_DTYPE)
+        self.vals = np.zeros(self.size, dtype=VALUE_DTYPE)
         self.occupied: list[int] = []
         # local counters, flushed into KernelStats by the kernel
         self.probes = 0
@@ -130,7 +131,7 @@ class HashAccumulator:
         sort, "if necessary"); otherwise entries come out in slot order,
         i.e. unsorted.
         """
-        slots = np.asarray(self.occupied, dtype=np.int64)
+        slots = np.asarray(self.occupied, dtype=INDEX_DTYPE)
         cols = self.keys[slots]
         vals = self.vals[slots]
         if sort and len(cols) > 1:
@@ -169,10 +170,10 @@ class VectorHashAccumulator:
         self.nchunks = nchunks
         self.size = nchunks * lane_width
         self.chunk_mask = nchunks - 1
-        self.keys = np.full(self.size, EMPTY, dtype=np.int64)
-        self.vals = np.zeros(self.size, dtype=np.float64)
+        self.keys = np.full(self.size, EMPTY, dtype=INDEX_DTYPE)
+        self.vals = np.zeros(self.size, dtype=VALUE_DTYPE)
         #: entries used in each chunk (push position), reset per row
-        self.fill = np.zeros(nchunks, dtype=np.int64)
+        self.fill = np.zeros(nchunks, dtype=INDPTR_DTYPE)
         self.touched: list[int] = []
         self.vprobes = 0
         self.inserts = 0
@@ -239,7 +240,7 @@ class VectorHashAccumulator:
             parts_c.append(self.keys[base : base + used])
             parts_v.append(self.vals[base : base + used])
         if not parts_c:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=VALUE_DTYPE)
         cols = np.concatenate(parts_c)
         vals = np.concatenate(parts_v)
         if sort and len(cols) > 1:
@@ -269,8 +270,8 @@ class SparseAccumulator:
 
     def __init__(self, ncols: int) -> None:
         self.ncols = ncols
-        self.vals = np.zeros(ncols, dtype=np.float64)
-        self.stamp = np.full(ncols, -1, dtype=np.int64)
+        self.vals = np.zeros(ncols, dtype=VALUE_DTYPE)
+        self.stamp = np.full(ncols, -1, dtype=INDEX_DTYPE)
         self.row_id = -1
         self.cols_buffer: list[np.ndarray] = []
         self.touches = 0
@@ -296,7 +297,7 @@ class SparseAccumulator:
     def harvest(self, *, sort: bool) -> "tuple[np.ndarray, np.ndarray]":
         """Collect the row's ``(cols, vals)``, first-touch order by default."""
         if not self.cols_buffer:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=VALUE_DTYPE)
         cols = np.concatenate(self.cols_buffer)
         if sort and len(cols) > 1:
             cols = np.sort(cols)

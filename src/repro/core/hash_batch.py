@@ -130,8 +130,8 @@ def _vhash_geometry(
     if partition is None:
         partition = rows_to_threads(a, b, nthreads, row_cost=flop)
     caps = _max_flop_per_thread(partition, flop)
-    chunk_mask = np.zeros(a.nrows, dtype=np.int64)
-    cap_row = np.zeros(a.nrows, dtype=np.int64)
+    chunk_mask = np.zeros(a.nrows, dtype=INDEX_DTYPE)
+    cap_row = np.zeros(a.nrows, dtype=INDEX_DTYPE)
     ncols_floor = max(b.ncols, 1)
     for tid in range(partition.nthreads):
         bound = min(max(caps[tid], 0), ncols_floor)

@@ -35,18 +35,18 @@ class _ChainedHashMap:
         self.l1_size = max(l1_size, 1)
         self.mask = self.l1_size - 1
         # begins[h] = pool index of chain head, -1 if empty
-        self.begins = np.full(self.l1_size, -1, dtype=np.int64)
-        self.nexts = np.full(max(pool_capacity, 1), -1, dtype=np.int64)
-        self.keys = np.empty(max(pool_capacity, 1), dtype=np.int64)
-        self.vals = np.empty(max(pool_capacity, 1), dtype=np.float64)
+        self.begins = np.full(self.l1_size, -1, dtype=INDEX_DTYPE)
+        self.nexts = np.full(max(pool_capacity, 1), -1, dtype=INDEX_DTYPE)
+        self.keys = np.empty(max(pool_capacity, 1), dtype=INDEX_DTYPE)
+        self.vals = np.empty(max(pool_capacity, 1), dtype=VALUE_DTYPE)
         self.used = 0
         self.touched_slots: list[int] = []
         self.probes = 0
 
     def _grow(self) -> None:
-        self.nexts = np.concatenate([self.nexts, np.full(len(self.nexts), -1, np.int64)])
-        self.keys = np.concatenate([self.keys, np.empty(len(self.keys), np.int64)])
-        self.vals = np.concatenate([self.vals, np.empty(len(self.vals), np.float64)])
+        self.nexts = np.concatenate([self.nexts, np.full(len(self.nexts), -1, INDEX_DTYPE)])
+        self.keys = np.concatenate([self.keys, np.empty(len(self.keys), INDEX_DTYPE)])
+        self.vals = np.concatenate([self.vals, np.empty(len(self.vals), VALUE_DTYPE)])
 
     def reset(self) -> None:
         for h in self.touched_slots:

@@ -375,8 +375,8 @@ def _faithful_masked(
 
     for tid in range(partition.nthreads):
         vals = np.zeros(ncols, dtype=VALUE_DTYPE)
-        live_stamp = np.full(ncols, -1, dtype=np.int64)  # accumulated cols
-        mask_stamp = np.full(ncols, -1, dtype=np.int64)  # allowed cols
+        live_stamp = np.full(ncols, -1, dtype=INDEX_DTYPE)  # accumulated cols
+        mask_stamp = np.full(ncols, -1, dtype=INDEX_DTYPE)  # allowed cols
         for s, e in partition.rows_of(tid):
             row_cols: "list[np.ndarray]" = []
             row_vals: "list[np.ndarray]" = []

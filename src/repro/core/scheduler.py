@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigError
-from ..matrix.csr import CSR
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.stats import flop_per_row
 
 __all__ = [
@@ -98,7 +98,7 @@ class ThreadPartition:
         modeled.
         """
         csum = np.concatenate([[0], np.cumsum(row_cost)])
-        loads = np.zeros(self.nthreads, dtype=np.float64)
+        loads = np.zeros(self.nthreads, dtype=VALUE_DTYPE)
         if self.offsets is not None:
             loads[:] = csum[self.offsets[1:]] - csum[self.offsets[:-1]]
         else:
@@ -146,7 +146,7 @@ class ThreadPartition:
                     f"{n}; trailing rows would be dropped"
                 )
             return
-        covered = np.zeros(n, dtype=np.int32)
+        covered = np.zeros(n, dtype=INDEX_DTYPE)
         for s, e, t in self.chunks:
             if not (0 <= t < self.nthreads):
                 raise ConfigError(f"chunk assigned to invalid thread {t}")
@@ -185,7 +185,7 @@ def rows_to_threads(
         # nonzero): ave == 0 would make every lowbnd return 0 and the last
         # thread would own *all* rows.  Fall back to an even row split —
         # with no flop to balance, row count is the only load proxy left.
-        offsets = np.linspace(0, a.nrows, nthreads + 1).astype(np.int64)
+        offsets = np.linspace(0, a.nrows, nthreads + 1).astype(INDPTR_DTYPE)
         return ThreadPartition(
             policy="balanced",
             nthreads=nthreads,
@@ -193,7 +193,7 @@ def rows_to_threads(
             row_cost=cost,
         )
     ave = total / nthreads
-    offsets = np.zeros(nthreads + 1, dtype=np.int64)
+    offsets = np.zeros(nthreads + 1, dtype=INDPTR_DTYPE)
     for tid in range(1, nthreads):
         offsets[tid] = lowbnd(flopps, ave * tid)
     offsets[nthreads] = a.nrows
@@ -210,7 +210,7 @@ def rows_to_threads(
 def static_partition(nrows: int, nthreads: int) -> ThreadPartition:
     """OpenMP ``schedule(static)``: equal row counts, contiguous."""
     _check_threads(nthreads)
-    offsets = np.linspace(0, nrows, nthreads + 1).astype(np.int64)
+    offsets = np.linspace(0, nrows, nthreads + 1).astype(INDPTR_DTYPE)
     return ThreadPartition(policy="static", nthreads=nthreads, offsets=offsets)
 
 

@@ -7,9 +7,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigError, ShapeError
-from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 
 __all__ = ["ProcessGrid", "BlockDistribution", "distribute"]
+
+#: wire bytes of one (column index, value) entry and one row pointer,
+#: derived from the canonical contract dtypes.
+ENTRY_BYTES = int(np.dtype(INDEX_DTYPE).itemsize) + int(np.dtype(VALUE_DTYPE).itemsize)
+INDPTR_BYTES = int(np.dtype(INDPTR_DTYPE).itemsize)
 
 
 @dataclass(frozen=True)
@@ -65,10 +70,10 @@ class BlockDistribution:
     def block(self, i: int, j: int) -> CSR:
         return self.blocks[i][j]
 
-    def block_nbytes(self, i: int, j: int, entry_bytes: int = 12) -> int:
+    def block_nbytes(self, i: int, j: int, entry_bytes: int = ENTRY_BYTES) -> int:
         """Wire size of one block (entries + local row pointers)."""
         b = self.blocks[i][j]
-        return b.nnz * entry_bytes + (b.nrows + 1) * 8
+        return b.nnz * entry_bytes + (b.nrows + 1) * INDPTR_BYTES
 
     def assemble(self) -> CSR:
         """Reassemble the global matrix (inverse of :func:`distribute`)."""

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.spgemm import spgemm
 from ..errors import ConfigError, ShapeError
-from ..matrix.csr import CSR
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.ops import add as ewise_add
 from ..matrix.stats import total_flop
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
@@ -29,7 +29,9 @@ from .grid import BlockDistribution, ProcessGrid, distribute
 
 __all__ = ["CommReport", "sparse_summa"]
 
-ENTRY_BYTES = 12
+#: wire bytes of one stored entry, derived from the canonical contract so
+#: the modeled communication volume tracks matrix/csr.py.
+ENTRY_BYTES = int(np.dtype(INDEX_DTYPE).itemsize) + int(np.dtype(VALUE_DTYPE).itemsize)
 
 
 @dataclass
@@ -134,8 +136,6 @@ def sparse_summa(
                     c_blocks[i][j] = ewise_add(c_blocks[i][j], partial, sr)
 
     # assemble the distributed C
-    from ..matrix.csr import INDEX_DTYPE, INDPTR_DTYPE
-
     out_dist = BlockDistribution(
         grid=grid,
         nrows=a.nrows,

@@ -73,11 +73,14 @@ def csr_from_scipy(mat) -> CSR:
     """Build from any :mod:`scipy.sparse` matrix (converted to CSR)."""
     m = mat.tocsr()
     m.sum_duplicates()
+    # The arrays go in raw: the CSR constructor canonicalizes dtypes in one
+    # place (ascontiguousarray onto INDPTR/INDEX/VALUE_DTYPE), so scipy's
+    # int32 indices widen and integer data converts without a second copy.
     return CSR(
         m.shape,
-        m.indptr.astype(INDPTR_DTYPE),
-        m.indices.astype(INDEX_DTYPE),
-        m.data.astype(VALUE_DTYPE),
+        m.indptr,
+        m.indices,
+        m.data,
         sorted_rows=bool(m.has_sorted_indices),
     )
 

@@ -20,15 +20,26 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from ..errors import FormatError, ShapeError
+from ..semiring import ACCUM_DTYPE
 
 __all__ = ["CSR"]
 
+# The canonical numeric contract.  These three constants (with
+# ``semiring.ACCUM_DTYPE``) are the only sanctioned dtype sources in the
+# tree: kernels, wire decoders and the traffic model all derive from them,
+# and the ``numeric-*`` checker family enforces that statically.
 #: dtype used for row pointers (``flop`` counts overflow int32 at scale).
 INDPTR_DTYPE = np.int64
 #: dtype used for column indices.
 INDEX_DTYPE = np.int64
 #: dtype used for values.
 VALUE_DTYPE = np.float64
+
+if np.dtype(VALUE_DTYPE) != np.dtype(ACCUM_DTYPE):  # pragma: no cover
+    raise FormatError(
+        "VALUE_DTYPE must match semiring.ACCUM_DTYPE: the stored values and "
+        "the semiring accumulator share one numeric domain"
+    )
 
 
 class CSR:
@@ -150,7 +161,24 @@ class CSR:
         return bool(~(decreasing & ~boundary).any())
 
     def validate(self) -> None:
-        """Raise :class:`FormatError` if any CSR invariant is violated."""
+        """Raise :class:`FormatError` if any CSR invariant is violated.
+
+        Checks the canonical dtype contract first: the constructor
+        canonicalizes, so a non-canonical array here means someone mutated
+        a field after construction — exactly the narrowing bug class the
+        ``REPRO_DEBUG_VALIDATE=1`` spgemm entry/exit hooks exist to catch.
+        """
+        for name, arr, want in (
+            ("indptr", self.indptr, INDPTR_DTYPE),
+            ("indices", self.indices, INDEX_DTYPE),
+            ("data", self.data, VALUE_DTYPE),
+        ):
+            if arr.dtype != np.dtype(want):
+                raise FormatError(
+                    f"{name} dtype {arr.dtype} violates the canonical "
+                    f"contract ({np.dtype(want)}); CSR fields must not be "
+                    "re-bound to non-canonical arrays after construction"
+                )
         if self.indptr[0] != 0:
             raise FormatError(f"indptr[0] must be 0, got {self.indptr[0]}")
         if (np.diff(self.indptr) < 0).any():

@@ -20,17 +20,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..matrix.csr import CSR
+from ..matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
 from ..matrix.stats import flop_per_row
 from ..core.symbolic import masked_row_nnz, symbolic_row_nnz
 
-__all__ = ["ProblemQuantities", "ENTRY_BYTES", "INDEX_BYTES"]
+__all__ = [
+    "ProblemQuantities",
+    "ENTRY_BYTES",
+    "INDEX_BYTES",
+    "INDPTR_BYTES",
+    "VALUE_BYTES",
+    "PAPER_ENTRY_BYTES",
+]
 
-#: bytes of one stored entry as the paper's codes lay it out: 32-bit column
-#: index + 64-bit value.
-ENTRY_BYTES = 12
+# Byte widths derived from the canonical numeric contract (matrix/csr.py),
+# so the traffic model tracks the declared dtypes instead of restating
+# them: change the contract and every modeled volume follows.
+#: bytes of one row-pointer entry.
+INDPTR_BYTES = int(np.dtype(INDPTR_DTYPE).itemsize)
 #: bytes of a bare column index (symbolic phase traffic).
-INDEX_BYTES = 4
+INDEX_BYTES = int(np.dtype(INDEX_DTYPE).itemsize)
+#: bytes of one stored value.
+VALUE_BYTES = int(np.dtype(VALUE_DTYPE).itemsize)
+#: bytes of one stored entry (column index + value) under the contract.
+ENTRY_BYTES = INDEX_BYTES + VALUE_BYTES
+
+#: bytes of one stored entry as the *paper's* codes lay it out (32-bit
+#: column index + 64-bit value) — kept for reporting modeled volumes in
+#: the paper's layout alongside ours, never used by the live model.
+PAPER_ENTRY_BYTES = 12  # repro-lint: disable=numeric-bytes-model
 
 #: cap on the load factor fed to the probing formula — a table one slot
 #: short of full would otherwise produce an unbounded probe estimate.
@@ -175,11 +193,14 @@ class ProblemQuantities:
 
     def input_bytes(self) -> float:
         """Resident size of both operands."""
-        return (self.nnz_a + self.nnz_b) * ENTRY_BYTES + (self.nrows + 1) * 8 * 2
+        return (
+            (self.nnz_a + self.nnz_b) * ENTRY_BYTES
+            + (self.nrows + 1) * INDPTR_BYTES * 2
+        )
 
     def output_bytes(self) -> float:
         """Resident size of the output."""
-        return self.total_nnz_c * ENTRY_BYTES + (self.nrows + 1) * 8
+        return self.total_nnz_c * ENTRY_BYTES + (self.nrows + 1) * INDPTR_BYTES
 
     # Masked-product accounting ----------------------------------------------
     @property
@@ -191,7 +212,10 @@ class ProblemQuantities:
 
     def masked_output_bytes(self) -> float:
         """Resident size of the masked output."""
-        return self.total_nnz_c_masked * ENTRY_BYTES + (self.nrows + 1) * 8
+        return (
+            self.total_nnz_c_masked * ENTRY_BYTES
+            + (self.nrows + 1) * INDPTR_BYTES
+        )
 
     @property
     def masked_saved_output_elements(self) -> float:

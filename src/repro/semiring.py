@@ -29,8 +29,16 @@ import numpy as np
 
 from .errors import ConfigError
 
+#: dtype every registered semiring's accumulator operates over.  One of the
+#: two sanctioned dtype-constant sources of the numeric contract (the other
+#: is ``matrix/csr.py``, whose ``VALUE_DTYPE`` matches this by design —
+#: asserted there); kernels allocating accumulator scratch take their dtype
+#: from here or from the operand, never from a literal.
+ACCUM_DTYPE = np.float64
+
 __all__ = [
     "Semiring",
+    "ACCUM_DTYPE",
     "PLUS_TIMES",
     "OR_AND",
     "MIN_PLUS",

@@ -91,12 +91,49 @@ def _array_to_wire(arr: np.ndarray) -> dict:
     }
 
 
+def _validate_wire_dtype(dt: np.dtype, what: str) -> None:
+    """Reject dtype tags outside the canonical set for this field's role.
+
+    Accepted tags are exactly those the CSR constructor can canonicalize
+    **losslessly**: index fields take signed integers up to 64 bits (and
+    unsigned up to 32 — u64 cannot hold the -1 sentinel after widening);
+    data takes floats up to 64 bits, integers up to 32 bits (int64 values
+    above 2^53 would silently lose precision in float64) and bool.
+    Anything else — floats in an index field, complex, strings, objects —
+    raises a clean ConfigError naming the field, never a silent narrow.
+    """
+    kind, size = dt.kind, dt.itemsize
+    if what in ("indptr", "indices"):
+        ok = (kind == "i" and size <= 8) or (kind == "u" and size <= 4)
+    else:
+        ok = (
+            (kind == "f" and size <= 8)
+            or (kind in "iu" and size <= 4)
+            or kind == "b"
+        )
+    if not ok:
+        raise ConfigError(
+            f"wire CSR field {what!r} has dtype tag {dt.str!r} outside the "
+            "canonical set; it cannot be canonicalized without silent "
+            "narrowing (indices: signed ints <= 64 bit or unsigned <= 32 "
+            "bit; data: floats <= 64 bit, ints <= 32 bit, bool)"
+        )
+
+
 def _array_from_wire(payload: dict, what: str) -> np.ndarray:
     if not isinstance(payload, dict) or "b64" not in payload:
         raise ConfigError(f"wire CSR field {what!r} must be a dict with 'b64'")
     try:
+        dt = np.dtype(payload.get("dtype", "<i8"))
+    except (ValueError, TypeError) as exc:
+        raise ConfigError(
+            f"wire CSR field {what!r} has unparseable dtype tag "
+            f"{payload.get('dtype')!r}: {exc}"
+        ) from exc
+    _validate_wire_dtype(dt, what)
+    try:
         raw = base64.b64decode(payload["b64"], validate=True)
-        return np.frombuffer(raw, dtype=np.dtype(payload.get("dtype", "<i8")))
+        return np.frombuffer(raw, dtype=dt)
     except (ValueError, TypeError) as exc:
         raise ConfigError(f"wire CSR field {what!r} is malformed: {exc}") from exc
 

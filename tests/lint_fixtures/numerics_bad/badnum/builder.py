@@ -1,0 +1,27 @@
+"""Symbolic-builder module seeding numeric-index-narrowing."""
+
+import numpy as np
+
+from .matrix.csr import INDEX_DTYPE
+
+
+def _alloc_index(n, dt):
+    # BAD (numeric-index-narrowing, via one-hop flow): ``dt`` arrives as
+    # np.int16 from narrow_build below.
+    indices = np.zeros(n, dtype=dt)
+    return indices
+
+
+def narrow_build(n, out):
+    # BAD (numeric-index-narrowing): direct int32 index allocation.
+    indices = np.empty(n, dtype=np.int32)
+    # BAD (numeric-index-narrowing): indptr cast below the canonical width.
+    shrunk = out.indptr.astype(np.int32)
+    return indices, shrunk, _alloc_index(n, np.int16)
+
+
+def wide_build(n, out):
+    # Clean: canonical index allocation and a widening cast.
+    indices = np.zeros(n, dtype=INDEX_DTYPE)
+    widened = out.indptr.astype(INDEX_DTYPE)
+    return indices, widened

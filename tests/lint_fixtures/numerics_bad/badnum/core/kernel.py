@@ -1,0 +1,33 @@
+"""Kernel module seeding numeric-dtype-literal and numeric-unsafe-cast."""
+
+import numpy as np
+
+from ..matrix.csr import VALUE_DTYPE
+
+
+def scratch_alloc(n):
+    # BAD x4 (numeric-dtype-literal): hard-coded dtype literals at kernel
+    # allocation sites — attribute, positional-attribute, full, and string.
+    scratch = np.zeros(n, dtype=np.int64)
+    tmp = np.empty(n, np.float64)
+    flags = np.full(n, -1, dtype=np.int64)
+    xs = np.asarray([0, 1, 2], dtype="float64")
+    return scratch, tmp, flags, xs
+
+
+def good_alloc(n, operand):
+    # Clean: canonical constant, operand dtype, numpy default, bool mask.
+    acc = np.zeros(n, dtype=VALUE_DTYPE)
+    echo = np.empty(n, dtype=operand.dtype)
+    dense = np.zeros(n)
+    mask = np.zeros(n, dtype=bool)
+    return acc, echo, dense, mask
+
+
+def cast_values(data, out):
+    # BAD x2 (numeric-unsafe-cast): value-role astype without casting="safe".
+    lossy = data.astype(np.float64)
+    narrowed = out.data.astype(VALUE_DTYPE)
+    # Clean: explicit checked cast.
+    checked = data.astype(np.float64, casting="safe")
+    return lossy, narrowed, checked

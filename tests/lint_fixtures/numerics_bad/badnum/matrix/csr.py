@@ -1,0 +1,15 @@
+"""Contract module: arms the numeric-* family for this fixture tree."""
+
+import numpy as np
+
+INDPTR_DTYPE = np.int64
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+def canonical_empty(n):
+    # Sanctioned allocations: constants from this very module.
+    indptr = np.zeros(n + 1, dtype=INDPTR_DTYPE)
+    indices = np.empty(0, dtype=INDEX_DTYPE)
+    data = np.empty(0, dtype=VALUE_DTYPE)
+    return indptr, indices, data

@@ -1,0 +1,23 @@
+"""Traffic model seeding numeric-bytes-model."""
+
+import numpy as np
+
+from ..matrix.csr import INDEX_DTYPE, VALUE_DTYPE
+
+# BAD (numeric-bytes-model): hard-coded entry width.
+ENTRY_BYTES = 12
+
+# Clean: derived from the contract dtypes.
+DERIVED_ENTRY_BYTES = int(np.dtype(INDEX_DTYPE).itemsize) + int(
+    np.dtype(VALUE_DTYPE).itemsize
+)
+
+
+def input_bytes(nnz, nrows):
+    # BAD x2 (numeric-bytes-model): bare width literals in byte arithmetic.
+    return nnz * 12 + (nrows + 1) * 8
+
+
+def derived_bytes(nnz, nrows):
+    # Clean: volumes derived from itemsize-based constants.
+    return nnz * DERIVED_ENTRY_BYTES + (nrows + 1) * np.dtype(INDEX_DTYPE).itemsize

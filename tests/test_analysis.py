@@ -186,6 +186,10 @@ def test_all_rules_registered():
         "hot-loop-alloc",
         "kernel-dispatch",
         "layering",
+        "numeric-bytes-model",
+        "numeric-dtype-literal",
+        "numeric-index-narrowing",
+        "numeric-unsafe-cast",
         "overbroad-except",
         "plan-purity",
         "race-block-overlap",

@@ -1,0 +1,169 @@
+"""The runtime side of the canonical numeric contract.
+
+Property suite driving non-canonical dtypes (int32/int16 indices, float32
+or integer values) through the three input boundaries — CSR construction,
+``spgemm``, and the serve wire protocol — asserting each one either
+*canonicalizes losslessly* or raises a clean :class:`ConfigError` /
+:class:`FormatError`.  No path may silently narrow.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.spgemm import spgemm
+from repro.errors import ConfigError, FormatError
+from repro.matrix.construct import csr_from_dense
+from repro.matrix.csr import CSR, INDEX_DTYPE, INDPTR_DTYPE, VALUE_DTYPE
+from repro.serve.protocol import csr_from_wire, csr_to_wire
+
+COMMON = dict(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: dtypes a client might reasonably send for each field role.  All are
+#: losslessly canonicalizable for the small integer values the strategy
+#: draws, so round-trips must be exact.
+INDEX_LIKE = (np.int64, np.int32, np.int16, np.uint32)
+VALUE_LIKE = (np.float64, np.float32, np.int32, np.int16)
+
+
+@st.composite
+def csr_and_offcanon_dtypes(draw, max_dim=12):
+    """A small canonical CSR plus one off-canonical dtype per field."""
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    dense = np.zeros((nrows, ncols))
+    for _ in range(draw(st.integers(0, min(nrows * ncols, 16)))):
+        i = draw(st.integers(0, nrows - 1))
+        j = draw(st.integers(0, ncols - 1))
+        # Small integers: exactly representable in every VALUE_LIKE dtype.
+        dense[i, j] = draw(st.integers(-7, 7))
+    m = csr_from_dense(dense)
+    return (
+        m,
+        draw(st.sampled_from(INDEX_LIKE)),
+        draw(st.sampled_from(INDEX_LIKE)),
+        draw(st.sampled_from(VALUE_LIKE)),
+    )
+
+
+def assert_canonical(m: CSR):
+    assert m.indptr.dtype == np.dtype(INDPTR_DTYPE)
+    assert m.indices.dtype == np.dtype(INDEX_DTYPE)
+    assert m.data.dtype == np.dtype(VALUE_DTYPE)
+
+
+class TestConstructionCanonicalizes:
+    @settings(**COMMON)
+    @given(drawn=csr_and_offcanon_dtypes())
+    def test_constructor_widens_losslessly(self, drawn):
+        m, ptr_dt, idx_dt, val_dt = drawn
+        rebuilt = CSR(
+            m.shape,
+            m.indptr.astype(ptr_dt),
+            m.indices.astype(idx_dt),
+            m.data.astype(val_dt),
+            check=True,
+        )
+        assert_canonical(rebuilt)
+        assert rebuilt.allclose(m)
+
+    @settings(**COMMON)
+    @given(drawn=csr_and_offcanon_dtypes())
+    def test_spgemm_output_is_canonical(self, drawn):
+        m, ptr_dt, idx_dt, val_dt = drawn
+        a = CSR(
+            m.shape,
+            m.indptr.astype(ptr_dt),
+            m.indices.astype(idx_dt),
+            m.data.astype(val_dt),
+        )
+        gram = spgemm(a, _transpose(a))
+        assert_canonical(gram)
+        expected = m.to_dense() @ m.to_dense().T
+        np.testing.assert_allclose(gram.to_dense(), expected)
+
+
+def _transpose(m: CSR) -> CSR:
+    return csr_from_dense(m.to_dense().T)
+
+
+class TestWireRoundTrip:
+    @settings(**COMMON)
+    @given(drawn=csr_and_offcanon_dtypes())
+    def test_offcanonical_tags_canonicalize(self, drawn):
+        m, ptr_dt, idx_dt, val_dt = drawn
+        wire = csr_to_wire(m)
+        # Re-encode each array under its off-canonical dtype tag, exactly
+        # as a 32-bit client would.
+        wire["indptr"] = _rewire(m.indptr, ptr_dt)
+        wire["indices"] = _rewire(m.indices, idx_dt)
+        wire["data"] = _rewire(m.data, val_dt)
+        back = csr_from_wire(wire)
+        assert_canonical(back)
+        assert back.allclose(m)
+
+    def test_canonical_round_trip_is_lossless(self):
+        m = csr_from_dense(np.array([[1.5, 0.0], [0.0, -2.25]]))
+        back = csr_from_wire(csr_to_wire(m))
+        assert_canonical(back)
+        np.testing.assert_array_equal(back.data, m.data)
+
+    @pytest.mark.parametrize(
+        "field, bad_dtype",
+        [
+            ("indptr", np.float64),   # float row pointers
+            ("indptr", np.uint64),    # cannot hold -1 after widening
+            ("indices", np.float32),  # float column indices
+            ("indices", np.uint64),
+            ("data", np.int64),       # > 2^53 loses precision in float64
+            ("data", np.complex128),
+        ],
+    )
+    def test_bad_tags_raise_naming_the_field(self, field, bad_dtype):
+        m = csr_from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        wire = csr_to_wire(m)
+        src = {"indptr": m.indptr, "indices": m.indices, "data": m.data}[field]
+        wire[field] = _rewire(src, bad_dtype)
+        with pytest.raises(ConfigError, match=f"'{field}'"):
+            csr_from_wire(wire)
+
+    def test_unparseable_dtype_tag_raises_cleanly(self):
+        m = csr_from_dense(np.array([[1.0]]))
+        wire = csr_to_wire(m)
+        wire["data"]["dtype"] = "not-a-dtype"
+        with pytest.raises(ConfigError, match="unparseable dtype tag"):
+            csr_from_wire(wire)
+
+
+def _rewire(arr: np.ndarray, dt) -> dict:
+    import base64
+
+    cast = arr.astype(dt)
+    return {
+        "dtype": cast.dtype.str,
+        "b64": base64.b64encode(cast.tobytes()).decode("ascii"),
+    }
+
+
+class TestDebugValidateCatchesNarrowing:
+    def test_narrowed_indices_caught_at_entry(self, monkeypatch):
+        """Regression: a field re-bound to a narrowed array after
+        construction must trip the REPRO_DEBUG_VALIDATE=1 entry check."""
+        monkeypatch.setenv("REPRO_DEBUG_VALIDATE", "1")
+        a = csr_from_dense(np.eye(3))
+        b = csr_from_dense(np.eye(3))
+        a.indices = a.indices.astype(np.int32)  # simulate the bug class
+        with pytest.raises(FormatError, match="indices dtype int32"):
+            spgemm(a, b, algorithm="hash")
+
+    def test_narrowing_not_caught_when_flag_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG_VALIDATE", raising=False)
+        a = csr_from_dense(np.eye(3))
+        a.indices = a.indices.astype(np.int32)
+        c = spgemm(a, csr_from_dense(np.eye(3)), algorithm="hash")
+        assert c.shape == (3, 3)  # silently tolerated — why the flag exists

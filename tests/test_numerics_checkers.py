@@ -1,0 +1,294 @@
+"""The ``numeric-*`` checker family and its dtype abstract interpreter.
+
+The fixture (``tests/lint_fixtures/numerics_bad/badnum/``) declares the
+canonical contract (a mini ``matrix/csr.py``) and seeds exact per-rule
+finding counts: hard-coded kernel dtype literals, index-narrowing
+allocations and casts (one through one-hop positional flow into a local
+helper), unchecked value casts, and literal byte-volume arithmetic.  The
+operational acceptance bars: the real ``src/repro`` tree lints clean with
+a pinned suppression inventory, and the interpreter resolves a concrete
+(non-⊤) lattice value for >= 90% of kernel (``core``) allocation sites.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main as cli_main
+from repro.analysis.context import ProjectContext, build_file_context
+from repro.analysis.numerics import (
+    BOTTOM,
+    OPERAND,
+    TOP,
+    NumericsModel,
+    index_narrow_reason,
+    join,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+NUMERICS_BAD = FIXTURES / "numerics_bad"
+
+NUMERIC_RULES = [
+    "numeric-bytes-model",
+    "numeric-dtype-literal",
+    "numeric-index-narrowing",
+    "numeric-unsafe-cast",
+]
+
+
+def run_tree(root, rules, baseline=frozenset()):
+    return analyze_paths([str(root)], root=str(root), rules=rules, baseline=baseline)
+
+
+def project_of(root: Path) -> ProjectContext:
+    files = []
+    for p in sorted(root.rglob("*.py")):
+        rel = p.relative_to(root).as_posix()
+        files.append(build_file_context(str(p), rel, p.read_text()))
+    return ProjectContext(root=str(root), files=files)
+
+
+# ---------------------------------------------------------------------------
+# the lattice and the engine
+# ---------------------------------------------------------------------------
+
+
+def test_lattice_join():
+    assert join(BOTTOM, "i64") == "i64"
+    assert join("i64", BOTTOM) == "i64"
+    assert join("i64", "i64") == "i64"
+    assert join("i64", "i32") == TOP
+    assert join(TOP, "f64") == TOP
+
+
+def test_index_narrow_reasons():
+    assert index_narrow_reason("i64") is None
+    assert index_narrow_reason(OPERAND) is None
+    assert index_narrow_reason(TOP) is None
+    assert "narrows" in index_narrow_reason("i32")
+    assert "sentinel" in index_narrow_reason("u32")
+    assert "index exactly" in index_narrow_reason("f64")
+
+
+def test_model_arms_on_contract_tree():
+    model = NumericsModel.of(project_of(NUMERICS_BAD))
+    assert model.armed
+    assert model.contract_relpath == "badnum/matrix/csr.py"
+    assert model.canonical["INDPTR_DTYPE"] == "i64"
+    assert model.canonical["INDEX_DTYPE"] == "i64"
+    assert model.canonical["VALUE_DTYPE"] == "f64"
+
+
+def test_model_stays_dark_without_contract():
+    model = NumericsModel.of(project_of(FIXTURES / "race_bad"))
+    assert not model.armed
+    assert model.sites == []
+
+
+def test_one_hop_positional_flow_resolves_helper_param():
+    model = NumericsModel.of(project_of(NUMERICS_BAD))
+    helper_sites = [
+        s
+        for s in model.sites
+        if s.relpath == "badnum/builder.py" and s.scope.endswith("._alloc_index")
+    ]
+    assert len(helper_sites) == 1
+    site = helper_sites[0]
+    # dt arrived as np.int16 from narrow_build's call site, one hop away.
+    assert site.value == "i16"
+    assert site.source == "env"
+    assert site.targets == ("indices",)
+
+
+def test_engine_resolves_canonical_constants_and_defaults():
+    model = NumericsModel.of(project_of(NUMERICS_BAD))
+    by_line = {
+        (s.relpath, s.lineno): s for s in model.sites if s.kind == "alloc"
+    }
+    # matrix/csr.py's sanctioned allocations resolve through the constants.
+    contract = [
+        s for s in model.sites if s.relpath == "badnum/matrix/csr.py"
+    ]
+    assert {s.value for s in contract} == {"i64", "f64"}
+    assert all(s.source == "constant" for s in contract)
+    # core/kernel.py good_alloc: operand dtype and numpy's f64 default.
+    kernel = [
+        s
+        for s in model.sites
+        if s.relpath == "badnum/core/kernel.py" and s.scope.endswith(".good_alloc")
+    ]
+    assert {s.value for s in kernel} == {"f64", OPERAND, "bool"}
+    assert by_line[("badnum/core/kernel.py", 22)].value == "f64"  # np.zeros(n)
+
+
+def test_fixture_alloc_coverage_is_total():
+    model = NumericsModel.of(project_of(NUMERICS_BAD))
+    stats = model.alloc_stats()
+    assert stats["alloc_sites"] >= 12
+    assert stats["resolved"] == stats["alloc_sites"]
+
+
+# ---------------------------------------------------------------------------
+# the four rules, exact seeded counts
+# ---------------------------------------------------------------------------
+
+
+def test_index_narrowing_fixture():
+    result = run_tree(NUMERICS_BAD, ["numeric-index-narrowing"])
+    assert {(f.path, f.line) for f in result.findings} == {
+        ("badnum/builder.py", 11),  # one-hop i16 through _alloc_index
+        ("badnum/builder.py", 17),
+        ("badnum/builder.py", 19),
+    }
+    messages = " ".join(f.message for f in result.findings)
+    assert "i16" in messages and "i32" in messages
+    assert "'out.indptr' cast to" in messages
+
+
+def test_dtype_literal_fixture():
+    result = run_tree(NUMERICS_BAD, ["numeric-dtype-literal"])
+    assert {f.line for f in result.findings} == {11, 12, 13, 14}
+    assert all(f.path == "badnum/core/kernel.py" for f in result.findings)
+    messages = " ".join(f.message for f in result.findings)
+    assert "'np.int64'" in messages and "'float64'" in messages
+
+
+def test_unsafe_cast_fixture():
+    result = run_tree(NUMERICS_BAD, ["numeric-unsafe-cast"])
+    assert {f.line for f in result.findings} == {29, 30}
+    messages = " ".join(f.message for f in result.findings)
+    assert "'data'" in messages and "'out.data'" in messages
+    # the checked cast two lines below is not flagged
+    assert all(f.line != 31 for f in result.findings)
+
+
+def test_bytes_model_fixture():
+    result = run_tree(NUMERICS_BAD, ["numeric-bytes-model"])
+    assert len(result.findings) == 3
+    assert {f.line for f in result.findings} == {8, 18}
+    assert all(f.path == "badnum/perfmodel/traffic.py" for f in result.findings)
+    messages = " ".join(f.message for f in result.findings)
+    assert "ENTRY_BYTES hard-codes 12" in messages
+    assert "itemsize" in messages
+
+
+def test_whole_family_total():
+    result = run_tree(NUMERICS_BAD, NUMERIC_RULES)
+    assert len(result.findings) == 12
+
+
+# ---------------------------------------------------------------------------
+# gating, suppression, fingerprints
+# ---------------------------------------------------------------------------
+
+
+def test_numeric_rules_self_gate_on_contractless_trees():
+    # No matrix/csr.py declaring the three *_DTYPE constants -> the family
+    # stays silent, even on trees full of dtype literals and byte literals.
+    for tree in ("dispatch_bad", "race_bad", "plan_purity_bad", "layering_bad"):
+        assert run_tree(FIXTURES / tree, NUMERIC_RULES).findings == []
+
+
+def test_numeric_rules_clean_on_real_tree():
+    result = analyze_paths(
+        [str(REPO_ROOT / "src" / "repro")], root=str(REPO_ROOT), rules=NUMERIC_RULES
+    )
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+    # Pinned suppression inventory: exactly one sanctioned site — the
+    # paper's 12-byte entry layout kept as a documentation constant in
+    # perfmodel/quantities.py (never used by the live model).
+    suppressed = [f for f in result.suppressed if f.rule.startswith("numeric-")]
+    assert [(f.rule, f.path) for f in suppressed] == [
+        ("numeric-bytes-model", "src/repro/perfmodel/quantities.py"),
+    ]
+
+
+def test_real_core_alloc_coverage_at_least_90_percent():
+    # The acceptance bar for the interpreter itself: >= 90% of numpy
+    # allocation sites in the kernels (src/repro/core) resolve to a
+    # concrete lattice value, measured by the engine's own stats.
+    model = NumericsModel.of(project_of(REPO_ROOT / "src" / "repro"))
+    assert model.armed
+    stats = model.alloc_stats("core")
+    assert stats["alloc_sites"] >= 30  # the kernels allocate a lot
+    assert stats["resolved"] / stats["alloc_sites"] >= 0.9, stats
+
+
+def test_numeric_finding_suppressible(tmp_path):
+    shutil.copytree(NUMERICS_BAD, tmp_path / "numerics_bad")
+    target = tmp_path / "numerics_bad" / "badnum" / "core" / "kernel.py"
+    text = target.read_text().replace(
+        "scratch = np.zeros(n, dtype=np.int64)",
+        "scratch = np.zeros(n, dtype=np.int64)  # repro-lint: disable=numeric-dtype-literal",
+    )
+    target.write_text(text)
+    result = run_tree(tmp_path / "numerics_bad", ["numeric-dtype-literal"])
+    assert len(result.findings) == 3 and len(result.suppressed) == 1
+
+
+def test_fingerprints_survive_line_shifts(tmp_path):
+    shutil.copytree(NUMERICS_BAD, tmp_path / "numerics_bad")
+    before = {
+        f.fingerprint
+        for f in run_tree(tmp_path / "numerics_bad", NUMERIC_RULES).findings
+    }
+    target = tmp_path / "numerics_bad" / "badnum" / "builder.py"
+    target.write_text('"""Shifted."""\n\n' + target.read_text())
+    after = {
+        f.fingerprint
+        for f in run_tree(tmp_path / "numerics_bad", NUMERIC_RULES).findings
+    }
+    assert before == after and len(before) == 12
+
+
+# ---------------------------------------------------------------------------
+# CLI --select
+# ---------------------------------------------------------------------------
+
+
+def test_cli_select_glob_runs_family(capsys):
+    code = cli_main(
+        ["--select", "numeric-*", "--root", str(NUMERICS_BAD), str(NUMERICS_BAD)]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "12 finding(s)" in out
+    assert "numeric-" in out
+    # only the selected family ran
+    assert "race-" not in out and "layering" not in out
+
+
+def test_cli_select_exact_rule(capsys):
+    code = cli_main(
+        [
+            "--select",
+            "numeric-bytes-model",
+            "--root",
+            str(NUMERICS_BAD),
+            str(NUMERICS_BAD),
+        ]
+    )
+    assert code == 1
+    assert "3 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_select_usage_errors(capsys):
+    # unmatched pattern
+    assert cli_main(["--select", "no-such-*", str(NUMERICS_BAD)]) == 2
+    assert "matches no registered rule" in capsys.readouterr().err
+    # --select and --rules are mutually exclusive
+    assert (
+        cli_main(
+            ["--select", "numeric-*", "--rules", "layering", str(NUMERICS_BAD)]
+        )
+        == 2
+    )
+    assert "pass one" in capsys.readouterr().err
+
+
+def test_cli_list_rules_includes_numeric_family(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in NUMERIC_RULES:
+        assert rule in out

@@ -15,6 +15,7 @@ from repro.perfmodel import (
     mflops_series,
     simulate_spgemm,
 )
+from repro.perfmodel.quantities import ENTRY_BYTES, INDPTR_BYTES
 from repro.rmat import er_matrix, g500_matrix
 
 
@@ -104,7 +105,7 @@ class TestCostParts:
 
     def test_heap_temp_is_flop_bound(self, q_er):
         parts = build_cost("heap", q_er, KNL, 64)
-        assert parts.temp_bytes == pytest.approx(q_er.total_flop * 12.0)
+        assert parts.temp_bytes == pytest.approx(q_er.total_flop * ENTRY_BYTES)
 
     def test_balanced_partition_used_by_default(self, q_g5):
         parts = build_cost("hash", q_g5, KNL, 16)
